@@ -1,0 +1,66 @@
+"""E11 — Appendix A: the normalization bounds per-tree ancestries.
+
+Example 66 shows that for the raw theory *some* ancestor function routes
+unboundedly many base facts into one tree's ancestry (the refutation of
+the naive Lemma 65); the Crucial Lemma (Lemma 77) quantifies over **every**
+ancestor function, so the bench measures the worst case across all
+possible derivations.  After the T_NF normalization the connected
+ancestries are flat and under the theory constant M = N*h + k*h, while
+Lemma 70 confirms both theories produce the same existential atoms.
+"""
+
+from repro.bench import Table, monotonically_nondecreasing, roughly_flat
+from repro.frontier import (
+    crucial_lemma_check,
+    lemma70_check,
+    normalize,
+    tree_possible_ancestor_sizes,
+)
+from repro.workloads import example66, example66_instance
+
+SPOKES = (2, 3, 4, 6)
+
+
+def run_normalization() -> Table:
+    theory = example66()
+    normalized = normalize(theory)
+    table = Table(
+        "E11: Example-66 worst-case ancestries, raw vs normalized (Lemma 77)",
+        [
+            "P-spokes",
+            "raw worst ancestry",
+            "normalized worst (canc)",
+            "bound M",
+            "Lemma 70 agrees",
+        ],
+    )
+    for spokes in SPOKES:
+        base = example66_instance(spokes)
+        raw = tree_possible_ancestor_sizes(theory, base, depth=5)
+        normalized_sizes = tree_possible_ancestor_sizes(
+            normalized.normalized, base, depth=5, connected_only=True
+        )
+        _, bound = crucial_lemma_check(normalized, base, depth=5)
+        table.add(
+            spokes,
+            max(raw.values(), default=0),
+            max(normalized_sizes.values(), default=0),
+            bound,
+            lemma70_check(normalized, base, depth=3),
+        )
+    table.note("raw worst case grows with the instance (spokes + 1); "
+               "normalized stays flat and under M")
+    return table
+
+
+def test_bench_e11_normalization(benchmark, report):
+    table = benchmark.pedantic(run_normalization, rounds=1, iterations=1)
+    report(table)
+    raw = table.column("raw worst ancestry")
+    assert monotonically_nondecreasing(raw)
+    assert raw[-1] > raw[0]  # genuine growth
+    normalized_series = table.column("normalized worst (canc)")
+    assert roughly_flat(normalized_series)
+    bounds = table.column("bound M")
+    assert all(obs <= bound for obs, bound in zip(normalized_series, bounds))
+    assert all(table.column("Lemma 70 agrees"))

@@ -1,0 +1,56 @@
+"""E12 — distancing (Definition 43): bounded for local theories, broken by T_d.
+
+Measure the distance-contraction ratio dist_D / dist_Ch for endpoint pairs:
+
+* T_p (linear, local, distancing): ratio stays <= 1 on every path;
+* T_d on G^{2^n}: the chase connects the endpoints through the doubling
+  grid within 2n+1 steps while the base distance is 2^n — the ratio grows
+  like 2^n/(2n+1), certifying that no distancing constant exists.
+"""
+
+from repro.bench import Table, monotonically_nondecreasing
+from repro.frontier import distance_contraction
+from repro.frontier.td import doubling_witness
+from repro.logic.terms import Constant
+from repro.workloads import edge_path, t_d, t_p
+
+TD_DEPTHS = (1, 2, 3)
+
+
+def run_distancing() -> Table:
+    table = Table(
+        "E12: distance contraction — T_p vs T_d (Definition 43)",
+        ["theory", "instance", "base dist", "chase dist", "ratio"],
+    )
+    for length in (4, 8):
+        path = edge_path(length)
+        pair = distance_contraction(
+            t_p(), path, [(Constant("a0"), Constant(f"a{length}"))], depth=4
+        )[0]
+        table.add("T_p", f"path {length}", pair.base_distance,
+                  pair.chase_distance, pair.contraction_ratio)
+    for depth in TD_DEPTHS:
+        instance, start, end = doubling_witness(depth)
+        rounds = 2 ** depth + 1 if depth < 3 else 7
+        pair = distance_contraction(
+            t_d(), instance, [(start, end)], depth=rounds, max_atoms=2_000_000
+        )[0]
+        table.add(
+            "T_d",
+            f"G^{2 ** depth}",
+            pair.base_distance,
+            pair.chase_distance,
+            pair.contraction_ratio,
+        )
+    table.note("T_p ratios flat at <= 1; T_d ratios track 2^n/(2n+1)")
+    return table
+
+
+def test_bench_e12_distancing(benchmark, report):
+    table = benchmark.pedantic(run_distancing, rounds=1, iterations=1)
+    report(table)
+    ratios = table.column("ratio")
+    tp_ratios, td_ratios = ratios[:2], ratios[2:]
+    assert all(r <= 1.0 for r in tp_ratios)
+    assert monotonically_nondecreasing(td_ratios)
+    assert td_ratios[-1] > 1.0  # genuine contraction at n = 3

@@ -1,0 +1,55 @@
+"""E1 — Theorem 5(B): rew(phi_R^n) contains the G^{2^n} path.
+
+The headline of the paper's Sections 10-11: T_d is BDD, yet its rewritings
+need disjuncts exponential in the query size.  The bench runs the
+five-operation process per n and reports the doubling series.
+"""
+
+from repro.bench import Table, grows_at_least_geometrically
+from repro.frontier.process import run_process
+from repro.frontier.td import g_path_query, phi_r_n
+from repro.logic.containment import are_equivalent
+
+DEPTHS = (1, 2, 3, 4)
+
+
+def run_doubling() -> Table:
+    table = Table(
+        "E1: T_d rewriting doubling (Theorem 5B)",
+        [
+            "n",
+            "|phi_R^n|",
+            "process steps",
+            "disjuncts",
+            "max disjunct",
+            "G^(2^n) size",
+            "G^(2^n) in rew",
+        ],
+    )
+    for depth in DEPTHS:
+        query = phi_r_n(depth)
+        result = run_process(query)
+        rewriting = result.rewriting()
+        target = g_path_query(2 ** depth)
+        found = any(are_equivalent(d, target) for d in rewriting)
+        table.add(
+            depth,
+            query.size,
+            result.steps,
+            len(rewriting),
+            rewriting.max_disjunct_size(),
+            2 ** depth,
+            found,
+        )
+    table.note("shape: query grows linearly (2n+1), disjunct size doubles (2^n)")
+    return table
+
+
+def test_bench_e1_doubling(benchmark, report):
+    table = benchmark.pedantic(run_doubling, rounds=1, iterations=1)
+    report(table)
+    assert all(table.column("G^(2^n) in rew"))
+    assert grows_at_least_geometrically(table.column("max disjunct"), ratio=1.5)
+    # The witness disjunct is exponential while the query is linear.
+    assert table.column("G^(2^n) size") == [2, 4, 8, 16]
+    assert table.column("|phi_R^n|") == [3, 5, 7, 9]

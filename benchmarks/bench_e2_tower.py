@@ -1,0 +1,67 @@
+"""E2 — Theorem 6(B): the per-level-pair doubling cascade of T_d^K.
+
+Each adjacent level pair (i+1, i) of T_d^K reproduces the Theorem-5
+doubling (I_{i+1} as red, I_i as green); composing the K-1 pairs yields
+the (K-1)-fold exponential disjunct sizes the paper asserts.  The bench
+verifies every pair's doubling and reports the composed bound (the single
+explicit tower-sized witness query is deferred by the paper to its
+journal version — see DESIGN.md §5).
+"""
+
+from repro.bench import Table
+from repro.frontier.tdk import (
+    check_level_pair_doubling,
+    composed_tower_bound,
+)
+
+CASES = (
+    # (K, pair level, arm depth)
+    (2, 1, 1),
+    (2, 1, 2),
+    (2, 1, 3),
+    (3, 1, 1),
+    (3, 2, 1),
+    (3, 1, 2),
+    (3, 2, 2),
+    (4, 3, 1),
+)
+
+
+def run_tower() -> Table:
+    table = Table(
+        "E2: T_d^K level-pair doubling (Theorem 6B cascade)",
+        [
+            "K",
+            "pair (i+1,i)",
+            "arm depth n",
+            "lower path found",
+            "2^n",
+            "doubled",
+            "composed tower(K-1, n)",
+        ],
+    )
+    for levels, pair, depth in CASES:
+        check = check_level_pair_doubling(levels, pair, depth)
+        table.add(
+            levels,
+            f"({pair + 1},{pair})",
+            depth,
+            check.lower_path_found,
+            2 ** depth,
+            check.doubled,
+            composed_tower_bound(levels, depth),
+        )
+    table.note("every adjacent pair doubles; composition tower-exponentiates")
+    return table
+
+
+def test_bench_e2_tower(benchmark, report):
+    table = benchmark.pedantic(run_tower, rounds=1, iterations=1)
+    report(table)
+    assert all(table.column("doubled"))
+    assert table.column("lower path found") == [
+        2 ** depth for _, _, depth in CASES
+    ]
+    # The composed bounds exhibit the tower: K=3, n=2 -> 2^(2^2) = 16.
+    assert composed_tower_bound(3, 2) == 16
+    assert composed_tower_bound(4, 2) == 2 ** 16

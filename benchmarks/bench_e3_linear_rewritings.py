@@ -1,0 +1,57 @@
+"""E3 — Observation 31: local theories admit linear-size rewritings.
+
+For the linear (hence local, l_T = 1) theories T_p and the university
+ontology, sweep the query size and report rs_T(psi) against the
+l_T * |psi| bound — flat-ratio series, in stark contrast to E1's doubling.
+"""
+
+from repro.bench import Table
+from repro.frontier import linear_locality_constant
+from repro.logic import parse_query
+from repro.rewriting import rewrite
+from repro.workloads import t_p, university_ontology
+
+
+def _path_query(length: int) -> str:
+    body = ", ".join(f"E(x{i}, x{i + 1})" for i in range(length))
+    return f"q(x0) := {body}"
+
+
+def _university_query(length: int) -> str:
+    pieces = ["EnrolledIn(x, c0)"]
+    for i in range(length - 1):
+        pieces.append(f"TaughtBy(c{i}, p{i})")
+    return "q(x) := " + ", ".join(pieces[:length])
+
+
+def run_linear_rewritings() -> Table:
+    table = Table(
+        "E3: linear-size rewritings for local theories (Observation 31)",
+        ["theory", "|psi|", "disjuncts", "rs_T(psi)", "bound l_T*|psi|", "within"],
+    )
+    for name, theory, builder in (
+        ("T_p", t_p(), _path_query),
+        ("University", university_ontology(), _university_query),
+    ):
+        constant = linear_locality_constant(theory)
+        for length in (1, 2, 3, 4, 5):
+            query = parse_query(builder(length))
+            result = rewrite(theory, query)
+            assert result.complete
+            bound = constant * query.size
+            table.add(
+                name,
+                query.size,
+                len(result.ucq),
+                result.max_disjunct_size(),
+                bound,
+                result.max_disjunct_size() <= bound,
+            )
+    table.note("rs stays <= l_T * |psi| (linear), vs 2^n for T_d in E1")
+    return table
+
+
+def test_bench_e3_linear_rewritings(benchmark, report):
+    table = benchmark.pedantic(run_linear_rewritings, rounds=1, iterations=1)
+    report(table)
+    assert all(table.column("within"))

@@ -1,0 +1,55 @@
+"""E4 — Example 39: the sticky theory is BDD but not local.
+
+Sweep the number of colour spokes k around the spectator: the chase
+produces an atom whose minimal support is the whole instance (k+1 facts),
+so no locality constant l_T can exist — while the theory is sticky and
+hence BDD.  The non-locality is a *high-degree* phenomenon (the hub's
+degree grows with k), which is exactly what bd-locality repairs.
+"""
+
+from repro.bench import Table, monotonically_nondecreasing
+from repro.chase import chase
+from repro.frontier import locality_defect, min_support_size
+from repro.logic.gaifman import max_degree
+from repro.workloads import example39_sticky, sticky_star
+
+SPOKES = (2, 3, 4)
+
+
+def run_sticky_nonlocal() -> Table:
+    theory = example39_sticky()
+    table = Table(
+        "E4: sticky non-locality on colour stars (Example 39)",
+        [
+            "spokes k",
+            "hub degree",
+            "|D|",
+            "defect at l=k",
+            "max min-support",
+        ],
+    )
+    for spokes in SPOKES:
+        star = sticky_star(spokes)
+        defect = locality_defect(theory, star, bound=spokes, depth=spokes)
+        run = chase(theory, star, max_rounds=spokes, max_atoms=300_000)
+        worst = 0
+        for item in sorted(run.round_added[spokes], key=repr):
+            support = min_support_size(theory, star, item, depth=spokes + 1)
+            worst = max(worst, support or 0)
+        table.add(
+            spokes,
+            max_degree(star),
+            len(star),
+            len(defect.missing),
+            worst,
+        )
+    table.note("max min-support = k+1 = |D|: the whole instance, every time")
+    return table
+
+
+def test_bench_e4_sticky_nonlocal(benchmark, report):
+    table = benchmark.pedantic(run_sticky_nonlocal, rounds=1, iterations=1)
+    report(table)
+    assert all(defect > 0 for defect in table.column("defect at l=k"))
+    assert table.column("max min-support") == [k + 1 for k in SPOKES]
+    assert monotonically_nondecreasing(table.column("hub degree"))

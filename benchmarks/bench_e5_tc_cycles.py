@@ -1,0 +1,50 @@
+"""E5 — Example 42: T_c is BDD but not even bounded-degree local.
+
+Sweep E-cycles (Gaifman degree 2 throughout): the round-n chase contains
+atoms needing all n cycle edges, so even with the degree fixed at 2 no
+locality constant exists — unlike the sticky case (E4), where bounding
+the degree restores locality.
+"""
+
+from repro.bench import Table
+from repro.chase import chase
+from repro.frontier import locality_defect, min_support_size
+from repro.logic.gaifman import max_degree
+from repro.workloads import edge_cycle, example42_tc
+
+CYCLES = (3, 4, 5)
+
+
+def run_tc_cycles() -> Table:
+    theory = example42_tc()
+    table = Table(
+        "E5: T_c on degree-2 cycles (Example 42)",
+        ["cycle n", "degree", "defect at l=n-1", "max min-support", "= whole cycle"],
+    )
+    for length in CYCLES:
+        cycle = edge_cycle(length)
+        defect = locality_defect(
+            theory, cycle, bound=length - 1, depth=length
+        )
+        run = chase(theory, cycle, max_rounds=length, max_atoms=300_000)
+        worst = 0
+        for item in sorted(run.round_added[length], key=repr):
+            support = min_support_size(theory, cycle, item, depth=length + 1)
+            worst = max(worst, support or 0)
+        table.add(
+            length,
+            max_degree(cycle),
+            len(defect.missing),
+            worst,
+            worst == length,
+        )
+    table.note("degree stays 2, support grows with n: bd-locality fails too")
+    return table
+
+
+def test_bench_e5_tc_cycles(benchmark, report):
+    table = benchmark.pedantic(run_tc_cycles, rounds=1, iterations=1)
+    report(table)
+    assert all(d == 2 for d in table.column("degree"))
+    assert all(m > 0 for m in table.column("defect at l=n-1"))
+    assert all(table.column("= whole cycle"))

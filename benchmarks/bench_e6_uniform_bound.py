@@ -1,0 +1,51 @@
+"""E6 — Theorem 4: the uniform bound c_T for a local core-terminating theory.
+
+The Exercise-23 theory is Core Terminating and local, so the FUS/FES
+conjecture holds for it: one constant c_T bounds c_{T,D} over all
+instances.  Sweep instance families (paths, cycles, random) and observe a
+flat series — the measurable face of Observation 27 / Theorem 4(B).
+"""
+
+from repro.bench import Table, roughly_flat
+from repro.chase import core_termination, is_model
+from repro.logic.signature import Predicate
+from repro.workloads import edge_cycle, edge_path, exercise23, random_instance
+
+
+def _instances():
+    yield "path", 2, edge_path(2)
+    yield "path", 4, edge_path(4)
+    yield "path", 8, edge_path(8)
+    yield "cycle", 3, edge_cycle(3)
+    yield "cycle", 6, edge_cycle(6)
+    yield "random", 8, random_instance([Predicate("E", 2)], 8, 5, seed=1)
+    yield "random", 12, random_instance([Predicate("E", 2)], 12, 6, seed=2)
+
+
+def run_uniform_bound() -> Table:
+    theory = exercise23()
+    table = Table(
+        "E6: uniform Core-Termination bound for Ex.23 (Theorem 4)",
+        ["family", "size", "c_{T,D}", "model facts", "model |= T"],
+    )
+    for family, size, instance in _instances():
+        witness = core_termination(theory, instance, max_depth=12)
+        assert witness is not None
+        table.add(
+            family,
+            size,
+            witness.bound,
+            len(witness.model),
+            is_model(witness.model, theory),
+        )
+    table.note("flat c_{T,D} series: a single c_T covers every instance")
+    return table
+
+
+def test_bench_e6_uniform_bound(benchmark, report):
+    table = benchmark.pedantic(run_uniform_bound, rounds=1, iterations=1)
+    report(table)
+    bounds = table.column("c_{T,D}")
+    assert roughly_flat(bounds)
+    assert max(bounds) <= 2
+    assert all(table.column("model |= T"))

@@ -1,0 +1,47 @@
+"""E7 — Exercises 12/22: BDD without Core Termination (T_p).
+
+T_p is linear (BDD, local) yet not FES: no chase prefix of E(a,b) ever
+contains a model.  The bench shows the two halves side by side: the
+Core-Termination search keeps failing at every depth, while the rewriting
+engine answers queries instantly — BDD and FES are genuinely independent
+axes, which is exactly why the FUS/FES conjecture needs both.
+"""
+
+from repro.bench import Table, monotonically_nondecreasing
+from repro.chase import chase, core_termination
+from repro.logic import parse_instance, parse_query
+from repro.rewriting import rewrite
+from repro.workloads import t_p
+
+DEPTHS = (2, 4, 6)
+
+
+def run_nonterminating() -> Table:
+    theory = t_p()
+    base = parse_instance("E(a, b)")
+    table = Table(
+        "E7: T_p grows forever, yet rewrites instantly (Ex. 12/22)",
+        ["probe depth", "chase atoms", "CT witness", "rew disjuncts", "rew complete"],
+    )
+    query = parse_query("q(x) := exists y, z. E(x, y), E(y, z)")
+    rewriting = rewrite(theory, query)
+    for depth in DEPTHS:
+        run = chase(theory, base, max_rounds=depth, max_atoms=100_000)
+        witness = core_termination(theory, base, max_depth=depth)
+        table.add(
+            depth,
+            len(run.instance),
+            witness is not None,
+            len(rewriting.ucq),
+            rewriting.complete,
+        )
+    table.note("no CT witness at any depth; the rewriting is finished once")
+    return table
+
+
+def test_bench_e7_nonterminating(benchmark, report):
+    table = benchmark.pedantic(run_nonterminating, rounds=1, iterations=1)
+    report(table)
+    assert not any(table.column("CT witness"))
+    assert monotonically_nondecreasing(table.column("chase atoms"))
+    assert all(table.column("rew complete"))

@@ -1,0 +1,36 @@
+"""E8 — Example 28: the infinite theory that breaks the FUS/FES conjecture.
+
+Each finite slice {E_i(x,y) -> exists z. E_{i-1}(y,z) : i <= K} is BDD
+and Core Terminating, but the bound c_{T,D} for the instance {E_K(a,b)}
+is exactly K: as the slice (and the data's top level) grows, so does the
+bound — no uniform c_T can cover the union, which is the paper's
+Example-28 refutation for infinite theories.
+"""
+
+from repro.bench import Table
+from repro.chase import core_termination
+from repro.logic import parse_instance
+from repro.workloads import example28_slice
+
+LEVELS = (1, 2, 3, 4, 5)
+
+
+def run_infinite_slices() -> Table:
+    table = Table(
+        "E8: Example-28 slices — the bound tracks the level",
+        ["slice K", "instance", "c_{T,D}", "model facts"],
+    )
+    for level in LEVELS:
+        theory = example28_slice(level)
+        base = parse_instance(f"E{level}(a, b)")
+        witness = core_termination(theory, base, max_depth=level + 3)
+        assert witness is not None
+        table.add(level, f"E{level}(a,b)", witness.bound, len(witness.model))
+    table.note("c grows linearly with K: uniformity fails for the union")
+    return table
+
+
+def test_bench_e8_infinite_slices(benchmark, report):
+    table = benchmark.pedantic(run_infinite_slices, rounds=1, iterations=1)
+    report(table)
+    assert table.column("c_{T,D}") == list(LEVELS)

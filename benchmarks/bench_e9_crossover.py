@@ -1,0 +1,91 @@
+"""E9 — the OMQA trade-off: rewrite-then-evaluate vs materialize-then-evaluate.
+
+The practical motivation of the BDD property (Section 1): instead of
+querying the chase, query the raw data with a rewritten UCQ.  Sweep the
+database size and compare wall-clock for a one-shot query:
+
+* rewriting pays a database-independent preprocessing cost, then a cheap
+  UCQ evaluation;
+* materialization chases the whole database first.
+
+Expected shape: materialization cost grows with the data while the
+rewriting route stays near-flat, so rewriting wins from a small size on —
+and amortizing the rewriting across repeated queries widens the gap.
+"""
+
+import time
+
+from repro.bench import Table, monotonically_nondecreasing
+from repro.logic import parse_query
+from repro.rewriting import (
+    answer_by_materialization,
+    answer_by_rewriting,
+    depth_bound_from_rewriting,
+    rewrite,
+)
+from repro.workloads import university_database, university_ontology
+
+SIZES = (50, 150, 400, 800)
+QUERY = "q(x) := exists c, p. EnrolledIn(x, c), TaughtBy(c, p), Person(p)"
+
+
+def run_crossover() -> Table:
+    ontology = university_ontology()
+    query = parse_query(QUERY)
+
+    started = time.perf_counter()
+    rewriting = rewrite(ontology, query)
+    prep_seconds = time.perf_counter() - started
+    bound = depth_bound_from_rewriting(ontology, query)
+
+    table = Table(
+        "E9: rewrite vs materialize on the university workload",
+        [
+            "students",
+            "facts",
+            "rewrite total (ms)",
+            "materialize total (ms)",
+            "answers",
+            "winner",
+        ],
+    )
+    table.note(f"rewriting preprocessing: {prep_seconds * 1000:.1f} ms, "
+               f"{len(rewriting.ucq)} disjuncts, depth bound {bound}")
+    for students in SIZES:
+        database = university_database(
+            students=students,
+            professors=max(4, students // 10),
+            courses=max(6, students // 5),
+            seed=5,
+        )
+        started = time.perf_counter()
+        via_rewriting = answer_by_rewriting(
+            ontology, query, database, prepared=rewriting
+        )
+        rewrite_ms = (time.perf_counter() - started + prep_seconds) * 1000
+
+        started = time.perf_counter()
+        via_chase = answer_by_materialization(ontology, query, database, depth=bound)
+        materialize_ms = (time.perf_counter() - started) * 1000
+
+        assert via_rewriting == via_chase
+        table.add(
+            students,
+            len(database),
+            round(rewrite_ms, 2),
+            round(materialize_ms, 2),
+            len(via_rewriting),
+            "rewrite" if rewrite_ms < materialize_ms else "materialize",
+        )
+    return table
+
+
+def test_bench_e9_crossover(benchmark, report):
+    table = benchmark.pedantic(run_crossover, rounds=1, iterations=1)
+    report(table)
+    # Shape, not absolute numbers: materialization cost grows with data,
+    # and by the largest size the rewriting route wins.
+    assert monotonically_nondecreasing(table.column("facts"))
+    assert table.column("winner")[-1] == "rewrite"
+    materialize = table.column("materialize total (ms)")
+    assert materialize[-1] > materialize[0]

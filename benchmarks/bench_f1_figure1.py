@@ -1,0 +1,27 @@
+"""F1 — Figure 1: the doubling grid of Ch(T_d, G^8).
+
+Regenerates the paper's only figure in quantified form: at level k the
+apex pattern phi_R^k spans exactly the 2^3 - 2^k + 1 windows of width 2^k
+over the green path — the triangle narrowing to a single full-width apex.
+"""
+
+from repro.bench import Table
+from repro.frontier.td import figure1_apex_counts
+
+
+def run_figure1() -> Table:
+    table = Table(
+        "F1: doubling triangle over G^8 (Figure 1)",
+        ["level k", "windows 2^k satisfied", "expected", "match"],
+    )
+    for level, satisfied, expected in figure1_apex_counts(3):
+        table.add(level, satisfied, expected, satisfied == expected)
+    table.note("expected row k = 2^3 - 2^k + 1; shape: 7, 5, 1")
+    return table
+
+
+def test_bench_f1_figure1(benchmark, report):
+    table = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    report(table)
+    assert table.column("match") == [True, True, True]
+    assert table.column("windows 2^k satisfied") == [7, 5, 1]

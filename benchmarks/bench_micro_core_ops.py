@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the hot inner operations (statistical timing).
+
+Unlike the experiment benches (single pedantic rounds around whole
+sweeps), these measure the core primitives with pytest-benchmark's
+repeated sampling, so regressions in the substrate show up as timing
+shifts: homomorphism evaluation, one chase round, piece-unifier
+enumeration, containment, and the process's canonicalization.
+"""
+
+import pytest
+
+from repro.chase import chase, resume
+from repro.frontier.process import _canonical_key, run_process
+from repro.frontier.td import phi_r_n
+from repro.logic import evaluate, parse_query, parse_rule
+from repro.logic.containment import is_contained_in
+from repro.logic.terms import FreshVariables
+from repro.rewriting import iter_piece_unifiers
+from repro.workloads import t_d, university_database, university_ontology
+
+
+@pytest.fixture(scope="module")
+def university_db():
+    return university_database(students=120, professors=20, courses=40, seed=13)
+
+
+def test_bench_micro_evaluate_join(benchmark, university_db):
+    query = parse_query(
+        "q(x) := exists c, p. EnrolledIn(x, c), TaughtBy(c, p), Professor(p)"
+    )
+    answers = benchmark(evaluate, query, university_db)
+    assert isinstance(answers, set)
+
+
+def test_bench_micro_chase_round(benchmark, university_db):
+    ontology = university_ontology()
+    prefix = chase(ontology, university_db, max_rounds=1, max_atoms=100_000)
+
+    def one_more_round():
+        return resume(prefix, 1, max_atoms=100_000)
+
+    result = benchmark(one_more_round)
+    assert result.rounds_run >= prefix.rounds_run
+
+
+def test_bench_micro_piece_unifiers(benchmark):
+    rule = parse_rule("R(x, x1), G(x, u), G(u, u1) -> exists z. R(u1, z), G(x1, z)")
+    query = phi_r_n(2)
+
+    def enumerate_unifiers():
+        return list(iter_piece_unifiers(query, rule, FreshVariables()))
+
+    unifiers = benchmark(enumerate_unifiers)
+    assert unifiers
+
+
+def test_bench_micro_containment(benchmark):
+    big = parse_query(
+        "q(x) := exists a, b, c. E(x, a), E(a, b), E(b, c), E(c, x)"
+    )
+    small = parse_query("q(x) := exists a. E(x, a)")
+    verdict = benchmark(is_contained_in, big, small)
+    assert verdict
+
+
+def test_bench_micro_canonical_key(benchmark):
+    from repro.frontier import all_markings
+
+    marking = next(iter(all_markings(phi_r_n(2))))
+    key = benchmark(_canonical_key, marking)
+    assert key
+
+
+def test_bench_micro_full_process_n2(benchmark):
+    result = benchmark(run_process, phi_r_n(2))
+    assert len(result.survivors) >= 8
+
+
+def test_bench_micro_td_chase_three_rounds(benchmark):
+    from repro.workloads import green_path
+
+    base = green_path(3)
+    theory = t_d()
+
+    def three_rounds():
+        return chase(theory, base, max_rounds=3, max_atoms=100_000)
+
+    result = benchmark(three_rounds)
+    assert result.rounds_run == 3

@@ -1,0 +1,28 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every bench target renders its experiment table through the ``report``
+fixture, which both prints it (visible with ``pytest -s``) and persists it
+under ``benchmarks/out/<test name>.txt`` so EXPERIMENTS.md can quote the
+measured rows verbatim.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import Table
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def report(request):
+    def _report(table: Table) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        target = OUT_DIR / f"{request.node.name}.txt"
+        target.write_text(table.render() + "\n", encoding="utf8")
+        print("\n" + table.render())
+
+    return _report

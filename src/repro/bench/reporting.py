@@ -1,0 +1,91 @@
+"""Fixed-width table reporting for the experiment suite.
+
+Every bench target prints its rows through :class:`Table` so that the
+console output, EXPERIMENTS.md and the test assertions all look at the
+same numbers in the same format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+@dataclass
+class Table:
+    """A tiny fixed-width table builder."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table {self.title!r} has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def _widths(self) -> list[int]:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, value in enumerate(row):
+                widths[index] = max(widths[index], len(_fmt(value)))
+        return widths
+
+    def render(self) -> str:
+        widths = self._widths()
+        header = " | ".join(
+            column.ljust(width) for column, width in zip(self.columns, widths)
+        )
+        separator = "-+-".join("-" * width for width in widths)
+        lines = [f"== {self.title} ==", header, separator]
+        for row in self.rows:
+            lines.append(
+                " | ".join(
+                    _fmt(value).ljust(width) for value, width in zip(row, widths)
+                )
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render())
+
+    def column(self, name: str) -> list:
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def monotonically_nondecreasing(values: Iterable[float]) -> bool:
+    """Shape check: does the series never decrease?"""
+    items = list(values)
+    return all(a <= b for a, b in zip(items, items[1:]))
+
+
+def roughly_flat(values: Iterable[float], tolerance: float = 0) -> bool:
+    """Shape check: the last value does not exceed the earlier max + tol."""
+    items = list(values)
+    if len(items) < 2:
+        return True
+    return items[-1] <= max(items[:-1]) + tolerance
+
+
+def grows_at_least_geometrically(values: Iterable[float], ratio: float) -> bool:
+    """Shape check: consecutive ratios stay at or above ``ratio``."""
+    items = [float(v) for v in values]
+    return all(b >= ratio * a for a, b in zip(items, items[1:]) if a > 0)

@@ -1,0 +1,52 @@
+"""Parameter-sweep helpers shared by the bench targets.
+
+``pytest-benchmark`` measures the wall-clock of the core operation; the
+functions here provide the surrounding sweep/collect/report structure so
+each bench file stays a thin declaration of its experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from .reporting import Table
+
+
+@dataclass
+class SweepPoint:
+    """One measured point of a sweep: parameter, value, elapsed seconds."""
+
+    parameter: Any
+    value: Any
+    seconds: float
+
+
+def sweep(
+    parameters: Iterable[Any],
+    measure: Callable[[Any], Any],
+) -> list[SweepPoint]:
+    """Run ``measure`` for each parameter, timing each call."""
+    points: list[SweepPoint] = []
+    for parameter in parameters:
+        started = time.perf_counter()
+        value = measure(parameter)
+        elapsed = time.perf_counter() - started
+        points.append(SweepPoint(parameter=parameter, value=value, seconds=elapsed))
+    return points
+
+
+def sweep_table(
+    title: str,
+    parameter_name: str,
+    value_columns: Sequence[str],
+    points: list[SweepPoint],
+    explode: Callable[[Any], tuple] | None = None,
+) -> Table:
+    """Render sweep points into a :class:`Table` (plus a seconds column)."""
+    table = Table(title, [parameter_name, *value_columns, "seconds"])
+    for point in points:
+        cells = explode(point.value) if explode else (point.value,)
+        table.add(point.parameter, *cells, round(point.seconds, 3))
+    return table

@@ -1,0 +1,69 @@
+"""The chase: semi-oblivious Skolem engine, variants, provenance, termination."""
+
+from .explain import DerivationNode, derivation_tree, explain, explain_answer
+from .engine import (
+    ChaseBudgetExceeded,
+    ChaseResult,
+    Derivation,
+    chase,
+    chase_to_fixpoint,
+    resume,
+)
+from .provenance import (
+    ancestor_support,
+    ancestors,
+    birth_atom,
+    connected_parents,
+    derivation_depths,
+    frontier_of,
+    invented_terms,
+    minimal_support,
+    parents,
+    possible_ancestors,
+    possible_parent_sets,
+)
+from .skolem import SkolemizedRule, skolemize
+from .termination import (
+    CoreTerminationWitness,
+    all_instances_termination,
+    core_termination,
+    is_model,
+    minimize_model,
+    violations,
+)
+from .variants import VariantResult, oblivious_chase, restricted_chase
+
+__all__ = [
+    "ChaseBudgetExceeded",
+    "ChaseResult",
+    "CoreTerminationWitness",
+    "Derivation",
+    "DerivationNode",
+    "SkolemizedRule",
+    "VariantResult",
+    "all_instances_termination",
+    "ancestor_support",
+    "ancestors",
+    "birth_atom",
+    "chase",
+    "chase_to_fixpoint",
+    "resume",
+    "connected_parents",
+    "core_termination",
+    "derivation_depths",
+    "derivation_tree",
+    "explain",
+    "explain_answer",
+    "frontier_of",
+    "invented_terms",
+    "is_model",
+    "minimal_support",
+    "minimize_model",
+    "oblivious_chase",
+    "parents",
+    "possible_ancestors",
+    "possible_parent_sets",
+    "restricted_chase",
+    "skolemize",
+    "violations",
+]

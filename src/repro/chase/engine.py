@@ -1,0 +1,302 @@
+"""The semi-oblivious Skolem chase (Definition 6).
+
+``Ch_0 = D`` and ``Ch_{i+1} = Ch_i + {appl(rho, sigma) : rho in T, sigma in
+Hom(rho, Ch_i)}``.  The engine materializes the rounds breadth-first with
+semi-naive evaluation: because Skolem naming is deterministic, a rule match
+whose body already lay in ``Ch_{i-1}`` produced the very same atoms in round
+``i``, so only matches touching the latest delta need to be re-derived —
+the per-round semantics of Definition 6 is preserved exactly.
+
+Rules with empty bodies are supported: a *universal* head variable (see
+:class:`repro.logic.tgd.TGD`) ranges over the active domain, so the
+``forall x (true -> exists z. R(x,z))`` rules of the theory ``T_d`` fire for
+every element, including elements invented by earlier rounds.
+
+The engine records one *derivation* ``(rule, sigma)`` per produced atom — a
+parent function in the sense of Appendix A — from which
+:mod:`repro.chase.provenance` reconstructs birth atoms, frontiers and
+ancestor sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..logic.atoms import Atom
+from ..logic.homomorphism import iter_query_homomorphisms
+from ..logic.instance import Instance
+from ..logic.terms import Term, Variable
+from ..logic.tgd import TGD, Theory
+from .skolem import SkolemizedRule, skolemize
+
+
+class ChaseBudgetExceeded(RuntimeError):
+    """Raised by :func:`chase` with ``on_budget='raise'`` when limits hit."""
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One way an atom was produced: ``atom = appl(rule, sigma)``."""
+
+    rule: TGD
+    sigma: tuple[tuple[Variable, Term], ...]
+
+    def mapping(self) -> dict[Variable, Term]:
+        return dict(self.sigma)
+
+    def frontier_image(self) -> set[Term]:
+        """``fr(alpha)``: the images of the rule's frontier variables."""
+        mapping = self.mapping()
+        return {mapping[var] for var in self.rule.frontier() if var in mapping}
+
+    def body_image(self) -> list[Atom]:
+        """``sigma(body(rule))``: the parent atoms (Appendix A)."""
+        mapping = self.mapping()
+        return [item.substitute(mapping) for item in self.rule.body]
+
+
+@dataclass
+class ChaseResult:
+    """The outcome of running the chase for a number of rounds.
+
+    ``round_added[i]`` holds the atoms that first appear in ``Ch_i`` (index
+    0 is the input instance).  ``terminated`` is ``True`` when a fixpoint
+    was reached, i.e. the final round added nothing new and the result *is*
+    ``Ch(T, D)``.
+    """
+
+    theory: Theory
+    base: Instance
+    instance: Instance
+    round_added: list[frozenset[Atom]]
+    terminated: bool
+    derivations: dict[Atom, Derivation] = field(default_factory=dict)
+
+    @property
+    def rounds_run(self) -> int:
+        return len(self.round_added) - 1
+
+    def prefix(self, depth: int) -> Instance:
+        """``Ch_depth(T, D)`` — all atoms of depth at most ``depth``."""
+        collected = Instance()
+        for added in self.round_added[: depth + 1]:
+            collected.update(added)
+        return collected
+
+    def depth_of(self, item: Atom) -> int | None:
+        """The round in which ``item`` first appeared, or ``None``."""
+        for index, added in enumerate(self.round_added):
+            if item in added:
+                return index
+        return None
+
+    def new_atoms(self) -> Instance:
+        """Everything produced by the chase (``Ch \\ D``)."""
+        produced = Instance()
+        for added in self.round_added[1:]:
+            produced.update(added)
+        return produced
+
+
+def _universal_assignments(
+    variables: tuple[Variable, ...], terms: Iterable[Term]
+) -> Iterator[dict[Variable, Term]]:
+    pool = list(terms)
+    for combo in itertools.product(pool, repeat=len(variables)):
+        yield dict(zip(variables, combo))
+
+
+def _round_matches(
+    skolemized: SkolemizedRule,
+    current: Instance,
+    delta: Instance | None,
+    delta_terms: set[Term] | None,
+) -> Iterator[dict[Variable, Term]]:
+    """All ``sigma`` to apply this round, semi-naive when a delta is given."""
+    rule = skolemized.rule
+    universal = tuple(sorted(rule.universal_head_variables(), key=lambda v: v.name))
+    if delta is None:
+        # Full evaluation (the first round).
+        for body_match in iter_query_homomorphisms(rule.body, current):
+            if not universal:
+                yield body_match
+                continue
+            for extra in _universal_assignments(universal, current.domain()):
+                yield {**body_match, **extra}
+        return
+    # Semi-naive: matches whose body touches the delta ...
+    if rule.body:
+        for body_match in iter_query_homomorphisms(rule.body, current, delta=delta):
+            if not universal:
+                yield body_match
+                continue
+            for extra in _universal_assignments(universal, current.domain()):
+                yield {**body_match, **extra}
+    # ... plus, for rules with universal variables, matches grabbing a term
+    # that only just entered the domain.
+    if universal and delta_terms:
+        body_matches: Iterable[dict[Variable, Term]]
+        if rule.body:
+            body_matches = iter_query_homomorphisms(rule.body, current)
+        else:
+            body_matches = ({},)
+        for body_match in body_matches:
+            for extra in _universal_assignments(universal, current.domain()):
+                if any(extra[var] in delta_terms for var in universal):
+                    yield {**body_match, **extra}
+
+
+def chase(
+    theory: Theory,
+    base: Instance,
+    max_rounds: int = 50,
+    max_atoms: int = 200_000,
+    on_budget: str = "return",
+    track_provenance: bool = True,
+    semi_naive: bool = True,
+) -> ChaseResult:
+    """Run the semi-oblivious Skolem chase.
+
+    Stops early at a fixpoint (then ``terminated`` is ``True``).  When a
+    budget is exceeded the partial result is returned with ``terminated =
+    False`` (or :class:`ChaseBudgetExceeded` is raised under
+    ``on_budget='raise'``).
+
+    ``semi_naive=False`` re-evaluates every rule against the whole current
+    instance each round (ablation A1) — same result atom-for-atom thanks
+    to Skolem determinism, strictly more matching work.
+    """
+    if on_budget not in ("return", "raise"):
+        raise ValueError("on_budget must be 'return' or 'raise'")
+    skolemized_rules = [skolemize(rule) for rule in theory]
+    current = base.copy()
+    round_added: list[frozenset[Atom]] = [frozenset(base)]
+    derivations: dict[Atom, Derivation] = {}
+    delta: Instance | None = None
+    delta_terms: set[Term] | None = None
+    terminated = False
+
+    for _ in range(max_rounds):
+        produced: dict[Atom, Derivation] = {}
+        round_delta = delta if semi_naive else None
+        round_delta_terms = delta_terms if semi_naive else None
+        for skolemized in skolemized_rules:
+            for sigma in _round_matches(
+                skolemized, current, round_delta, round_delta_terms
+            ):
+                for new_atom in (item.substitute(sigma) for item in skolemized.head):
+                    if new_atom in current or new_atom in produced:
+                        continue
+                    produced[new_atom] = Derivation(
+                        skolemized.rule, tuple(sorted(sigma.items(), key=lambda kv: kv[0].name))
+                    )
+        if not produced:
+            terminated = True
+            break
+        old_domain = current.domain()
+        for new_atom in produced:
+            current.add(new_atom)
+        if track_provenance:
+            derivations.update(produced)
+        round_added.append(frozenset(produced))
+        delta = Instance(produced)
+        delta_terms = current.domain() - old_domain
+        if len(current) > max_atoms:
+            if on_budget == "raise":
+                raise ChaseBudgetExceeded(
+                    f"chase exceeded {max_atoms} atoms after {len(round_added) - 1} rounds"
+                )
+            break
+
+    return ChaseResult(
+        theory=theory,
+        base=base.copy(),
+        instance=current,
+        round_added=round_added,
+        terminated=terminated,
+        derivations=derivations,
+    )
+
+
+def resume(
+    result: ChaseResult,
+    extra_rounds: int,
+    max_atoms: int = 200_000,
+    on_budget: str = "return",
+) -> ChaseResult:
+    """Continue a chase for more rounds, reusing the computed prefix.
+
+    By Observation 8 (and the determinism of Skolem naming) continuing from
+    ``Ch_i`` produces exactly the rounds ``Ch_{i+1}, ...`` of the original
+    chase; the engine re-seeds its semi-naive delta from the last recorded
+    round.
+    """
+    if result.terminated or extra_rounds <= 0:
+        return result
+    skolemized_rules = [skolemize(rule) for rule in result.theory]
+    current = result.instance.copy()
+    round_added = list(result.round_added)
+    derivations = dict(result.derivations)
+    delta = Instance(round_added[-1]) if len(round_added) > 1 else None
+    previous = Instance()
+    for added in round_added[:-1]:
+        previous.update(added)
+    delta_terms = (
+        current.domain() - previous.domain() if len(round_added) > 1 else None
+    )
+    terminated = False
+
+    for _ in range(extra_rounds):
+        produced: dict[Atom, Derivation] = {}
+        for skolemized in skolemized_rules:
+            for sigma in _round_matches(skolemized, current, delta, delta_terms):
+                for new_atom in (item.substitute(sigma) for item in skolemized.head):
+                    if new_atom in current or new_atom in produced:
+                        continue
+                    produced[new_atom] = Derivation(
+                        skolemized.rule,
+                        tuple(sorted(sigma.items(), key=lambda kv: kv[0].name)),
+                    )
+        if not produced:
+            terminated = True
+            break
+        old_domain = current.domain()
+        for new_atom in produced:
+            current.add(new_atom)
+        derivations.update(produced)
+        round_added.append(frozenset(produced))
+        delta = Instance(produced)
+        delta_terms = current.domain() - old_domain
+        if len(current) > max_atoms:
+            if on_budget == "raise":
+                raise ChaseBudgetExceeded(
+                    f"chase exceeded {max_atoms} atoms after {len(round_added) - 1} rounds"
+                )
+            break
+
+    return ChaseResult(
+        theory=result.theory,
+        base=result.base,
+        instance=current,
+        round_added=round_added,
+        terminated=terminated,
+        derivations=derivations,
+    )
+
+
+def chase_to_fixpoint(
+    theory: Theory, base: Instance, max_rounds: int = 200, max_atoms: int = 500_000
+) -> ChaseResult:
+    """Chase until a fixpoint, raising when budgets are exceeded.
+
+    Use only for theories known (or expected) to have a terminating Skolem
+    chase on ``base``; the error keeps non-terminating cases loud.
+    """
+    result = chase(theory, base, max_rounds=max_rounds, max_atoms=max_atoms, on_budget="raise")
+    if not result.terminated:
+        raise ChaseBudgetExceeded(
+            f"no fixpoint within {max_rounds} rounds on {len(base)} facts"
+        )
+    return result

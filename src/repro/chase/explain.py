@@ -1,0 +1,92 @@
+"""Human-readable derivation trees for chase atoms.
+
+``explain(result, atom)`` renders how the recorded parent function derives
+an atom from the base instance — the practical face of Appendix A's
+parent/ancestor machinery, useful when debugging theories or inspecting
+why a certain answer holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic.atoms import Atom
+from .engine import ChaseResult
+from .provenance import parents
+
+
+@dataclass
+class DerivationNode:
+    """One node of the (recorded) derivation tree."""
+
+    atom: Atom
+    rule_label: str | None
+    children: list["DerivationNode"] = field(default_factory=list)
+
+    def depth(self) -> int:
+        if not self.children:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def leaf_atoms(self) -> set[Atom]:
+        if not self.children:
+            return {self.atom}
+        leaves: set[Atom] = set()
+        for child in self.children:
+            leaves |= child.leaf_atoms()
+        return leaves
+
+
+def derivation_tree(
+    result: ChaseResult, item: Atom, max_depth: int = 50
+) -> DerivationNode:
+    """The derivation tree of ``item`` under the recorded parent function.
+
+    Shared sub-derivations are expanded per occurrence (it is a tree, not
+    a DAG); ``max_depth`` guards against malformed provenance.
+    """
+    if max_depth < 0:
+        raise RecursionError("derivation tree exceeded the depth guard")
+    derivation = result.derivations.get(item)
+    if derivation is None:
+        if item not in result.base:
+            raise KeyError(f"{item!r} is neither base nor derived")
+        return DerivationNode(atom=item, rule_label=None)
+    node = DerivationNode(atom=item, rule_label=derivation.rule.label or "rule")
+    for parent in parents(result, item):
+        node.children.append(derivation_tree(result, parent, max_depth - 1))
+    return node
+
+
+def explain(result: ChaseResult, item: Atom) -> str:
+    """Render a derivation tree as indented text.
+
+    Base facts are tagged ``[base]``; derived atoms name the producing
+    rule.  Example::
+
+        Mother(abel,f(abel))   [via r0]
+          Human(abel)   [base]
+    """
+    lines: list[str] = []
+
+    def render(node: DerivationNode, indent: int) -> None:
+        tag = "[base]" if node.rule_label is None else f"[via {node.rule_label}]"
+        lines.append(f"{'  ' * indent}{node.atom!r}   {tag}")
+        for child in node.children:
+            render(child, indent + 1)
+
+    render(derivation_tree(result, item), 0)
+    return "\n".join(lines)
+
+
+def explain_answer(
+    result: ChaseResult,
+    query_atoms: tuple[Atom, ...],
+    assignment: dict,
+) -> str:
+    """Explain a whole query match: one derivation tree per matched atom."""
+    chunks = []
+    for pattern in query_atoms:
+        matched = pattern.substitute(assignment)
+        chunks.append(explain(result, matched))
+    return "\n---\n".join(chunks)

@@ -1,0 +1,109 @@
+"""Skolemization with the paper's naming convention (Definitions 3-4).
+
+For a rule ``beta(x, y) -> exists w. alpha(y, w)`` the skolemized head
+``sh(rho)`` replaces each existential variable ``w`` by a function term
+``f_i^tau(y)`` where
+
+* ``tau`` is the *isomorphism type* of the (quantified) head: it records the
+  relation symbols, the equality pattern among variables and which positions
+  carry quantified variables — but not the variable names, and
+* ``i`` identifies ``w`` within the head (the paper uses the earliest
+  position where ``w`` occurs; we use the index of ``w`` in the canonical
+  renaming, which is equivalent),
+* the arguments are the frontier variables ``y`` in canonical order.
+
+Crucially, ``sh(rho)`` does **not** depend on the rule body (that would be
+the oblivious chase, cf. footnote 15) and two rules with syntactically
+isomorphic heads share Skolem functors.  Because function terms compare
+structurally, chases of sub-instances are literal subsets of chases of
+super-instances (Observation 8), which Section 7's locality notion quantifies
+over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..logic.atoms import Atom
+from ..logic.terms import FunctionTerm, Variable
+from ..logic.tgd import TGD
+
+
+@dataclass(frozen=True)
+class SkolemizedRule:
+    """A rule together with its skolemized head.
+
+    ``head`` contains no existential variables: each has been replaced by a
+    function term over the frontier variables.  ``frontier_order`` is the
+    canonical ordering used as Skolem-argument order.
+    """
+
+    rule: TGD
+    head: tuple[Atom, ...]
+    frontier_order: tuple[Variable, ...]
+
+
+def _canonical_head(rule: TGD) -> tuple[str, dict[Variable, str]]:
+    """Canonically rename the head and return (type string, renaming).
+
+    Frontier variables become ``y0, y1, ...`` and existential variables
+    ``w0, w1, ...``, both in order of first occurrence in the head.  The
+    type string is the renamed head conjunction; it realizes the
+    isomorphism type ``tau`` of Definition 3 (constants never occur in the
+    heads we deal with, matching footnote 14).
+    """
+    renaming: dict[Variable, str] = {}
+    frontier_count = 0
+    existential_count = 0
+    for item in rule.head:
+        for term in item.args:
+            if not isinstance(term, Variable) or term in renaming:
+                continue
+            if term in rule.existential:
+                renaming[term] = f"w{existential_count}"
+                existential_count += 1
+            else:
+                renaming[term] = f"y{frontier_count}"
+                frontier_count += 1
+    pieces = []
+    for item in rule.head:
+        inner = ",".join(
+            renaming[term] if isinstance(term, Variable) else repr(term)
+            for term in item.args
+        )
+        pieces.append(f"{item.predicate.name}/{item.predicate.arity}({inner})")
+    return "|".join(pieces), renaming
+
+
+def skolemize(rule: TGD) -> SkolemizedRule:
+    """Compute ``sh(rho)``: the head with Skolem terms for existentials."""
+    type_string, renaming = _canonical_head(rule)
+    digest = hashlib.md5(type_string.encode("utf8")).hexdigest()[:8]
+
+    def _index(canonical: str) -> int:
+        return int(canonical[1:])
+
+    frontier_order = tuple(
+        var
+        for var, canonical in sorted(
+            renaming.items(), key=lambda kv: _index(kv[1])
+        )
+        if canonical.startswith("y")
+    )
+    replacements: dict[Variable, FunctionTerm] = {}
+    for var, canonical in renaming.items():
+        if canonical.startswith("w"):
+            functor = f"f_{canonical}_{digest}"
+            replacements[var] = FunctionTerm(functor, frontier_order)
+    skolem_head = tuple(item.substitute(replacements) for item in rule.head)
+    return SkolemizedRule(rule=rule, head=skolem_head, frontier_order=frontier_order)
+
+
+def apply_rule(skolemized: SkolemizedRule, sigma: dict[Variable, object]) -> list[Atom]:
+    """``appl(rho, sigma)`` of Definition 5, for every head atom.
+
+    ``sigma`` must bind every frontier variable (body matches provide body
+    variables; the chase engine supplies universal head variables).
+    """
+    return [item.substitute(sigma) for item in skolemized.head]

@@ -1,0 +1,238 @@
+"""Termination properties of theories: FES / Core Termination (Section 5).
+
+The key computable pieces:
+
+* :func:`is_model` — does a finite fact set satisfy every TGD?  (The direct
+  check used in the proof of Lemma 37: each body match must have a head
+  witness with the frontier fixed and the existential equality pattern
+  respected.)
+* :func:`core_termination` — the semi-decision procedure for Definition 20.
+  For n = 0, 1, ... it looks for a structure homomorphism ``h: Ch_{n+1} ->
+  Ch_n`` that is the identity on ``dom(D)``.  Such an ``h`` exists iff some
+  model ``M`` with ``D ⊆ M ⊆ Ch_n`` exists (universality gives one
+  direction; the *eventual image* of ``h``, computed with the factorial
+  trick from the second proof of Lemma 35, gives the other).  The first
+  successful ``n`` is therefore exactly ``c_{T,D}`` of Definition 24.
+* :func:`all_instances_termination` — Definition 21, via chase fixpoint.
+* :func:`minimize_model` — greedy retract-minimization towards the
+  smallest-cardinality ``Core(T, D)`` of Definition 24.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..logic.homomorphism import (
+    apply_structure_homomorphism,
+    find_structure_homomorphism,
+    iter_query_homomorphisms,
+    iter_structure_homomorphisms,
+)
+from ..logic.instance import Instance
+from ..logic.terms import Term, Variable
+from ..logic.tgd import TGD, Theory
+from .engine import chase
+
+
+def _head_witnessed(rule: TGD, sigma: Mapping[Variable, Term], instance: Instance) -> bool:
+    """Is the (possibly multi-atom) head satisfied for this body match?
+
+    The frontier variables are pinned to their ``sigma`` images; the
+    existential variables may land anywhere, but repeated existentials must
+    land on equal terms — exactly the condition spelled out in the proof of
+    Lemma 37.
+    """
+    partial = {
+        var: sigma[var]
+        for var in rule.frontier()
+        if var in sigma
+    }
+    for _ in iter_query_homomorphisms(rule.head, instance, partial):
+        return True
+    return False
+
+
+def violations(instance: Instance, theory: Theory, limit: int = 10) -> list[tuple[TGD, dict]]:
+    """Up to ``limit`` rule matches of ``theory`` unsatisfied in ``instance``."""
+    found: list[tuple[TGD, dict]] = []
+    for rule in theory:
+        universal = tuple(sorted(rule.universal_head_variables(), key=lambda v: v.name))
+        for body_match in iter_query_homomorphisms(rule.body, instance):
+            assignments = [body_match]
+            if universal:
+                import itertools
+
+                assignments = [
+                    {**body_match, **dict(zip(universal, combo))}
+                    for combo in itertools.product(sorted(instance.domain(), key=repr), repeat=len(universal))
+                ]
+            for sigma in assignments:
+                if not _head_witnessed(rule, sigma, instance):
+                    found.append((rule, dict(sigma)))
+                    if len(found) >= limit:
+                        return found
+    return found
+
+
+def is_model(instance: Instance, theory: Theory) -> bool:
+    """``instance |= theory`` for a finite fact set."""
+    return not violations(instance, theory, limit=1)
+
+
+@dataclass
+class CoreTerminationWitness:
+    """A successful Core-Termination check on one instance.
+
+    ``bound`` is ``c_{T,D}``; ``model`` is a fact set ``M`` with
+    ``D ⊆ M ⊆ Ch_bound(T, D)`` and ``M |= T``; ``folding`` is the
+    homomorphism ``Ch_{bound+1} -> M`` (identity on ``dom(M)``) it was
+    extracted from.
+    """
+
+    bound: int
+    model: Instance
+    folding: dict[Term, Term]
+
+
+def _eventual_image(
+    structure: Instance, endo: dict[Term, Term]
+) -> tuple[Instance, dict[Term, Term]]:
+    """Fold ``structure`` through iterated applications of ``endo``.
+
+    ``endo`` maps ``dom(structure)`` into itself.  Returns the eventual
+    image ``E`` together with a homomorphism ``g`` with ``g(structure) = E``
+    and ``g`` the identity on ``dom(E)`` — the permutation-power trick from
+    the second proof of Lemma 35 (``h^{m!}``), computed via cycle structure
+    instead of a literal factorial.
+    """
+    domain = structure.domain()
+    step = {term: endo.get(term, term) for term in domain}
+
+    # 1. Find the eventual image E: the decreasing chain domain ⊇ step(domain)
+    #    ⊇ step²(domain) ⊇ ... stabilizes within |domain| steps.
+    image = set(domain)
+    settle = 0
+    while True:
+        next_image = {step[term] for term in image}
+        if next_image == image:
+            break
+        image = next_image
+        settle += 1
+
+    # 2. On E, step restricts to a permutation; its lcm-of-cycle-lengths
+    #    power is the identity there (the h^{m!} trick of Lemma 35).
+    cycle_lengths: set[int] = set()
+    visited: set[Term] = set()
+    for start in image:
+        if start in visited:
+            continue
+        length = 0
+        walker = start
+        while walker not in visited:
+            visited.add(walker)
+            walker = step[walker]
+            length += 1
+        if length:
+            cycle_lengths.add(length)
+    period = math.lcm(*cycle_lengths) if cycle_lengths else 1
+
+    # 3. g = step^N with N ≥ settle and N ≡ 0 (mod period): g maps everything
+    #    into E and is the identity on E.
+    power = period * max(1, math.ceil(settle / period))
+    final = {term: term for term in domain}
+    for _ in range(power):
+        final = {term: step[final[term]] for term in domain}
+    folded = apply_structure_homomorphism(structure, final)
+    return folded, final
+
+
+def core_termination(
+    theory: Theory,
+    base: Instance,
+    max_depth: int = 20,
+    max_atoms: int = 100_000,
+) -> CoreTerminationWitness | None:
+    """Search for the Core-Termination bound ``c_{T,D}`` (Definition 24).
+
+    Returns ``None`` when no witness is found within ``max_depth`` chase
+    rounds — which means "unknown", not "no": Core Termination is
+    undecidable in general (see DESIGN.md, Limitations).
+    """
+    result = chase(theory, base, max_rounds=max_depth + 1, max_atoms=max_atoms)
+    top = len(result.round_added) - 1
+    for bound in range(top):
+        lower = result.prefix(bound)
+        upper = result.prefix(bound + 1)
+        if len(upper) == len(lower):
+            # Chase reached a fixpoint at `bound`: Ch_bound is itself a model.
+            return CoreTerminationWitness(
+                bound=bound,
+                model=lower,
+                folding={term: term for term in lower.domain()},
+            )
+        fixed = {term: term for term in base.domain()}
+        hom = find_structure_homomorphism(upper, lower, fixed)
+        if hom is None:
+            continue
+        model, folding = _eventual_image(upper, hom)
+        if not base.issubset(model):
+            raise AssertionError("folding failed to preserve the base instance")
+        if not is_model(model, theory):
+            raise AssertionError("eventual image is not a model; folding bug")
+        return CoreTerminationWitness(bound=bound, model=model, folding=folding)
+    if result.terminated:
+        final = result.instance
+        return CoreTerminationWitness(
+            bound=result.rounds_run,
+            model=final,
+            folding={term: term for term in final.domain()},
+        )
+    return None
+
+
+def all_instances_termination(
+    theory: Theory, base: Instance, max_rounds: int = 50, max_atoms: int = 100_000
+) -> int | None:
+    """The least ``n`` with ``Ch(T,D) = Ch_n(T,D)``, or ``None`` (unknown)."""
+    result = chase(theory, base, max_rounds=max_rounds, max_atoms=max_atoms)
+    if not result.terminated:
+        return None
+    return result.rounds_run
+
+
+def minimize_model(
+    model: Instance, keep: Instance | None = None, max_passes: int = 100
+) -> Instance:
+    """Greedy retract-minimization of a finite model.
+
+    Repeatedly looks for an endomorphism that is the identity on ``keep``'s
+    domain and misses at least one domain element, and replaces the model by
+    its image.  The result is a retract of the input; by Observation 2 it
+    still satisfies every theory the input satisfied, and it still contains
+    ``keep`` (used with ``keep = D`` for Definition 24 cores).
+    """
+    fixed_terms = keep.domain() if keep is not None else set()
+    current = model.copy()
+    for _ in range(max_passes):
+        shrunk = _shrink_once(current, fixed_terms)
+        if shrunk is None:
+            return current
+        current = shrunk
+    return current
+
+
+def _shrink_once(current: Instance, fixed_terms: set[Term]) -> Instance | None:
+    domain = sorted(current.domain(), key=repr)
+    fixed = {term: term for term in fixed_terms if term in current.domain()}
+    for dropped in domain:
+        if dropped in fixed:
+            continue
+        for hom in iter_structure_homomorphisms(current, current, fixed):
+            if hom.get(dropped) == dropped:
+                continue
+            if dropped in set(hom.values()):
+                continue
+            return apply_structure_homomorphism(current, hom)
+    return None

@@ -1,0 +1,142 @@
+"""Alternative chase variants, for the comparison experiments (E10).
+
+The paper fixes the **semi-oblivious Skolem** chase (Section 3, footnote
+13/15); the two classical neighbours are implemented here so the benchmark
+suite can demonstrate why:
+
+* the **oblivious** chase names Skolem terms after *all* body variables, so
+  the very same head can be witnessed many times (footnote 15's warning) —
+  it produces a superset of the semi-oblivious result, sometimes much
+  larger;
+* the **restricted** (standard) chase applies a rule only when its head is
+  not already satisfied, producing the smallest results but losing the
+  determinism that Observation 8 (literal chase monotonicity) requires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+
+from ..logic.atoms import Atom
+from ..logic.homomorphism import iter_query_homomorphisms
+from ..logic.instance import Instance
+from ..logic.terms import Constant, FunctionTerm, Term, Variable
+from ..logic.tgd import TGD, Theory
+from .termination import _head_witnessed
+
+
+@dataclass
+class VariantResult:
+    """Outcome of a non-Skolem chase run."""
+
+    instance: Instance
+    rounds_run: int
+    terminated: bool
+
+
+def _ordered_variables(rule: TGD) -> tuple[Variable, ...]:
+    ordered: list[Variable] = []
+    seen: set[Variable] = set()
+    for item in itertools.chain(rule.body, rule.head):
+        for variable in item.variables():
+            if variable not in seen:
+                seen.add(variable)
+                ordered.append(variable)
+    return tuple(ordered)
+
+
+def _rule_digest(rule: TGD) -> str:
+    return hashlib.md5(repr(rule).encode("utf8")).hexdigest()[:8]
+
+
+def oblivious_chase(
+    theory: Theory, base: Instance, max_rounds: int = 50, max_atoms: int = 200_000
+) -> VariantResult:
+    """The oblivious chase: Skolem arguments are all body variables.
+
+    Each distinct body match creates its own witnesses, even when two
+    matches agree on the frontier.
+    """
+    current = base.copy()
+    rounds = 0
+    for _ in range(max_rounds):
+        produced: set[Atom] = set()
+        for rule in theory:
+            digest = _rule_digest(rule)
+            universal = tuple(sorted(rule.universal_head_variables(), key=lambda v: v.name))
+            carriers = tuple(
+                var for var in _ordered_variables(rule) if var not in rule.existential
+            )
+            for body_match in iter_query_homomorphisms(rule.body, current):
+                assignments = [body_match]
+                if universal:
+                    assignments = [
+                        {**body_match, **dict(zip(universal, combo))}
+                        for combo in itertools.product(
+                            sorted(current.domain(), key=repr), repeat=len(universal)
+                        )
+                    ]
+                for sigma in assignments:
+                    full = dict(sigma)
+                    args = tuple(full[var] for var in carriers if var in full)
+                    for index, existential in enumerate(
+                        sorted(rule.existential, key=lambda v: v.name)
+                    ):
+                        full[existential] = FunctionTerm(f"ob_{digest}_{index}", args)
+                    for head_atom in rule.head:
+                        new_atom = head_atom.substitute(full)
+                        if new_atom not in current:
+                            produced.add(new_atom)
+        if not produced:
+            return VariantResult(current, rounds, True)
+        current.update(produced)
+        rounds += 1
+        if len(current) > max_atoms:
+            return VariantResult(current, rounds, False)
+    return VariantResult(current, rounds, False)
+
+
+def restricted_chase(
+    theory: Theory, base: Instance, max_rounds: int = 50, max_atoms: int = 200_000
+) -> VariantResult:
+    """The restricted (standard) chase: fire only unsatisfied rule matches.
+
+    Fresh labelled nulls are introduced per firing; within one round the
+    satisfaction checks are performed against the state at the start of the
+    round plus atoms added earlier in the same round, making the run
+    deterministic for reproducibility (rule/match order fixed).
+    """
+    current = base.copy()
+    rounds = 0
+    null_counter = itertools.count()
+    for _ in range(max_rounds):
+        fired = False
+        for rule in theory:
+            universal = tuple(sorted(rule.universal_head_variables(), key=lambda v: v.name))
+            matches = list(iter_query_homomorphisms(rule.body, current))
+            for body_match in matches:
+                assignments = [body_match]
+                if universal:
+                    assignments = [
+                        {**body_match, **dict(zip(universal, combo))}
+                        for combo in itertools.product(
+                            sorted(current.domain(), key=repr), repeat=len(universal)
+                        )
+                    ]
+                for sigma in assignments:
+                    if _head_witnessed(rule, sigma, current):
+                        continue
+                    full = dict(sigma)
+                    for existential in sorted(rule.existential, key=lambda v: v.name):
+                        full[existential] = Constant(f"_null{next(null_counter)}")
+                    for head_atom in rule.head:
+                        current.add(head_atom.substitute(full))
+                    fired = True
+        if not fired:
+            return VariantResult(current, rounds, True)
+        rounds += 1
+        if len(current) > max_atoms:
+            return VariantResult(current, rounds, False)
+    return VariantResult(current, rounds, False)

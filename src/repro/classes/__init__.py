@@ -1,0 +1,26 @@
+"""Syntactic theory classes from the paper's Section-1 catalogue."""
+
+from .backward_shy import (
+    BackwardShyProbe,
+    atomic_queries,
+    probe_backward_shy,
+    repeats_only_answer_variables,
+)
+from .datalog import BoundednessProbe, is_datalog, probe_boundedness
+from .recognizers import ClassificationReport, classify
+from .sticky import StickinessReport, is_sticky, stickiness
+
+__all__ = [
+    "BackwardShyProbe",
+    "BoundednessProbe",
+    "ClassificationReport",
+    "StickinessReport",
+    "atomic_queries",
+    "classify",
+    "is_datalog",
+    "is_sticky",
+    "probe_backward_shy",
+    "probe_boundedness",
+    "repeats_only_answer_variables",
+    "stickiness",
+]

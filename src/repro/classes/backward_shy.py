@@ -1,0 +1,82 @@
+"""Backward shyness (Thomazo) — probed through the rewriting engine.
+
+Footnote 30 of the paper: a BDD theory is *backward shy* when, for every
+query ``psi(y)``, every CQ in ``rew(psi(y))`` repeats only answer
+variables.  Backward shy theories admit linear-size rewritings and are
+therefore *distancing* (Observation 44) — they sit strictly inside the
+frontier the paper explores.
+
+The property quantifies over all queries, so we provide a budgeted probe:
+check the defining condition on a caller-supplied query sample (by default
+the atomic queries, which is where violations show first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.atoms import Atom
+from ..logic.query import ConjunctiveQuery
+from ..logic.terms import Variable
+from ..logic.tgd import Theory
+from ..rewriting.engine import RewritingBudget, rewrite
+
+
+def repeats_only_answer_variables(query: ConjunctiveQuery) -> bool:
+    """Does every repeated variable of the CQ belong to the answer tuple?"""
+    counts: dict[Variable, int] = {}
+    for item in query.atoms:
+        for variable in item.variables():
+            counts[variable] = counts.get(variable, 0) + 1
+    answers = set(query.answer_vars)
+    return all(
+        variable in answers
+        for variable, count in counts.items()
+        if count > 1
+    )
+
+
+def atomic_queries(theory: Theory) -> list[ConjunctiveQuery]:
+    """One atomic query per predicate, all argument positions free."""
+    queries = []
+    for predicate in sorted(theory.predicates(), key=lambda p: p.name):
+        variables = tuple(Variable(f"y{i}") for i in range(predicate.arity))
+        queries.append(ConjunctiveQuery(variables, (Atom(predicate, variables),)))
+    return queries
+
+
+@dataclass
+class BackwardShyProbe:
+    """Outcome of a backward-shyness probe on a query sample."""
+
+    backward_shy_on_sample: bool
+    violations: list[tuple[ConjunctiveQuery, ConjunctiveQuery]]
+    complete: bool
+
+
+def probe_backward_shy(
+    theory: Theory,
+    queries: list[ConjunctiveQuery] | None = None,
+    budget: RewritingBudget | None = None,
+) -> BackwardShyProbe:
+    """Check the backward-shy condition on a finite query sample.
+
+    A "no" answer (non-empty ``violations``) is definitive; a "yes" only
+    covers the sample — the property quantifies over all CQs.
+    """
+    sample = queries if queries is not None else atomic_queries(theory)
+    violations: list[tuple[ConjunctiveQuery, ConjunctiveQuery]] = []
+    complete = True
+    for query in sample:
+        result = rewrite(theory, query, budget)
+        if not result.complete:
+            complete = False
+            continue
+        for disjunct in result.ucq:
+            if not repeats_only_answer_variables(disjunct):
+                violations.append((query, disjunct))
+    return BackwardShyProbe(
+        backward_shy_on_sample=not violations,
+        violations=violations,
+        complete=complete,
+    )

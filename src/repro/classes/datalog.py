@@ -1,0 +1,71 @@
+"""Datalog theories and (empirical) boundedness.
+
+Bounded datalog theories are the oldest inhabitants of the BDD class
+(Section 1, citing Gaifman–Mairson–Sagiv–Vardi, who proved boundedness
+undecidable).  Boundedness of a datalog theory means: a uniform number of
+chase rounds saturates every instance — which for datalog coincides with
+UBDD, since the chase invents no new elements.
+
+We provide the syntactic test plus an empirical probe over instance
+families, with the undecidability caveat attached to the probe's verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..chase.engine import chase
+from ..logic.instance import Instance
+from ..logic.tgd import Theory
+
+
+def is_datalog(theory: Theory) -> bool:
+    """No rule has existential (or universal head) variables."""
+    return theory.is_datalog()
+
+
+@dataclass
+class BoundednessProbe:
+    """Observed saturation depths of a datalog theory over a family.
+
+    ``depths[i]`` is the number of rounds until fixpoint on the i-th
+    instance.  ``bounded_on_sample`` just says the observed depths do not
+    grow with the last (presumably largest) instances — evidence, not
+    proof: boundedness is undecidable.
+    """
+
+    depths: list[int]
+
+    @property
+    def max_depth(self) -> int:
+        return max(self.depths, default=0)
+
+    @property
+    def bounded_on_sample(self) -> bool:
+        if len(self.depths) < 2:
+            return True
+        return self.depths[-1] <= max(self.depths[:-1])
+
+
+def probe_boundedness(
+    theory: Theory,
+    instances: Iterable[Instance],
+    max_rounds: int = 200,
+    max_atoms: int = 500_000,
+) -> BoundednessProbe:
+    """Chase each instance to a fixpoint and record the depths.
+
+    Raises when ``theory`` is not datalog (the notion is specific to it) or
+    when some chase fails to terminate within budget (impossible for
+    datalog unless budgets are too small: datalog chases always terminate).
+    """
+    if not is_datalog(theory):
+        raise ValueError("boundedness probing is defined for datalog theories")
+    depths: list[int] = []
+    for instance in instances:
+        result = chase(theory, instance, max_rounds=max_rounds, max_atoms=max_atoms)
+        if not result.terminated:
+            raise RuntimeError("datalog chase exceeded budget; raise max_rounds/max_atoms")
+        depths.append(result.rounds_run)
+    return BoundednessProbe(depths=depths)

@@ -1,0 +1,84 @@
+"""One-stop syntactic classification of a theory.
+
+Collects every membership test the paper's Section 1 catalogue mentions
+into a single report, so examples and benchmarks can print "where a theory
+sits" in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.tgd import Theory
+from .sticky import is_sticky
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Syntactic class memberships of a theory.
+
+    Only *syntactic* classes appear here; semantic properties (BDD, Core
+    Termination, locality, distancing) need the analyses in
+    :mod:`repro.rewriting`, :mod:`repro.chase.termination` and
+    :mod:`repro.frontier`.
+    """
+
+    name: str
+    rule_count: int
+    max_arity: int
+    binary: bool
+    connected: bool
+    single_head: bool
+    datalog: bool
+    linear: bool
+    guarded: bool
+    frontier_guarded: bool
+    frontier_one: bool
+    sticky: bool
+    has_detached_rules: bool
+
+    def known_bdd_by_syntax(self) -> bool:
+        """Membership in a syntactic class known to imply BDD.
+
+        Linear and sticky theories are BDD outright; guardedness alone is
+        *not* enough (only guarded+BDD is a decidable subclass — the paper
+        cites [3,4]), and datalog needs boundedness, so neither counts.
+        """
+        return self.linear or self.sticky
+
+    def lines(self) -> list[str]:
+        flags = [
+            ("datalog", self.datalog),
+            ("linear", self.linear),
+            ("guarded", self.guarded),
+            ("frontier-guarded", self.frontier_guarded),
+            ("frontier-one", self.frontier_one),
+            ("sticky", self.sticky),
+            ("binary signature", self.binary),
+            ("connected", self.connected),
+            ("single-head", self.single_head),
+            ("has detached rules", self.has_detached_rules),
+        ]
+        header = f"{self.name or 'theory'}: {self.rule_count} rules, max arity {self.max_arity}"
+        return [header] + [
+            f"  {label:<20} {'yes' if value else 'no'}" for label, value in flags
+        ]
+
+
+def classify(theory: Theory) -> ClassificationReport:
+    """Compute every syntactic membership test."""
+    return ClassificationReport(
+        name=theory.name,
+        rule_count=len(theory),
+        max_arity=theory.max_arity(),
+        binary=theory.is_binary(),
+        connected=theory.is_connected(),
+        single_head=theory.is_single_head(),
+        datalog=theory.is_datalog(),
+        linear=theory.is_linear(),
+        guarded=theory.is_guarded(),
+        frontier_guarded=all(rule.is_frontier_guarded() for rule in theory),
+        frontier_one=all(rule.is_frontier_one() for rule in theory),
+        sticky=is_sticky(theory),
+        has_detached_rules=any(rule.is_detached() for rule in theory),
+    )

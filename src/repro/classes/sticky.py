@@ -1,0 +1,107 @@
+"""Stickiness (Calì–Gottlob–Pieris) — the marking procedure.
+
+Sticky theories are one of the decidable BDD classes the paper catalogues
+(Section 1) and the source of its first surprise: they are BDD but not
+*local*, only *bd-local* (Section 9, Example 39).
+
+The syntactic test: mark body-variable occurrences in two phases.
+
+1. **Seed** — in every rule, every occurrence of a body variable that does
+   not appear in the head is marked.
+2. **Propagate** — whenever a variable occurs in the head of a rule at a
+   (predicate, position) that carries a marked occurrence in *some* rule
+   body, all occurrences of that variable in the rule's body get marked.
+
+The theory is sticky iff, at the fixpoint, no rule has a marked variable
+occurring more than once in its body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic.signature import Predicate
+from ..logic.terms import Variable
+from ..logic.tgd import TGD, Theory
+
+_Position = tuple[Predicate, int]
+_Occurrence = tuple[int, int, int]  # (rule index, body atom index, argument index)
+
+
+@dataclass
+class StickinessReport:
+    """The marking fixpoint plus the verdict."""
+
+    sticky: bool
+    marked_occurrences: set[_Occurrence] = field(default_factory=set)
+    marked_positions: set[_Position] = field(default_factory=set)
+    offending_rules: list[int] = field(default_factory=list)
+
+
+def _body_occurrences(rule: TGD, rule_index: int, variable: Variable):
+    for atom_index, item in enumerate(rule.body):
+        for arg_index, term in enumerate(item.args):
+            if term == variable:
+                yield (rule_index, atom_index, arg_index)
+
+
+def stickiness(theory: Theory) -> StickinessReport:
+    """Run the marking procedure and decide stickiness."""
+    rules = list(theory)
+    marked: set[_Occurrence] = set()
+
+    # Seed: body variables missing from the head.
+    for rule_index, rule in enumerate(rules):
+        head_vars = rule.head_variables()
+        for variable in rule.body_variables():
+            if variable not in head_vars:
+                marked.update(_body_occurrences(rule, rule_index, variable))
+
+    def marked_positions() -> set[_Position]:
+        positions: set[_Position] = set()
+        for rule_index, atom_index, arg_index in marked:
+            predicate = rules[rule_index].body[atom_index].predicate
+            positions.add((predicate, arg_index))
+        return positions
+
+    # Propagate to fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        positions = marked_positions()
+        for rule_index, rule in enumerate(rules):
+            for item in rule.head:
+                for arg_index, term in enumerate(item.args):
+                    if not isinstance(term, Variable):
+                        continue
+                    if (item.predicate, arg_index) not in positions:
+                        continue
+                    new = set(_body_occurrences(rule, rule_index, term))
+                    if not new <= marked:
+                        marked.update(new)
+                        changed = True
+
+    # Verdict: a marked variable must not occur twice in a body.
+    offending: list[int] = []
+    for rule_index, rule in enumerate(rules):
+        per_variable: dict[Variable, int] = {}
+        for atom_index, item in enumerate(rule.body):
+            for arg_index, term in enumerate(item.args):
+                if (rule_index, atom_index, arg_index) in marked and isinstance(
+                    term, Variable
+                ):
+                    per_variable[term] = per_variable.get(term, 0) + 1
+        if any(count > 1 for count in per_variable.values()):
+            offending.append(rule_index)
+
+    return StickinessReport(
+        sticky=not offending,
+        marked_occurrences=marked,
+        marked_positions=marked_positions(),
+        offending_rules=offending,
+    )
+
+
+def is_sticky(theory: Theory) -> bool:
+    """Convenience wrapper over :func:`stickiness`."""
+    return stickiness(theory).sticky

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``chase``      materialize a chase prefix of a theory over an instance
+``rewrite``    compute the UCQ rewriting of a query (Theorem 1)
+``answer``     certain answers, by rewriting with chase fallback
+``classify``   syntactic class membership report (Section 1's catalogue)
+``termination`` Core-Termination probe (Definitions 18-24)
+``figure1``    render the doubling triangle of Figure 1
+
+Theories and instances are read from files (or inline with ``-e``) in the
+syntax of :mod:`repro.logic.parser`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .chase import chase, core_termination
+from .classes import classify
+from .logic import parse_instance, parse_query, parse_theory
+from .rewriting import RewritingBudget, certain_answers, rewrite
+
+
+def _read(value: str, inline: bool) -> str:
+    if inline:
+        return value
+    return Path(value).read_text(encoding="utf8")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-e",
+        "--inline",
+        action="store_true",
+        help="treat THEORY/INSTANCE/QUERY arguments as literal text, not paths",
+    )
+
+
+def _cmd_chase(args: argparse.Namespace) -> int:
+    theory = parse_theory(_read(args.theory, args.inline), name="cli")
+    instance = parse_instance(_read(args.instance, args.inline))
+    result = chase(
+        theory, instance, max_rounds=args.rounds, max_atoms=args.max_atoms
+    )
+    status = "fixpoint" if result.terminated else f"truncated at {result.rounds_run} rounds"
+    print(f"# {len(result.instance)} atoms ({status})")
+    for item in sorted(result.instance, key=repr):
+        print(item)
+    return 0
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    theory = parse_theory(_read(args.theory, args.inline), name="cli")
+    query = parse_query(_read(args.query, args.inline))
+    budget = RewritingBudget(max_kept=args.max_kept, max_steps=args.max_steps)
+    result = rewrite(theory, query, budget)
+    print(f"# complete: {result.complete}; {len(result.ucq)} disjuncts; "
+          f"max size {result.max_disjunct_size()}")
+    for disjunct in result.ucq:
+        print(disjunct)
+    return 0 if result.complete else 2
+
+
+def _cmd_answer(args: argparse.Namespace) -> int:
+    theory = parse_theory(_read(args.theory, args.inline), name="cli")
+    instance = parse_instance(_read(args.instance, args.inline))
+    query = parse_query(_read(args.query, args.inline))
+    answers = certain_answers(theory, query, instance)
+    print(f"# {len(answers)} certain answers")
+    for answer in sorted(answers, key=repr):
+        print(answer)
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    theory = parse_theory(_read(args.theory, args.inline), name=args.name)
+    print(*classify(theory).lines(), sep="\n")
+    return 0
+
+
+def _cmd_termination(args: argparse.Namespace) -> int:
+    theory = parse_theory(_read(args.theory, args.inline), name="cli")
+    instance = parse_instance(_read(args.instance, args.inline))
+    witness = core_termination(theory, instance, max_depth=args.depth)
+    if witness is None:
+        print(f"no Core-Termination witness within depth {args.depth} (unknown)")
+        return 2
+    print(f"c_(T,D) = {witness.bound}; model with {len(witness.model)} facts:")
+    for item in sorted(witness.model, key=repr):
+        print(" ", item)
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from .frontier.td import figure1_apex_counts
+
+    print(f"doubling triangle over G^{2 ** args.n}:")
+    for level, satisfied, expected in figure1_apex_counts(args.n):
+        bar = "#" * satisfied
+        print(f"  level {level}: {satisfied:>3}/{expected:<3} windows  {bar}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    chase_cmd = commands.add_parser("chase", help="materialize a chase prefix")
+    chase_cmd.add_argument("theory")
+    chase_cmd.add_argument("instance")
+    chase_cmd.add_argument("--rounds", type=int, default=10)
+    chase_cmd.add_argument("--max-atoms", type=int, default=100_000)
+    _add_common(chase_cmd)
+    chase_cmd.set_defaults(handler=_cmd_chase)
+
+    rewrite_cmd = commands.add_parser("rewrite", help="UCQ rewriting (Theorem 1)")
+    rewrite_cmd.add_argument("theory")
+    rewrite_cmd.add_argument("query")
+    rewrite_cmd.add_argument("--max-kept", type=int, default=2_000)
+    rewrite_cmd.add_argument("--max-steps", type=int, default=200_000)
+    _add_common(rewrite_cmd)
+    rewrite_cmd.set_defaults(handler=_cmd_rewrite)
+
+    answer_cmd = commands.add_parser("answer", help="certain answers")
+    answer_cmd.add_argument("theory")
+    answer_cmd.add_argument("instance")
+    answer_cmd.add_argument("query")
+    _add_common(answer_cmd)
+    answer_cmd.set_defaults(handler=_cmd_answer)
+
+    classify_cmd = commands.add_parser("classify", help="syntactic classes")
+    classify_cmd.add_argument("theory")
+    classify_cmd.add_argument("--name", default="theory")
+    _add_common(classify_cmd)
+    classify_cmd.set_defaults(handler=_cmd_classify)
+
+    termination_cmd = commands.add_parser(
+        "termination", help="Core-Termination probe"
+    )
+    termination_cmd.add_argument("theory")
+    termination_cmd.add_argument("instance")
+    termination_cmd.add_argument("--depth", type=int, default=15)
+    _add_common(termination_cmd)
+    termination_cmd.set_defaults(handler=_cmd_termination)
+
+    figure_cmd = commands.add_parser("figure1", help="Figure 1 triangle")
+    figure_cmd.add_argument("-n", type=int, default=3, choices=(1, 2, 3))
+    figure_cmd.set_defaults(handler=_cmd_figure1)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Bounded-degree locality (Definition 40).
+
+``T`` is *bd-local* when for every degree bound ``k`` there is a constant
+``l_T(k)`` making the Definition-30 equation hold over all instances of
+Gaifman degree at most ``k``.  Sticky theories are bd-local (Section 9);
+the theory ``T_c`` of Example 42 is BDD but not even bd-local — cycles of
+degree 2 defeat every constant.
+
+The checks reuse :mod:`repro.frontier.locality` but insist on the degree
+bound, so the caller's instance family must respect it (we verify)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..logic.gaifman import max_degree
+from ..logic.instance import Instance
+from ..logic.tgd import Theory
+from .locality import LocalityDefect, find_locality_constant, locality_defect
+
+
+@dataclass
+class BdLocalityProbe:
+    """Outcome of probing bd-locality at one degree bound."""
+
+    degree: int
+    constant: int | None
+    defects_at_max_bound: list[LocalityDefect]
+
+
+def check_degree(instances: Sequence[Instance], degree: int) -> None:
+    """Raise unless every instance respects the degree bound."""
+    for instance in instances:
+        actual = max_degree(instance)
+        if actual > degree:
+            raise ValueError(
+                f"instance has Gaifman degree {actual} > declared bound {degree}"
+            )
+
+
+def find_bd_locality_constant(
+    theory: Theory,
+    degree: int,
+    instances: Sequence[Instance],
+    max_bound: int,
+    depth: int,
+    subset_depth: int | None = None,
+    max_atoms: int = 200_000,
+) -> BdLocalityProbe:
+    """Search ``l_T(degree)`` over a family of degree-bounded instances.
+
+    ``constant=None`` documents that no bound up to ``max_bound`` works —
+    for ``T_c`` on growing cycles this stays ``None`` however large the
+    budget, which is the Example-42 phenomenon.
+    """
+    check_degree(instances, degree)
+    constant = find_locality_constant(
+        theory, instances, max_bound, depth, subset_depth, max_atoms
+    )
+    defects: list[LocalityDefect] = []
+    if constant is None:
+        defects = [
+            locality_defect(theory, instance, max_bound, depth, subset_depth, max_atoms)
+            for instance in instances
+        ]
+    return BdLocalityProbe(degree=degree, constant=constant, defects_at_max_bound=defects)

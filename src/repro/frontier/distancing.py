@@ -1,0 +1,94 @@
+"""Distancing theories (Definition 43) and their failure for ``T_d``.
+
+``T`` is *distancing* with constant ``d_T`` when the chase can only
+contract Gaifman distances linearly: ``dist_{Ch(T,D)}(c, c') <= n`` implies
+``dist_D(c, c') <= d_T * n`` for base elements ``c, c'``.
+
+The measurable quantity is the **contraction ratio** ``dist_D / dist_Ch``
+over pairs of base elements: bounded for every local (and every backward
+shy) theory, but growing like ``2^n / (2n + 1)`` for ``T_d`` over green
+paths — the paper's headline counterexample (Theorem 5, experiment E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..chase.engine import chase
+from ..logic.gaifman import distance, gaifman_graph
+from ..logic.instance import Instance
+from ..logic.terms import Term
+from ..logic.tgd import Theory
+
+
+@dataclass
+class DistancePair:
+    """Distances of one pair of base elements, in D and in a chase prefix."""
+
+    source: Term
+    target: Term
+    base_distance: float
+    chase_distance: float
+
+    @property
+    def contraction_ratio(self) -> float:
+        """``dist_D / dist_Ch`` (0 when the chase pair is disconnected)."""
+        if self.chase_distance in (0, float("inf")):
+            return 0.0
+        return float(self.base_distance) / float(self.chase_distance)
+
+
+def distance_contraction(
+    theory: Theory,
+    instance: Instance,
+    pairs: Sequence[tuple[Term, Term]],
+    depth: int,
+    max_atoms: int = 400_000,
+) -> list[DistancePair]:
+    """Measure base-vs-chase Gaifman distances for the given pairs."""
+    base_graph = gaifman_graph(instance)
+    result = chase(theory, instance, max_rounds=depth, max_atoms=max_atoms)
+    chase_graph = gaifman_graph(result.instance)
+    measured: list[DistancePair] = []
+    for source, target in pairs:
+        measured.append(
+            DistancePair(
+                source=source,
+                target=target,
+                base_distance=distance(base_graph, source, target),
+                chase_distance=distance(chase_graph, source, target),
+            )
+        )
+    return measured
+
+
+def max_contraction_ratio(
+    theory: Theory,
+    instances: Iterable[tuple[Instance, Sequence[tuple[Term, Term]]]],
+    depth: int,
+    max_atoms: int = 400_000,
+) -> float:
+    """The largest observed contraction ratio across an instance family.
+
+    For a distancing theory this stays below ``d_T`` no matter the family;
+    an unbounded trend refutes distancing (Definition 43).
+    """
+    worst = 0.0
+    for instance, pairs in instances:
+        for pair in distance_contraction(theory, instance, pairs, depth, max_atoms):
+            worst = max(worst, pair.contraction_ratio)
+    return worst
+
+
+def local_theories_are_distancing_bound(locality_constant: int, max_body: int) -> int:
+    """A distancing constant valid for any local theory (Section 10).
+
+    If ``T`` is local with constant ``l``, any chase atom's terms come from
+    at most ``l`` base facts whose Gaifman span is bounded by the facts'
+    joint span; a safe (coarse) constant is ``l * max_body`` with
+    ``max_body`` the largest rule-body size — enough for Observation 44's
+    "local implies distancing" direction in the experiments, where only the
+    boundedness (not tightness) of the constant matters.
+    """
+    return max(1, locality_constant * max(1, max_body))

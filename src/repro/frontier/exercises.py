@@ -1,0 +1,238 @@
+"""Executable versions of the paper's exercises and small observations.
+
+The paper plants several exercises "later used as lemmas"; this module
+turns the measurable ones into checkers used by tests and benchmarks:
+
+* **Exercise 13** — for a connected BDD theory, chase-adjacency of base
+  elements implies bounded base distance: measure the worst base distance
+  over chase-adjacent base pairs.
+* **Exercise 17** — facts about existing terms appear with a constant
+  delay ``n_at``: measure the worst (creation round minus newest-argument
+  round) over all produced atoms.
+* **Observation 29** — an answer over ``Ch(T, D)`` is already an answer
+  over ``Ch(T, F)`` for some ``F ⊆ D`` with ``|F| <= rs_T(psi)``.
+* **Observation 49** — structural invariants of ``T_d``-style chases:
+  invented terms have in-degree at most one per colour, edges into the
+  base come from the base, and cycles live in the base (or in the (loop)
+  element's cone, the caveat Section 10's restriction to connected
+  non-boolean queries silently handles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..chase.engine import ChaseResult, chase
+from ..logic.atoms import Atom
+from ..logic.gaifman import distance, gaifman_graph
+from ..logic.homomorphism import holds
+from ..logic.instance import Instance, subsets_of_size_at_most
+from ..logic.query import ConjunctiveQuery
+from ..logic.terms import Term
+from ..logic.tgd import Theory
+
+
+# ----------------------------------------------------------------------
+# Exercise 13
+# ----------------------------------------------------------------------
+def adjacency_contraction(
+    theory: Theory, instance: Instance, depth: int, max_atoms: int = 200_000
+) -> int:
+    """The worst base distance over chase-adjacent base pairs.
+
+    Exercise 13 predicts this stays below a theory constant ``d`` for
+    connected BDD theories, over every instance; callers sweep instance
+    families and watch for flatness.
+    """
+    result = chase(theory, instance, max_rounds=depth, max_atoms=max_atoms)
+    base_domain = instance.domain()
+    base_graph = gaifman_graph(instance)
+    chase_graph = gaifman_graph(result.instance)
+    worst = 0
+    for source in base_domain:
+        for neighbour in chase_graph.get(source, ()):
+            if neighbour not in base_domain or neighbour == source:
+                continue
+            base_distance = distance(base_graph, source, neighbour)
+            if base_distance == float("inf"):
+                raise AssertionError(
+                    "chase connected two base components — impossible for a "
+                    "connected theory"
+                )
+            worst = max(worst, int(base_distance))
+    return worst
+
+
+# ----------------------------------------------------------------------
+# Exercise 17
+# ----------------------------------------------------------------------
+def atom_delay(result: ChaseResult) -> int:
+    """``n_at`` observed: max (atom round − newest argument's round).
+
+    Exercise 17: once all the terms of a chase-entailed atom exist, the
+    atom itself is produced within a constant number of rounds.
+    """
+    term_round: dict[Term, int] = {}
+    for index, added in enumerate(result.round_added):
+        for item in added:
+            for term in item.args:
+                term_round.setdefault(term, index)
+    worst = 0
+    for index, added in enumerate(result.round_added):
+        if index == 0:
+            continue
+        for item in added:
+            newest = max((term_round[t] for t in item.args), default=index)
+            worst = max(worst, index - newest)
+    return worst
+
+
+# ----------------------------------------------------------------------
+# Observation 29
+# ----------------------------------------------------------------------
+@dataclass
+class SupportWitness:
+    """A small sub-instance re-deriving one answer."""
+
+    answer: tuple[Term, ...]
+    support: Instance
+
+
+def observation29_supports(
+    theory: Theory,
+    query: ConjunctiveQuery,
+    instance: Instance,
+    size_bound: int,
+    depth: int,
+    max_atoms: int = 200_000,
+) -> list[SupportWitness] | None:
+    """For every base answer of ``query`` over the chase, find a support
+    ``F ⊆ D`` with ``|F| <= size_bound`` whose own chase yields it.
+
+    Returns the witnesses, or ``None`` when some answer has no support
+    within the bound — for a BDD theory with ``size_bound >=
+    rs_T(query)`` that must not happen (Observation 29).
+    """
+    from ..logic.homomorphism import evaluate
+
+    result = chase(theory, instance, max_rounds=depth, max_atoms=max_atoms)
+    base_domain = instance.domain()
+    answers = {
+        answer
+        for answer in evaluate(query, result.instance)
+        if all(term in base_domain for term in answer)
+    }
+    witnesses: list[SupportWitness] = []
+    for answer in sorted(answers, key=repr):
+        found = None
+        for part in subsets_of_size_at_most(instance, size_bound):
+            partial = chase(theory, part, max_rounds=depth, max_atoms=max_atoms)
+            if holds(query, partial.instance, answer):
+                found = part
+                break
+        if found is None:
+            return None
+        witnesses.append(SupportWitness(answer=answer, support=found))
+    return witnesses
+
+
+# ----------------------------------------------------------------------
+# Observation 49 (T_d structural invariants)
+# ----------------------------------------------------------------------
+@dataclass
+class Observation49Report:
+    """Structural invariants of a two-colour chase.
+
+    ``edge_into_base_from_outside`` — violations of (i): an edge whose
+    target is a base element but whose source is invented.
+    ``multi_in_edges`` — violations of (iii): an invented term with two
+    same-colour in-edges from distinct sources.
+    ``cycles_outside_base`` — cycles not contained in the base, split into
+    the (loop)-cone ones (expected: the paper's silent exception) and any
+    others (real violations).
+    """
+
+    edge_into_base_from_outside: list[Atom]
+    multi_in_edges: list[tuple[Term, str]]
+    loop_cone_cycle_atoms: list[Atom]
+    other_cycle_atoms: list[Atom]
+
+    @property
+    def clean_modulo_loop(self) -> bool:
+        return not (
+            self.edge_into_base_from_outside
+            or self.multi_in_edges
+            or self.other_cycle_atoms
+        )
+
+
+def observation49_report(
+    result: ChaseResult, colors: Sequence[str] = ("R", "G")
+) -> Observation49Report:
+    """Check Observation 49's three invariants on a chase result."""
+    base_domain = result.base.domain()
+    into_base: list[Atom] = []
+    in_edges: dict[tuple[Term, str], set[Term]] = {}
+    for item in result.instance:
+        if item.predicate.name not in colors or item.predicate.arity != 2:
+            continue
+        source, target = item.args
+        if item not in result.base:
+            if target in base_domain and source not in base_domain:
+                into_base.append(item)
+        if target not in base_domain:
+            in_edges.setdefault((target, item.predicate.name), set()).add(source)
+    multi = [
+        (target, color)
+        for (target, color), sources in in_edges.items()
+        if len(sources) > 1
+    ]
+
+    # Cycles: any strongly-connected behaviour outside the base.  In a
+    # T_d chase the only candidates are the (loop) element's self-loops.
+    loop_cycles: list[Atom] = []
+    other_cycles: list[Atom] = []
+    for item in result.instance:
+        if item.predicate.name not in colors or item.predicate.arity != 2:
+            continue
+        if item in result.base:
+            continue
+        source, target = item.args
+        if source == target:
+            derivation = result.derivations.get(item)
+            if derivation is not None and not derivation.rule.body:
+                loop_cycles.append(item)
+            else:
+                other_cycles.append(item)
+    # Longer invented cycles would need an edge into an older term, which
+    # the in-degree bookkeeping above already rules out; self-loops are
+    # therefore the only possible invented cycles.
+    return Observation49Report(
+        edge_into_base_from_outside=into_base,
+        multi_in_edges=multi,
+        loop_cone_cycle_atoms=loop_cycles,
+        other_cycle_atoms=other_cycles,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exercises 15/16: closure of rewriting sets under the chase
+# ----------------------------------------------------------------------
+def exercise16_check(
+    theory: Theory,
+    query: ConjunctiveQuery,
+    rewriting_disjuncts: Sequence[ConjunctiveQuery],
+    depth: int,
+    max_atoms: int = 200_000,
+) -> bool:
+    """Exercise 16: a disjunct true in some ``Ch(T, D)`` entails the query
+    there.  Checked on the canonical instances of the disjuncts themselves
+    (the hardest cases: each disjunct trivially holds on its own canonical
+    instance, so the query must follow by chasing it)."""
+    for disjunct in rewriting_disjuncts:
+        canonical = disjunct.canonical_instance()
+        run = chase(theory, canonical, max_rounds=depth, max_atoms=max_atoms)
+        if not holds(query, run.instance, disjunct.answer_vars):
+            return False
+    return True

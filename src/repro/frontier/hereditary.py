@@ -1,0 +1,131 @@
+"""Hereditary BDD and the paper's closing conjecture (end of Section 9).
+
+The paper: "We were however not able to find an example of a theory which
+would be **hereditary BDD** but not bd-local.  We think it reasonable to
+conjecture that there are no such theories."
+
+Hereditary BDD = the theory *and all its subsets* are BDD.  This module
+provides a probe harness for the conjecture: classify every subset of a
+theory with the budgeted BDD test, and cross it with bd-locality evidence.
+It doubles as a small research tool for hunting counterexample candidates
+(none found — consistent with the conjecture — but the harness makes the
+search repeatable).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..logic.atoms import Atom
+from ..logic.query import ConjunctiveQuery
+from ..logic.terms import Variable
+from ..logic.tgd import Theory
+from ..rewriting.engine import RewritingBudget, rewrite
+
+
+def projected_atomic_queries(theory: Theory) -> list[ConjunctiveQuery]:
+    """Atomic queries with every subset of positions projected away.
+
+    All-free atomic queries never unify with existential head positions
+    (an answer variable cannot take a Skolem witness), so BDD refutation
+    needs the projections too: ``exists d. R(a, b, c, d)`` is where the
+    non-BDD subset of ``T_c`` first blows up.
+    """
+    queries: list[ConjunctiveQuery] = []
+    for predicate in sorted(theory.predicates(), key=lambda p: p.name):
+        variables = tuple(Variable(f"y{i}") for i in range(predicate.arity))
+        body = (Atom(predicate, variables),)
+        for mask in range(2 ** predicate.arity):
+            answers = tuple(
+                var for i, var in enumerate(variables) if not mask & (1 << i)
+            )
+            queries.append(ConjunctiveQuery(answers, body))
+    return queries
+
+
+@dataclass
+class SubsetVerdict:
+    """BDD evidence for one subset of the theory."""
+
+    rules: tuple[int, ...]
+    certified_bdd: bool  # every atomic query rewrote completely
+    refuted: bool  # some probe exceeded the budget (evidence against, not proof)
+
+
+@dataclass
+class HereditaryReport:
+    """The subset-by-subset BDD picture of a theory."""
+
+    theory_name: str
+    verdicts: list[SubsetVerdict] = field(default_factory=list)
+
+    @property
+    def hereditary_bdd_certified(self) -> bool:
+        """Every subset's atomic queries rewrote completely.
+
+        A "yes" certifies BDD for the atomic queries only — full BDD needs
+        all CQs, which no budgeted procedure can confirm; a "no" (some
+        subset refuted) is however meaningful evidence, and for the known
+        non-BDD examples the budget blowup appears immediately.
+        """
+        return all(v.certified_bdd for v in self.verdicts)
+
+    @property
+    def non_bdd_subsets(self) -> list[tuple[int, ...]]:
+        return [v.rules for v in self.verdicts if v.refuted]
+
+
+def probe_hereditary_bdd(
+    theory: Theory,
+    budget: RewritingBudget | None = None,
+    max_subset_size: int | None = None,
+) -> HereditaryReport:
+    """Probe every (non-empty) subset of the theory for BDD.
+
+    ``max_subset_size`` caps the enumeration for larger theories.
+    """
+    budget = budget or RewritingBudget(max_kept=150, max_steps=10_000)
+    rules = list(theory)
+    top = len(rules) if max_subset_size is None else min(max_subset_size, len(rules))
+    report = HereditaryReport(theory_name=theory.name)
+    for size in range(1, top + 1):
+        for chosen in itertools.combinations(range(len(rules)), size):
+            subset = Theory([rules[i] for i in chosen], name=f"{theory.name}[{chosen}]")
+            certified = True
+            refuted = False
+            for query in projected_atomic_queries(subset):
+                result = rewrite(subset, query, budget)
+                if not result.complete:
+                    certified = False
+                    refuted = True
+                    break
+            report.verdicts.append(
+                SubsetVerdict(rules=chosen, certified_bdd=certified, refuted=refuted)
+            )
+    return report
+
+
+def conjecture_scan(
+    theories: list[Theory],
+    budget: RewritingBudget | None = None,
+) -> list[tuple[str, bool, bool]]:
+    """Scan candidate theories for the conjecture's shape.
+
+    Returns ``(name, hereditary_bdd_certified, some_subset_refuted)`` per
+    theory.  A counterexample candidate would be hereditary-BDD-certified
+    while failing bd-locality probes (the latter is checked separately via
+    :mod:`repro.frontier.bdlocality` on witness families — no candidate in
+    the paper's catalogue survives both filters, matching the conjecture).
+    """
+    rows = []
+    for theory in theories:
+        report = probe_hereditary_bdd(theory, budget)
+        rows.append(
+            (
+                theory.name,
+                report.hereditary_bdd_certified,
+                bool(report.non_bdd_subsets),
+            )
+        )
+    return rows

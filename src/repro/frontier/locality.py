@@ -1,0 +1,162 @@
+"""Locality of theories (Definition 30) — executable checks.
+
+A theory is *local* when some constant ``l_T`` makes, for every instance,
+the union of the chases of its ``<= l_T``-fact sub-instances equal the
+chase of the whole instance.  The Skolem naming convention makes the union
+literal (Observation 8): ``Ch(T, F) ⊆ Ch(T, D)`` atom-for-atom whenever
+``F ⊆ D``, so the check is plain set comparison.
+
+Because chases may be infinite, every check here is depth-truncated:
+
+* an atom of ``Ch_depth(T, D)`` derivable from a small ``F`` appears in
+  ``Ch(T, F)`` as well, though possibly at a *later* round (sub-instances
+  may need extra rounds to re-create context) — hence the separate,
+  larger ``subset_depth``;
+* a non-empty defect at some depth is a genuine non-locality witness for
+  that ``l`` (the missing atoms really need more than ``l`` facts, up to
+  the ``subset_depth`` horizon, which callers pick generously).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..chase.engine import chase
+from ..logic.atoms import Atom
+from ..logic.instance import Instance
+from ..logic.tgd import Theory
+
+
+def union_of_subset_chases(
+    theory: Theory,
+    instance: Instance,
+    bound: int,
+    depth: int,
+    max_atoms: int = 200_000,
+) -> Instance:
+    """``⋃_{F ⊆ D, |F| <= bound} Ch_depth(T, F)`` (Definition 30's left side)."""
+    union = Instance()
+    facts = sorted(instance, key=repr)
+    for size in range(1, min(bound, len(facts)) + 1):
+        for chosen in itertools.combinations(facts, size):
+            part = chase(
+                theory, Instance(chosen), max_rounds=depth, max_atoms=max_atoms
+            )
+            union.update(part.instance)
+    return union
+
+
+@dataclass
+class LocalityDefect:
+    """Atoms of the full chase missing from the union of small-subset chases."""
+
+    bound: int
+    depth: int
+    subset_depth: int
+    missing: frozenset[Atom]
+
+    @property
+    def witnessed_local(self) -> bool:
+        """No defect at this horizon (evidence for locality at this bound)."""
+        return not self.missing
+
+
+def locality_defect(
+    theory: Theory,
+    instance: Instance,
+    bound: int,
+    depth: int,
+    subset_depth: int | None = None,
+    max_atoms: int = 200_000,
+    verify_monotonicity: bool = False,
+) -> LocalityDefect:
+    """Compare ``Ch_depth(T, D)`` against the union of small-subset chases.
+
+    ``subset_depth`` defaults to ``depth + 2`` — sub-instances may need a
+    few extra rounds to re-create context, and by Observation 8 chasing
+    them deeper never overshoots ``Ch(T, D)``.  ``verify_monotonicity``
+    additionally re-chases the full instance to ``subset_depth`` and
+    asserts Observation 8 literally (expensive; on in a dedicated test).
+    """
+    if subset_depth is None:
+        subset_depth = depth + 2
+    full = chase(theory, instance, max_rounds=depth, max_atoms=max_atoms).instance
+    union = union_of_subset_chases(
+        theory, instance, bound, subset_depth, max_atoms=max_atoms
+    )
+    missing = frozenset(item for item in full if item not in union)
+    if verify_monotonicity:
+        deep_full = chase(
+            theory, instance, max_rounds=subset_depth, max_atoms=max_atoms
+        ).instance
+        extras = [item for item in union if item not in deep_full]
+        if extras:
+            raise AssertionError(
+                f"Observation 8 violated: subset chase produced {extras[:3]} "
+                "outside the full chase"
+            )
+    return LocalityDefect(
+        bound=bound, depth=depth, subset_depth=subset_depth, missing=missing
+    )
+
+
+def find_locality_constant(
+    theory: Theory,
+    instances: Sequence[Instance],
+    max_bound: int,
+    depth: int,
+    subset_depth: int | None = None,
+    max_atoms: int = 200_000,
+) -> int | None:
+    """The least ``l <= max_bound`` with no defect on any sample instance.
+
+    ``None`` means no bound up to ``max_bound`` works on the sample — a
+    genuine non-locality witness for those bounds.
+    """
+    for bound in range(1, max_bound + 1):
+        if all(
+            locality_defect(
+                theory, instance, bound, depth, subset_depth, max_atoms
+            ).witnessed_local
+            for instance in instances
+        ):
+            return bound
+    return None
+
+
+def min_support_size(
+    theory: Theory,
+    instance: Instance,
+    target: Atom,
+    depth: int,
+    max_atoms: int = 200_000,
+) -> int | None:
+    """The smallest ``|F|``, ``F ⊆ D``, with ``target ∈ Ch_depth(T, F)``.
+
+    Exponential subset enumeration — intended for the small witness
+    families of Examples 39 and 42, where it demonstrates that the support
+    of one atom can be the whole instance.
+    """
+    facts = sorted(instance, key=repr)
+    for size in range(1, len(facts) + 1):
+        for chosen in itertools.combinations(facts, size):
+            result = chase(
+                theory, Instance(chosen), max_rounds=depth, max_atoms=max_atoms
+            )
+            if target in result.instance:
+                return size
+    return None
+
+
+def linear_locality_constant(theory: Theory) -> int:
+    """Locality constant for linear theories.
+
+    A linear rule consumes one atom, so every chase atom derives from a
+    single base fact: ``l_T = 1`` (the paper's remark after Exercise 12
+    that linear theories are local).  Raises for non-linear theories.
+    """
+    if not theory.is_linear():
+        raise ValueError("linear_locality_constant needs a linear theory")
+    return 1

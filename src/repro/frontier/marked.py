@@ -1,0 +1,317 @@
+"""Marked queries (Definitions 47–48) and proper markings (Observation 50).
+
+A marked query pairs a CQ with a set ``V`` of *marked* variables — those
+that must land on base-domain elements, while unmarked variables must land
+on chase-invented terms.  The five-operation process of Section 11
+manipulates marked queries over the two-colour signature of ``T_d``; the
+generalized process of Section 12 uses the same data structure over the
+``I_K .. I_1`` signature.
+
+Two paper-driven extensions:
+
+* the CQ body may be **empty** (the operations can consume every atom; an
+  empty marked query is unconditionally true thanks to the (loop) rule),
+  and
+* a pseudo-atom ``Adom(z)`` may appear, asserting that ``z`` is a
+  base-domain element.  It arises when an operation removes the last
+  ordinary atom containing a *marked* variable: the membership constraint
+  must survive even though CQ syntax has no atom left to carry it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..chase.engine import ChaseResult
+from ..logic.atoms import Atom, variables_of_atoms
+from ..logic.homomorphism import iter_query_homomorphisms
+from ..logic.query import ConjunctiveQuery
+from ..logic.signature import Predicate
+from ..logic.terms import Term, Variable
+
+ADOM = Predicate("Adom", 1)
+
+
+def adom_atom(variable: Variable) -> Atom:
+    """The pseudo-atom asserting base-domain membership of a variable."""
+    return Atom(ADOM, (variable,))
+
+
+@dataclass(frozen=True)
+class MarkedQuery:
+    """A CQ with ordered answer variables and a marking ``V``.
+
+    Invariants: answer variables are marked; marked variables occur in the
+    atoms (or are answer variables); ``Adom`` atoms only mention marked
+    variables.
+    """
+
+    answer_vars: tuple[Variable, ...]
+    atoms: tuple[Atom, ...]
+    marked: frozenset[Variable]
+
+    def __post_init__(self) -> None:
+        variables = variables_of_atoms(self.atoms) | set(self.answer_vars)
+        if not set(self.answer_vars) <= self.marked:
+            raise ValueError("answer variables must be marked")
+        if not self.marked <= variables:
+            raise ValueError("marked variables must occur in the query")
+        for item in self.atoms:
+            if item.predicate == ADOM and not item.variable_set() <= self.marked:
+                raise ValueError("Adom atoms may only mention marked variables")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def variables(self) -> set[Variable]:
+        return variables_of_atoms(self.atoms) | set(self.answer_vars)
+
+    def unmarked(self) -> set[Variable]:
+        return self.variables() - self.marked
+
+    def real_atoms(self) -> tuple[Atom, ...]:
+        """Atoms over the actual signature (``Adom`` pseudo-atoms excluded)."""
+        return tuple(item for item in self.atoms if item.predicate != ADOM)
+
+    def atoms_of(self, predicate_name: str) -> tuple[Atom, ...]:
+        return tuple(
+            item for item in self.atoms if item.predicate.name == predicate_name
+        )
+
+    def is_totally_marked(self) -> bool:
+        return not self.unmarked()
+
+    def is_empty(self) -> bool:
+        return not self.real_atoms()
+
+    def size(self) -> int:
+        return len(self.real_atoms())
+
+    def with_marking(self, marked: Iterable[Variable]) -> "MarkedQuery":
+        return MarkedQuery(self.answer_vars, self.atoms, frozenset(marked))
+
+    def to_cq(self) -> ConjunctiveQuery:
+        """The underlying CQ (``Adom`` atoms dropped when redundant).
+
+        Only valid for totally marked queries whose every answer variable
+        still occurs in a real atom; the process layer handles the other
+        shapes explicitly.
+        """
+        real = self.real_atoms()
+        if not real:
+            raise ValueError("empty marked query has no CQ form")
+        return ConjunctiveQuery(self.answer_vars, real)
+
+    def __repr__(self) -> str:
+        marks = ",".join(sorted(v.name for v in self.marked))
+        body = ", ".join(repr(a) for a in self.atoms) if self.atoms else "true"
+        head = ",".join(v.name for v in self.answer_vars)
+        return f"<q({head}) := {body} | V={{{marks}}}>"
+
+
+def all_markings(query: ConjunctiveQuery) -> Iterator[MarkedQuery]:
+    """Every marking of a CQ that includes the answer variables (``S_0``)."""
+    optional = sorted(query.existential_vars(), key=lambda v: v.name)
+    base = frozenset(query.answer_vars)
+    for size in range(len(optional) + 1):
+        for chosen in itertools.combinations(optional, size):
+            yield MarkedQuery(query.answer_vars, query.atoms, base | set(chosen))
+
+
+# ----------------------------------------------------------------------
+# Proper markings: Observation 50 for a two-colour (or K-colour) signature
+# ----------------------------------------------------------------------
+def _binary_edges(mq: MarkedQuery, colors: Sequence[str]) -> list[tuple[Variable, Variable]]:
+    edges = []
+    for item in mq.real_atoms():
+        if item.predicate.name in colors and item.predicate.arity == 2:
+            source, target = item.args
+            if isinstance(source, Variable) and isinstance(target, Variable):
+                edges.append((source, target))
+    return edges
+
+
+def _cycle_variables(edges: list[tuple[Variable, Variable]]) -> set[Variable]:
+    """Variables lying on a directed cycle (over all colours jointly)."""
+    adjacency: dict[Variable, set[Variable]] = {}
+    for source, target in edges:
+        adjacency.setdefault(source, set()).add(target)
+        adjacency.setdefault(target, set())
+    # Tarjan-free approach: a variable is on a cycle iff it can reach itself.
+    on_cycle: set[Variable] = set()
+    for start in adjacency:
+        frontier = list(adjacency[start])
+        seen: set[Variable] = set()
+        while frontier:
+            vertex = frontier.pop()
+            if vertex == start:
+                on_cycle.add(start)
+                break
+            if vertex in seen:
+                continue
+            seen.add(vertex)
+            frontier.extend(adjacency.get(vertex, ()))
+    return on_cycle
+
+
+def proper_marking_closure(
+    mq: MarkedQuery, colors: Sequence[str] = ("R", "G")
+) -> frozenset[Variable] | None:
+    """The least superset of ``mq.marked`` satisfying Observation 50.
+
+    Conditions propagated to a fixpoint:
+
+    1. ``E(z, z')`` with ``z'`` marked forces ``z`` marked;
+    2. every variable on a directed cycle is marked;
+    3. ``E(z1, u)``, ``E(z2, u)`` of the same colour with ``z1`` marked
+       force ``z2`` marked.
+
+    Returns ``None`` when the closure would mark a variable that the
+    original marking *excludes implicitly* — it never does: marking more
+    variables is always consistent, so the closure always exists; callers
+    compare it against ``mq.marked`` to test properness.
+    """
+    edges = _binary_edges(mq, colors)
+    marked = set(mq.marked) | _cycle_variables(edges)
+    per_color_target: dict[tuple[str, Variable], set[Variable]] = {}
+    for item in mq.real_atoms():
+        if item.predicate.name in colors and item.predicate.arity == 2:
+            source, target = item.args
+            if isinstance(source, Variable) and isinstance(target, Variable):
+                per_color_target.setdefault(
+                    (item.predicate.name, target), set()
+                ).add(source)
+    changed = True
+    while changed:
+        changed = False
+        for source, target in edges:
+            if target in marked and source not in marked:
+                marked.add(source)
+                changed = True
+        for (_, target), sources in per_color_target.items():
+            if sources & marked:
+                fresh = sources - marked
+                if fresh:
+                    marked |= fresh
+                    changed = True
+    return frozenset(marked)
+
+
+def is_properly_marked(mq: MarkedQuery, colors: Sequence[str] = ("R", "G")) -> bool:
+    """Does the marking already satisfy the Observation-50 conditions?
+
+    Improperly marked queries are unsatisfiable as marked queries (their
+    closure would force an unmarked variable to be marked), so the process
+    discards them (footnote 33).
+    """
+    closure = proper_marking_closure(mq, colors)
+    return closure == mq.marked
+
+
+def is_live(mq: MarkedQuery, colors: Sequence[str] = ("R", "G")) -> bool:
+    """Properly marked but not totally marked — the process's work items."""
+    return (
+        not mq.is_totally_marked()
+        and not mq.is_empty()
+        and is_properly_marked(mq, colors)
+    )
+
+
+def peel_true_components(
+    mq: MarkedQuery, colors: Sequence[str] = ("R", "G")
+) -> MarkedQuery:
+    """Delete connected components with no marked variable.
+
+    Such a component can always be satisfied by mapping it onto the
+    all-colours self-loop element created by the (loop) rule — an element
+    outside ``dom(D)`` whose cone realizes every colour pattern — so it is
+    unconditionally true and contributes nothing to the rewriting.  (This
+    is the executable counterpart of the paper's restriction to connected
+    non-boolean queries: the restriction must be re-established whenever an
+    operation splits a query.)
+    """
+    real = mq.real_atoms()
+    if not real:
+        return mq
+    # Union-find over variables through shared atoms.
+    parent: dict[Variable, Variable] = {}
+
+    def find(v: Variable) -> Variable:
+        parent.setdefault(v, v)
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for item in real:
+        variables = [t for t in item.args if isinstance(t, Variable)]
+        for other in variables[1:]:
+            parent[find(variables[0])] = find(other)
+    marked_roots = {find(v) for v in mq.marked if v in parent}
+    kept_real = tuple(
+        item
+        for item in real
+        if any(
+            isinstance(t, Variable) and find(t) in marked_roots for t in item.args
+        )
+    )
+    if len(kept_real) == len(real):
+        return mq
+    adom = tuple(item for item in mq.atoms if item.predicate == ADOM)
+    atoms = kept_real + adom
+    surviving = variables_of_atoms(atoms) | set(mq.answer_vars)
+    return MarkedQuery(mq.answer_vars, atoms, mq.marked & frozenset(surviving))
+
+
+# ----------------------------------------------------------------------
+# Semantics: Definition 48
+# ----------------------------------------------------------------------
+def marked_holds(
+    result: ChaseResult,
+    mq: MarkedQuery,
+    answer: Sequence[Term] = (),
+) -> bool:
+    """``Ch(D) |= Q(answer)`` in the marked sense (Definition 48).
+
+    There must be a homomorphism of the query into the chase, sending the
+    answer variables to ``answer``, with marked variables landing in
+    ``dom(D)`` and unmarked variables landing outside it.
+    """
+    from ..logic.homomorphism import consistent_binding
+
+    partial = consistent_binding(mq.answer_vars, answer)
+    if partial is None:
+        return False
+    base_domain = result.base.domain()
+    for var, image in partial.items():
+        if (image in base_domain) != (var in mq.marked):
+            return False
+    real = mq.real_atoms()
+    adom_only = {
+        var
+        for item in mq.atoms
+        if item.predicate == ADOM
+        for var in item.variable_set()
+        if not any(var in other.variable_set() for other in real)
+    }
+    for hom in iter_query_homomorphisms(real, result.instance, partial):
+        good = True
+        for var, image in hom.items():
+            if (image in base_domain) != (var in mq.marked):
+                good = False
+                break
+        if not good:
+            continue
+        # Adom-only variables: need some base element (any will do) unless
+        # already pinned by the answer.
+        unbound_adom = adom_only - set(hom) - set(partial)
+        if unbound_adom and not base_domain:
+            continue
+        return True
+    if not real:
+        # Empty query: true provided Adom constraints are satisfiable.
+        unbound_adom = adom_only - set(partial)
+        return not unbound_adom or bool(base_domain)
+    return False

@@ -1,0 +1,97 @@
+"""Dershowitz–Manna multiset orderings and the rank orders of Section 10.
+
+The termination proof of the five-operation process uses three nested
+well-orders:
+
+* ``<_m`` — the strict multiset extension of ``<`` on naturals,
+* ``<_R`` — lexicographic on pairs ``(k, A)`` with ``k`` a natural and
+  ``A`` a multiset of naturals (this is ``qrk``'s codomain), and
+* ``<_M`` — the multiset extension of ``<_R`` (this is ``srk``'s codomain).
+
+We implement the multiset extension generically over a strict-order
+predicate, using the classical characterization: ``M <_mul N`` iff
+``M != N`` and for every ``x`` with ``M(x) > N(x)`` there is ``y > x``
+with ``M(y) < N(y)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Hashable, Iterable
+
+Element = Hashable
+StrictLess = Callable[[Element, Element], bool]
+
+
+def as_multiset(items: Iterable[Element]) -> Counter:
+    """Build a multiset (a Counter) from an iterable."""
+    return Counter(items)
+
+
+def multiset_less(
+    left: Iterable[Element],
+    right: Iterable[Element],
+    less: StrictLess | None = None,
+) -> bool:
+    """Strict Dershowitz–Manna ordering: is ``left`` < ``right``?
+
+    With ``less=None`` the elements are compared with ``<`` directly.
+    """
+    if less is None:
+        def less(a: Element, b: Element) -> bool:  # type: ignore[misc]
+            return a < b  # type: ignore[operator]
+
+    left_counts = as_multiset(left)
+    right_counts = as_multiset(right)
+    if left_counts == right_counts:
+        return False
+    elements = set(left_counts) | set(right_counts)
+    for item in elements:
+        if left_counts[item] > right_counts[item]:
+            if not any(
+                less(item, other) and left_counts[other] < right_counts[other]
+                for other in elements
+            ):
+                return False
+    return True
+
+
+def rank_pair_less(
+    left: tuple[int, Counter], right: tuple[int, Counter]
+) -> bool:
+    """``<_R``: lexicographic on (natural, multiset-of-naturals) pairs."""
+    left_k, left_multiset = left
+    right_k, right_multiset = right
+    if left_k != right_k:
+        return left_k < right_k
+    return multiset_less(left_multiset, right_multiset)
+
+
+def rank_pair_leq(left: tuple[int, Counter], right: tuple[int, Counter]) -> bool:
+    """Non-strict ``<=_R``."""
+    return left == right or rank_pair_less(left, right)
+
+
+def srk_less(
+    left: Iterable[tuple[int, Counter]], right: Iterable[tuple[int, Counter]]
+) -> bool:
+    """``<_M``: multiset extension of ``<_R`` over sets of query ranks.
+
+    Counters are unhashable, so ranks are frozen to ``(k, sorted counts)``
+    tuples for counting purposes.
+    """
+
+    def freeze(rank: tuple[int, Counter]) -> tuple[int, tuple[tuple[int, int], ...]]:
+        k, counts = rank
+        return (k, tuple(sorted(counts.items())))
+
+    def thaw_less(a: tuple, b: tuple) -> bool:
+        return rank_pair_less(
+            (a[0], Counter(dict(a[1]))), (b[0], Counter(dict(b[1])))
+        )
+
+    return multiset_less(
+        (freeze(rank) for rank in left),
+        (freeze(rank) for rank in right),
+        thaw_less,
+    )

@@ -1,0 +1,366 @@
+"""Appendix A: the normalization behind Theorem 3 (binary BDD => local).
+
+The proof machinery, made executable:
+
+* **taxonomy** of chase atoms — datalog vs existential, and among the
+  existential ones *detached* (empty-frontier rules) vs *sensible*; the
+  sensible atoms form a forest of trees ``S(t)`` rooted at base constants
+  and detached terms (Observation 64);
+* **Example 66** — why the naive ancestor bound fails: the semi-oblivious
+  chase may route unboundedly many base facts into one tree's ancestry;
+* **the normalization algorithm** — body rewriting (via the FUS engine),
+  body separation with nullary ``M_phi`` predicates, and the three-step
+  construction of ``T_NF = T_II ∪ T_III`` with
+  ``Ch_exists(T_NF, D) = Ch_exists(T, D)`` (Lemma 70);
+* **the Crucial Lemma** (Lemma 77) — after normalization, each tree's
+  ancestor set is bounded by ``M = N*h + k*h``, a constant of the theory.
+
+Scope: binary signatures with single-head rules whose existential rules
+are frontier-one (footnote 37) — exactly the hypotheses of Theorem 3 —
+and BDD theories (the rewriting engine must terminate on rule bodies).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..chase.engine import ChaseResult, chase
+from ..chase.provenance import ancestors, connected_parents
+from ..logic.atoms import Atom
+from ..logic.gaifman import connected_components, query_gaifman_graph
+from ..logic.instance import Instance
+from ..logic.query import ConjunctiveQuery
+from ..logic.signature import Predicate
+from ..logic.terms import Term, Variable
+from ..logic.tgd import TGD, Theory
+from ..rewriting.engine import RewritingBudget, rewrite
+
+
+class NormalizationError(RuntimeError):
+    """The input theory falls outside Theorem 3's hypotheses, or the
+    rewriting engine could not certify a body rewriting within budget."""
+
+
+# ----------------------------------------------------------------------
+# Atom taxonomy over a chase result
+# ----------------------------------------------------------------------
+def existential_atoms(result: ChaseResult) -> Instance:
+    """``Ch_exists``: base atoms plus atoms created by existential rules."""
+    collected = Instance(result.base)
+    for item, derivation in result.derivations.items():
+        if not derivation.rule.is_datalog():
+            collected.add(item)
+    return collected
+
+
+def detached_terms(result: ChaseResult) -> set[Term]:
+    """Terms created by detached (empty-frontier existential) rules."""
+    found: set[Term] = set()
+    base_domain = result.base.domain()
+    for item, derivation in result.derivations.items():
+        if derivation.rule.is_detached():
+            found.update(t for t in item.args if t not in base_domain)
+    return found
+
+
+def sensible_forest(result: ChaseResult) -> dict[Term, list[Atom]]:
+    """The trees ``S(t)`` of Observation 64.
+
+    Maps each root (base constant or detached term) to the sensible
+    existential atoms of its tree.  An atom created by a sensible rule
+    attaches below the (unique, frontier-one) term it hangs from.
+    """
+    base_domain = result.base.domain()
+    roots = set(base_domain) | detached_terms(result)
+    owner: dict[Term, Term] = {t: t for t in roots}
+    trees: dict[Term, list[Atom]] = {t: [] for t in roots}
+
+    # Atoms in creation order (chase rounds) so parents resolve first.
+    for added in result.round_added[1:]:
+        for item in sorted(added, key=repr):
+            derivation = result.derivations.get(item)
+            if derivation is None or derivation.rule.is_datalog():
+                continue
+            if derivation.rule.is_detached():
+                continue  # detached atoms are roots, not edges
+            frontier = derivation.frontier_image()
+            if len(frontier) != 1:
+                raise NormalizationError(
+                    "sensible rule with non-singleton frontier; Theorem 3 "
+                    "needs frontier-one existential rules"
+                )
+            anchor = next(iter(frontier))
+            root = owner.get(anchor)
+            if root is None:
+                # The anchor is itself a chase term created by a sensible
+                # rule; its owner was set when its birth atom was placed.
+                raise NormalizationError(f"unowned anchor term {anchor!r}")
+            trees.setdefault(root, []).append(item)
+            for term in item.args:
+                owner.setdefault(term, root)
+    return trees
+
+
+# ----------------------------------------------------------------------
+# The normalization algorithm
+# ----------------------------------------------------------------------
+@dataclass
+class NormalizedTheory:
+    """``T_NF`` plus bookkeeping for the Crucial-Lemma constants."""
+
+    original: Theory
+    normalized: Theory
+    nullary_for: dict[str, Predicate]
+    constants: "CrucialConstants"
+
+
+@dataclass
+class CrucialConstants:
+    """The constants of Lemma 77: ``M = N*h + k*h``."""
+
+    nullary_count: int  # k
+    max_body: int  # h
+    rule_count: int  # n
+    tree_budget: int  # N = |full n-ary tree of depth h|
+
+    @property
+    def bound(self) -> int:
+        return self.tree_budget * self.max_body + self.nullary_count * self.max_body
+
+
+def _canonical_boolean_query(atoms: tuple[Atom, ...]) -> str:
+    """A name for ``M_phi``: canonical text of the boolean CQ ``phi``."""
+    renaming: dict[Variable, str] = {}
+    parts = []
+    for item in sorted(atoms, key=repr):
+        names = []
+        for term in item.args:
+            if isinstance(term, Variable):
+                names.append(renaming.setdefault(term, f"v{len(renaming)}"))
+            else:
+                names.append(repr(term))
+        parts.append(f"{item.predicate.name}({','.join(names)})")
+    digest = hashlib.md5("&".join(parts).encode("utf8")).hexdigest()[:10]
+    return digest
+
+
+def _split_body(rule: TGD) -> tuple[tuple[Atom, ...], tuple[Atom, ...]]:
+    """Body separation: (frontier component(s), disconnected rest)."""
+    if not rule.body:
+        return (), ()
+    graph = query_gaifman_graph(rule.body)
+    components = connected_components(graph)
+    frontier = rule.frontier() & rule.body_variables()
+    keep_vars: set[Variable] = set()
+    for component in components:
+        if component & frontier:
+            keep_vars |= component
+    if not frontier:
+        # Detached rule: everything separates out.
+        return (), rule.body
+    kept = tuple(
+        item for item in rule.body if item.variable_set() & keep_vars
+    )
+    rest = tuple(item for item in rule.body if item not in kept)
+    return kept, rest
+
+
+def _rewrite_body(
+    theory: Theory,
+    body: tuple[Atom, ...],
+    answer_vars: tuple[Variable, ...],
+    budget: RewritingBudget,
+) -> list[tuple[Atom, ...]]:
+    """``Rew``: all rewritings of a rule body (Definition 67)."""
+    query = ConjunctiveQuery(answer_vars, body)
+    result = rewrite(theory, query, budget)
+    if not result.complete:
+        raise NormalizationError(
+            f"body rewriting did not terminate for {query!r}; "
+            "is the theory BDD?"
+        )
+    return [disjunct.atoms for disjunct in result.ucq]
+
+
+def normalize(
+    theory: Theory, budget: RewritingBudget | None = None
+) -> NormalizedTheory:
+    """Run the three-step normalization algorithm of Appendix A."""
+    budget = budget or RewritingBudget()
+    if not theory.is_binary():
+        raise NormalizationError("Theorem 3's normalization needs a binary signature")
+    if not theory.is_single_head():
+        raise NormalizationError("normalization expects single-head rules")
+    for rule in theory.existential_rules():
+        if not rule.is_frontier_one() and rule.frontier():
+            raise NormalizationError("existential rules must be frontier-one")
+
+    nullary_for: dict[str, Predicate] = {}
+
+    def nullary(atoms: tuple[Atom, ...]) -> Predicate:
+        key = _canonical_boolean_query(atoms) if atoms else "empty"
+        if key not in nullary_for:
+            nullary_for[key] = Predicate(f"M_{key}", 0)
+        return nullary_for[key]
+
+    # STEP ONE: T_I = body rewritings of the existential rules.
+    step_one: list[TGD] = []
+    for rule in theory.existential_rules():
+        frontier_vars = tuple(sorted(rule.frontier() & rule.body_variables(), key=lambda v: v.name))
+        if not rule.body:
+            step_one.append(rule)
+            continue
+        for body in _rewrite_body(theory, rule.body, frontier_vars, budget):
+            step_one.append(TGD(body, rule.head, rule.existential, f"{rule.label}:rw"))
+
+    # STEP TWO: T_II = body separation of T_I.
+    step_two: list[TGD] = []
+    separations: list[tuple[TGD, tuple[Atom, ...]]] = []
+    for rule in step_one:
+        kept, rest = _split_body(rule)
+        marker = Atom(nullary(rest), ())
+        step_two.append(
+            TGD(kept + (marker,), rule.head, rule.existential, f"{rule.label}:cc")
+        )
+        separations.append((rule, rest))
+
+    # The empty conjunction's marker must always be derivable.
+    always = TGD((), (Atom(nullary(()), ()),), frozenset(), "m_empty")
+    step_three: list[TGD] = [always]
+
+    # STEP THREE: T_III = rewritings of the M_phi producers.
+    seen_markers: set[str] = set()
+    for rule, rest in separations:
+        if not rest:
+            continue
+        marker_pred = nullary(rest)
+        if marker_pred.name in seen_markers:
+            continue
+        seen_markers.add(marker_pred.name)
+        for body in _rewrite_body(theory, rest, (), budget):
+            step_three.append(
+                TGD(body, (Atom(marker_pred, ()),), frozenset(), f"{marker_pred.name}:prod")
+            )
+
+    normalized = Theory(step_two + step_three, name=f"{theory.name}_NF")
+    max_body = max((len(rule.body) for rule in normalized), default=1)
+    rule_count = len(normalized)
+    depth = max_body
+    # |full n-ary tree of depth h| = sum_{i=0..h} n^i
+    tree_budget = sum(rule_count ** i for i in range(depth + 1))
+    constants = CrucialConstants(
+        nullary_count=len(nullary_for),
+        max_body=max_body,
+        rule_count=rule_count,
+        tree_budget=tree_budget,
+    )
+    return NormalizedTheory(
+        original=theory,
+        normalized=normalized,
+        nullary_for={k: v for k, v in nullary_for.items()},
+        constants=constants,
+    )
+
+
+# ----------------------------------------------------------------------
+# Validation: Lemma 70 and the Crucial Lemma, empirically
+# ----------------------------------------------------------------------
+def _strip_markers(instance: Instance) -> Instance:
+    return Instance(
+        item for item in instance if not item.predicate.name.startswith("M_")
+    )
+
+
+def lemma70_check(
+    normalized: NormalizedTheory,
+    instance: Instance,
+    depth: int,
+    max_atoms: int = 200_000,
+) -> bool:
+    """``Ch_exists(T_NF, D) == Ch_exists(T, D)`` up to the depth horizon.
+
+    Lemma 75 allows a two-round shift, so the normalized side is chased two
+    rounds deeper and the original side's existential atoms must appear in
+    it, and vice versa (original chased deeper for the converse).
+    """
+    original_run = chase(normalized.original, instance, max_rounds=depth + 2, max_atoms=max_atoms)
+    normalized_run = chase(normalized.normalized, instance, max_rounds=depth + 2, max_atoms=max_atoms)
+    original_shallow = chase(normalized.original, instance, max_rounds=depth, max_atoms=max_atoms)
+    normalized_shallow = chase(normalized.normalized, instance, max_rounds=depth, max_atoms=max_atoms)
+
+    original_exists = existential_atoms(original_shallow)
+    normalized_exists = _strip_markers(existential_atoms(normalized_run))
+    forward = all(item in normalized_exists for item in original_exists)
+
+    normalized_exists_shallow = _strip_markers(existential_atoms(normalized_shallow))
+    original_exists_deep = existential_atoms(original_run)
+    backward = all(item in original_exists_deep for item in normalized_exists_shallow)
+    return forward and backward
+
+
+def tree_ancestor_sizes(
+    theory: Theory,
+    instance: Instance,
+    depth: int,
+    max_atoms: int = 200_000,
+    connected_only: bool = False,
+) -> dict[Term, int]:
+    """Per-root size of ``⋃_{alpha in S(t)} anc(alpha)`` (Lemma 77's LHS).
+
+    With ``connected_only=True`` nullary parents are ignored (``canc``),
+    matching the Crucial Lemma's accounting for the normalized theory.
+    """
+    result = chase(theory, instance, max_rounds=depth, max_atoms=max_atoms)
+    trees = sensible_forest(result)
+    parent_fn = connected_parents if connected_only else None
+    sizes: dict[Term, int] = {}
+    for root, atoms in trees.items():
+        cache: dict[Atom, frozenset[Atom]] = {}
+        union: set[Atom] = set()
+        for item in atoms:
+            if parent_fn is None:
+                union |= ancestors(result, item, _cache=cache)
+            else:
+                union |= ancestors(result, item, parent_fn=parent_fn, _cache=cache)
+        sizes[root] = len(union)
+    return sizes
+
+
+def tree_possible_ancestor_sizes(
+    theory: Theory,
+    instance: Instance,
+    depth: int,
+    max_atoms: int = 200_000,
+    connected_only: bool = False,
+) -> dict[Term, int]:
+    """Worst case over *all* ancestor functions (the Lemma-77 quantifier).
+
+    Like :func:`tree_ancestor_sizes` but through
+    :func:`repro.chase.provenance.possible_ancestors`: every derivation the
+    chase could have recorded counts.  For the raw Example-66 theory this
+    grows with the instance (the paper's point); after normalization the
+    connected variant stays under the Crucial Lemma's ``M``.
+    """
+    from ..chase.provenance import possible_ancestors
+
+    result = chase(theory, instance, max_rounds=depth, max_atoms=max_atoms)
+    trees = sensible_forest(result)
+    return {
+        root: len(possible_ancestors(result, atoms, connected_only=connected_only))
+        for root, atoms in trees.items()
+    }
+
+
+def crucial_lemma_check(
+    normalized: NormalizedTheory,
+    instance: Instance,
+    depth: int,
+    max_atoms: int = 200_000,
+) -> tuple[int, int]:
+    """(observed max tree-ancestor size, the Lemma-77 bound ``M``)."""
+    sizes = tree_ancestor_sizes(
+        normalized.normalized, instance, depth, max_atoms, connected_only=True
+    )
+    observed = max(sizes.values(), default=0)
+    return observed, normalized.constants.bound

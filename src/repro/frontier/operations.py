@@ -1,0 +1,240 @@
+"""The five operations on marked queries (Definitions 56–58, Lemma 55).
+
+Given a *live* marked query over the ``T_d`` signature, some unmarked
+variable is **maximal** — no atom leaves it.  Its in-atoms classify it
+(Lemma 55) and select the operation:
+
+* one in-atom ``E(z, x)``                       -> **cut-red/cut-green**
+* exactly ``R(x_r, x)`` and ``G(x_g, x)``       -> **reduce** (4 markings)
+* two same-colour in-atoms from distinct sources -> **fuse-red/fuse-green**
+
+Soundness (Lemma 52) rests on the structure of ``Ch(T_d, D)``: chase terms
+have in-degree one per colour except grid-created terms (one red + one
+green), so unmarked variables force these shapes.  The test suite
+re-verifies each operation empirically against chase-based marked-query
+evaluation.
+
+The functions are colour-parametric so the Section-12 generalization
+(:mod:`repro.frontier.tdk`) can reuse them with ``red = I_{i+1}``,
+``green = I_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..logic.atoms import Atom
+from ..logic.terms import FreshVariables, Variable
+from .marked import MarkedQuery, adom_atom
+
+
+@dataclass(frozen=True)
+class MaximalVariable:
+    """A maximal unmarked variable together with its in-atoms."""
+
+    variable: Variable
+    in_atoms: tuple[Atom, ...]
+
+
+class NoMaximalVariable(RuntimeError):
+    """Raised when a live query has no maximal variable — per Lemma 51 this
+    cannot happen for properly marked queries; seeing it means a bug (or an
+    improperly marked input)."""
+
+
+class UnsupportedFusion(RuntimeError):
+    """Fusing two answer variables would merge answer positions; the CQ
+    rewriting formalism cannot express the induced equality (see DESIGN.md
+    limitations).  Never triggered by the paper's witness queries."""
+
+
+def find_maximal_variable(
+    mq: MarkedQuery, colors: Sequence[str] = ("R", "G")
+) -> MaximalVariable:
+    """Pick the (deterministically first) maximal unmarked variable."""
+    outgoing: set[Variable] = set()
+    incoming: dict[Variable, list[Atom]] = {}
+    for item in mq.real_atoms():
+        if item.predicate.name not in colors or item.predicate.arity != 2:
+            continue
+        source, target = item.args
+        if isinstance(source, Variable):
+            outgoing.add(source)
+        if isinstance(target, Variable):
+            incoming.setdefault(target, []).append(item)
+    for variable in sorted(mq.unmarked(), key=lambda v: v.name):
+        if variable not in outgoing:
+            return MaximalVariable(
+                variable=variable,
+                in_atoms=tuple(
+                    sorted(incoming.get(variable, []), key=repr)
+                ),
+            )
+    raise NoMaximalVariable(f"no maximal variable in {mq!r}")
+
+
+def _drop_atoms_keep_constraints(
+    mq: MarkedQuery, doomed: set[Atom], extra: tuple[Atom, ...] = ()
+) -> tuple[Atom, ...]:
+    """Remove atoms; keep marked variables' base-membership via ``Adom``.
+
+    When the removal makes a *marked* variable (or an answer variable)
+    vanish from the query, an ``Adom`` pseudo-atom retains the constraint
+    that it denotes a base-domain element.
+    """
+    kept = tuple(item for item in mq.atoms if item not in doomed) + extra
+    surviving: set[Variable] = set()
+    for item in kept:
+        surviving |= item.variable_set()
+    rescued: list[Atom] = []
+    for item in sorted(doomed, key=repr):
+        for variable in item.variable_set():
+            needs_constraint = variable in mq.marked
+            if needs_constraint and variable not in surviving:
+                rescued.append(adom_atom(variable))
+                surviving.add(variable)
+    return kept + tuple(rescued)
+
+
+def cut(mq: MarkedQuery, maximal: MaximalVariable) -> MarkedQuery:
+    """cut-red / cut-green: drop the sole in-atom of the maximal variable."""
+    if len(maximal.in_atoms) != 1:
+        raise ValueError("cut needs a maximal variable with exactly one in-atom")
+    doomed = {maximal.in_atoms[0]}
+    atoms = _drop_atoms_keep_constraints(mq, doomed)
+    marked = mq.marked & _variables_of(atoms, mq.answer_vars)
+    return MarkedQuery(mq.answer_vars, atoms, marked | frozenset(mq.answer_vars))
+
+
+def fuse(
+    mq: MarkedQuery,
+    maximal: MaximalVariable,
+    first: Atom,
+    second: Atom,
+) -> MarkedQuery:
+    """fuse-red / fuse-green: identify the two same-colour in-sources.
+
+    In the chase of ``T_d`` every invented term has in-degree at most one
+    per colour, so both sources must map to the same term (Lemma 81).
+    """
+    if first.predicate != second.predicate:
+        raise ValueError("fuse needs two atoms of the same colour")
+    z1 = first.args[0]
+    z2 = second.args[0]
+    if not (isinstance(z1, Variable) and isinstance(z2, Variable)) or z1 == z2:
+        raise ValueError("fuse needs distinct variable sources")
+    answers = set(mq.answer_vars)
+    if z1 in answers and z2 in answers:
+        raise UnsupportedFusion(f"cannot merge answer variables {z1} and {z2}")
+    keep, drop = (z1, z2) if (z1 in answers or (z2 not in answers and z1.name <= z2.name)) else (z2, z1)
+    theta = {drop: keep}
+    atoms = tuple(dict.fromkeys(item.substitute(theta) for item in mq.atoms))
+    marked = frozenset(keep if v == drop else v for v in mq.marked)
+    return MarkedQuery(mq.answer_vars, atoms, marked)
+
+
+def reduce_step(
+    mq: MarkedQuery,
+    maximal: MaximalVariable,
+    fresh: FreshVariables,
+    red: str = "R",
+    green: str = "G",
+) -> list[MarkedQuery]:
+    """reduce: rewind one (grid) application (Definition 58).
+
+    Replaces ``R(x_r, x), G(x_g, x)`` by ``R(x', x_g), G(x', x''),
+    G(x'', x_r)`` with fresh ``x', x''`` and returns the four markings of
+    the new variables (one of which is improperly marked and will be
+    discarded by the process, footnote 33).
+    """
+    by_color = {item.predicate.name: item for item in maximal.in_atoms}
+    if set(by_color) != {red, green} or len(maximal.in_atoms) != 2:
+        raise ValueError("reduce needs exactly one red and one green in-atom")
+    red_atom = by_color[red]
+    green_atom = by_color[green]
+    x_r = red_atom.args[0]
+    x_g = green_atom.args[0]
+    x_prime = fresh.fresh_like(Variable("xp"))
+    x_second = fresh.fresh_like(Variable("xpp"))
+    red_pred = red_atom.predicate
+    green_pred = green_atom.predicate
+    replacement = (
+        Atom(red_pred, (x_prime, x_g)),
+        Atom(green_pred, (x_prime, x_second)),
+        Atom(green_pred, (x_second, x_r)),
+    )
+    atoms = _drop_atoms_keep_constraints(mq, {red_atom, green_atom}, replacement)
+    base_marked = mq.marked & _variables_of(atoms, mq.answer_vars)
+    base_marked |= frozenset(mq.answer_vars)
+    variants = [
+        base_marked,
+        base_marked | {x_prime},
+        base_marked | {x_prime, x_second},
+        base_marked | {x_second},
+    ]
+    return [MarkedQuery(mq.answer_vars, atoms, frozenset(v)) for v in variants]
+
+
+def _variables_of(atoms: tuple[Atom, ...], answers: tuple[Variable, ...]) -> frozenset[Variable]:
+    found: set[Variable] = set(answers)
+    for item in atoms:
+        found |= item.variable_set()
+    return frozenset(found)
+
+
+@dataclass(frozen=True)
+class OperationRecord:
+    """What the process did at one step (for certificates and tests)."""
+
+    operation: str
+    source: MarkedQuery
+    variable: Variable
+    results: tuple[MarkedQuery, ...]
+
+
+def apply_operation(
+    mq: MarkedQuery,
+    fresh: FreshVariables,
+    red: str = "R",
+    green: str = "G",
+) -> OperationRecord:
+    """Classify the maximal variable (Lemma 55) and apply the operation."""
+    colors = (red, green)
+    maximal = find_maximal_variable(mq, colors)
+    in_atoms = maximal.in_atoms
+    per_color: dict[str, list[Atom]] = {}
+    for item in in_atoms:
+        per_color.setdefault(item.predicate.name, []).append(item)
+    # Case (iii): some colour has two in-atoms with distinct sources.
+    for color, items in sorted(per_color.items()):
+        if len(items) >= 2:
+            first, second = sorted(items, key=repr)[:2]
+            fused = fuse(mq, maximal, first, second)
+            return OperationRecord(
+                operation=f"fuse-{'red' if color == red else 'green'}",
+                source=mq,
+                variable=maximal.variable,
+                results=(fused,),
+            )
+    # Case (i): a single in-atom.
+    if len(in_atoms) == 1:
+        color = in_atoms[0].predicate.name
+        return OperationRecord(
+            operation=f"cut-{'red' if color == red else 'green'}",
+            source=mq,
+            variable=maximal.variable,
+            results=(cut(mq, maximal),),
+        )
+    # Case (ii): one red and one green in-atom.
+    if len(in_atoms) == 2 and set(per_color) == {red, green}:
+        return OperationRecord(
+            operation="reduce",
+            source=mq,
+            variable=maximal.variable,
+            results=tuple(reduce_step(mq, maximal, fresh, red, green)),
+        )
+    raise AssertionError(
+        f"Lemma 55 violated: unexpected in-atom shape {in_atoms!r} at "
+        f"{maximal.variable!r}"
+    )

@@ -1,0 +1,272 @@
+"""The rewriting *process* for ``T_d`` (Section 10's high-level proof).
+
+Start from ``S_0``, the set of all proper markings of the input query;
+while some query is live, replace it by the result of the applicable
+operation; finish when only totally marked (or empty/"true") queries
+remain.  The survivors *are* the rewriting: a totally marked query holds in
+``Ch(T_d, D)`` iff its CQ holds in ``D`` (every ``T_d`` chase atom mentions
+an invented term, so the base-domain substructure of the chase is ``D``
+itself).
+
+Termination is guaranteed by the rank argument (Lemma 53 + the multiset
+orders); ``check_ranks=True`` re-verifies the strict decrease at every
+step, turning the paper's proof into an executable certificate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..logic.containment import minimize_ucq
+from ..logic.homomorphism import find_query_homomorphism
+from ..logic.instance import Instance
+from ..logic.query import ConjunctiveQuery, UnionOfCQs
+from ..logic.terms import FreshVariables, Term, Variable
+from .marked import (
+    ADOM,
+    MarkedQuery,
+    all_markings,
+    is_live,
+    is_properly_marked,
+    peel_true_components,
+)
+from .multiset import rank_pair_less
+from .operations import OperationRecord, apply_operation
+from .ranks import qrk
+
+
+@dataclass
+class ProcessResult:
+    """Outcome of the five-operation process on one query."""
+
+    query: ConjunctiveQuery
+    survivors: list[MarkedQuery]
+    steps: int
+    records: list[OperationRecord] = field(default_factory=list)
+    rank_violations: list[OperationRecord] = field(default_factory=list)
+
+    def disjuncts(self) -> list[ConjunctiveQuery]:
+        """The CQ-expressible survivors (answer variables in real atoms)."""
+        found: list[ConjunctiveQuery] = []
+        for mq in self.survivors:
+            real = mq.real_atoms()
+            if not real:
+                continue
+            covered = set()
+            for item in real:
+                covered |= item.variable_set()
+            if all(var in covered for var in mq.answer_vars):
+                found.append(ConjunctiveQuery(mq.answer_vars, real))
+        return found
+
+    def rewriting(self) -> UnionOfCQs:
+        """The minimized UCQ rewriting (Theorem 1 shape)."""
+        return minimize_ucq(self.disjuncts(), name=f"rew_td({self.query!r})")
+
+    def holds_on_base(self, instance: Instance, answer: Sequence[Term] = ()) -> bool:
+        """Evaluate the rewriting over a plain database instance."""
+        return any(
+            _survivor_holds(mq, instance, answer) for mq in self.survivors
+        )
+
+
+def _survivor_holds(
+    mq: MarkedQuery, instance: Instance, answer: Sequence[Term]
+) -> bool:
+    from ..logic.homomorphism import consistent_binding
+
+    partial = consistent_binding(mq.answer_vars, answer)
+    if partial is None:
+        return False
+    real = mq.real_atoms()
+    domain = instance.domain()
+    if any(value not in domain for value in partial.values()):
+        return False
+    adom_only = {
+        var
+        for item in mq.atoms
+        if item.predicate == ADOM
+        for var in item.variable_set()
+    } - {var for item in real for var in item.variable_set()}
+    if not real:
+        return not (adom_only - set(partial)) or bool(domain)
+    if adom_only - set(partial) and not domain:
+        return False
+    return find_query_homomorphism(real, instance, partial) is not None
+
+
+def _canonical_key(mq: MarkedQuery) -> tuple:
+    """A renaming-invariant key for deduplication.
+
+    Colour refinement over the query's variables, then (for small tie
+    groups) a brute-force minimization over permutations.  When tie groups
+    are too large the key falls back to a deterministic-but-not-canonical
+    form — deduplication then may miss isomorphic copies, which costs work
+    but never correctness.
+    """
+    variables = sorted(mq.variables(), key=lambda v: v.name)
+    answer_index = {var: i for i, var in enumerate(mq.answer_vars)}
+    color: dict[Variable, int] = {}
+    signature0 = {}
+    for var in variables:
+        incidences = []
+        for item in mq.atoms:
+            for position, term in enumerate(item.args):
+                if term == var:
+                    incidences.append((item.predicate.name, position))
+        signature0[var] = (
+            answer_index.get(var, -1),
+            var in mq.marked,
+            tuple(sorted(incidences)),
+        )
+    palette = {sig: i for i, sig in enumerate(sorted(set(signature0.values())))}
+    for var in variables:
+        color[var] = palette[signature0[var]]
+    for _ in range(len(variables)):
+        refined = {}
+        for var in variables:
+            neighbourhood = []
+            for item in mq.atoms:
+                if var in item.variable_set():
+                    neighbourhood.append(
+                        (
+                            item.predicate.name,
+                            tuple(
+                                color[t] if isinstance(t, Variable) else -1
+                                for t in item.args
+                            ),
+                        )
+                    )
+            refined[var] = (color[var], tuple(sorted(neighbourhood)))
+        palette = {sig: i for i, sig in enumerate(sorted(set(refined.values())))}
+        new_color = {var: palette[refined[var]] for var in variables}
+        if new_color == color:
+            break
+        color = new_color
+
+    groups: dict[int, list[Variable]] = {}
+    for var in variables:
+        groups.setdefault(color[var], []).append(var)
+    group_sizes = [len(g) for g in groups.values()]
+    budget = 1
+    for size in group_sizes:
+        for k in range(2, size + 1):
+            budget *= k
+
+    def render(order: dict[Variable, int]) -> tuple:
+        atoms_key = tuple(
+            sorted(
+                (
+                    item.predicate.name,
+                    tuple(
+                        order[t] if isinstance(t, Variable) else repr(t)
+                        for t in item.args
+                    ),
+                )
+                for item in mq.atoms
+            )
+        )
+        marks_key = tuple(sorted(order[v] for v in mq.marked))
+        answers_key = tuple(order[v] for v in mq.answer_vars)
+        return (answers_key, marks_key, atoms_key)
+
+    if budget <= 720:
+        best = None
+        sorted_groups = [groups[c] for c in sorted(groups)]
+        for permutations in itertools.product(
+            *(itertools.permutations(g) for g in sorted_groups)
+        ):
+            order: dict[Variable, int] = {}
+            index = 0
+            for permuted in permutations:
+                for var in permuted:
+                    order[var] = index
+                    index += 1
+            key = render(order)
+            if best is None or key < best:
+                best = key
+        return best  # type: ignore[return-value]
+    order = {
+        var: i
+        for i, var in enumerate(
+            sorted(variables, key=lambda v: (color[v], v.name))
+        )
+    }
+    return render(order)
+
+
+def run_process(
+    query: ConjunctiveQuery,
+    red: str = "R",
+    green: str = "G",
+    max_steps: int = 200_000,
+    collect_records: bool = False,
+    check_ranks: bool = False,
+    deduplicate: bool = True,
+) -> ProcessResult:
+    """Run the five-operation process from ``S_0`` to a live-free set.
+
+    ``check_ranks`` re-verifies Lemma 53 (``qrk`` strictly decreases in
+    ``<_R``) on every produced query; violations are recorded, never
+    silently ignored.  ``deduplicate=False`` disables the canonical-form
+    deduplication (ablation A2): the rank argument still guarantees
+    termination, but isomorphic copies are re-processed.
+    """
+    colors = (red, green)
+    fresh = FreshVariables(prefix="_td")
+    survivors: list[MarkedQuery] = []
+    seen: set[tuple] = set()
+    work: list[MarkedQuery] = []
+
+    def admit(mq: MarkedQuery) -> None:
+        mq = peel_true_components(mq, colors)
+        if not is_properly_marked(mq, colors):
+            return
+        if deduplicate:
+            key = _canonical_key(mq)
+            if key in seen:
+                return
+            seen.add(key)
+        if is_live(mq, colors):
+            work.append(mq)
+        else:
+            survivors.append(mq)
+
+    for marking in all_markings(query):
+        admit(marking)
+
+    steps = 0
+    records: list[OperationRecord] = []
+    violations: list[OperationRecord] = []
+    while work:
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError(
+                f"process exceeded {max_steps} steps on {query!r}; "
+                "the rank argument guarantees termination, so raise the budget"
+            )
+        current = work.pop()
+        record = apply_operation(current, fresh, red, green)
+        if collect_records or check_ranks:
+            records.append(record)
+        if check_ranks:
+            before = qrk(current, red, green)
+            for produced in record.results:
+                if not is_properly_marked(produced, colors):
+                    continue
+                after = qrk(produced, red, green)
+                if not rank_pair_less(after, before):
+                    violations.append(record)
+                    break
+        for produced in record.results:
+            admit(produced)
+
+    return ProcessResult(
+        query=query,
+        survivors=survivors,
+        steps=steps,
+        records=records if collect_records else [],
+        rank_violations=violations,
+    )

@@ -1,0 +1,168 @@
+"""R-paths, elevation, cost and the ranks ``erk``/``qrk`` (Defs. 59–62).
+
+These ranks exist to *certify termination* of the five-operation process:
+Lemma 53 says every operation strictly decreases ``qrk`` in the order
+``<_R`` (and hence ``srk`` in ``<_M``).  The process itself never needs
+them to run; the test-suite uses them to machine-check Lemma 53 on every
+step of real runs.
+
+``erk(alpha, Q)`` is the minimal *cost* of a hike from a marked variable to
+the green atom ``alpha``:
+
+* an R-path may traverse green atoms freely (both directions) but each red
+  atom at most once, in one direction (condition (*));
+* the *elevation* starts at ``3^{|Q_R|}``, triples on a forward red step and
+  drops to a third on a backward red step (always a positive integer thanks
+  to (*));
+* each green step costs the current elevation; red steps are free.
+
+Computation: Dijkstra over states ``(vertex, red-usage)`` where the usage
+records, per red atom, whether it was traversed forward or backward; the
+elevation is a function of the state.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Mapping, Sequence
+
+from ..logic.atoms import Atom
+from ..logic.terms import Variable
+from .marked import MarkedQuery
+
+# Red usage: a frozenset of (atom, direction) pairs, direction in {+1, -1}.
+_Usage = frozenset[tuple[Atom, int]]
+_State = tuple[Variable, _Usage]
+
+INFINITE_RANK = float("inf")
+
+
+def _elevation(red_count: int, usage: _Usage) -> int:
+    balance = sum(direction for _, direction in usage)
+    exponent = red_count + balance
+    if exponent < 0:
+        raise AssertionError("condition (*) should keep elevation positive")
+    return 3 ** exponent
+
+
+def _variable_edges(atoms: Sequence[Atom]) -> list[tuple[Variable, Variable, Atom]]:
+    edges = []
+    for item in atoms:
+        if item.predicate.arity != 2:
+            continue
+        source, target = item.args
+        if isinstance(source, Variable) and isinstance(target, Variable):
+            edges.append((source, target, item))
+    return edges
+
+
+def hike_costs(
+    mq: MarkedQuery,
+    red: str = "R",
+    green: str = "G",
+    neutral: Sequence[str] = (),
+) -> dict[Atom, float]:
+    """``erk(alpha, Q)`` for every ``green`` atom ``alpha`` of the query.
+
+    Returns ``inf`` for atoms unreachable by any hike (possible only for
+    queries that are not properly marked or are disconnected from marked
+    variables).
+
+    ``neutral`` names further predicates the path may traverse freely —
+    Section 12's generalization, where an ``I_i``-path walks every colour
+    but only ``I_i`` (red) is use-restricted/elevating and only ``I_{i-1}``
+    (green) costs.
+    """
+    red_atoms = list(mq.atoms_of(red))
+    green_atoms = list(mq.atoms_of(green))
+    red_count = len(red_atoms)
+    red_edges = _variable_edges(red_atoms)
+    green_edges = _variable_edges(green_atoms)
+    neutral_edges = [
+        edge for name in neutral for edge in _variable_edges(mq.atoms_of(name))
+    ]
+
+    # Dijkstra over (vertex, usage) states.
+    start_cost: dict[_State, int] = {}
+    heap: list[tuple[int, int, _State]] = []
+    tiebreak = 0
+    for variable in sorted(mq.marked, key=lambda v: v.name):
+        if variable not in mq.variables():
+            continue
+        state: _State = (variable, frozenset())
+        start_cost[state] = 0
+        heap.append((0, tiebreak, state))
+        tiebreak += 1
+    heapq.heapify(heap)
+    best: dict[_State, int] = {}
+
+    while heap:
+        cost, _, state = heapq.heappop(heap)
+        if best.get(state, INFINITE_RANK) <= cost:
+            continue
+        best[state] = cost
+        vertex, usage = state
+        elevation = _elevation(red_count, usage)
+        # Green steps, both directions, cost = elevation, usage unchanged.
+        for source, target, _ in green_edges:
+            if source == vertex:
+                _push(heap, best, (target, usage), cost + elevation)
+            if target == vertex:
+                _push(heap, best, (source, usage), cost + elevation)
+        # Neutral steps (Section 12): free, unrestricted, both directions.
+        for source, target, _ in neutral_edges:
+            if source == vertex:
+                _push(heap, best, (target, usage), cost)
+            if target == vertex:
+                _push(heap, best, (source, usage), cost)
+        # Red steps, free, but each atom once and in one direction only.
+        for source, target, item in red_edges:
+            if any(existing == item for existing, _ in usage):
+                continue
+            if source == vertex:
+                new_usage = usage | {(item, +1)}
+                _push(heap, best, (target, new_usage), cost)
+            if target == vertex:
+                new_usage = usage | {(item, -1)}
+                _push(heap, best, (source, new_usage), cost)
+
+    ranks: dict[Atom, float] = {}
+    for item in green_atoms:
+        source, target = item.args
+        candidates: list[float] = []
+        for state, cost in best.items():
+            vertex, usage = state
+            elevation = _elevation(red_count, usage)
+            if vertex == source or vertex == target:
+                candidates.append(cost + elevation)
+        ranks[item] = min(candidates, default=INFINITE_RANK)
+    return ranks
+
+
+def _push(
+    heap: list[tuple[int, int, _State]],
+    best: Mapping[_State, int],
+    state: _State,
+    cost: int,
+) -> None:
+    if best.get(state, INFINITE_RANK) > cost:
+        heapq.heappush(heap, (cost, id(state), state))
+
+
+def erk(mq: MarkedQuery, alpha: Atom, red: str = "R", green: str = "G") -> float:
+    """The edge rank of one green atom (Definition 62)."""
+    return hike_costs(mq, red, green)[alpha]
+
+
+def qrk(mq: MarkedQuery, red: str = "R", green: str = "G") -> tuple[int, Counter]:
+    """``qrk(Q) = (|Q_R|, {erk(alpha,Q) : alpha in Q_G})`` (Definition 54)."""
+    costs = hike_costs(mq, red, green)
+    return (len(mq.atoms_of(red)), Counter(costs.values()))
+
+
+def srk(
+    queries: Sequence[MarkedQuery], red: str = "R", green: str = "G"
+) -> list[tuple[int, Counter]]:
+    """``srk(S)``: the multiset (as a list) of query ranks."""
+    return [qrk(mq, red, green) for mq in queries]

@@ -1,0 +1,322 @@
+"""The Section-12 theories ``T_d^K``: K-level marked-query rewriting.
+
+``T_d^K`` lives over binary predicates ``I_K, ..., I_1``; its rewritings
+can require disjuncts of (K-1)-fold exponential size (Theorem 6).  The
+paper sketches the generalized procedure and defers details to a journal
+version; we implement the natural generalization it describes:
+
+* **K cut operations** — a maximal variable with a single in-atom;
+* **K fuse operations** — two same-level in-atoms with distinct sources
+  (in the chase, invented terms have at most one in-edge per level);
+* **K-1 reduce operations** — in-atoms at adjacent levels ``{i, i+1}``
+  rewind one ``grid_i`` application (``I_{i+1}`` plays red, ``I_i`` plays
+  green);
+* **one drop rule** the paper's "slight redefinition" of proper markings
+  must contain: an unmarked maximal variable whose in-atoms sit at
+  *non-adjacent* levels could only denote the (loop) element; since live
+  queries are connected to a marked (base-domain) variable and the loop
+  element's cone never touches the base domain, such queries are
+  unsatisfiable and are discarded.  (All-unmarked components are instead
+  unconditionally true and peeled off, exactly as for ``T_d``.)
+
+Termination follows the paper's lexicographic rank
+``<|Q_K|, qrk_K, ..., |Q_2|, qrk_2>``; :func:`tower_rank` computes it and
+the process re-verifies the strict decrease on demand.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..logic.atoms import Atom
+from ..logic.query import ConjunctiveQuery
+from ..logic.terms import FreshVariables, Term, Variable
+from ..workloads.theories import i_predicate
+from .marked import (
+    MarkedQuery,
+    all_markings,
+    is_properly_marked,
+    peel_true_components,
+)
+from .multiset import multiset_less
+from .operations import (
+    MaximalVariable,
+    NoMaximalVariable,
+    OperationRecord,
+    cut,
+    find_maximal_variable,
+    fuse,
+    reduce_step,
+)
+from .process import ProcessResult, _canonical_key
+from .ranks import hike_costs
+
+
+def level_names(levels: int) -> tuple[str, ...]:
+    """``("I1", ..., "IK")`` — the colour names of ``T_d^K``."""
+    return tuple(f"I{k}" for k in range(1, levels + 1))
+
+
+def _level_of(item: Atom) -> int:
+    return int(item.predicate.name[1:])
+
+
+def apply_operation_k(
+    mq: MarkedQuery, fresh: FreshVariables, levels: int
+) -> OperationRecord:
+    """Classify the maximal variable and apply the level-aware operation."""
+    colors = level_names(levels)
+    maximal = find_maximal_variable(mq, colors)
+    per_level: dict[int, list[Atom]] = {}
+    for item in maximal.in_atoms:
+        per_level.setdefault(_level_of(item), []).append(item)
+    # Fuse: some level with two in-atoms.
+    for level in sorted(per_level):
+        items = per_level[level]
+        if len(items) >= 2:
+            first, second = sorted(items, key=repr)[:2]
+            return OperationRecord(
+                operation=f"fuse_{level}",
+                source=mq,
+                variable=maximal.variable,
+                results=(fuse(mq, maximal, first, second),),
+            )
+    # Cut: a single in-atom.
+    if len(maximal.in_atoms) == 1:
+        level = _level_of(maximal.in_atoms[0])
+        return OperationRecord(
+            operation=f"cut_{level}",
+            source=mq,
+            variable=maximal.variable,
+            results=(cut(mq, maximal),),
+        )
+    present = sorted(per_level)
+    # Reduce: exactly two in-atoms at adjacent levels.
+    if len(present) == 2 and present[1] == present[0] + 1:
+        lower, upper = present
+        return OperationRecord(
+            operation=f"reduce_{lower}",
+            source=mq,
+            variable=maximal.variable,
+            results=tuple(
+                reduce_step(
+                    mq,
+                    maximal,
+                    fresh,
+                    red=f"I{upper}",
+                    green=f"I{lower}",
+                )
+            ),
+        )
+    # Drop: the in-pattern is realizable only by the (loop) element, which
+    # lives in a cone disjoint from the base domain; a live (marked-variable
+    # -connected) query demanding it is unsatisfiable.
+    return OperationRecord(
+        operation="drop_loop_pattern",
+        source=mq,
+        variable=maximal.variable,
+        results=(),
+    )
+
+
+def tower_rank(mq: MarkedQuery, levels: int) -> tuple:
+    """``qrk`` of Section 12: ``<|Q_K|, qrk_K, ..., |Q_2|, qrk_2>``.
+
+    ``qrk_i`` is the multiset of ``erk`` values of the ``I_{i-1}`` atoms
+    under ``I_i``-paths (red = ``I_i``, green = ``I_{i-1}``, every other
+    level neutral).  Multisets are frozen to sorted tuples so ranks can be
+    compared with :func:`tower_rank_less`.
+    """
+    names = level_names(levels)
+    parts: list = []
+    for level in range(levels, 1, -1):
+        red = f"I{level}"
+        green = f"I{level - 1}"
+        neutral = tuple(name for name in names if name not in (red, green))
+        costs = hike_costs(mq, red=red, green=green, neutral=neutral)
+        parts.append(len(mq.atoms_of(red)))
+        parts.append(tuple(sorted(Counter(costs.values()).items())))
+    return tuple(parts)
+
+
+def tower_rank_less(left: tuple, right: tuple) -> bool:
+    """Strict lexicographic comparison of Section-12 ranks."""
+    for index in range(0, len(left), 2):
+        if left[index] != right[index]:
+            return left[index] < right[index]
+        left_multiset = Counter(dict(left[index + 1]))
+        right_multiset = Counter(dict(right[index + 1]))
+        if left_multiset != right_multiset:
+            return multiset_less(left_multiset, right_multiset)
+    return False
+
+
+def run_process_k(
+    query: ConjunctiveQuery,
+    levels: int,
+    max_steps: int = 500_000,
+    collect_records: bool = False,
+    check_ranks: bool = False,
+) -> ProcessResult:
+    """The generalized process over the ``T_d^K`` signature."""
+    colors = level_names(levels)
+    fresh = FreshVariables(prefix="_tdk")
+    survivors: list[MarkedQuery] = []
+    seen: set[tuple] = set()
+    work: list[MarkedQuery] = []
+
+    def admit(mq: MarkedQuery) -> None:
+        mq = peel_true_components(mq, colors)
+        if not is_properly_marked(mq, colors):
+            return
+        key = _canonical_key(mq)
+        if key in seen:
+            return
+        seen.add(key)
+        if mq.is_totally_marked() or mq.is_empty():
+            survivors.append(mq)
+        else:
+            work.append(mq)
+
+    for marking in all_markings(query):
+        admit(marking)
+
+    steps = 0
+    records: list[OperationRecord] = []
+    violations: list[OperationRecord] = []
+    while work:
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError(f"K-process exceeded {max_steps} steps")
+        current = work.pop()
+        record = apply_operation_k(current, fresh, levels)
+        if collect_records or check_ranks:
+            records.append(record)
+        if check_ranks and record.results:
+            before = tower_rank(current, levels)
+            for produced in record.results:
+                if not is_properly_marked(produced, colors):
+                    continue
+                after = tower_rank(produced, levels)
+                if not tower_rank_less(after, before):
+                    violations.append(record)
+                    break
+        for produced in record.results:
+            admit(produced)
+
+    return ProcessResult(
+        query=query,
+        survivors=survivors,
+        steps=steps,
+        records=records if collect_records else [],
+        rank_violations=violations,
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 6(B): the per-level-pair doubling behind the tower
+# ----------------------------------------------------------------------
+#
+# The paper asserts (proof deferred to its journal version) a query
+# ``psi(y, y')`` whose rewriting has a (K-1)-fold exponential disjunct.
+# The mechanism is a cascade: for every adjacent level pair (i+1, i) the
+# two-colour doubling of Theorem 5 applies verbatim with ``I_{i+1}`` as
+# red and ``I_i`` as green, so an ``I_{i+1}``-armed query of size ~n
+# rewrites to ``I_i``-paths of length ``2^n``; composing the K-1 pairs
+# tower-exponentiates.  We verify each pair's doubling executably
+# (:func:`check_level_pair_doubling`) and expose the composed bound
+# (:func:`tower`); the single explicit tower-sized witness query is the
+# part the paper leaves to the journal version (see DESIGN.md §5).
+def tower(height: int, top: int) -> int:
+    """``tower(0, n) = n``; ``tower(h, n) = 2^tower(h-1, n)``."""
+    value = top
+    for _ in range(height):
+        value = 2 ** value
+    return value
+
+
+def level_path_query(length: int, level: int) -> ConjunctiveQuery:
+    """``I_level^length(x0, xn)`` as a CQ with answers ``(x0, xn)``."""
+    from .td import color_path_atoms
+
+    start, end = Variable("x0"), Variable("xn")
+    atoms, _ = color_path_atoms(
+        length, i_predicate(level), start, end, f"p{level}_"
+    )
+    return ConjunctiveQuery((start, end), atoms)
+
+
+def phi_pair(pair_level: int, depth: int) -> ConjunctiveQuery:
+    """``phi_R^depth`` transplanted to the level pair (pair_level+1, pair_level).
+
+    ``phi(x, y) = exists x',y'. I_{i+1}^depth(x,x'), I_{i+1}^depth(y,y'),
+    I_i(x',y')`` with ``i = pair_level`` — red is ``I_{i+1}``, green is
+    ``I_i``.  With ``pair_level = 1`` and ``K = 2`` this is literally
+    ``phi_R^depth`` over the renamed ``T_d`` signature.
+    """
+    from .td import color_path_atoms
+
+    x, y = Variable("x"), Variable("y")
+    x_prime, y_prime = Variable("xp"), Variable("yp")
+    upper = i_predicate(pair_level + 1)
+    lower = i_predicate(pair_level)
+    left, _ = color_path_atoms(depth, upper, x, x_prime, "tl")
+    right, _ = color_path_atoms(depth, upper, y, y_prime, "tr")
+    bridge = Atom(lower, (x_prime, y_prime))
+    return ConjunctiveQuery((x, y), left + right + (bridge,))
+
+
+@dataclass
+class LevelPairDoubling:
+    """Doubling evidence for one adjacent level pair of ``T_d^K``."""
+
+    levels: int
+    pair_level: int
+    depth: int
+    max_disjunct_size: int
+    lower_path_found: int
+    disjunct_count: int
+
+    @property
+    def doubled(self) -> bool:
+        """Did the rewriting produce an ``I_i``-path of length ``2^depth``?"""
+        return self.lower_path_found >= 2 ** self.depth
+
+
+def check_level_pair_doubling(
+    levels: int, pair_level: int, depth: int = 1, max_steps: int = 500_000
+) -> LevelPairDoubling:
+    """Run the K-process on ``phi_pair`` and measure the lower-level blowup.
+
+    Theorem 6(B)'s cascade needs every adjacent pair to double; this checks
+    one pair.  ``check_level_pair_doubling(2, 1, n)`` reproduces Theorem
+    5(B) exactly.
+    """
+    if not 1 <= pair_level < levels:
+        raise ValueError("pair_level must name an adjacent pair inside 1..K")
+    result = run_process_k(phi_pair(pair_level, depth), levels, max_steps=max_steps)
+    rewriting = result.rewriting()
+    longest_lower = 0
+    lower_pred = i_predicate(pair_level)
+    for disjunct in rewriting:
+        lower = sum(1 for item in disjunct.atoms if item.predicate == lower_pred)
+        longest_lower = max(longest_lower, lower)
+    return LevelPairDoubling(
+        levels=levels,
+        pair_level=pair_level,
+        depth=depth,
+        max_disjunct_size=rewriting.max_disjunct_size(),
+        lower_path_found=longest_lower,
+        disjunct_count=len(rewriting),
+    )
+
+
+def composed_tower_bound(levels: int, depth: int) -> int:
+    """The composed (K-1)-fold exponential of Theorem 6(B).
+
+    Each of the K-1 level pairs exponentiates the path length once;
+    starting from arms of length ``depth`` the bottom level reaches
+    ``tower(levels - 1, depth)``.
+    """
+    return tower(levels - 1, depth)

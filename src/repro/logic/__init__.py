@@ -1,0 +1,78 @@
+"""Logic substrate: terms, atoms, instances, TGDs, CQs, homomorphisms.
+
+This subpackage is self-contained first-order machinery; everything above it
+(chase, rewriting, the frontier analyses) is built from these pieces.
+"""
+
+from .atoms import Atom, atom
+from .containment import (
+    are_equivalent,
+    core_query,
+    evaluate_ucq,
+    is_contained_in,
+    minimize_ucq,
+    ucq_holds,
+)
+from .gaifman import (
+    gaifman_graph,
+    instance_distance,
+    max_degree,
+)
+from .homomorphism import (
+    apply_structure_homomorphism,
+    consistent_binding,
+    evaluate,
+    find_query_homomorphism,
+    find_structure_homomorphism,
+    holds,
+    iter_query_homomorphisms,
+    iter_structure_homomorphisms,
+)
+from .instance import Instance, subsets_of_size_at_most
+from .parser import ParseError, parse_instance, parse_query, parse_rule, parse_theory
+from .query import ConjunctiveQuery, UnionOfCQs, boolean_query, query
+from .signature import Predicate, Signature
+from .terms import Constant, FreshVariables, FunctionTerm, Term, Variable
+from .tgd import TGD, Theory
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Constant",
+    "FreshVariables",
+    "FunctionTerm",
+    "Instance",
+    "ParseError",
+    "Predicate",
+    "Signature",
+    "TGD",
+    "Term",
+    "Theory",
+    "UnionOfCQs",
+    "Variable",
+    "apply_structure_homomorphism",
+    "are_equivalent",
+    "atom",
+    "boolean_query",
+    "consistent_binding",
+    "core_query",
+    "evaluate",
+    "evaluate_ucq",
+    "find_query_homomorphism",
+    "find_structure_homomorphism",
+    "gaifman_graph",
+    "holds",
+    "instance_distance",
+    "is_contained_in",
+    "iter_query_homomorphisms",
+    "iter_structure_homomorphisms",
+    "max_degree",
+    "minimize_ucq",
+    "parse_instance",
+    "parse_query",
+    "parse_rule",
+    "parse_theory",
+    "query",
+    "subsets_of_size_at_most",
+    "ucq_holds",
+]

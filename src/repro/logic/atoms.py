@@ -1,0 +1,75 @@
+"""Atomic formulas over a relational signature.
+
+An :class:`Atom` is a predicate applied to a tuple of terms.  Atoms double as
+*facts* when all their arguments are ground (constants or ground Skolem
+terms); the paper's "fact sets"/"structures" are sets of such atoms and are
+modelled by :class:`repro.logic.instance.Instance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .signature import Predicate
+from .terms import Substitution, Term, TermLike, Variable, apply_substitution, as_term
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """An atomic formula ``P(t1, ..., tn)``."""
+
+    predicate: Predicate
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.args) != self.predicate.arity:
+            raise ValueError(
+                f"predicate {self.predicate!r} applied to {len(self.args)} "
+                f"arguments"
+            )
+
+    def is_ground(self) -> bool:
+        """True when no variable occurs in the atom (i.e. it is a fact)."""
+        return all(arg.is_ground() for arg in self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield each variable occurrence (with repetition)."""
+        for arg in self.args:
+            yield from arg.variables()
+
+    def variable_set(self) -> set[Variable]:
+        return set(self.variables())
+
+    def terms(self) -> Iterator[Term]:
+        """Yield the (top-level) argument terms."""
+        return iter(self.args)
+
+    def substitute(self, theta: Substitution) -> "Atom":
+        """Apply a substitution to every argument."""
+        new_args = tuple(apply_substitution(arg, theta) for arg in self.args)
+        if new_args == self.args:
+            return self
+        return Atom(self.predicate, new_args)
+
+    def __repr__(self) -> str:
+        inner = ",".join(repr(arg) for arg in self.args)
+        return f"{self.predicate.name}({inner})"
+
+
+def atom(name: str, *args: TermLike) -> Atom:
+    """Convenience constructor: ``atom("E", x, "a")``.
+
+    Strings become constants, terms pass through; the predicate's arity is
+    inferred from the number of arguments.
+    """
+    terms = tuple(as_term(arg) for arg in args)
+    return Atom(Predicate(name, len(terms)), terms)
+
+
+def variables_of_atoms(atoms: "Iterator[Atom] | tuple[Atom, ...] | list[Atom]") -> set[Variable]:
+    """All variables occurring in a collection of atoms."""
+    found: set[Variable] = set()
+    for item in atoms:
+        found.update(item.variables())
+    return found

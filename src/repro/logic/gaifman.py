@@ -1,0 +1,148 @@
+"""Gaifman graphs of instances and of conjunctive queries.
+
+The vertices of the Gaifman graph of an instance are its domain elements;
+two elements are adjacent iff they co-occur in a fact (Section 2 of the
+paper).  For a CQ the vertices are its *variables* (constants are not
+vertices, matching the paper's definition of connected queries).
+
+These graphs drive:
+
+* the distance measurements behind *distancing* theories (Definition 43),
+* the degree bound of *bd-locality* (Definition 40), and
+* connectivity tests for rules, queries and theories.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator
+
+from .atoms import Atom
+from .instance import Instance
+from .terms import Term, Variable
+
+Adjacency = dict[Hashable, set[Hashable]]
+
+
+def _adjacency_from_groups(groups: Iterable[Iterable[Hashable]]) -> Adjacency:
+    graph: Adjacency = {}
+    for group in groups:
+        members = list(dict.fromkeys(group))
+        for member in members:
+            graph.setdefault(member, set())
+        for i, first in enumerate(members):
+            for second in members[i + 1 :]:
+                graph[first].add(second)
+                graph[second].add(first)
+    return graph
+
+
+def gaifman_graph(instance: Instance) -> Adjacency:
+    """Adjacency of the Gaifman graph of an instance."""
+    return _adjacency_from_groups(tuple(fact.args) for fact in instance)
+
+
+def query_gaifman_graph(atoms: Iterable[Atom]) -> Adjacency:
+    """Adjacency over the *variables* of a set of query atoms."""
+    return _adjacency_from_groups(
+        tuple(term for term in item.args if isinstance(term, Variable)) for item in atoms
+    )
+
+
+def distance(graph: Adjacency, source: Hashable, target: Hashable) -> float:
+    """Shortest-path distance; ``inf`` when disconnected or vertices absent."""
+    if source not in graph or target not in graph:
+        return float("inf")
+    if source == target:
+        return 0
+    seen = {source}
+    frontier = deque([(source, 0)])
+    while frontier:
+        vertex, dist = frontier.popleft()
+        for neighbor in graph[vertex]:
+            if neighbor == target:
+                return dist + 1
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append((neighbor, dist + 1))
+    return float("inf")
+
+
+def instance_distance(instance: Instance, source: Term, target: Term) -> float:
+    """``dist_F(c, c')`` of the paper: Gaifman distance in ``instance``."""
+    return distance(gaifman_graph(instance), source, target)
+
+
+def degree(graph: Adjacency, vertex: Hashable) -> int:
+    """Vertex degree (number of distinct neighbours)."""
+    return len(graph.get(vertex, ()))
+
+
+def max_degree(instance: Instance) -> int:
+    """The degree of an instance: max Gaifman degree over its domain."""
+    graph = gaifman_graph(instance)
+    return max((len(neighbors) for neighbors in graph.values()), default=0)
+
+
+def connected_components(graph: Adjacency) -> list[set[Hashable]]:
+    """The connected components of an adjacency structure."""
+    remaining = set(graph)
+    components: list[set[Hashable]] = []
+    while remaining:
+        start = remaining.pop()
+        component = {start}
+        frontier = deque([start])
+        while frontier:
+            vertex = frontier.popleft()
+            for neighbor in graph[vertex]:
+                if neighbor not in component:
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        remaining -= component
+        components.append(component)
+    return components
+
+
+def is_connected(graph: Adjacency) -> bool:
+    """True for graphs with at most one connected component.
+
+    The empty graph counts as connected (an empty rule body is connected by
+    convention, cf. the (loop) and per-element rules of the theory T_d).
+    """
+    return len(connected_components(graph)) <= 1
+
+
+def atoms_are_connected(atoms: Iterable[Atom]) -> bool:
+    """Connectivity of a set of query atoms over their shared variables.
+
+    Atoms without variables (fully ground) attach to nothing; a set
+    containing such an atom alongside others is considered disconnected,
+    except that a singleton set is always connected.
+    """
+    atom_list = list(atoms)
+    if len(atom_list) <= 1:
+        return True
+    graph = query_gaifman_graph(atom_list)
+    if not is_connected(graph):
+        return False
+    variable_sets = [item.variable_set() for item in atom_list]
+    anchored = [bool(vs) for vs in variable_sets]
+    return all(anchored)
+
+
+def iter_balls(graph: Adjacency, center: Hashable, radius: int) -> Iterator[Hashable]:
+    """Yield every vertex within ``radius`` of ``center`` (including it)."""
+    if center not in graph:
+        return
+    seen = {center}
+    frontier = deque([(center, 0)])
+    yield center
+    while frontier:
+        vertex, dist = frontier.popleft()
+        if dist == radius:
+            continue
+        for neighbor in graph[vertex]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                yield neighbor
+                frontier.append((neighbor, dist + 1))

@@ -1,0 +1,260 @@
+"""Homomorphism search: the engine behind chase steps, CQ evaluation,
+containment, cores and the Section-8 folding constructions.
+
+Two flavours are provided over one backtracking core:
+
+* **query homomorphisms** — map the *variables* of a set of atoms into an
+  instance so that every atom lands on a fact (constants and ground Skolem
+  terms must match themselves), and
+* **structure homomorphisms** — map the *domain elements* of a source
+  instance into a target instance (``h(alpha) in F`` for every fact, as in
+  Section 2), optionally fixing some elements.  Here even constants may be
+  remapped unless fixed — the paper's definition has no constant-preservation
+  requirement, identities are always imposed explicitly.
+
+The search uses the instance's ``(predicate, position, term)`` indexes and a
+dynamic fewest-candidates-first atom ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .atoms import Atom
+from .instance import Instance
+from .query import ConjunctiveQuery
+from .terms import Term, Variable
+
+# A pattern slot: ("var", key) must be assigned, ("const", term) must match.
+_Slot = tuple[str, object]
+_Pattern = tuple[Atom, tuple[_Slot, ...]]
+
+
+def _slots_for_query_atom(item: Atom) -> tuple[_Slot, ...]:
+    slots: list[_Slot] = []
+    for term in item.args:
+        if isinstance(term, Variable):
+            slots.append(("var", term))
+        elif term.is_ground():
+            slots.append(("const", term))
+        else:
+            raise ValueError(
+                f"query atoms must not contain non-ground function terms: {item!r}"
+            )
+    return tuple(slots)
+
+
+def _slots_for_element_atom(item: Atom, fixed: Mapping[Term, Term]) -> tuple[_Slot, ...]:
+    slots: list[_Slot] = []
+    for term in item.args:
+        if term in fixed:
+            slots.append(("const", fixed[term]))
+        else:
+            slots.append(("var", term))
+    return tuple(slots)
+
+
+def _candidates(
+    pattern: _Pattern, instance: Instance, assignment: dict
+) -> tuple[int, Iterable[Atom]]:
+    """Return (estimated count, candidate facts) for a pattern atom."""
+    item, slots = pattern
+    best_key: tuple | None = None
+    best_count: int | None = None
+    for position, (kind, value) in enumerate(slots):
+        if kind == "const":
+            bound: Term | None = value  # type: ignore[assignment]
+        else:
+            bound = assignment.get(value)
+        if bound is None:
+            continue
+        count = instance.candidate_count(item.predicate, position, bound)
+        if best_count is None or count < best_count:
+            best_count = count
+            best_key = (item.predicate, position, bound)
+            if count == 0:
+                break
+    if best_key is not None:
+        pred, position, bound = best_key
+        return best_count or 0, instance.with_term_at(pred, position, bound)
+    facts = instance.with_predicate(item.predicate)
+    return len(facts), facts
+
+
+def _match(pattern: _Pattern, fact: Atom, assignment: dict) -> dict | None:
+    """Try to extend ``assignment`` so that the pattern maps onto ``fact``.
+
+    Returns the new bindings added (possibly empty), or ``None`` on clash.
+    """
+    _, slots = pattern
+    added: dict = {}
+    for (kind, value), fact_term in zip(slots, fact.args):
+        if kind == "const":
+            if value != fact_term:
+                return None
+            continue
+        bound = assignment.get(value)
+        if bound is None:
+            bound = added.get(value)
+        if bound is None:
+            added[value] = fact_term
+        elif bound != fact_term:
+            return None
+    return added
+
+
+def _search(
+    patterns: list[_Pattern],
+    instance: Instance,
+    assignment: dict,
+    restrictions: dict[int, Instance] | None,
+) -> Iterator[dict]:
+    """Backtracking join with dynamic fewest-candidates atom selection.
+
+    ``restrictions`` optionally forces specific pattern indices to match
+    within a different (smaller) instance — the semi-naive chase uses this
+    to pin one atom to the most recent delta.
+    """
+    if not patterns:
+        yield dict(assignment)
+        return
+    best_index = 0
+    best_count = None
+    best_candidates: Iterable[Atom] = ()
+    for index, pattern in enumerate(patterns):
+        source = restrictions.get(index, instance) if restrictions else instance
+        count, candidates = _candidates(pattern, source, assignment)
+        if best_count is None or count < best_count:
+            best_index, best_count, best_candidates = index, count, candidates
+            if count == 0:
+                break
+    rest = patterns[:best_index] + patterns[best_index + 1 :]
+    rest_restrictions = None
+    if restrictions:
+        rest_restrictions = {}
+        for index, restricted in restrictions.items():
+            if index == best_index:
+                continue
+            rest_restrictions[index if index < best_index else index - 1] = restricted
+    chosen = patterns[best_index]
+    for fact in list(best_candidates):
+        added = _match(chosen, fact, assignment)
+        if added is None:
+            continue
+        assignment.update(added)
+        yield from _search(rest, instance, assignment, rest_restrictions)
+        for key in added:
+            del assignment[key]
+
+
+def iter_query_homomorphisms(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    partial: Mapping[Variable, Term] | None = None,
+    delta: Instance | None = None,
+) -> Iterator[dict[Variable, Term]]:
+    """All homomorphisms of ``atoms`` into ``instance`` extending ``partial``.
+
+    With ``delta``, only homomorphisms using at least one fact of ``delta``
+    are produced (semi-naive evaluation); the same homomorphism may then be
+    yielded more than once, which chase insertion deduplicates for free.
+    """
+    patterns = [(item, _slots_for_query_atom(item)) for item in atoms]
+    base = dict(partial) if partial else {}
+    if delta is None:
+        yield from _search(patterns, instance, base, None)
+        return
+    for pivot in range(len(patterns)):
+        yield from _search(patterns, instance, dict(base), {pivot: delta})
+
+
+def find_query_homomorphism(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    partial: Mapping[Variable, Term] | None = None,
+) -> dict[Variable, Term] | None:
+    """The first homomorphism found, or ``None``."""
+    for hom in iter_query_homomorphisms(atoms, instance, partial):
+        return hom
+    return None
+
+
+def evaluate(query: ConjunctiveQuery, instance: Instance) -> set[tuple[Term, ...]]:
+    """All answers of a CQ over an instance."""
+    answers: set[tuple[Term, ...]] = set()
+    for hom in iter_query_homomorphisms(query.atoms, instance):
+        answers.add(tuple(hom[var] for var in query.answer_vars))
+    return answers
+
+
+def consistent_binding(
+    variables: Sequence[Variable], values: Sequence[Term]
+) -> dict[Variable, Term] | None:
+    """Zip variables to values, failing on inconsistent repeats.
+
+    Answer tuples may repeat a variable (``q(v, v)``); an answer candidate
+    then has to carry equal values at the repeated positions.
+    """
+    if len(variables) != len(values):
+        raise ValueError("answer tuple arity mismatch")
+    binding: dict[Variable, Term] = {}
+    for variable, value in zip(variables, values):
+        bound = binding.get(variable)
+        if bound is None:
+            binding[variable] = value
+        elif bound != value:
+            return None
+    return binding
+
+
+def holds(
+    query: ConjunctiveQuery,
+    instance: Instance,
+    answer: Sequence[Term] = (),
+) -> bool:
+    """Does ``instance |= query(answer)``?  For BCQs pass no answer."""
+    partial = consistent_binding(query.answer_vars, answer)
+    if partial is None:
+        return False
+    return find_query_homomorphism(query.atoms, instance, partial) is not None
+
+
+def iter_structure_homomorphisms(
+    source: Instance,
+    target: Instance,
+    fixed: Mapping[Term, Term] | None = None,
+) -> Iterator[dict[Term, Term]]:
+    """All homomorphisms between structures, extending ``fixed``.
+
+    Every domain element of ``source`` is mappable (constants included);
+    elements listed in ``fixed`` are pinned to their images.  The yielded
+    mapping covers the full active domain of ``source`` and includes the
+    pinned pairs for elements that occur in ``source``.
+    """
+    fixed = dict(fixed) if fixed else {}
+    patterns = [(item, _slots_for_element_atom(item, fixed)) for item in source]
+    relevant_fixed = {
+        element: image for element, image in fixed.items() if element in source.domain()
+    }
+    for hom in _search(patterns, target, {}, None):
+        hom.update(relevant_fixed)
+        yield hom
+
+
+def find_structure_homomorphism(
+    source: Instance,
+    target: Instance,
+    fixed: Mapping[Term, Term] | None = None,
+) -> dict[Term, Term] | None:
+    """The first structure homomorphism found, or ``None``."""
+    for hom in iter_structure_homomorphisms(source, target, fixed):
+        return hom
+    return None
+
+
+def apply_structure_homomorphism(source: Instance, hom: Mapping[Term, Term]) -> Instance:
+    """The image ``{h(alpha) : alpha in source}`` (Observation 2)."""
+    image = Instance()
+    for item in source:
+        image.add(Atom(item.predicate, tuple(hom.get(t, t) for t in item.args)))
+    return image

@@ -1,0 +1,247 @@
+"""A small text syntax for rules, queries, theories and instances.
+
+The syntax follows the paper's notation as closely as ASCII allows::
+
+    # a TGD (multi-head allowed, 'true' or nothing for an empty body)
+    E(x,y) -> exists z. E(y,z)
+    R(x,x'), G(x,u), G(u,u') -> exists z. R(u',z), G(x',z)
+    true -> exists x. R(x,x), G(x,x)
+
+    # a CQ with explicit answer tuple, or a prefix-quantified body
+    q(x) := exists y. Mother(x,y)
+    exists y. Mother(x,y)          # free variables become answers
+
+    # facts (identifiers denote constants here)
+    Human(abel). Mother(abel, eve)
+
+Conventions:
+
+* In **rules and queries** bare identifiers are variables; quote with single
+  or double quotes to write a constant (``Siblings('abel', x)``).
+* In **instances/facts** bare identifiers are constants.
+* Primes are allowed in identifiers (``x'``, ``u''``) to match the paper.
+* ``#`` starts a comment until the end of the line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from .atoms import Atom
+from .instance import Instance
+from .query import ConjunctiveQuery
+from .signature import Predicate
+from .terms import Constant, Term, Variable
+from .tgd import TGD, Theory
+
+
+class ParseError(ValueError):
+    """Raised on malformed input, with a position hint."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<arrow>->)
+  | (?P<walrus>:=|:-)
+  | (?P<quoted>'[^']*'|"[^\"]*")
+  | (?P<ident>[A-Za-z][A-Za-z0-9_]*'*)
+  | (?P<number>-?\d+)
+  | (?P<punct>[(),.])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            snippet = text[position : position + 12]
+            raise ParseError(f"unexpected character at {position}: {snippet!r}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: Sequence[str]) -> None:
+        self._tokens = list(tokens)
+        self._index = 0
+
+    def peek(self) -> str | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def expect(self, wanted: str) -> None:
+        token = self.next()
+        if token != wanted:
+            raise ParseError(f"expected {wanted!r}, found {token!r}")
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def _term_from_token(token: str, constants_are_default: bool) -> Term:
+    if token.startswith(("'", '"')):
+        return Constant(token[1:-1])
+    if token.lstrip("-").isdigit():
+        return Constant(token)
+    if constants_are_default:
+        return Constant(token)
+    return Variable(token)
+
+
+def _parse_atom(stream: _TokenStream, constants_are_default: bool) -> Atom:
+    name = stream.next()
+    if not re.fullmatch(r"[A-Za-z][A-Za-z0-9_]*'*", name):
+        raise ParseError(f"bad predicate name {name!r}")
+    stream.expect("(")
+    args: list[Term] = []
+    if stream.peek() == ")":
+        stream.next()
+    else:
+        while True:
+            args.append(_term_from_token(stream.next(), constants_are_default))
+            token = stream.next()
+            if token == ")":
+                break
+            if token != ",":
+                raise ParseError(f"expected ',' or ')' in atom, found {token!r}")
+    return Atom(Predicate(name, len(args)), tuple(args))
+
+
+def _parse_atom_list(stream: _TokenStream, constants_are_default: bool) -> list[Atom]:
+    atoms = [_parse_atom(stream, constants_are_default)]
+    while stream.peek() == ",":
+        stream.next()
+        atoms.append(_parse_atom(stream, constants_are_default))
+    return atoms
+
+
+def _parse_variable_list(stream: _TokenStream) -> list[Variable]:
+    names = [stream.next()]
+    while stream.peek() == ",":
+        stream.next()
+        names.append(stream.next())
+    return [Variable(name) for name in names]
+
+
+def parse_rule(text: str, label: str = "") -> TGD:
+    """Parse a single TGD, e.g. ``"E(x,y) -> exists z. E(y,z)"``."""
+    stream = _TokenStream(_tokenize(text))
+    body: list[Atom] = []
+    if stream.peek() == "true":
+        stream.next()
+    elif stream.peek() != "->":
+        body = _parse_atom_list(stream, constants_are_default=False)
+    stream.expect("->")
+    existential: list[Variable] = []
+    if stream.peek() == "exists":
+        stream.next()
+        existential = _parse_variable_list(stream)
+        stream.expect(".")
+    head = _parse_atom_list(stream, constants_are_default=False)
+    if not stream.at_end():
+        raise ParseError(f"trailing input after rule: {stream.peek()!r}")
+    return TGD(tuple(body), tuple(head), frozenset(existential), label)
+
+
+def parse_theory(text: str, name: str = "") -> Theory:
+    """Parse newline/semicolon-separated rules into a :class:`Theory`."""
+    rules: list[TGD] = []
+    for index, line in enumerate(re.split(r"[;\n]", text)):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        rules.append(parse_rule(stripped, label=f"r{len(rules)}"))
+    return Theory(rules, name=name)
+
+
+def parse_query(
+    text: str, answer_vars: Sequence[str] | None = None
+) -> ConjunctiveQuery:
+    """Parse a CQ.
+
+    Accepted forms::
+
+        q(x, y) := R(x, z), G(z, y)       # explicit answer tuple
+        exists z. R(x, z), G(z, y)        # free variables become answers
+        R(x, y)                            # everything free
+
+    When ``answer_vars`` is given it overrides the inferred answer tuple
+    (useful to force a boolean query: ``answer_vars=[]``).
+    """
+    stream = _TokenStream(_tokenize(text))
+    declared: list[Variable] | None = None
+    if ":=" in text or ":-" in text:
+        head_name = stream.next()
+        stream.expect("(")
+        declared = []
+        if stream.peek() == ")":
+            stream.next()
+        else:
+            while True:
+                declared.append(Variable(stream.next()))
+                token = stream.next()
+                if token == ")":
+                    break
+                if token != ",":
+                    raise ParseError(f"expected ',' or ')' in query head, found {token!r}")
+        walrus = stream.next()
+        if walrus not in (":=", ":-"):
+            raise ParseError(f"expected ':=' after query head, found {walrus!r}")
+        del head_name
+    quantified: set[Variable] = set()
+    if stream.peek() == "exists":
+        stream.next()
+        quantified = set(_parse_variable_list(stream))
+        stream.expect(".")
+    atoms = _parse_atom_list(stream, constants_are_default=False)
+    if not stream.at_end():
+        raise ParseError(f"trailing input after query: {stream.peek()!r}")
+
+    if answer_vars is not None:
+        answers = tuple(Variable(name) for name in answer_vars)
+    elif declared is not None:
+        answers = tuple(declared)
+    else:
+        ordered: list[Variable] = []
+        seen: set[Variable] = set()
+        for item in atoms:
+            for variable in item.variables():
+                if variable not in quantified and variable not in seen:
+                    seen.add(variable)
+                    ordered.append(variable)
+        answers = tuple(ordered)
+    return ConjunctiveQuery(answers, tuple(atoms))
+
+
+def parse_instance(text: str) -> Instance:
+    """Parse facts (identifiers are constants), separated by '.' or newlines."""
+    instance = Instance()
+    for chunk in re.split(r"[.\n]", text):
+        stripped = chunk.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        stream = _TokenStream(_tokenize(stripped))
+        for item in _parse_atom_list(stream, constants_are_default=True):
+            instance.add(item)
+        if not stream.at_end():
+            raise ParseError(f"trailing input after fact: {stream.peek()!r}")
+    return instance

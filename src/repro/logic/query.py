@@ -1,0 +1,177 @@
+"""Conjunctive queries (CQs) and unions of conjunctive queries (UCQs).
+
+A CQ is ``psi(y) = exists x. beta(x, y)`` with ``beta`` a non-empty
+conjunction of atoms; its *size* is the number of atoms (Section 2).  The
+answer variables ``y`` are ordered, so answers are tuples.
+
+A CQ doubles as a structure (its *canonical instance*): the paper evaluates
+containment via homomorphisms between queries-seen-as-structures, and the
+proof of Observation 31 builds rewritings out of sub-instances whose domain
+elements are variables.  :meth:`ConjunctiveQuery.canonical_instance` returns
+exactly that — an :class:`~repro.logic.instance.Instance` whose domain
+contains the query's variables as-is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .atoms import Atom, variables_of_atoms
+from .gaifman import atoms_are_connected, connected_components, query_gaifman_graph
+from .instance import Instance
+from .signature import Predicate
+from .terms import FreshVariables, Substitution, Variable, apply_substitution
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query with ordered answer variables.
+
+    The answer tuple may repeat a variable (``q(v, v) := P(v)``): rewriting
+    sets need such disjuncts whenever a rule head forces two answer
+    positions to coincide (e.g. ``P(x) -> F(x, x)`` rewriting
+    ``F(v2, v0)``), so Theorem 1's formalism — and ours — allows them.
+    """
+
+    answer_vars: tuple[Variable, ...]
+    atoms: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise ValueError("a CQ must have a non-empty body")
+        all_vars = variables_of_atoms(self.atoms)
+        missing = [var for var in self.answer_vars if var not in all_vars]
+        if missing:
+            raise ValueError(f"answer variables {missing} do not occur in the body")
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """``|psi|``: the number of atoms."""
+        return len(self.atoms)
+
+    def variables(self) -> set[Variable]:
+        return variables_of_atoms(self.atoms)
+
+    def existential_vars(self) -> set[Variable]:
+        return self.variables() - set(self.answer_vars)
+
+    def is_boolean(self) -> bool:
+        return not self.answer_vars
+
+    def is_connected(self) -> bool:
+        """Connectivity of the query's Gaifman graph (over variables)."""
+        return atoms_are_connected(self.atoms)
+
+    def connected_components(self) -> list["ConjunctiveQuery"]:
+        """Split into maximal connected sub-queries.
+
+        Answer variables stay attached to the component they occur in; a
+        component's answer tuple preserves the original global order.
+        Fully-ground atoms each form their own (boolean) component.
+        """
+        graph = query_gaifman_graph(self.atoms)
+        var_components = connected_components(graph)
+        buckets: list[list[Atom]] = [[] for _ in var_components]
+        stray: list[Atom] = []
+        for item in self.atoms:
+            item_vars = item.variable_set()
+            if not item_vars:
+                stray.append(item)
+                continue
+            anchor = next(iter(item_vars))
+            for index, component in enumerate(var_components):
+                if anchor in component:
+                    buckets[index].append(item)
+                    break
+        queries: list[ConjunctiveQuery] = []
+        for component, bucket in zip(var_components, buckets):
+            answers = tuple(var for var in self.answer_vars if var in component)
+            queries.append(ConjunctiveQuery(answers, tuple(bucket)))
+        for item in stray:
+            queries.append(ConjunctiveQuery((), (item,)))
+        return queries
+
+    def predicates(self) -> set[Predicate]:
+        return {item.predicate for item in self.atoms}
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def substitute(self, theta: Substitution) -> "ConjunctiveQuery":
+        """Apply a substitution.
+
+        Answer variables may be renamed or merged (the answer tuple then
+        repeats a variable) but not mapped to non-variables.
+        """
+        new_atoms = tuple(item.substitute(theta) for item in self.atoms)
+        new_answers: list[Variable] = []
+        for var in self.answer_vars:
+            image = apply_substitution(var, theta)
+            if not isinstance(image, Variable):
+                raise ValueError("substitute() must keep answer variables variables")
+            new_answers.append(image)
+        return ConjunctiveQuery(tuple(new_answers), new_atoms)
+
+    def rename_apart(self, fresh: FreshVariables) -> "ConjunctiveQuery":
+        mapping = {var: fresh.fresh_like(var) for var in self.variables()}
+        return self.substitute(mapping)
+
+    def drop_atoms(self, doomed: Iterable[Atom]) -> "ConjunctiveQuery":
+        """The query without the given atoms (which must leave it non-empty)."""
+        doomed_set = set(doomed)
+        kept = tuple(item for item in self.atoms if item not in doomed_set)
+        return ConjunctiveQuery(self.answer_vars, kept)
+
+    def canonical_instance(self) -> Instance:
+        """The query body seen as a structure over its own variables."""
+        return Instance(self.atoms)
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(item) for item in self.atoms)
+        existential = sorted(var.name for var in self.existential_vars())
+        prefix = f"exists {','.join(existential)}. " if existential else ""
+        head = ",".join(var.name for var in self.answer_vars)
+        return f"q({head}) := {prefix}{body}"
+
+
+class UnionOfCQs:
+    """A finite disjunction of CQs with the same answer arity."""
+
+    def __init__(self, disjuncts: Iterable[ConjunctiveQuery], name: str = "") -> None:
+        self._disjuncts: tuple[ConjunctiveQuery, ...] = tuple(disjuncts)
+        self.name = name
+        arities = {len(q.answer_vars) for q in self._disjuncts}
+        if len(arities) > 1:
+            raise ValueError("all disjuncts of a UCQ must share the answer arity")
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self._disjuncts)
+
+    def __len__(self) -> int:
+        return len(self._disjuncts)
+
+    def disjuncts(self) -> tuple[ConjunctiveQuery, ...]:
+        return self._disjuncts
+
+    def max_disjunct_size(self) -> int:
+        """``rs``-style measure: the largest disjunct size (Section 7)."""
+        return max((q.size for q in self._disjuncts), default=0)
+
+    def __repr__(self) -> str:
+        title = self.name or "UCQ"
+        lines = "\n  | ".join(repr(q) for q in self._disjuncts)
+        return f"{title}:\n    {lines}"
+
+
+def query(answer_vars: Sequence[Variable], atoms: Sequence[Atom]) -> ConjunctiveQuery:
+    """Convenience constructor mirroring :func:`repro.logic.atoms.atom`."""
+    return ConjunctiveQuery(tuple(answer_vars), tuple(atoms))
+
+
+def boolean_query(atoms: Sequence[Atom]) -> ConjunctiveQuery:
+    """A BCQ: every variable existentially quantified."""
+    return ConjunctiveQuery((), tuple(atoms))

@@ -1,0 +1,68 @@
+"""Textual serialization of theories, instances and queries.
+
+The format is exactly the :mod:`repro.logic.parser` syntax, so dump/parse
+round-trips are the identity (tested).  Chase-produced instances contain
+Skolem function terms, which the fact syntax cannot express — dumping them
+raises rather than silently flattening structure.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .instance import Instance
+from .query import ConjunctiveQuery
+from .terms import FunctionTerm
+from .tgd import Theory
+
+
+class SerializationError(ValueError):
+    """The object contains structure the text syntax cannot express."""
+
+
+def dump_theory(theory: Theory) -> str:
+    """Render a theory in the parser's rule syntax, one rule per line."""
+    lines = []
+    if theory.name:
+        lines.append(f"# theory: {theory.name}")
+    lines.extend(repr(rule) for rule in theory)
+    return "\n".join(lines) + "\n"
+
+
+def dump_instance(instance: Instance) -> str:
+    """Render a base instance in the fact syntax, one fact per line."""
+    lines = []
+    for item in sorted(instance, key=repr):
+        for term in item.args:
+            if isinstance(term, FunctionTerm):
+                raise SerializationError(
+                    f"fact {item!r} contains a Skolem term; only base "
+                    "instances are serializable"
+                )
+        lines.append(f"{item!r}")
+    return "\n".join(lines) + "\n"
+
+
+def dump_query(query: ConjunctiveQuery) -> str:
+    """Render a CQ in the ``q(...) := ...`` syntax."""
+    return repr(query) + "\n"
+
+
+def save_theory(theory: Theory, path: str | Path) -> None:
+    Path(path).write_text(dump_theory(theory), encoding="utf8")
+
+
+def save_instance(instance: Instance, path: str | Path) -> None:
+    Path(path).write_text(dump_instance(instance), encoding="utf8")
+
+
+def load_theory(path: str | Path, name: str = "") -> Theory:
+    from .parser import parse_theory
+
+    return parse_theory(Path(path).read_text(encoding="utf8"), name=name)
+
+
+def load_instance(path: str | Path) -> Instance:
+    from .parser import parse_instance
+
+    return parse_instance(Path(path).read_text(encoding="utf8"))

@@ -1,0 +1,298 @@
+"""Tuple-generating dependencies (TGDs, a.k.a. rules) and theories.
+
+A TGD is a formula ``forall x,y (body(x,y) -> exists w head(y,w))``.  The
+paper's Section 2 works with single-head rules, but the theory ``T_d`` of
+Definition 45 is presented with multi-head rules, so :class:`TGD` supports
+multiple head atoms together with :meth:`TGD.single_head_equivalent`, the
+auxiliary-predicate translation of footnote 10/31.
+
+Two non-standard-but-paper-mandated features:
+
+* **Empty bodies.**  The (loop) rule of ``T_d`` is ``true -> exists x
+  R(x,x), G(x,x)`` and the per-element rule is ``forall x (true -> exists z
+  R(x,z))``.  A head variable that occurs in no body atom and is not
+  declared existential is a *universal* ("domain") variable ranging over the
+  active domain of the instance being chased.
+* **Frontier access.**  ``fr(rho)`` (the variables shared between body and
+  head, plus universal head variables) is needed by the Skolem naming
+  convention, birth atoms and the Appendix-A machinery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .atoms import Atom, variables_of_atoms
+from .gaifman import atoms_are_connected
+from .signature import Predicate, Signature
+from .terms import FreshVariables, Substitution, Variable
+
+
+@dataclass(frozen=True)
+class TGD:
+    """A (possibly multi-head) tuple-generating dependency."""
+
+    body: tuple[Atom, ...]
+    head: tuple[Atom, ...]
+    existential: frozenset[Variable] = field(default=None)  # type: ignore[assignment]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.head:
+            raise ValueError("a TGD must have at least one head atom")
+        body_vars = variables_of_atoms(self.body)
+        head_vars = variables_of_atoms(self.head)
+        if self.existential is None:
+            inferred = frozenset(head_vars - body_vars)
+            object.__setattr__(self, "existential", inferred)
+        else:
+            existential = frozenset(self.existential)
+            object.__setattr__(self, "existential", existential)
+            if existential & body_vars:
+                raise ValueError("existential variables must not occur in the body")
+            if not existential <= head_vars:
+                raise ValueError("existential variables must occur in the head")
+
+    # ------------------------------------------------------------------
+    # Variable taxonomy
+    # ------------------------------------------------------------------
+    def body_variables(self) -> set[Variable]:
+        return variables_of_atoms(self.body)
+
+    def head_variables(self) -> set[Variable]:
+        return variables_of_atoms(self.head)
+
+    def universal_head_variables(self) -> set[Variable]:
+        """Head variables that are neither existential nor in the body.
+
+        These range over the active domain (the ``forall x (true -> ...)``
+        rules of ``T_d``); for rules produced by the parser from bodies that
+        are not empty, this set is empty.
+        """
+        return self.head_variables() - self.body_variables() - self.existential
+
+    def frontier(self) -> set[Variable]:
+        """``fr(rho)``: variables visible in the head but not invented by it."""
+        return self.head_variables() - self.existential
+
+    def frontier_tuple(self) -> tuple[Variable, ...]:
+        """The frontier in a deterministic order (first occurrence in head)."""
+        ordered: list[Variable] = []
+        seen: set[Variable] = set()
+        for item in self.head:
+            for variable in item.variables():
+                if variable in self.frontier() and variable not in seen:
+                    seen.add(variable)
+                    ordered.append(variable)
+        return tuple(ordered)
+
+    # ------------------------------------------------------------------
+    # Syntactic classes (Section 1's catalogue)
+    # ------------------------------------------------------------------
+    def is_datalog(self) -> bool:
+        """No existential variables (and then no universal ones either)."""
+        return not self.existential and not self.universal_head_variables()
+
+    def is_linear(self) -> bool:
+        """At most one body atom."""
+        return len(self.body) <= 1
+
+    def is_guarded(self) -> bool:
+        """Some body atom contains every body variable."""
+        if not self.body:
+            return True
+        body_vars = self.body_variables()
+        return any(item.variable_set() >= body_vars for item in self.body)
+
+    def is_frontier_guarded(self) -> bool:
+        """Some body atom contains every frontier variable."""
+        if not self.body:
+            return not (self.frontier() - self.universal_head_variables())
+        frontier = self.frontier() & self.body_variables()
+        return any(item.variable_set() >= frontier for item in self.body)
+
+    def is_frontier_one(self) -> bool:
+        """The frontier has at most one variable (Appendix A, footnote 37)."""
+        return len(self.frontier()) <= 1
+
+    def is_connected(self) -> bool:
+        """The body's Gaifman graph is connected (empty body counts)."""
+        return atoms_are_connected(self.body)
+
+    def is_detached(self) -> bool:
+        """Existential rule with empty frontier (Appendix A terminology)."""
+        return not self.is_datalog() and not self.frontier()
+
+    def is_single_head(self) -> bool:
+        return len(self.head) == 1
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def substitute(self, theta: Substitution) -> "TGD":
+        """Apply a variable renaming; ``theta`` must be injective on vars."""
+        new_body = tuple(item.substitute(theta) for item in self.body)
+        new_head = tuple(item.substitute(theta) for item in self.head)
+        new_existential = frozenset(
+            theta.get(var, var) for var in self.existential  # type: ignore[arg-type]
+        )
+        renamed = {
+            var for var in new_existential if isinstance(var, Variable)
+        }
+        if len(renamed) != len(self.existential):
+            raise ValueError("substitution must rename existential variables injectively")
+        return TGD(new_body, new_head, frozenset(renamed), self.label)
+
+    def rename_apart(self, fresh: FreshVariables) -> "TGD":
+        """A variant of the rule with globally fresh variables."""
+        mapping = {var: fresh.fresh_like(var) for var in self.variables()}
+        return self.substitute(mapping)
+
+    def variables(self) -> set[Variable]:
+        return self.body_variables() | self.head_variables()
+
+    def predicates(self) -> set[Predicate]:
+        return {item.predicate for item in itertools.chain(self.body, self.head)}
+
+    def single_head_equivalent(self, aux_prefix: str = "Aux") -> list["TGD"]:
+        """Split a multi-head rule into single-head rules.
+
+        The translation of footnote 10: introduce an auxiliary predicate
+        over the frontier and existential variables, one rule producing it,
+        and one projection rule per original head atom.  Single-head rules
+        pass through unchanged.  Note the footnote's warning: the auxiliary
+        predicate may need arity above 2, so the translation does not stay
+        inside binary signatures.
+        """
+        if self.is_single_head():
+            return [self]
+        shared = self.frontier_tuple() + tuple(
+            sorted(self.existential, key=lambda v: v.name)
+        )
+        aux = Predicate(f"{aux_prefix}_{self.label or id(self) % 10_000}", len(shared))
+        aux_atom = Atom(aux, shared)
+        producer = TGD(self.body, (aux_atom,), self.existential, f"{self.label}:aux")
+        projections = [
+            TGD((aux_atom,), (item,), frozenset(), f"{self.label}:proj{i}")
+            for i, item in enumerate(self.head)
+        ]
+        return [producer, *projections]
+
+    def __repr__(self) -> str:
+        body_text = ", ".join(repr(item) for item in self.body) if self.body else "true"
+        head_text = ", ".join(repr(item) for item in self.head)
+        if self.existential:
+            names = ",".join(sorted(var.name for var in self.existential))
+            head_text = f"exists {names}. {head_text}"
+        return f"{body_text} -> {head_text}"
+
+
+class Theory:
+    """A finite set of TGDs (a "rule set").
+
+    The class is a thin ordered container with signature/shape introspection;
+    semantic analyses (chase, rewriting, locality, ...) live in their own
+    modules and take a :class:`Theory` as input.
+    """
+
+    def __init__(self, rules: Iterable[TGD], name: str = "") -> None:
+        self._rules: tuple[TGD, ...] = tuple(rules)
+        self.name = name
+
+    def __iter__(self) -> Iterator[TGD]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __getitem__(self, index: int) -> TGD:
+        return self._rules[index]
+
+    def rules(self) -> tuple[TGD, ...]:
+        return self._rules
+
+    def predicates(self) -> set[Predicate]:
+        found: set[Predicate] = set()
+        for rule in self._rules:
+            found.update(rule.predicates())
+        return found
+
+    def signature(self) -> Signature:
+        return Signature(self.predicates())
+
+    def max_arity(self) -> int:
+        return max((p.arity for p in self.predicates()), default=0)
+
+    def is_binary(self) -> bool:
+        """Every predicate has arity at most 2 (the scope of Theorem 3)."""
+        return self.max_arity() <= 2
+
+    def is_connected(self) -> bool:
+        """Every rule has a connected body (Section 2)."""
+        return all(rule.is_connected() for rule in self._rules)
+
+    def is_datalog(self) -> bool:
+        return all(rule.is_datalog() for rule in self._rules)
+
+    def is_linear(self) -> bool:
+        return all(rule.is_linear() for rule in self._rules)
+
+    def is_guarded(self) -> bool:
+        return all(rule.is_guarded() for rule in self._rules)
+
+    def is_single_head(self) -> bool:
+        return all(rule.is_single_head() for rule in self._rules)
+
+    def datalog_rules(self) -> "Theory":
+        """The datalog fragment ``T_DL`` (Appendix A)."""
+        return Theory(
+            (rule for rule in self._rules if rule.is_datalog()),
+            name=f"{self.name}_DL" if self.name else "",
+        )
+
+    def existential_rules(self) -> "Theory":
+        """The existential fragment ``T_exists`` (Appendix A)."""
+        return Theory(
+            (rule for rule in self._rules if not rule.is_datalog()),
+            name=f"{self.name}_EX" if self.name else "",
+        )
+
+    def single_head_equivalent(self) -> "Theory":
+        """Replace each multi-head rule by its single-head translation."""
+        rules: list[TGD] = []
+        for index, rule in enumerate(self._rules):
+            labelled = rule if rule.label else TGD(rule.body, rule.head, rule.existential, f"r{index}")
+            rules.extend(labelled.single_head_equivalent())
+        return Theory(rules, name=f"{self.name}_sh" if self.name else "")
+
+    def apply_trivial_trick(self, fresh_name: str = "_conn") -> "Theory":
+        """The "trivial trick" of Section 2.
+
+        Add a fresh variable as an additional first argument of every atom in
+        every rule, producing a connected theory that preserves BDD and Core
+        Termination status (at the price of raising every arity by one).
+        """
+        glue = Variable(fresh_name)
+
+        def widen(item: Atom) -> Atom:
+            widened = Predicate(item.predicate.name, item.predicate.arity + 1)
+            return Atom(widened, (glue, *item.args))
+
+        rules = []
+        for rule in self._rules:
+            rules.append(
+                TGD(
+                    tuple(widen(item) for item in rule.body),
+                    tuple(widen(item) for item in rule.head),
+                    rule.existential,
+                    rule.label,
+                )
+            )
+        return Theory(rules, name=f"{self.name}_conn" if self.name else "")
+
+    def __repr__(self) -> str:
+        title = self.name or "Theory"
+        lines = "\n  ".join(repr(rule) for rule in self._rules)
+        return f"{title}:\n  {lines}"

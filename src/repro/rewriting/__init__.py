@@ -1,0 +1,45 @@
+"""UCQ rewriting: piece unifiers, saturation, BDD diagnostics, answering."""
+
+from .answering import (
+    AgreementReport,
+    answer_by_materialization,
+    answer_by_rewriting,
+    certain_answers,
+    cross_validate,
+)
+from .bdd import (
+    BddVerdict,
+    answer_depth_profile,
+    depth_bound_from_rewriting,
+    enough,
+    probe_bdd,
+)
+from .engine import (
+    RewritingBudget,
+    RewritingResult,
+    atomic_rewriting_sizes,
+    rewrite,
+    rewriting_size,
+)
+from .unification import EmptyRewriting, PieceUnifier, iter_piece_unifiers
+
+__all__ = [
+    "AgreementReport",
+    "BddVerdict",
+    "EmptyRewriting",
+    "PieceUnifier",
+    "RewritingBudget",
+    "RewritingResult",
+    "answer_by_materialization",
+    "answer_by_rewriting",
+    "answer_depth_profile",
+    "atomic_rewriting_sizes",
+    "certain_answers",
+    "cross_validate",
+    "depth_bound_from_rewriting",
+    "enough",
+    "iter_piece_unifiers",
+    "probe_bdd",
+    "rewrite",
+    "rewriting_size",
+]

@@ -1,0 +1,152 @@
+"""BDD (Bounded Derivation Depth) diagnostics — Section 4 made executable.
+
+``Enough(n, phi, D, T)`` (the paper's shorthand) and the two derived
+semi-decision procedures:
+
+* a **positive** certificate: complete rewriting saturation implies BDD for
+  the query at hand, and the chase depth at which each disjunct's canonical
+  database entails the query bounds ``n_phi``;
+* a **negative** probe: exhibiting instances where answers keep arriving at
+  unboundedly growing depths (used for Example 41 and Exercise 46).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..chase.engine import chase
+from ..logic.homomorphism import evaluate
+from ..logic.instance import Instance
+from ..logic.query import ConjunctiveQuery
+from ..logic.terms import Term
+from ..logic.tgd import Theory
+from .engine import RewritingBudget, RewritingResult, rewrite
+
+
+def enough(
+    theory: Theory,
+    query: ConjunctiveQuery,
+    instance: Instance,
+    depth: int,
+    probe_depth: int,
+    max_atoms: int = 200_000,
+) -> bool:
+    """``Enough(depth, query, instance, theory)`` up to ``probe_depth``.
+
+    True when the answers over ``Ch_depth`` already equal the answers over
+    ``Ch_probe_depth`` **restricted to base-domain tuples** (the paper's
+    ``Enough`` quantifies over tuples from ``dom(D)``).  This is a sound
+    check relative to the probe horizon: a deeper chase could still reveal
+    a difference, which is exactly the semi-decidability the paper works
+    around.
+    """
+    if probe_depth < depth:
+        raise ValueError("probe_depth must be at least depth")
+    result = chase(theory, instance, max_rounds=probe_depth, max_atoms=max_atoms)
+    base_domain = instance.domain()
+
+    def base_answers(structure: Instance) -> set[tuple[Term, ...]]:
+        return {
+            answer
+            for answer in evaluate(query, structure)
+            if all(term in base_domain for term in answer)
+        }
+
+    return base_answers(result.prefix(depth)) == base_answers(result.instance)
+
+
+def depth_bound_from_rewriting(
+    theory: Theory,
+    query: ConjunctiveQuery,
+    budget: RewritingBudget | None = None,
+    max_depth: int = 30,
+) -> int:
+    """An ``n_phi`` witness for Definition 11, computed from the rewriting.
+
+    For each disjunct of the (complete) rewriting, chase its canonical
+    instance until the original query holds on that chase with the
+    disjunct's answer variables as the answer; the max depth over disjuncts
+    is a valid uniform bound (whenever the query holds at all, one disjunct
+    holds in ``D``, and replaying its canonical derivation inside
+    ``Ch(T, D)`` lands within that many rounds).
+    """
+    result = rewrite(theory, query, budget)
+    if not result.complete:
+        raise RuntimeError("rewriting incomplete; no depth bound certified")
+    worst = 0
+    from ..logic.homomorphism import holds
+
+    for disjunct in result.ucq:
+        canonical = disjunct.canonical_instance()
+        run = chase(theory, canonical, max_rounds=max_depth)
+        found = None
+        for depth in range(len(run.round_added)):
+            if holds(query, run.prefix(depth), disjunct.answer_vars):
+                found = depth
+                break
+        if found is None:
+            raise RuntimeError(
+                f"disjunct {disjunct!r} did not re-derive the query within "
+                f"{max_depth} rounds — increase max_depth"
+            )
+        worst = max(worst, found)
+    return worst
+
+
+@dataclass
+class BddVerdict:
+    """Outcome of a budgeted BDD probe for one query."""
+
+    query: ConjunctiveQuery
+    rewriting: RewritingResult
+    depth_bound: int | None
+
+    @property
+    def certified_bdd(self) -> bool:
+        return self.rewriting.complete
+
+
+def probe_bdd(
+    theory: Theory,
+    query: ConjunctiveQuery,
+    budget: RewritingBudget | None = None,
+) -> BddVerdict:
+    """Rewrite a query and, on success, certify its depth bound."""
+    result = rewrite(theory, query, budget)
+    depth_bound: int | None = None
+    if result.complete:
+        depth_bound = depth_bound_from_rewriting(theory, query, budget)
+    return BddVerdict(query=query, rewriting=result, depth_bound=depth_bound)
+
+
+def answer_depth_profile(
+    theory: Theory,
+    query: ConjunctiveQuery,
+    instances: Iterable[Instance],
+    probe_depth: int,
+    max_atoms: int = 200_000,
+) -> list[int]:
+    """For each instance: the first chase depth at which any base-domain
+    answer appears (or -1 when none within the probe horizon).
+
+    A BDD theory keeps this profile bounded across any instance family
+    (Definition 11); an unbounded profile refutes BDD — the shape checked
+    for Example 41 and Exercise 46 in the benchmarks.
+    """
+    profile: list[int] = []
+    for instance in instances:
+        result = chase(theory, instance, max_rounds=probe_depth, max_atoms=max_atoms)
+        base_domain = instance.domain()
+        first = -1
+        for depth in range(len(result.round_added)):
+            answers = {
+                answer
+                for answer in evaluate(query, result.prefix(depth))
+                if all(term in base_domain for term in answer)
+            }
+            if answers:
+                first = depth
+                break
+        profile.append(first)
+    return profile

@@ -1,0 +1,179 @@
+"""UCQ rewriting by saturation: computing ``rew(psi)`` of Theorem 1.
+
+Breadth-first application of piece unifiers with containment-based pruning:
+a newly produced CQ is kept only when no kept CQ already contains it, and it
+evicts kept CQs it contains.  Every kept CQ is replaced by its core first,
+so the final set is exactly the *minimal* rewriting set of Theorem 1 (up to
+CQ isomorphism) whenever saturation completes.
+
+For theories that are not BDD the saturation does not terminate; budgets
+turn that into an explicit ``complete=False`` outcome, which the BDD
+diagnostics of :mod:`repro.rewriting.bdd` interpret.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..logic.containment import core_query, is_contained_in
+from ..logic.query import ConjunctiveQuery, UnionOfCQs
+from ..logic.terms import FreshVariables
+from ..logic.tgd import Theory
+from .unification import EmptyRewriting, iter_piece_unifiers
+
+
+@dataclass
+class RewritingResult:
+    """The outcome of rewriting saturation.
+
+    ``ucq``
+        The rewriting set computed so far (all of ``rew(psi)`` when
+        ``complete``).
+    ``complete``
+        ``True`` when saturation reached a fixpoint within budget; only
+        then is the set guaranteed to be the full rewriting.
+    ``always_true``
+        Set when some rewriting chain consumed the whole query against
+        empty-bodied rules: the query is entailed on every instance with a
+        non-empty domain (and on the empty instance too when the final rule
+        had no universal variables).  Boolean-query evaluation must OR this
+        flag in.
+    ``explored``
+        Number of rewriting steps attempted (a work measure for benches).
+    """
+
+    query: ConjunctiveQuery
+    theory: Theory
+    ucq: UnionOfCQs
+    complete: bool
+    always_true: bool = False
+    explored: int = 0
+
+    def max_disjunct_size(self) -> int:
+        """``rs_T(psi)``: the largest disjunct size (Section 7)."""
+        return self.ucq.max_disjunct_size()
+
+
+@dataclass
+class RewritingBudget:
+    """Resource limits for saturation (generous defaults for small inputs)."""
+
+    max_kept: int = 2_000
+    max_steps: int = 200_000
+    max_disjunct_atoms: int = 64
+    # Ablation switch (bench A3): skip evicting kept CQs subsumed by newly
+    # produced, more general ones.  Harmless for completeness (the general
+    # query still joins the set) but the kept set — and hence every later
+    # containment check — grows.  NOTE: core minimization itself is *not*
+    # optional: a redundant atom blocks piece unifiers (its variables leak
+    # out of every piece), so skipping cores loses completeness.
+    evict_subsumed: bool = True
+
+
+def rewrite(
+    theory: Theory,
+    query: ConjunctiveQuery,
+    budget: RewritingBudget | None = None,
+) -> RewritingResult:
+    """Saturate piece-rewriting from ``query`` under ``theory``.
+
+    Returns the minimized UCQ rewriting.  Disjuncts whose size exceeds
+    ``budget.max_disjunct_atoms`` mark the result incomplete rather than
+    being explored further (they usually signal a non-BDD theory).
+
+    One knowing deviation (documented in DESIGN.md): a rewriting step that
+    would leave an *answer* variable without any atom (possible only with
+    empty-bodied rules) is skipped — expressing it would need a
+    domain-membership predicate outside CQ syntax.
+    """
+    budget = budget or RewritingBudget()
+    fresh = FreshVariables(prefix="_rw")
+    start = core_query(query)
+    kept: list[ConjunctiveQuery] = [start]
+    frontier: deque[ConjunctiveQuery] = deque([start])
+    explored = 0
+    complete = True
+    always_true = False
+
+    while frontier:
+        current = frontier.popleft()
+        if current not in kept:
+            continue  # evicted while queued
+        for rule in theory:
+            for unifier in iter_piece_unifiers(current, rule, fresh):
+                explored += 1
+                if explored > budget.max_steps:
+                    complete = False
+                    frontier.clear()
+                    break
+                try:
+                    produced = unifier.rewrite(current)
+                except EmptyRewriting:
+                    always_true = True
+                    continue
+                except ValueError:
+                    # An answer variable lost its last atom; see docstring.
+                    continue
+                if produced.size > budget.max_disjunct_atoms:
+                    complete = False
+                    continue
+                produced = core_query(produced)
+                if any(is_contained_in(produced, existing) for existing in kept):
+                    continue
+                if budget.evict_subsumed:
+                    kept = [
+                        existing
+                        for existing in kept
+                        if not is_contained_in(existing, produced)
+                    ]
+                kept.append(produced)
+                frontier.append(produced)
+                if len(kept) > budget.max_kept:
+                    complete = False
+                    frontier.clear()
+                    break
+            else:
+                continue
+            break
+
+    return RewritingResult(
+        query=query,
+        theory=theory,
+        ucq=UnionOfCQs(kept, name=f"rew({query!r})"),
+        complete=complete,
+        always_true=always_true,
+        explored=explored,
+    )
+
+
+def rewriting_size(
+    theory: Theory, query: ConjunctiveQuery, budget: RewritingBudget | None = None
+) -> int:
+    """``rs_T(psi)`` — the maximal disjunct size of the rewriting.
+
+    Raises when saturation did not complete (the measure would be a lie).
+    """
+    result = rewrite(theory, query, budget)
+    if not result.complete:
+        raise RuntimeError("rewriting did not complete within budget")
+    return result.max_disjunct_size()
+
+
+def atomic_rewriting_sizes(
+    theory: Theory, budget: RewritingBudget | None = None
+) -> dict[str, int]:
+    """``rs^at_T`` per predicate: rewriting sizes of all atomic queries.
+
+    Builds, for every predicate of the theory, the atomic query with
+    pairwise-distinct answer variables, and rewrites it.
+    """
+    from ..logic.atoms import Atom
+    from ..logic.terms import Variable
+
+    sizes: dict[str, int] = {}
+    for predicate in sorted(theory.predicates(), key=lambda p: p.name):
+        variables = tuple(Variable(f"y{i}") for i in range(predicate.arity))
+        atomic = ConjunctiveQuery(variables, (Atom(predicate, variables),))
+        sizes[predicate.name] = rewriting_size(theory, atomic, budget)
+    return sizes

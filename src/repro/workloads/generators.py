@@ -1,0 +1,171 @@
+"""Witness-instance families and synthetic workload generators.
+
+Every negative result in the paper comes with a concrete family of
+instances; this module builds them (deterministically, constants named
+``a0, a1, ...``) plus seeded random instances for property-based and
+crossover experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..logic.atoms import Atom, atom
+from ..logic.instance import Instance
+from ..logic.signature import Predicate
+from ..logic.terms import Constant
+
+
+def constants(count: int, prefix: str = "a") -> list[Constant]:
+    """``[a0, a1, ..., a{count-1}]``."""
+    return [Constant(f"{prefix}{i}") for i in range(count)]
+
+
+def edge_path(length: int, predicate: str = "E", prefix: str = "a") -> Instance:
+    """A path ``P(a0,a1), ..., P(a{n-1},a{n})`` of ``length`` facts."""
+    nodes = constants(length + 1, prefix)
+    return Instance(
+        atom(predicate, nodes[i], nodes[i + 1]) for i in range(length)
+    )
+
+
+def edge_cycle(length: int, predicate: str = "E", prefix: str = "a") -> Instance:
+    """The cycle ``P(a0,a1), ..., P(a{n-1},a0)`` used in Example 42."""
+    if length < 1:
+        raise ValueError("a cycle needs at least one edge")
+    nodes = constants(length, prefix)
+    return Instance(
+        atom(predicate, nodes[i], nodes[(i + 1) % length]) for i in range(length)
+    )
+
+
+def green_path(length: int, prefix: str = "a") -> Instance:
+    """``G^n(a0, a_n)`` — the green path of Section 10 (instance form)."""
+    return edge_path(length, predicate="G", prefix=prefix)
+
+
+def level_path(length: int, level: int, prefix: str = "a") -> Instance:
+    """An ``I_level`` path for the Section-12 theories ``T_d^K``."""
+    return edge_path(length, predicate=f"I{level}", prefix=prefix)
+
+
+def sticky_star(spokes: int) -> Instance:
+    """The Example-39 witness: one seen edge plus ``spokes`` colour facts.
+
+    ``E(a, b1, b2, c1)`` and ``R(a, c_i)`` for ``1 <= i <= spokes``;
+    chasing it produces atoms whose support needs every fact.
+    """
+    facts = [atom("E", "a", "b1", "b2", "c1")]
+    facts.extend(atom("R", "a", f"c{i}") for i in range(1, spokes + 1))
+    return Instance(facts)
+
+
+def example66_instance(spokes: int) -> Instance:
+    """The Example-66 witness: one E-edge and ``spokes`` P-facts."""
+    facts = [atom("E", "a0", "a1")]
+    facts.extend(atom("P", f"b{i}") for i in range(1, spokes + 1))
+    return Instance(facts)
+
+
+def star(center_degree: int, predicate: str = "E") -> Instance:
+    """A star: edges from one hub to ``center_degree`` leaves."""
+    hub = Constant("hub")
+    return Instance(
+        atom(predicate, hub, Constant(f"leaf{i}")) for i in range(center_degree)
+    )
+
+
+def grid_instance(rows: int, cols: int) -> Instance:
+    """A rows x cols grid with ``Right`` and ``Down`` edges."""
+    facts: list[Atom] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                facts.append(atom("Right", f"n{r}_{c}", f"n{r}_{c + 1}"))
+            if r + 1 < rows:
+                facts.append(atom("Down", f"n{r}_{c}", f"n{r + 1}_{c}"))
+    return Instance(facts)
+
+
+def random_instance(
+    predicates: Sequence[Predicate],
+    fact_count: int,
+    domain_size: int,
+    seed: int = 0,
+) -> Instance:
+    """A seeded random instance over the given predicates.
+
+    Facts are drawn uniformly (with replacement, then deduplicated), so the
+    result may have slightly fewer than ``fact_count`` facts.
+    """
+    rng = random.Random(seed)
+    pool = constants(domain_size)
+    instance = Instance()
+    for _ in range(fact_count):
+        predicate = rng.choice(list(predicates))
+        args = tuple(rng.choice(pool) for _ in range(predicate.arity))
+        instance.add(Atom(predicate, args))
+    return instance
+
+
+def random_degree_bounded_instance(
+    predicates: Sequence[Predicate],
+    fact_count: int,
+    max_degree: int,
+    seed: int = 0,
+) -> Instance:
+    """A seeded random instance whose Gaifman degree stays below a bound.
+
+    Used for the bd-locality experiments (Definition 40): elements are
+    retired once their incident-fact count reaches ``max_degree``.
+    """
+    rng = random.Random(seed)
+    instance = Instance()
+    usage: dict[Constant, int] = {}
+    next_id = 0
+
+    def pick() -> Constant:
+        nonlocal next_id
+        available = [c for c, used in usage.items() if used < max_degree]
+        if available and rng.random() < 0.7:
+            return rng.choice(available)
+        fresh = Constant(f"a{next_id}")
+        next_id += 1
+        usage[fresh] = 0
+        return fresh
+
+    for _ in range(fact_count):
+        predicate = rng.choice(list(predicates))
+        args = tuple(pick() for _ in range(predicate.arity))
+        for arg in set(args):
+            usage[arg] = usage.get(arg, 0) + 1
+        instance.add(Atom(predicate, args))
+    return instance
+
+
+def university_database(
+    students: int, professors: int, courses: int, seed: int = 0
+) -> Instance:
+    """A synthetic database for the university ontology (E9 crossover).
+
+    Deliberately *incomplete* (not all students have enrollments, not all
+    courses have teachers) so that ontology-mediated answering has work to
+    do.
+    """
+    rng = random.Random(seed)
+    instance = Instance()
+    for s in range(students):
+        name = f"student{s}"
+        instance.add(atom("GradStudent" if rng.random() < 0.3 else "Student", name))
+        if rng.random() < 0.6 and courses:
+            instance.add(atom("EnrolledIn", name, f"course{rng.randrange(courses)}"))
+    for p in range(professors):
+        name = f"prof{p}"
+        instance.add(atom("Professor", name))
+        if rng.random() < 0.5 and courses:
+            instance.add(atom("TaughtBy", f"course{rng.randrange(courses)}", name))
+    for c in range(courses):
+        if rng.random() < 0.4:
+            instance.add(atom("Course", f"course{c}"))
+    return instance

@@ -1,0 +1,185 @@
+"""Realistic linear ontologies — the classical FUS-engine workload shape.
+
+The BDD/FUS literature the paper builds on evaluates rewriting engines on
+DL-Lite-style ontologies (role hierarchies, domain/range axioms, concept
+inclusions, mandatory participation).  These three synthetic ontologies
+mirror that shape over different domains; all rules are linear, so every
+ontology is BDD, local (``l_T = 1``) and sticky — the well-behaved side of
+the paper's frontier, against which ``T_d``'s pathologies stand out.
+
+Each ontology ships with a seeded database generator and a set of
+benchmark queries (used by E14 and the property suite).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..logic.atoms import atom
+from ..logic.instance import Instance
+from ..logic.parser import parse_query, parse_theory
+from ..logic.query import ConjunctiveQuery
+from ..logic.tgd import Theory
+
+
+@dataclass
+class OntologyWorkload:
+    """An ontology together with its data generator and query set."""
+
+    name: str
+    theory: Theory
+    queries: dict[str, ConjunctiveQuery] = field(default_factory=dict)
+
+    def database(self, scale: int, seed: int = 0) -> Instance:
+        raise NotImplementedError
+
+
+class MedicalWorkload(OntologyWorkload):
+    """Patients, conditions, treatments, prescribing physicians."""
+
+    def __init__(self) -> None:
+        theory = parse_theory(
+            """
+            Patient(x) -> Person(x)
+            Physician(x) -> Person(x)
+            Specialist(x) -> Physician(x)
+            Patient(x) -> exists c. Diagnosed(x, c)
+            Diagnosed(x, c) -> Condition(c)
+            Condition(c) -> exists t. TreatedBy(c, t)
+            TreatedBy(c, t) -> Treatment(t)
+            Treatment(t) -> exists p. PrescribedBy(t, p)
+            PrescribedBy(t, p) -> Physician(p)
+            ChronicCondition(c) -> Condition(c)
+            ChronicCondition(c) -> exists s. MonitoredBy(c, s)
+            MonitoredBy(c, s) -> Specialist(s)
+            """,
+            name="Medical",
+        )
+        queries = {
+            "persons": parse_query("q(x) := Person(x)"),
+            "diagnosed": parse_query("q(x) := exists c. Diagnosed(x, c)"),
+            "treated-by-physician": parse_query(
+                "q(x) := exists c, t, p. Diagnosed(x, c), TreatedBy(c, t), "
+                "PrescribedBy(t, p), Person(p)"
+            ),
+            "monitored-chronic": parse_query(
+                "q(c) := exists s. MonitoredBy(c, s), Specialist(s)"
+            ),
+        }
+        super().__init__(name="Medical", theory=theory, queries=queries)
+
+    def database(self, scale: int, seed: int = 0) -> Instance:
+        rng = random.Random(seed)
+        instance = Instance()
+        for i in range(scale):
+            instance.add(atom("Patient", f"pat{i}"))
+            if rng.random() < 0.5:
+                instance.add(atom("Diagnosed", f"pat{i}", f"cond{i % 7}"))
+        for c in range(7):
+            if rng.random() < 0.4:
+                instance.add(atom("ChronicCondition", f"cond{c}"))
+            if rng.random() < 0.5:
+                instance.add(atom("TreatedBy", f"cond{c}", f"treat{c}"))
+        for d in range(max(1, scale // 10)):
+            instance.add(atom("Specialist" if rng.random() < 0.3 else "Physician", f"doc{d}"))
+        return instance
+
+
+class GeographyWorkload(OntologyWorkload):
+    """Cities, regions, countries, capitals — containment chains."""
+
+    def __init__(self) -> None:
+        theory = parse_theory(
+            """
+            City(x) -> Place(x)
+            Region(x) -> Place(x)
+            Country(x) -> Place(x)
+            Capital(x) -> City(x)
+            City(x) -> exists r. LocatedIn(x, r)
+            LocatedIn(x, r) -> Region(r)
+            Region(r) -> exists c. PartOf(r, c)
+            PartOf(r, c) -> Country(c)
+            Country(c) -> exists k. HasCapital(c, k)
+            HasCapital(c, k) -> Capital(k)
+            """,
+            name="Geography",
+        )
+        queries = {
+            "places": parse_query("q(x) := Place(x)"),
+            "city-country": parse_query(
+                "q(x) := exists r, c. LocatedIn(x, r), PartOf(r, c), Country(c)"
+            ),
+            "capitals-exist": parse_query(
+                "q() := exists c, k. HasCapital(c, k), City(k)"
+            ),
+        }
+        super().__init__(name="Geography", theory=theory, queries=queries)
+
+    def database(self, scale: int, seed: int = 0) -> Instance:
+        rng = random.Random(seed)
+        instance = Instance()
+        regions = max(2, scale // 5)
+        for i in range(scale):
+            name = f"city{i}"
+            instance.add(atom("Capital" if rng.random() < 0.1 else "City", name))
+            if rng.random() < 0.6:
+                instance.add(atom("LocatedIn", name, f"region{rng.randrange(regions)}"))
+        for r in range(regions):
+            if rng.random() < 0.5:
+                instance.add(atom("PartOf", f"region{r}", f"country{r % 3}"))
+        return instance
+
+
+class StockWorkload(OntologyWorkload):
+    """Companies, listings, exchanges, investors (the classic S benchmark
+    shape from the query-rewriting literature)."""
+
+    def __init__(self) -> None:
+        theory = parse_theory(
+            """
+            Company(x) -> LegalPerson(x)
+            Investor(x) -> LegalPerson(x)
+            ListedCompany(x) -> Company(x)
+            ListedCompany(x) -> exists s. HasStock(x, s)
+            HasStock(x, s) -> Stock(s)
+            Stock(s) -> exists e. TradedOn(s, e)
+            TradedOn(s, e) -> Exchange(e)
+            Investor(x) -> exists s. Owns(x, s)
+            Owns(x, s) -> Stock(s)
+            """,
+            name="Stock",
+        )
+        queries = {
+            "legal-persons": parse_query("q(x) := LegalPerson(x)"),
+            "traded-stocks": parse_query(
+                "q(s) := exists e. TradedOn(s, e), Exchange(e)"
+            ),
+            "investor-exchange": parse_query(
+                "q(x) := exists s, e. Owns(x, s), TradedOn(s, e)"
+            ),
+        }
+        super().__init__(name="Stock", theory=theory, queries=queries)
+
+    def database(self, scale: int, seed: int = 0) -> Instance:
+        rng = random.Random(seed)
+        instance = Instance()
+        for i in range(scale):
+            kind = rng.random()
+            if kind < 0.4:
+                instance.add(atom("ListedCompany", f"co{i}"))
+            elif kind < 0.7:
+                instance.add(atom("Company", f"co{i}"))
+            else:
+                instance.add(atom("Investor", f"inv{i}"))
+                if rng.random() < 0.5:
+                    instance.add(atom("Owns", f"inv{i}", f"stk{i % 9}"))
+        for s in range(9):
+            if rng.random() < 0.5:
+                instance.add(atom("TradedOn", f"stk{s}", f"ex{s % 2}"))
+        return instance
+
+
+def all_ontology_workloads() -> list[OntologyWorkload]:
+    """The three workloads, for sweeps and parametrized tests."""
+    return [MedicalWorkload(), GeographyWorkload(), StockWorkload()]

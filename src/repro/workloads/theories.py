@@ -1,0 +1,231 @@
+"""Every named theory from the paper, as ready-made :class:`Theory` values.
+
+Each constructor documents where in the paper the theory comes from and
+what it is a witness of.  The experiment index in DESIGN.md maps these to
+bench targets.
+"""
+
+from __future__ import annotations
+
+from ..logic.atoms import Atom
+from ..logic.parser import parse_theory
+from ..logic.signature import Predicate
+from ..logic.terms import Variable
+from ..logic.tgd import TGD, Theory
+
+
+def t_a() -> Theory:
+    """Example 1: mothers of humans are humans (BDD, not core-terminating)."""
+    return parse_theory(
+        """
+        Human(y) -> exists z. Mother(y, z)
+        Mother(x, y) -> Human(y)
+        """,
+        name="T_a",
+    )
+
+
+def t_p() -> Theory:
+    """Exercise 12: one linear rule growing an E-path.
+
+    BDD (linear), but **not** Core Terminating (Exercise 22): every element
+    sprouts an infinite forward path no finite prefix of which folds back.
+    """
+    return parse_theory("E(x, y) -> exists z. E(y, z)", name="T_p")
+
+
+def exercise23() -> Theory:
+    """Exercise 23: Core Terminating but not All-Instances Terminating.
+
+    The second rule plants a loop ``E(x', x')`` two steps into every path;
+    the chase keeps extending paths forever (no AIT) but the loop gives a
+    finite model inside an early prefix (CT).
+    """
+    return parse_theory(
+        """
+        E(x, y) -> exists z. E(y, z)
+        E(x, x1), E(x1, x2) -> E(x1, x1)
+        """,
+        name="Ex23",
+    )
+
+
+def example28_slice(levels: int) -> Theory:
+    """A finite slice of Example 28's infinite theory.
+
+    Rules ``E_i(x,y) -> exists z. E_{i-1}(y,z)`` for ``1 <= i <= levels``.
+    The full (infinite) theory is BDD and Core Terminating but not UBDD;
+    any finite instance only mentions finitely many relations, so its
+    behaviour is captured by a sufficiently deep slice — and the bound
+    ``c_{T,D}`` grows with the top level present in ``D`` (bench E8).
+    """
+    if levels < 1:
+        raise ValueError("need at least one level")
+    lines = "\n".join(
+        f"E{i}(x, y) -> exists z. E{i - 1}(y, z)" for i in range(1, levels + 1)
+    )
+    return parse_theory(lines, name=f"Ex28[{levels}]")
+
+
+def example39_sticky() -> Theory:
+    """Example 39: a one-rule sticky theory that is BDD but **not local**.
+
+    ``E(a,b,b',c)`` reads "a sees an edge b->b' coloured c" and ``R(a,c)``
+    "a thinks c is a colour".  High-degree instances (stars of R-facts
+    around one spectator) force unboundedly many facts into the support of
+    a single chase atom.
+    """
+    return parse_theory(
+        "E(x, y, y1, t), R(x, t1) -> exists y2. E(x, y1, y2, t1)",
+        name="Ex39",
+    )
+
+
+def example41() -> Theory:
+    """Example 41: bounded-degree local but **not BDD** (a datalog rule)."""
+    return parse_theory("E(x, y, z), R(x, z) -> R(y, z)", name="Ex41")
+
+
+def example42_tc() -> Theory:
+    """Example 42, the theory ``T_c``: BDD but not bd-local.
+
+    On an E-cycle of length n (degree 2) the chase produces atoms that
+    need *all* n facts of the cycle, so no degree-relative locality
+    constant exists.
+    """
+    return parse_theory(
+        """
+        E(x, y) -> exists x1, y1. R(x, y, x1, y1)
+        R(x, y, x1, y1), E(y, z) -> exists z1. R(y, z, y1, z1)
+        """,
+        name="T_c",
+    )
+
+
+def t_d() -> Theory:
+    """Definition 45, the non-distancing BDD theory ``T_d``.
+
+    Multi-head rules over the binary signature {R (red), G (green)}:
+
+    * (loop)  ``true -> exists x. R(x,x), G(x,x)``
+    * (pins)  ``forall x (true -> exists z, z'. R(x,z), G(x,z'))``
+    * (grid)  ``R(x,x'), G(x,u), G(u,u') -> exists z. R(u',z), G(x',z)``
+
+    In the (pins) rule the variable ``x`` occurs only in the head and is not
+    existential: it is a *universal* variable ranging over the active
+    domain, exactly the paper's ``forall x (true -> ...)``.
+    """
+    return parse_theory(
+        """
+        true -> exists x. R(x, x), G(x, x)                       # (loop)
+        true -> exists z, z1. R(x, z), G(x, z1)                  # (pins)
+        R(x, x1), G(x, u), G(u, u1) -> exists z. R(u1, z), G(x1, z)   # (grid)
+        """,
+        name="T_d",
+    )
+
+
+def t_d_without_loop() -> Theory:
+    """``T_d`` minus (loop) — **not** BDD (Exercise 46)."""
+    return parse_theory(
+        """
+        true -> exists z, z1. R(x, z), G(x, z1)
+        R(x, x1), G(x, u), G(u, u1) -> exists z. R(u1, z), G(x1, z)
+        """,
+        name="T_d-loop",
+    )
+
+
+def i_predicate(level: int) -> Predicate:
+    """The binary predicate ``I_level`` of the Section-12 signature."""
+    return Predicate(f"I{level}", 2)
+
+
+def t_d_k(levels: int) -> Theory:
+    """Section 12, the theory ``T_d^K`` over ``I_K, ..., I_1``.
+
+    2K+1 rules: one (loop) making an all-colours self-loop element, one
+    (pins_k) per level, and one (grid_i) per adjacent pair of levels.
+    ``t_d_k(2)`` is ``T_d`` with ``I_2 = R`` and ``I_1 = G`` (up to the
+    pins rules being split per level).
+    """
+    if levels < 2:
+        raise ValueError("T_d^K needs K >= 2")
+    x = Variable("x")
+    loop_head = tuple(
+        Atom(i_predicate(k), (x, x)) for k in range(levels, 0, -1)
+    )
+    rules = [TGD((), loop_head, frozenset((x,)), "loop")]
+    for k in range(1, levels + 1):
+        u, z = Variable("u"), Variable("z")
+        rules.append(
+            TGD((), (Atom(i_predicate(k), (u, z)),), frozenset((z,)), f"pins_{k}")
+        )
+    for i in range(1, levels):
+        upper, lower = i_predicate(i + 1), i_predicate(i)
+        x0, x1, u, u1, z = (
+            Variable("x"),
+            Variable("x1"),
+            Variable("u"),
+            Variable("u1"),
+            Variable("z"),
+        )
+        body = (
+            Atom(upper, (x0, x1)),
+            Atom(lower, (x0, u)),
+            Atom(lower, (u, u1)),
+        )
+        head = (Atom(upper, (u1, z)), Atom(lower, (x1, z)))
+        rules.append(TGD(body, head, frozenset((z,)), f"grid_{i}"))
+    return Theory(rules, name=f"T_d^{levels}")
+
+
+def example66() -> Theory:
+    """Example 66: the ancestor-blowup counterexample to (false) Lemma 65.
+
+    The semi-oblivious chase may route every ``P(b_i)`` fact into the
+    ancestors of one tree, which the Appendix-A normalization repairs.
+    """
+    return parse_theory(
+        """
+        E(x, y), R(z, y) -> exists v. E(y, v)
+        E(x, y), P(z) -> R(z, y)
+        """,
+        name="Ex66",
+    )
+
+
+def university_ontology() -> Theory:
+    """A small linear (hence BDD and local) ontology for the examples.
+
+    Linear rules only, so rewriting terminates and the theory is local
+    (Section 7's remark that linear theories are local); used by the
+    quickstart, the OMQA example and the crossover benchmark (E9).
+    """
+    return parse_theory(
+        """
+        GradStudent(x) -> Student(x)
+        Student(x) -> Person(x)
+        Professor(x) -> Person(x)
+        Student(x) -> exists c. EnrolledIn(x, c)
+        EnrolledIn(x, c) -> Course(c)
+        Course(c) -> exists p. TaughtBy(c, p)
+        TaughtBy(c, p) -> Professor(p)
+        Professor(p) -> exists d. MemberOf(p, d)
+        MemberOf(p, d) -> Department(d)
+        """,
+        name="University",
+    )
+
+
+def family_ontology() -> Theory:
+    """A tiny family ontology (Example 1 plus symmetric siblings)."""
+    return parse_theory(
+        """
+        Human(y) -> exists z. Mother(y, z)
+        Mother(x, y) -> Human(y)
+        Mother(x, y) -> Parent(x, y)
+        Siblings(x, y) -> Siblings(y, x)
+        """,
+        name="Family",
+    )

@@ -1,0 +1,86 @@
+"""Shared fixtures: the paper's named theories and witness instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import Instance, parse_instance
+from repro.workloads import (
+    edge_cycle,
+    edge_path,
+    example39_sticky,
+    example42_tc,
+    example66,
+    exercise23,
+    green_path,
+    sticky_star,
+    t_a,
+    t_d,
+    t_p,
+    university_ontology,
+)
+
+
+@pytest.fixture
+def theory_ta():
+    return t_a()
+
+
+@pytest.fixture
+def theory_tp():
+    return t_p()
+
+
+@pytest.fixture
+def theory_ex23():
+    return exercise23()
+
+
+@pytest.fixture
+def theory_ex39():
+    return example39_sticky()
+
+
+@pytest.fixture
+def theory_tc():
+    return example42_tc()
+
+
+@pytest.fixture
+def theory_td():
+    return t_d()
+
+
+@pytest.fixture
+def theory_ex66():
+    return example66()
+
+
+@pytest.fixture
+def theory_university():
+    return university_ontology()
+
+
+@pytest.fixture
+def abel() -> Instance:
+    return parse_instance("Human(abel)")
+
+
+@pytest.fixture
+def path3() -> Instance:
+    return edge_path(3)
+
+
+@pytest.fixture
+def cycle4() -> Instance:
+    return edge_cycle(4)
+
+
+@pytest.fixture
+def green4() -> Instance:
+    return green_path(4)
+
+
+@pytest.fixture
+def star3() -> Instance:
+    return sticky_star(3)

@@ -1,0 +1,95 @@
+"""Unit tests for repro.logic.atoms and repro.logic.signature."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.atoms import Atom, atom, variables_of_atoms
+from repro.logic.signature import Predicate, Signature
+from repro.logic.terms import Constant, Variable
+
+
+class TestPredicate:
+    def test_negative_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("P", -1)
+
+    def test_equality(self):
+        assert Predicate("E", 2) == Predicate("E", 2)
+        assert Predicate("E", 2) != Predicate("E", 3)
+
+    def test_repr_shows_arity(self):
+        assert repr(Predicate("E", 2)) == "E/2"
+
+
+class TestSignature:
+    def test_lookup_by_name(self):
+        sig = Signature([Predicate("E", 2)])
+        assert sig.get("E") == Predicate("E", 2)
+        assert sig.get("missing") is None
+
+    def test_arity_conflict_rejected(self):
+        sig = Signature([Predicate("E", 2)])
+        with pytest.raises(ValueError):
+            sig.add(Predicate("E", 3))
+
+    def test_readding_same_predicate_is_fine(self):
+        sig = Signature([Predicate("E", 2)])
+        sig.add(Predicate("E", 2))
+        assert len(sig) == 1
+
+    def test_is_binary(self):
+        assert Signature([Predicate("E", 2), Predicate("P", 1)]).is_binary()
+        assert not Signature([Predicate("T", 3)]).is_binary()
+
+    def test_max_arity_of_empty_signature(self):
+        assert Signature().max_arity() == 0
+
+    def test_membership(self):
+        sig = Signature([Predicate("E", 2)])
+        assert Predicate("E", 2) in sig
+        assert Predicate("E", 3) not in sig
+
+
+class TestAtom:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(Predicate("E", 2), (Constant("a"),))
+
+    def test_atom_helper_infers_arity(self):
+        fact = atom("E", "a", "b")
+        assert fact.predicate == Predicate("E", 2)
+        assert fact.args == (Constant("a"), Constant("b"))
+
+    def test_groundness(self):
+        assert atom("E", "a", "b").is_ground()
+        assert not atom("E", Variable("x"), "b").is_ground()
+
+    def test_variable_set(self):
+        item = atom("E", Variable("x"), Variable("x"))
+        assert item.variable_set() == {Variable("x")}
+
+    def test_variables_yields_occurrences(self):
+        item = atom("E", Variable("x"), Variable("x"))
+        assert len(list(item.variables())) == 2
+
+    def test_substitute(self):
+        item = atom("E", Variable("x"), "b")
+        result = item.substitute({Variable("x"): Constant("a")})
+        assert result == atom("E", "a", "b")
+
+    def test_substitute_no_change_returns_self(self):
+        item = atom("E", "a", "b")
+        assert item.substitute({Variable("x"): Constant("c")}) is item
+
+    def test_nullary_atom(self):
+        marker = Atom(Predicate("M", 0), ())
+        assert marker.is_ground()
+        assert marker.variable_set() == set()
+
+    def test_variables_of_atoms(self):
+        atoms = [atom("E", Variable("x"), "a"), atom("P", Variable("y"))]
+        assert variables_of_atoms(atoms) == {Variable("x"), Variable("y")}
+
+    def test_repr(self):
+        assert repr(atom("E", "a", Variable("x"))) == "E(a,x)"

@@ -1,0 +1,89 @@
+"""Tests for the benchmark harness (repro.bench)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    Table,
+    grows_at_least_geometrically,
+    monotonically_nondecreasing,
+    roughly_flat,
+    sweep,
+    sweep_table,
+)
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("demo", ["name", "value"])
+        table.add("short", 1)
+        table.add("a much longer name", 22)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "== demo =="
+        header, _separator, *rows = lines[1:]
+        positions = {line.index("|") for line in [header, *rows]}
+        assert len(positions) == 1  # consistent alignment
+
+    def test_row_arity_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_column_extraction(self):
+        table = Table("demo", ["a", "b"])
+        table.add(1, "x")
+        table.add(2, "y")
+        assert table.column("a") == [1, 2]
+        assert table.column("b") == ["x", "y"]
+
+    def test_boolean_and_float_formatting(self):
+        table = Table("demo", ["flag", "ratio"])
+        table.add(True, 0.123456)
+        rendered = table.render()
+        assert "yes" in rendered
+        assert "0.123" in rendered
+
+    def test_notes_rendered(self):
+        table = Table("demo", ["a"])
+        table.add(1)
+        table.note("a remark")
+        assert "note: a remark" in table.render()
+
+
+class TestShapeChecks:
+    def test_monotone(self):
+        assert monotonically_nondecreasing([1, 1, 2, 3])
+        assert not monotonically_nondecreasing([1, 3, 2])
+
+    def test_flat(self):
+        assert roughly_flat([2, 2, 2])
+        assert roughly_flat([2, 3, 3])
+        assert not roughly_flat([1, 1, 5])
+        assert roughly_flat([1, 1, 2], tolerance=1)
+
+    def test_geometric(self):
+        assert grows_at_least_geometrically([1, 2, 4, 8], ratio=2)
+        assert not grows_at_least_geometrically([1, 2, 3], ratio=2)
+        assert grows_at_least_geometrically([], ratio=2)
+
+    def test_single_point_series(self):
+        assert roughly_flat([7])
+        assert monotonically_nondecreasing([7])
+
+
+class TestSweep:
+    def test_sweep_records_values_and_times(self):
+        points = sweep([1, 2, 3], lambda n: n * n)
+        assert [p.value for p in points] == [1, 4, 9]
+        assert all(p.seconds >= 0 for p in points)
+
+    def test_sweep_table(self):
+        points = sweep([1, 2], lambda n: (n, n + 1))
+        table = sweep_table(
+            "demo", "n", ["a", "b"], points, explode=lambda v: v
+        )
+        assert table.column("a") == [1, 2]
+        assert table.column("b") == [2, 3]
+        assert len(table.column("seconds")) == 2

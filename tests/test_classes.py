@@ -1,0 +1,138 @@
+"""Tests for the theory-class recognizers (Section 1's catalogue)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classes import (
+    atomic_queries,
+    classify,
+    is_datalog,
+    is_sticky,
+    probe_backward_shy,
+    probe_boundedness,
+    repeats_only_answer_variables,
+    stickiness,
+)
+from repro.logic import parse_query, parse_theory
+from repro.workloads import (
+    edge_path,
+    example39_sticky,
+    example41,
+    example42_tc,
+    t_a,
+    t_d,
+    t_p,
+    university_ontology,
+)
+
+
+class TestStickiness:
+    def test_linear_theories_are_sticky(self):
+        assert is_sticky(t_p())
+        assert is_sticky(university_ontology())
+
+    def test_example_39_is_sticky(self):
+        """The paper's one-rule sticky theory (Example 39)."""
+        report = stickiness(example39_sticky())
+        assert report.sticky
+
+    def test_example_41_is_not_sticky(self):
+        """x joins E and R but vanishes from the head: marked twice."""
+        report = stickiness(example41())
+        assert not report.sticky
+        assert report.offending_rules == [0]
+
+    def test_tc_is_not_sticky(self):
+        assert not is_sticky(example42_tc())
+
+    def test_transitivity_is_not_sticky(self):
+        transitive = parse_theory("E(x, y), E(y, z) -> E(x, z)")
+        assert not is_sticky(transitive)
+
+    def test_seed_marks_repeated_dropped_variable(self):
+        # y joins Q and S but vanishes from the head: both occurrences are
+        # marked by the seed step, so the theory is not sticky.
+        theory = parse_theory("Q(x, y), S(y) -> P(x)")
+        report = stickiness(theory)
+        assert not report.sticky
+        assert (0, 0, 1) in report.marked_occurrences  # y in Q(x, y)
+        assert (0, 1, 0) in report.marked_occurrences  # y in S(y)
+
+    def test_propagation_through_head_positions(self):
+        # Rule 0 drops y, marking position (Q, 1).  Rule 1 writes u into
+        # that marked position, so u's (single) body occurrence in R gets
+        # marked by propagation — stickiness still holds since u does not
+        # repeat.
+        theory = parse_theory(
+            """
+            Q(x, y) -> P(x)
+            R(u, v) -> Q(v, u)
+            """
+        )
+        report = stickiness(theory)
+        assert report.sticky
+        from repro.logic.signature import Predicate
+
+        assert (Predicate("R", 2), 0) in report.marked_positions
+
+
+class TestBackwardShy:
+    def test_repeats_only_answer_variables(self):
+        good = parse_query("q(x) := exists y. E(x, y), P(x)")
+        bad = parse_query("q() := exists x, y. E(x, y), P(x)")
+        assert repeats_only_answer_variables(good)
+        assert not repeats_only_answer_variables(bad)
+
+    def test_atomic_queries_cover_signature(self):
+        queries = atomic_queries(t_a())
+        assert {q.atoms[0].predicate.name for q in queries} == {"Human", "Mother"}
+
+    def test_linear_theory_probe(self):
+        probe = probe_backward_shy(t_p())
+        assert probe.complete
+        assert probe.backward_shy_on_sample
+
+    def test_ta_probe(self):
+        probe = probe_backward_shy(t_a())
+        assert probe.backward_shy_on_sample
+
+
+class TestBoundedness:
+    def test_bounded_datalog(self):
+        theory = parse_theory("E(x, y) -> F(x, y)\nF(x, y) -> Connected(x)")
+        probe = probe_boundedness(theory, [edge_path(n) for n in (2, 4, 8)])
+        assert probe.bounded_on_sample
+        assert probe.max_depth == 2
+
+    def test_unbounded_transitive_closure(self):
+        transitive = parse_theory("E(x, y), E(y, z) -> E(x, z)")
+        probe = probe_boundedness(transitive, [edge_path(n) for n in (4, 8, 16)])
+        assert not probe.bounded_on_sample
+
+    def test_rejects_existential_theories(self):
+        with pytest.raises(ValueError):
+            probe_boundedness(t_a(), [edge_path(2)])
+
+
+class TestClassification:
+    def test_report_flags(self):
+        report = classify(t_d())
+        assert report.binary
+        assert not report.single_head
+        assert not report.sticky
+        assert not report.datalog
+
+    def test_known_bdd_by_syntax(self):
+        assert classify(t_p()).known_bdd_by_syntax()
+        assert classify(example39_sticky()).known_bdd_by_syntax()
+        assert not classify(example41()).known_bdd_by_syntax()
+
+    def test_lines_render(self):
+        lines = classify(university_ontology()).lines()
+        assert lines[0].startswith("University")
+        assert any("linear" in line and "yes" in line for line in lines)
+
+    def test_is_datalog(self):
+        assert is_datalog(example41())
+        assert not is_datalog(t_a())

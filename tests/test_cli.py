@@ -1,0 +1,107 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+TA = "Human(y) -> exists z. Mother(y, z)\nMother(x, y) -> Human(y)"
+
+
+class TestChaseCommand:
+    def test_chase_inline(self, capsys):
+        code = main(["chase", "-e", TA, "Human(abel)", "--rounds", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Mother(abel," in out
+        assert out.startswith("# ")
+
+    def test_chase_from_files(self, tmp_path, capsys):
+        theory_file = tmp_path / "theory.tgd"
+        theory_file.write_text(TA)
+        data_file = tmp_path / "data.facts"
+        data_file.write_text("Human(abel)")
+        code = main(["chase", str(theory_file), str(data_file), "--rounds", "1"])
+        assert code == 0
+        assert "Human(abel)" in capsys.readouterr().out
+
+
+class TestRewriteCommand:
+    def test_rewrite_inline(self, capsys):
+        code = main(["rewrite", "-e", TA, "q(x) := exists y. Mother(x, y)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "complete: True" in out
+        assert "Human(x)" in out
+
+    def test_rewrite_incomplete_exit_code(self, capsys):
+        non_bdd = "E(x, y, z), R(x, z) -> R(y, z)"
+        code = main(
+            [
+                "rewrite",
+                "-e",
+                non_bdd,
+                "q(x, z) := R(x, z)",
+                "--max-kept",
+                "20",
+                "--max-steps",
+                "500",
+            ]
+        )
+        assert code == 2
+        assert "complete: False" in capsys.readouterr().out
+
+
+class TestAnswerCommand:
+    def test_answer_inline(self, capsys):
+        code = main(
+            ["answer", "-e", TA, "Human(abel)", "q(x) := exists y. Mother(x, y)"]
+        )
+        assert code == 0
+        assert "abel" in capsys.readouterr().out
+
+
+class TestClassifyCommand:
+    def test_classify(self, capsys):
+        code = main(["classify", "-e", TA, "--name", "T_a"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T_a" in out
+        assert "linear" in out
+
+
+class TestTerminationCommand:
+    def test_ct_witness_found(self, capsys):
+        theory = "E(x, y) -> exists z. E(y, z)\nE(x, x1), E(x1, x2) -> E(x1, x1)"
+        code = main(["termination", "-e", theory, "E(a, b). E(b, c)"])
+        assert code == 0
+        assert "c_(T,D) = " in capsys.readouterr().out
+
+    def test_no_witness_exit_code(self, capsys):
+        code = main(
+            [
+                "termination",
+                "-e",
+                "E(x, y) -> exists z. E(y, z)",
+                "E(a, b)",
+                "--depth",
+                "4",
+            ]
+        )
+        assert code == 2
+        assert "no Core-Termination witness" in capsys.readouterr().out
+
+
+class TestFigureCommand:
+    def test_figure1(self, capsys):
+        code = main(["figure1", "-n", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3/3" in out and "1/1" in out
+
+
+class TestParserErrors:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,75 @@
+"""Tests for distancing (Definition 43) and its failure for T_d."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontier import (
+    distance_contraction,
+    local_theories_are_distancing_bound,
+    max_contraction_ratio,
+)
+from repro.frontier.td import doubling_witness
+from repro.logic.terms import Constant
+from repro.workloads import edge_path, t_d, t_p
+
+
+class TestLinearTheoriesAreDistancing:
+    def test_tp_never_contracts_distances(self):
+        """Chasing T_p only grows paths forward; base distances survive."""
+        path = edge_path(5)
+        pairs = [(Constant("a0"), Constant("a5")), (Constant("a1"), Constant("a4"))]
+        measured = distance_contraction(t_p(), path, pairs, depth=4)
+        for pair in measured:
+            assert pair.chase_distance == pair.base_distance
+            assert pair.contraction_ratio <= 1.0
+
+    def test_bounded_ratio_across_growing_paths(self):
+        family = [
+            (edge_path(n), [(Constant("a0"), Constant(f"a{n}"))]) for n in (3, 5, 7)
+        ]
+        assert max_contraction_ratio(t_p(), family, depth=4) <= 1.0
+
+    def test_distancing_bound_helper(self):
+        assert local_theories_are_distancing_bound(1, 1) == 1
+        assert local_theories_are_distancing_bound(3, 2) == 6
+
+
+class TestTdIsNotDistancing:
+    @pytest.mark.parametrize("depth_n", [1, 2])
+    def test_contraction_grows_like_two_to_n(self, depth_n):
+        """Over G^{2^n}, the chase connects the endpoints within 2n+1 steps
+        (the phi_R^n witness path) while the base distance is 2^n."""
+        instance, start, end = doubling_witness(depth_n)
+        rounds = 2 ** depth_n + 2
+        measured = distance_contraction(
+            t_d(), instance, [(start, end)], depth=rounds, max_atoms=1_000_000
+        )[0]
+        assert measured.base_distance == 2 ** depth_n
+        assert measured.chase_distance <= 2 * depth_n + 1
+        expected_ratio = (2 ** depth_n) / (2 * depth_n + 1)
+        assert measured.contraction_ratio >= expected_ratio
+
+    @pytest.mark.slow
+    def test_ratio_exceeds_one_at_n_3(self):
+        """2^n beats the 2n+1 witness path first at n = 3 (8 > 7): the
+        chase genuinely contracts the endpoints' distance below the base
+        distance, which no distancing constant can explain as n grows."""
+        instance, start, end = doubling_witness(3)
+        measured = distance_contraction(
+            t_d(), instance, [(start, end)], depth=7, max_atoms=2_000_000
+        )[0]
+        assert measured.base_distance == 8
+        assert measured.chase_distance <= 7
+        assert measured.contraction_ratio > 1.0
+
+
+class TestEdgeCases:
+    def test_disconnected_pair_has_zero_ratio(self):
+        from repro.logic import parse_instance
+
+        base = parse_instance("E(a, b). E(c, d)")
+        measured = distance_contraction(
+            t_p(), base, [(Constant("a"), Constant("d"))], depth=3
+        )[0]
+        assert measured.contraction_ratio == 0.0

@@ -1,0 +1,60 @@
+"""Integration tests: every example script runs clean end-to-end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Both strategies agree" in result.stdout
+
+    def test_ontology_mediated_qa(self):
+        result = _run("ontology_mediated_qa.py")
+        assert result.returncode == 0, result.stderr
+        assert "Every query agreed" in result.stdout
+
+    @pytest.mark.slow
+    def test_frontier_tour(self):
+        result = _run("frontier_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "Tour complete" in result.stdout
+        # Every stop printed its banner.
+        for stop in range(1, 8):
+            assert f"{stop}." in result.stdout
+
+    @pytest.mark.slow
+    def test_td_doubling(self):
+        result = _run("td_doubling.py", "2")
+        assert result.returncode == 0, result.stderr
+        assert "CLEAN" in result.stdout
+        assert "G^4" in result.stdout
+
+    def test_normalization_walkthrough(self):
+        result = _run("normalization_walkthrough.py")
+        assert result.returncode == 0, result.stderr
+        assert "Crucial Lemma" in result.stdout
+        assert "flat" in result.stdout
+
+    def test_reproduce_all_quick(self):
+        result = _run("reproduce_all.py")
+        assert result.returncode == 0, result.stderr
+        assert "Done in" in result.stdout
+        assert "E1: T_d rewriting doubling" in result.stdout

@@ -1,0 +1,142 @@
+"""Tests for the exercise/observation checkers (repro.frontier.exercises)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import chase
+from repro.frontier import (
+    adjacency_contraction,
+    atom_delay,
+    exercise16_check,
+    observation29_supports,
+    observation49_report,
+)
+from repro.logic import parse_instance, parse_query
+from repro.rewriting import rewrite
+from repro.workloads import (
+    edge_cycle,
+    edge_path,
+    exercise23,
+    green_path,
+    t_a,
+    t_d,
+    t_p,
+)
+
+
+class TestExercise13:
+    def test_tp_adjacency_contraction_is_flat(self):
+        """Linear theory: chase-adjacent base pairs were adjacent already."""
+        values = [
+            adjacency_contraction(t_p(), edge_path(n), depth=4)
+            for n in (3, 5, 8)
+        ]
+        assert all(v <= 1 for v in values)
+
+    def test_ta_contraction(self):
+        base = parse_instance("Human(a). Mother(a, m). Mother(m, g)")
+        assert adjacency_contraction(t_a(), base, depth=4) <= 2
+
+    def test_exercise23_contraction_bounded(self):
+        values = [
+            adjacency_contraction(exercise23(), edge_path(n), depth=4)
+            for n in (3, 6)
+        ]
+        assert max(values) <= 2  # the datalog loop joins x1 with itself
+
+
+class TestExercise17:
+    def test_ta_delay_is_one(self):
+        run = chase(t_a(), parse_instance("Human(abel)"), max_rounds=6)
+        assert atom_delay(run) == 1
+
+    def test_delay_never_negative(self):
+        run = chase(exercise23(), edge_path(3), max_rounds=5, max_atoms=50_000)
+        assert atom_delay(run) >= 0
+
+    def test_delay_bounded_across_instances(self):
+        """Exercise 17: n_at depends on the theory, not the instance."""
+        delays = set()
+        for n in (2, 4):
+            run = chase(exercise23(), edge_path(n), max_rounds=5, max_atoms=50_000)
+            delays.add(atom_delay(run))
+        assert max(delays) <= 2
+
+
+class TestObservation29:
+    def test_supports_exist_within_rewriting_size(self):
+        query = parse_query("q(x) := exists y, z. E(x, y), E(y, z)")
+        result = rewrite(t_p(), query)
+        bound = result.max_disjunct_size()
+        witnesses = observation29_supports(
+            t_p(), query, edge_path(4), size_bound=bound, depth=4
+        )
+        assert witnesses is not None
+        assert all(len(w.support) <= bound for w in witnesses)
+
+    def test_supports_rederive_the_answer(self):
+        from repro.logic.homomorphism import holds
+
+        query = parse_query("q(x) := exists y. Mother(x, y)")
+        witnesses = observation29_supports(
+            t_a(),
+            query,
+            parse_instance("Human(a). Human(b)"),
+            size_bound=1,
+            depth=3,
+        )
+        assert witnesses is not None
+        for witness in witnesses:
+            run = chase(t_a(), witness.support, max_rounds=3)
+            assert holds(query, run.instance, witness.answer)
+
+    def test_too_small_bound_reports_none(self):
+        # Example-39-style: support genuinely needs more facts than allowed.
+        from repro.workloads import example39_sticky, sticky_star
+
+        query = parse_query(
+            "q() := exists x, a, b, t. E(x, a, b, t)", answer_vars=[]
+        )
+        # All answers here are boolean; pick a bound of 0 effectively by
+        # using a 1-fact bound against a query needing the E atom plus R.
+        witnesses = observation29_supports(
+            example39_sticky(),
+            parse_query("q(a) := exists b1, b2, t. E(a, b1, b2, t)"),
+            sticky_star(2),
+            size_bound=0,
+            depth=2,
+        )
+        assert witnesses is None
+
+
+class TestObservation49:
+    def test_td_chase_clean_modulo_loop(self):
+        run = chase(t_d(), green_path(3), max_rounds=3, max_atoms=300_000)
+        report = observation49_report(run)
+        assert report.clean_modulo_loop
+        assert len(report.loop_cone_cycle_atoms) == 2  # R(l,l), G(l,l)
+
+    def test_base_cycles_are_allowed(self):
+        base = parse_instance("G(a, b). G(b, a)")
+        run = chase(t_d(), base, max_rounds=2, max_atoms=100_000)
+        report = observation49_report(run)
+        assert report.clean_modulo_loop
+
+    def test_in_degree_accounting(self):
+        run = chase(t_d(), green_path(2), max_rounds=3, max_atoms=300_000)
+        report = observation49_report(run)
+        assert report.multi_in_edges == []
+        assert report.edge_into_base_from_outside == []
+
+
+class TestExercise16:
+    def test_rewriting_disjuncts_rederive_the_query(self):
+        query = parse_query("q(x) := exists y, z. Mother(x, y), Mother(y, z)")
+        result = rewrite(t_a(), query)
+        assert exercise16_check(t_a(), query, list(result.ucq), depth=8)
+
+    def test_fails_for_wrong_disjunct(self):
+        query = parse_query("q(x) := exists y, z. Mother(x, y), Mother(y, z)")
+        bogus = parse_query("q(x) := exists y. Siblings(x, y)")
+        assert not exercise16_check(t_a(), query, [bogus], depth=4)

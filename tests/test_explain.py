@@ -1,0 +1,77 @@
+"""Tests for the derivation explainer (repro.chase.explain)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import chase, derivation_tree, explain, explain_answer
+from repro.logic import parse_instance, parse_query
+from repro.logic.homomorphism import find_query_homomorphism
+from repro.workloads import exercise23, t_a
+
+
+@pytest.fixture
+def ta_run():
+    return chase(t_a(), parse_instance("Human(abel)"), max_rounds=3)
+
+
+class TestDerivationTree:
+    def test_base_atom_is_leaf(self, ta_run):
+        base = next(iter(ta_run.base))
+        tree = derivation_tree(ta_run, base)
+        assert tree.rule_label is None
+        assert tree.children == []
+        assert tree.depth() == 0
+
+    def test_tree_grounds_out_in_base(self, ta_run):
+        for item in ta_run.instance:
+            tree = derivation_tree(ta_run, item)
+            assert tree.leaf_atoms() <= ta_run.base.atoms()
+
+    def test_tree_depth_matches_round_structure(self, ta_run):
+        deepest = max(
+            (a for a in ta_run.instance),
+            key=lambda a: ta_run.depth_of(a) or 0,
+        )
+        tree = derivation_tree(ta_run, deepest)
+        assert tree.depth() == ta_run.depth_of(deepest)
+
+    def test_unknown_atom_rejected(self, ta_run):
+        from repro.logic.atoms import atom
+
+        with pytest.raises(KeyError):
+            derivation_tree(ta_run, atom("Nope", "x"))
+
+    def test_depth_guard(self, ta_run):
+        produced = next(a for a in ta_run.instance if a not in ta_run.base)
+        with pytest.raises(RecursionError):
+            derivation_tree(ta_run, produced, max_depth=0)
+
+
+class TestExplainText:
+    def test_explain_mentions_rules_and_base(self, ta_run):
+        produced = max(
+            ta_run.instance, key=lambda a: ta_run.depth_of(a) or 0
+        )
+        text = explain(ta_run, produced)
+        assert "[base]" in text
+        assert "[via r0]" in text
+        assert text.splitlines()[0].startswith(repr(produced))
+
+    def test_indentation_tracks_depth(self, ta_run):
+        produced = max(
+            ta_run.instance, key=lambda a: ta_run.depth_of(a) or 0
+        )
+        lines = explain(ta_run, produced).splitlines()
+        indents = [len(line) - len(line.lstrip()) for line in lines]
+        assert indents == sorted(indents)
+
+    def test_explain_answer_joins_trees(self):
+        run = chase(exercise23(), parse_instance("E(a, b). E(b, c)"), max_rounds=3,
+                    max_atoms=10_000)
+        query = parse_query("q() := exists x. E(x, x)")
+        assignment = find_query_homomorphism(query.atoms, run.instance)
+        assert assignment is not None
+        text = explain_answer(run, query.atoms, assignment)
+        assert "[via" in text
+        assert "[base]" in text

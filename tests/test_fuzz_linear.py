@@ -1,0 +1,101 @@
+"""End-to-end fuzzing: random linear theories, instances and queries.
+
+Linear theories are always BDD (Section 1), so on any instance the two
+answering strategies must agree exactly.  This drives the whole stack —
+parser-less construction, skolemization, chase, piece rewriting,
+containment, evaluation — against itself over randomized inputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.logic.atoms import Atom
+from repro.logic.instance import Instance
+from repro.logic.query import ConjunctiveQuery
+from repro.logic.signature import Predicate
+from repro.logic.terms import Constant, Variable
+from repro.logic.tgd import TGD, Theory
+from repro.rewriting import RewritingBudget, cross_validate
+
+PREDICATES = [Predicate("P", 1), Predicate("Q", 1), Predicate("E", 2), Predicate("F", 2)]
+
+
+def random_linear_theory(rng: random.Random) -> Theory:
+    """2-4 linear rules over a small mixed-arity signature."""
+    rules = []
+    for index in range(rng.randint(2, 4)):
+        body_pred = rng.choice(PREDICATES)
+        body_vars = [Variable(f"x{i}") for i in range(body_pred.arity)]
+        body = (Atom(body_pred, tuple(body_vars)),)
+        head_pred = rng.choice(PREDICATES)
+        head_args = []
+        existential = set()
+        for position in range(head_pred.arity):
+            if body_vars and rng.random() < 0.6:
+                head_args.append(rng.choice(body_vars))
+            else:
+                fresh = Variable(f"z{position}")
+                head_args.append(fresh)
+                existential.add(fresh)
+        head = (Atom(head_pred, tuple(head_args)),)
+        try:
+            rules.append(TGD(body, head, frozenset(existential), f"r{index}"))
+        except ValueError:
+            continue
+    if not rules:
+        return random_linear_theory(rng)
+    return Theory(rules, name="fuzz")
+
+
+def random_instance(rng: random.Random) -> Instance:
+    constants = [Constant(f"c{i}") for i in range(rng.randint(2, 4))]
+    instance = Instance()
+    for _ in range(rng.randint(1, 6)):
+        predicate = rng.choice(PREDICATES)
+        args = tuple(rng.choice(constants) for _ in range(predicate.arity))
+        instance.add(Atom(predicate, args))
+    return instance
+
+
+def random_query(rng: random.Random) -> ConjunctiveQuery:
+    variables = [Variable(f"v{i}") for i in range(rng.randint(1, 3))]
+    atoms = []
+    for _ in range(rng.randint(1, 3)):
+        predicate = rng.choice(PREDICATES)
+        args = tuple(rng.choice(variables) for _ in range(predicate.arity))
+        atoms.append(Atom(predicate, args))
+    atoms = tuple(dict.fromkeys(atoms))
+    used = sorted({v for a in atoms for v in a.variable_set()}, key=repr)
+    answers = tuple(used[: rng.randint(0, min(2, len(used)))])
+    return ConjunctiveQuery(answers, atoms)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(12))
+def test_linear_fuzz_agreement(seed):
+    """rewrite-then-evaluate == chase-then-evaluate, 12 random worlds."""
+    rng = random.Random(1000 + seed)
+    theory = random_linear_theory(rng)
+    budget = RewritingBudget(max_kept=300, max_steps=20_000)
+    for trial in range(4):
+        instance = random_instance(rng)
+        query = random_query(rng)
+        report = cross_validate(theory, query, instance, budget, max_rounds=20)
+        assert report.agree, (
+            f"seed={seed} trial={trial}\n{theory}\n{instance}\n{query}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_linear_fuzz_quick(seed):
+    """A fast always-on slice of the fuzz suite."""
+    rng = random.Random(2000 + seed)
+    theory = random_linear_theory(rng)
+    budget = RewritingBudget(max_kept=300, max_steps=20_000)
+    instance = random_instance(rng)
+    query = random_query(rng)
+    report = cross_validate(theory, query, instance, budget, max_rounds=20)
+    assert report.agree

@@ -1,0 +1,100 @@
+"""Unit tests for repro.logic.gaifman."""
+
+from __future__ import annotations
+
+from repro.logic.atoms import atom
+from repro.logic.gaifman import (
+    atoms_are_connected,
+    connected_components,
+    distance,
+    gaifman_graph,
+    instance_distance,
+    is_connected,
+    iter_balls,
+    max_degree,
+    query_gaifman_graph,
+)
+from repro.logic.instance import Instance
+from repro.logic.terms import Constant, Variable
+from repro.workloads import edge_cycle, edge_path, sticky_star
+
+
+class TestInstanceGraph:
+    def test_path_distances(self):
+        path = edge_path(4)
+        assert instance_distance(path, Constant("a0"), Constant("a4")) == 4
+        assert instance_distance(path, Constant("a0"), Constant("a0")) == 0
+
+    def test_disconnected_distance_is_infinite(self):
+        two = Instance([atom("E", "a", "b"), atom("E", "c", "d")])
+        assert instance_distance(two, Constant("a"), Constant("d")) == float("inf")
+
+    def test_missing_vertex_distance_is_infinite(self):
+        path = edge_path(2)
+        assert instance_distance(path, Constant("a0"), Constant("zz")) == float("inf")
+
+    def test_cycle_distance_wraps(self):
+        cycle = edge_cycle(6)
+        assert instance_distance(cycle, Constant("a0"), Constant("a5")) == 1
+
+    def test_higher_arity_atoms_make_cliques(self):
+        instance = Instance([atom("T", "a", "b", "c")])
+        graph = gaifman_graph(instance)
+        assert graph[Constant("a")] == {Constant("b"), Constant("c")}
+
+    def test_max_degree_of_star(self):
+        # Example 39's witness: hub "a" neighbours b1, b2 and the colours
+        # c1..c4 (c1 via both the E-fact and R(a,c1), counted once).
+        star = sticky_star(4)
+        assert max_degree(star) == 6
+
+    def test_max_degree_of_cycle_is_two(self):
+        assert max_degree(edge_cycle(5)) == 2
+
+
+class TestComponents:
+    def test_connected_components(self):
+        two = Instance([atom("E", "a", "b"), atom("E", "c", "d")])
+        components = connected_components(gaifman_graph(two))
+        assert len(components) == 2
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected({})
+
+    def test_iter_balls(self):
+        path = edge_path(5)
+        graph = gaifman_graph(path)
+        ball = set(iter_balls(graph, Constant("a0"), 2))
+        assert ball == {Constant("a0"), Constant("a1"), Constant("a2")}
+
+
+class TestQueryGraph:
+    def test_variables_are_vertices(self):
+        x, y = Variable("x"), Variable("y")
+        graph = query_gaifman_graph([atom("E", x, y)])
+        assert graph[x] == {y}
+
+    def test_constants_are_not_vertices(self):
+        x = Variable("x")
+        graph = query_gaifman_graph([atom("E", x, "a")])
+        assert Constant("a") not in graph
+
+    def test_connectivity_through_shared_variable(self):
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        assert atoms_are_connected([atom("E", x, y), atom("E", y, z)])
+        assert not atoms_are_connected([atom("E", x, y), atom("P", z)])
+
+    def test_single_atom_is_connected(self):
+        assert atoms_are_connected([atom("P", "a")])
+
+    def test_ground_atom_alongside_others_disconnects(self):
+        x = Variable("x")
+        assert not atoms_are_connected([atom("P", x), atom("Q", "a")])
+
+    def test_empty_atom_set_is_connected(self):
+        assert atoms_are_connected([])
+
+    def test_distance_identity(self):
+        graph = {1: {2}, 2: {1}}
+        assert distance(graph, 1, 1) == 0
+        assert distance(graph, 1, 2) == 1

@@ -1,0 +1,66 @@
+"""Tests for the hereditary-BDD probe (Section 9's closing conjecture)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontier import conjecture_scan, probe_hereditary_bdd
+from repro.frontier.hereditary import projected_atomic_queries
+from repro.rewriting import RewritingBudget
+from repro.workloads import example41, example42_tc, t_a, t_p
+
+FAST = RewritingBudget(max_kept=100, max_steps=5_000)
+
+
+class TestProjectedQueries:
+    def test_counts(self):
+        queries = projected_atomic_queries(t_a())
+        # Human/1 -> 2 projections; Mother/2 -> 4.
+        assert len(queries) == 6
+
+    def test_full_projection_is_boolean(self):
+        queries = projected_atomic_queries(t_p())
+        assert any(q.is_boolean() for q in queries)
+
+    def test_no_projection_is_all_free(self):
+        queries = projected_atomic_queries(t_p())
+        assert any(len(q.answer_vars) == 2 for q in queries)
+
+
+class TestProbe:
+    def test_linear_theories_certify_hereditarily(self):
+        report = probe_hereditary_bdd(t_p(), FAST)
+        assert report.hereditary_bdd_certified
+        assert report.non_bdd_subsets == []
+
+    def test_ta_certifies(self):
+        report = probe_hereditary_bdd(t_a(), FAST)
+        assert report.hereditary_bdd_certified
+
+    @pytest.mark.slow
+    def test_tc_is_not_hereditary_bdd(self):
+        """The key case for the conjecture: T_c (BDD, not bd-local) has a
+        non-BDD subset — its second rule alone diverges — so it is NOT a
+        hereditary-BDD counterexample.  Consistent with the paper's
+        conjecture."""
+        report = probe_hereditary_bdd(example42_tc(), FAST)
+        assert not report.hereditary_bdd_certified
+        assert (1,) in report.non_bdd_subsets
+
+    def test_example41_refuted_at_the_singleton(self):
+        report = probe_hereditary_bdd(example41(), FAST)
+        assert report.non_bdd_subsets == [(0,)]
+
+    def test_subset_cap(self):
+        report = probe_hereditary_bdd(t_a(), FAST, max_subset_size=1)
+        assert all(len(v.rules) == 1 for v in report.verdicts)
+
+
+class TestConjectureScan:
+    @pytest.mark.slow
+    def test_catalogue_scan_matches_the_conjecture(self):
+        rows = conjecture_scan([t_p(), t_a(), example41()], FAST)
+        verdicts = {name: (cert, refuted) for name, cert, refuted in rows}
+        assert verdicts["T_p"] == (True, False)
+        assert verdicts["T_a"] == (True, False)
+        assert verdicts["Ex41"] == (False, True)

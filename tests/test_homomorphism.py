@@ -1,0 +1,128 @@
+"""Unit tests for repro.logic.homomorphism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.atoms import atom
+from repro.logic.homomorphism import (
+    apply_structure_homomorphism,
+    evaluate,
+    find_query_homomorphism,
+    find_structure_homomorphism,
+    holds,
+    iter_query_homomorphisms,
+    iter_structure_homomorphisms,
+)
+from repro.logic.instance import Instance
+from repro.logic.parser import parse_instance, parse_query
+from repro.logic.terms import Constant, FunctionTerm, Variable
+from repro.workloads import edge_cycle, edge_path
+
+
+class TestQueryHomomorphisms:
+    def test_path_query_on_path(self):
+        query = parse_query("q(x) := exists y, z. E(x, y), E(y, z)")
+        path = edge_path(3)
+        answers = evaluate(query, path)
+        assert answers == {(Constant("a0"),), (Constant("a1"),)}
+
+    def test_all_homomorphisms_enumerated(self):
+        x, y = Variable("x"), Variable("y")
+        query_atoms = (atom("E", x, y),)
+        path = edge_path(2)
+        homs = list(iter_query_homomorphisms(query_atoms, path))
+        assert len(homs) == 2
+
+    def test_constants_must_match_themselves(self):
+        query = parse_query("q() := exists y. E('a0', y)")
+        assert holds(query, edge_path(2))
+        query_missing = parse_query("q() := exists y. E('zz', y)")
+        assert not holds(query_missing, edge_path(2))
+
+    def test_partial_assignment_respected(self):
+        x, y = Variable("x"), Variable("y")
+        hom = find_query_homomorphism(
+            (atom("E", x, y),), edge_path(2), {x: Constant("a1")}
+        )
+        assert hom == {x: Constant("a1"), y: Constant("a2")}
+
+    def test_repeated_variable_needs_loop(self):
+        x = Variable("x")
+        assert find_query_homomorphism((atom("E", x, x),), edge_path(2)) is None
+        loops = Instance([atom("E", "a", "a")])
+        assert find_query_homomorphism((atom("E", x, x),), loops) is not None
+
+    def test_holds_arity_mismatch_rejected(self):
+        query = parse_query("q(x) := P(x)")
+        with pytest.raises(ValueError):
+            holds(query, Instance(), ())
+
+    def test_ground_skolem_terms_in_query_match_literally(self):
+        term = FunctionTerm("f", (Constant("a"),))
+        instance = Instance([atom("E", "a", term)])
+        assert find_query_homomorphism((atom("E", "a", term),), instance) is not None
+
+    def test_non_ground_function_terms_rejected(self):
+        with pytest.raises(ValueError):
+            list(
+                iter_query_homomorphisms(
+                    (atom("E", "a", FunctionTerm("f", (Variable("x"),))),),
+                    Instance(),
+                )
+            )
+
+    def test_semi_naive_delta_restriction(self):
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        pattern = (atom("E", x, y), atom("E", y, z))
+        old = Instance([atom("E", "a", "b")])
+        full = old.union([atom("E", "b", "c")])
+        delta = Instance([atom("E", "b", "c")])
+        homs = list(iter_query_homomorphisms(pattern, full, delta=delta))
+        # Only the match using the new edge (a->b->c) qualifies; it may be
+        # reported more than once (once per pivot choice).
+        images = {tuple(sorted((k.name, v.name) for k, v in h.items())) for h in homs}
+        assert images == {(("x", "a"), ("y", "b"), ("z", "c"))}
+
+
+class TestStructureHomomorphisms:
+    def test_fold_path_onto_cycle(self):
+        path = edge_path(4)
+        cycle = edge_cycle(2, prefix="c")
+        hom = find_structure_homomorphism(path, cycle)
+        assert hom is not None
+        image = apply_structure_homomorphism(path, hom)
+        assert image.issubset(cycle)
+
+    def test_cycle_does_not_fold_onto_path(self):
+        cycle = edge_cycle(3, prefix="c")
+        path = edge_path(10)
+        assert find_structure_homomorphism(cycle, path) is None
+
+    def test_constants_can_be_remapped_unless_fixed(self):
+        source = parse_instance("E(a, b)")
+        target = parse_instance("E(c, d)")
+        assert find_structure_homomorphism(source, target) is not None
+        pinned = {Constant("a"): Constant("a")}
+        assert find_structure_homomorphism(source, target, pinned) is None
+
+    def test_fixed_identity_found(self):
+        source = parse_instance("E(a, b). E(b, c)")
+        target = parse_instance("E(a, b). E(b, b)")
+        fixed = {Constant("a"): Constant("a")}
+        hom = find_structure_homomorphism(source, target, fixed)
+        assert hom is not None
+        assert hom[Constant("a")] == Constant("a")
+        assert hom[Constant("c")] == Constant("b")
+
+    def test_all_structure_homs_cover_domain(self):
+        source = parse_instance("E(a, b)")
+        target = parse_instance("E(c, c). E(c, d)")
+        for hom in iter_structure_homomorphisms(source, target):
+            assert set(hom) == source.domain()
+
+    def test_image_is_homomorphic(self):
+        source = edge_path(3)
+        hom = {term: Constant("z") for term in source.domain()}
+        image = apply_structure_homomorphism(source, hom)
+        assert image.atoms() == frozenset({atom("E", "z", "z")})

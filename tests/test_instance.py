@@ -1,0 +1,116 @@
+"""Unit tests for repro.logic.instance."""
+
+from __future__ import annotations
+
+from repro.logic.atoms import atom
+from repro.logic.instance import Instance, subsets_of_size_at_most
+from repro.logic.signature import Predicate
+from repro.logic.terms import Constant
+
+
+def sample() -> Instance:
+    return Instance(
+        [atom("E", "a", "b"), atom("E", "b", "c"), atom("P", "a")]
+    )
+
+
+class TestMutation:
+    def test_add_reports_novelty(self):
+        instance = Instance()
+        assert instance.add(atom("P", "a"))
+        assert not instance.add(atom("P", "a"))
+        assert len(instance) == 1
+
+    def test_discard(self):
+        instance = sample()
+        assert instance.discard(atom("P", "a"))
+        assert not instance.discard(atom("P", "a"))
+        assert atom("P", "a") not in instance
+
+    def test_domain_counts_survive_discard(self):
+        instance = sample()
+        instance.discard(atom("E", "a", "b"))
+        # "a" still occurs in P(a); "b" still occurs in E(b,c).
+        assert Constant("a") in instance.domain()
+        assert Constant("b") in instance.domain()
+        instance.discard(atom("E", "b", "c"))
+        assert Constant("b") not in instance.domain()
+
+    def test_update_counts_new(self):
+        instance = sample()
+        added = instance.update([atom("P", "a"), atom("P", "b")])
+        assert added == 1
+
+
+class TestIndexes:
+    def test_with_predicate(self):
+        instance = sample()
+        assert len(instance.with_predicate(Predicate("E", 2))) == 2
+
+    def test_with_term_at(self):
+        instance = sample()
+        hits = instance.with_term_at(Predicate("E", 2), 0, Constant("b"))
+        assert hits == {atom("E", "b", "c")}
+
+    def test_candidate_count(self):
+        instance = sample()
+        assert instance.candidate_count(Predicate("E", 2), 1, Constant("b")) == 1
+        assert instance.candidate_count(Predicate("E", 2), 1, Constant("z")) == 0
+
+    def test_containing(self):
+        instance = sample()
+        assert instance.containing(Constant("a")) == {
+            atom("E", "a", "b"),
+            atom("P", "a"),
+        }
+
+
+class TestSetOperations:
+    def test_union_does_not_mutate(self):
+        left = sample()
+        right = Instance([atom("P", "z")])
+        merged = left.union(right)
+        assert len(merged) == 4
+        assert len(left) == 3
+
+    def test_issubset(self):
+        small = Instance([atom("P", "a")])
+        assert small.issubset(sample())
+        assert not sample().issubset(small)
+
+    def test_equality_is_by_fact_set(self):
+        assert sample() == sample()
+        assert sample() != Instance([atom("P", "a")])
+
+    def test_copy_is_independent(self):
+        original = sample()
+        clone = original.copy()
+        clone.add(atom("P", "zz"))
+        assert atom("P", "zz") not in original
+
+    def test_restrict_to_terms_is_induced_substructure(self):
+        instance = sample()
+        allowed = {Constant("a"), Constant("b")}
+        restricted = instance.restrict_to_terms(allowed)
+        assert restricted.atoms() == frozenset(
+            {atom("E", "a", "b"), atom("P", "a")}
+        )
+
+
+class TestSubsetEnumeration:
+    def test_counts(self):
+        instance = sample()
+        ones = [s for s in subsets_of_size_at_most(instance, 1)]
+        twos = [s for s in subsets_of_size_at_most(instance, 2)]
+        assert len(ones) == 3
+        assert len(twos) == 3 + 3  # C(3,1) + C(3,2)
+
+    def test_bound_above_size_includes_everything(self):
+        instance = sample()
+        all_subsets = list(subsets_of_size_at_most(instance, 10))
+        assert len(all_subsets) == 7  # 2^3 - 1 non-empty subsets
+
+    def test_each_subset_is_subset(self):
+        instance = sample()
+        for part in subsets_of_size_at_most(instance, 2):
+            assert part.issubset(instance)

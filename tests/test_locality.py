@@ -1,0 +1,162 @@
+"""Tests for locality (Def. 30), bd-locality (Def. 40) and the paper's
+witness examples (Observation 31, Examples 39 and 42)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import chase
+from repro.frontier import (
+    find_bd_locality_constant,
+    find_locality_constant,
+    linear_locality_constant,
+    locality_defect,
+    min_support_size,
+    union_of_subset_chases,
+)
+from repro.logic import parse_query, parse_theory
+from repro.rewriting import rewrite
+from repro.workloads import (
+    edge_cycle,
+    edge_path,
+    example39_sticky,
+    example42_tc,
+    sticky_star,
+    t_a,
+    t_p,
+    university_ontology,
+)
+
+
+class TestLinearTheoriesAreLocal:
+    def test_tp_witnessed_local_with_constant_one(self):
+        assert (
+            find_locality_constant(t_p(), [edge_path(3), edge_path(5)], 2, depth=3)
+            == 1
+        )
+
+    def test_ta_witnessed_local(self):
+        from repro.logic import parse_instance
+
+        instances = [parse_instance("Human(a). Human(b). Mother(a, m)")]
+        assert find_locality_constant(t_a(), instances, 2, depth=3) == 1
+
+    def test_linear_locality_constant_helper(self):
+        assert linear_locality_constant(university_ontology()) == 1
+        with pytest.raises(ValueError):
+            linear_locality_constant(example42_tc())
+
+    def test_observation_8_monotonicity_verified(self):
+        defect = locality_defect(
+            t_p(), edge_path(3), bound=1, depth=3, verify_monotonicity=True
+        )
+        assert defect.witnessed_local
+
+
+class TestObservation31LinearRewritings:
+    @pytest.mark.parametrize("length", [1, 2, 3, 4])
+    def test_rewriting_size_bounded_by_l_times_query_size(self, length):
+        """Local theories admit rewritings of linear disjunct size."""
+        body = ", ".join(
+            f"E(x{i}, x{i + 1})" for i in range(length)
+        )
+        query = parse_query(f"q(x0) := {body}")
+        result = rewrite(t_p(), query)
+        assert result.complete
+        bound = linear_locality_constant(t_p()) * query.size
+        assert result.max_disjunct_size() <= bound
+
+
+class TestExample39StickyNotLocal:
+    @pytest.mark.parametrize("spokes", [2, 3])
+    def test_defect_at_bound_equal_spokes(self, spokes):
+        defect = locality_defect(
+            example39_sticky(), sticky_star(spokes), bound=spokes, depth=spokes
+        )
+        assert not defect.witnessed_local
+
+    def test_some_atom_needs_every_fact(self):
+        """star_k contains a depth-k atom whose support is all k+1 facts."""
+        spokes = 3
+        theory = example39_sticky()
+        star = sticky_star(spokes)
+        run = chase(theory, star, max_rounds=spokes, max_atoms=100_000)
+        supports = [
+            min_support_size(theory, star, item, depth=spokes + 1)
+            for item in sorted(run.round_added[spokes], key=repr)
+        ]
+        assert max(s for s in supports if s is not None) == spokes + 1
+
+    def test_example_39_is_bd_local_on_degree_two(self):
+        """Restricted to degree-2 instances the sticky theory behaves
+        locally (Section 9: sticky theories are bd-local)."""
+        theory = example39_sticky()
+        # Degree-2 witnesses over the 4-ary E and binary R signatures.
+        from repro.logic import parse_instance
+
+        family = [
+            parse_instance("E(a, b, b1, c). R(d, t)"),
+            parse_instance("E(a, b, b1, c)"),
+        ]
+        probe = find_bd_locality_constant(
+            theory, degree=3, instances=family, max_bound=3, depth=2
+        )
+        assert probe.constant is not None
+
+
+class TestExample42TcNotBdLocal:
+    @pytest.mark.parametrize("cycle_length", [3, 4, 5])
+    def test_cycle_defeats_small_bounds(self, cycle_length):
+        defect = locality_defect(
+            example42_tc(),
+            edge_cycle(cycle_length),
+            bound=cycle_length - 1,
+            depth=cycle_length,
+        )
+        assert not defect.witnessed_local
+
+    def test_cycles_have_degree_two(self):
+        from repro.logic.gaifman import max_degree
+
+        assert max_degree(edge_cycle(6)) == 2
+
+    def test_bd_probe_reports_failure(self):
+        probe = find_bd_locality_constant(
+            example42_tc(),
+            degree=2,
+            instances=[edge_cycle(4)],
+            max_bound=3,
+            depth=4,
+        )
+        assert probe.constant is None
+        assert probe.defects_at_max_bound
+
+    def test_degree_declaration_enforced(self):
+        with pytest.raises(ValueError):
+            find_bd_locality_constant(
+                example42_tc(),
+                degree=1,
+                instances=[edge_cycle(4)],
+                max_bound=1,
+                depth=1,
+            )
+
+    def test_whole_cycle_is_the_support(self):
+        """The round-n atoms over an n-cycle need every cycle edge."""
+        theory = example42_tc()
+        cycle = edge_cycle(4)
+        run = chase(theory, cycle, max_rounds=4, max_atoms=100_000)
+        deep = sorted(run.round_added[4], key=repr)
+        supports = [
+            min_support_size(theory, cycle, item, depth=5) for item in deep
+        ]
+        assert max(s for s in supports if s is not None) == 4
+
+
+class TestUnionOfSubsetChases:
+    def test_union_is_subset_of_full_chase(self):
+        theory = t_p()
+        base = edge_path(3)
+        union = union_of_subset_chases(theory, base, bound=1, depth=3)
+        full = chase(theory, base, max_rounds=5, max_atoms=50_000).instance
+        assert union.issubset(full)

@@ -1,0 +1,166 @@
+"""Tests for marked queries (Definitions 47-48, Observation 50)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import chase
+from repro.frontier import (
+    MarkedQuery,
+    adom_atom,
+    all_markings,
+    is_live,
+    is_properly_marked,
+    marked_holds,
+    peel_true_components,
+    proper_marking_closure,
+)
+from repro.frontier.td import phi_r_n
+from repro.logic.atoms import atom
+from repro.logic.parser import parse_query
+from repro.logic.terms import Constant, Variable
+from repro.workloads import green_path, t_d
+
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def mq(atoms, marked, answers=()):
+    return MarkedQuery(tuple(answers), tuple(atoms), frozenset(marked))
+
+
+class TestInvariants:
+    def test_answers_must_be_marked(self):
+        with pytest.raises(ValueError):
+            MarkedQuery((X,), (atom("G", X, Y),), frozenset())
+
+    def test_marked_must_occur(self):
+        with pytest.raises(ValueError):
+            mq([atom("G", X, Y)], {Z})
+
+    def test_adom_vars_must_be_marked(self):
+        with pytest.raises(ValueError):
+            mq([atom("G", X, Y), adom_atom(Z)], {X})
+
+    def test_totally_marked_and_live(self):
+        total = mq([atom("G", X, Y)], {X, Y})
+        assert total.is_totally_marked()
+        assert not is_live(total)
+        partial = mq([atom("G", X, Y)], {X})
+        assert is_live(partial)
+
+
+class TestAllMarkings:
+    def test_counts_include_answer_vars(self):
+        query = parse_query("q(x) := exists y, z. G(x, y), G(y, z)")
+        markings = list(all_markings(query))
+        assert len(markings) == 4  # 2^{y,z}
+        assert all(Variable("x") in m.marked for m in markings)
+
+
+class TestProperMarking:
+    def test_condition_i_predecessor_closure(self):
+        bad = mq([atom("G", X, Y)], {Y})
+        assert not is_properly_marked(bad)
+        good = mq([atom("G", X, Y)], {X, Y})
+        assert is_properly_marked(good)
+
+    def test_condition_ii_cycles_must_be_marked(self):
+        cycle = [atom("G", X, Y), atom("R", Y, X)]
+        assert not is_properly_marked(mq(cycle, set()))
+        assert not is_properly_marked(mq(cycle, {X}))
+        assert is_properly_marked(mq(cycle, {X, Y}))
+
+    def test_self_loop_must_be_marked(self):
+        assert not is_properly_marked(mq([atom("G", X, X)], set()))
+        assert is_properly_marked(mq([atom("G", X, X)], {X}))
+
+    def test_condition_iii_same_colour_sources(self):
+        confluent = [atom("G", X, Z), atom("G", Y, Z)]
+        assert not is_properly_marked(mq(confluent, {X}))
+        assert is_properly_marked(mq(confluent, {X, Y}))
+        assert is_properly_marked(mq(confluent, set()))
+
+    def test_condition_iii_is_per_colour(self):
+        mixed = [atom("G", X, Z), atom("R", Y, Z)]
+        # Different colours: marking X alone forces nothing on Y.
+        assert is_properly_marked(mq(mixed, {X}))
+
+    def test_closure_computes_least_superset(self):
+        closure = proper_marking_closure(mq([atom("G", X, Y), atom("G", Y, Z)], {Z}))
+        assert closure == {X, Y, Z}
+
+
+class TestPeeling:
+    def test_unmarked_component_is_deleted(self):
+        two_components = mq(
+            [atom("G", X, Y), atom("G", Z, W)], {X, Y}, answers=()
+        )
+        peeled = peel_true_components(two_components)
+        assert peeled.atoms == (atom("G", X, Y),)
+
+    def test_marked_component_stays(self):
+        query = mq([atom("G", X, Y)], {X})
+        assert peel_true_components(query) is query
+
+    def test_fully_unmarked_query_becomes_empty(self):
+        query = mq([atom("G", X, Y)], set())
+        peeled = peel_true_components(query)
+        assert peeled.is_empty()
+
+
+class TestSemantics:
+    def test_marked_variables_map_to_base(self):
+        run = chase(t_d(), green_path(2), max_rounds=2, max_atoms=50_000)
+        a0, a1 = Constant("a0"), Constant("a1")
+        base_edge = mq([atom("G", X, Y)], {X, Y}, answers=(X, Y))
+        assert marked_holds(run, base_edge, (a0, a1))
+        assert not marked_holds(run, base_edge, (a1, a0))
+
+    def test_unmarked_variable_must_leave_base(self):
+        run = chase(t_d(), green_path(2), max_rounds=2, max_atoms=50_000)
+        a0 = Constant("a0")
+        pins_edge = mq([atom("G", X, Y)], {X}, answers=(X,))
+        # a0 has a pins-created green successor outside the base: holds.
+        assert marked_holds(run, pins_edge, (a0,))
+        both_marked = mq([atom("G", X, Y)], {X, Y}, answers=(X,))
+        # With y marked, the only option is the base edge G(a0, a1).
+        assert marked_holds(run, both_marked, (a0,))
+
+    def test_totally_marked_equals_base_satisfaction(self):
+        """For T_d every produced atom has an invented term, so a totally
+        marked query holds in the chase iff it holds in D."""
+        run = chase(t_d(), green_path(3), max_rounds=2, max_atoms=50_000)
+        a0, a3 = Constant("a0"), Constant("a3")
+        path = parse_query("q(x, y) := exists u, v. G(x, u), G(u, v), G(v, y)")
+        total = MarkedQuery(
+            path.answer_vars, path.atoms, frozenset(path.variables())
+        )
+        from repro.logic.homomorphism import holds
+
+        assert marked_holds(run, total, (a0, a3)) == holds(
+            path, green_path(3), (a0, a3)
+        )
+
+    def test_empty_marked_query_is_true(self):
+        run = chase(t_d(), green_path(1), max_rounds=1, max_atoms=10_000)
+        empty = MarkedQuery((), (), frozenset())
+        assert marked_holds(run, empty, ())
+
+    def test_answer_arity_checked(self):
+        run = chase(t_d(), green_path(1), max_rounds=1, max_atoms=10_000)
+        query = mq([atom("G", X, Y)], {X, Y}, answers=(X, Y))
+        with pytest.raises(ValueError):
+            marked_holds(run, query, (Constant("a0"),))
+
+    def test_phi_r_n_markings_partition_satisfaction(self):
+        """(spades): the query holds iff some marking of it holds."""
+        from repro.logic.homomorphism import holds
+
+        run = chase(t_d(), green_path(2), max_rounds=3, max_atoms=200_000)
+        query = phi_r_n(1)
+        a0, a2 = Constant("a0"), Constant("a2")
+        via_markings = any(
+            marked_holds(run, marking, (a0, a2))
+            for marking in all_markings(query)
+        )
+        assert via_markings == holds(query, run.instance, (a0, a2))

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the marked-query machinery."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontier import (
+    MarkedQuery,
+    is_properly_marked,
+    peel_true_components,
+    proper_marking_closure,
+)
+from repro.frontier.process import _canonical_key
+from repro.logic.atoms import Atom
+from repro.logic.signature import Predicate
+from repro.logic.terms import Variable
+
+R = Predicate("R", 2)
+G = Predicate("G", 2)
+
+variables = st.integers(min_value=0, max_value=4).map(lambda i: Variable(f"v{i}"))
+colour_atoms = st.tuples(
+    st.sampled_from([R, G]), variables, variables
+).map(lambda t: Atom(t[0], (t[1], t[2])))
+
+
+@st.composite
+def marked_queries(draw):
+    atoms = tuple(dict.fromkeys(draw(st.lists(colour_atoms, min_size=1, max_size=5))))
+    all_vars = sorted({v for a in atoms for v in a.variable_set()}, key=repr)
+    marked = frozenset(v for v in all_vars if draw(st.booleans()))
+    return MarkedQuery((), atoms, marked)
+
+
+class TestClosureProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(marked_queries())
+    def test_closure_is_superset(self, mq):
+        closure = proper_marking_closure(mq)
+        assert mq.marked <= closure
+
+    @settings(max_examples=80, deadline=None)
+    @given(marked_queries())
+    def test_closure_is_idempotent(self, mq):
+        closure = proper_marking_closure(mq)
+        remarked = mq.with_marking(closure)
+        assert proper_marking_closure(remarked) == closure
+
+    @settings(max_examples=80, deadline=None)
+    @given(marked_queries())
+    def test_closure_is_properly_marked(self, mq):
+        remarked = mq.with_marking(proper_marking_closure(mq))
+        assert is_properly_marked(remarked)
+
+    @settings(max_examples=80, deadline=None)
+    @given(marked_queries())
+    def test_properness_iff_closure_fixpoint(self, mq):
+        assert is_properly_marked(mq) == (proper_marking_closure(mq) == mq.marked)
+
+
+class TestPeelingProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(marked_queries())
+    def test_peeling_is_idempotent(self, mq):
+        once = peel_true_components(mq)
+        twice = peel_true_components(once)
+        assert once.atoms == twice.atoms
+        assert once.marked == twice.marked
+
+    @settings(max_examples=80, deadline=None)
+    @given(marked_queries())
+    def test_peeling_never_removes_marked_atoms(self, mq):
+        peeled = peel_true_components(mq)
+        for item in mq.real_atoms():
+            if item.variable_set() & mq.marked:
+                # Atoms directly touching a marked variable live in a
+                # marked component and must survive.
+                assert item in peeled.atoms
+
+    @settings(max_examples=80, deadline=None)
+    @given(marked_queries())
+    def test_peeling_preserves_markings(self, mq):
+        peeled = peel_true_components(mq)
+        assert peeled.marked <= mq.marked
+
+
+class TestCanonicalKeyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(marked_queries(), st.integers(min_value=0, max_value=1000))
+    def test_key_invariant_under_random_renaming(self, mq, salt):
+        mapping = {
+            v: Variable(f"w{salt}_{i}")
+            for i, v in enumerate(sorted(mq.variables(), key=repr))
+        }
+        renamed = MarkedQuery(
+            tuple(mapping[v] for v in mq.answer_vars),
+            tuple(a.substitute(mapping) for a in mq.atoms),
+            frozenset(mapping[v] for v in mq.marked),
+        )
+        assert _canonical_key(mq) == _canonical_key(renamed)
+
+    @settings(max_examples=60, deadline=None)
+    @given(marked_queries())
+    def test_key_is_deterministic(self, mq):
+        assert _canonical_key(mq) == _canonical_key(mq)

@@ -1,0 +1,85 @@
+"""Tests for the Dershowitz-Manna multiset orders (Section 10's ranks)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frontier.multiset import (
+    multiset_less,
+    rank_pair_leq,
+    rank_pair_less,
+    srk_less,
+)
+
+small_multisets = st.lists(st.integers(min_value=0, max_value=6), max_size=5)
+
+
+class TestMultisetOrder:
+    def test_removing_an_element_decreases(self):
+        assert multiset_less([1, 2], [1, 2, 3])
+
+    def test_replacing_big_by_many_small_decreases(self):
+        # {3} > {2, 2, 2, 2}: the hallmark of the multiset order.
+        assert multiset_less([2, 2, 2, 2], [3])
+
+    def test_incomparable_swap_is_ordered_by_max(self):
+        assert multiset_less([1, 3], [4])
+        assert not multiset_less([4], [1, 3])
+
+    def test_equal_multisets_not_less(self):
+        assert not multiset_less([1, 2, 2], [2, 1, 2])
+
+    def test_empty_less_than_nonempty(self):
+        assert multiset_less([], [0])
+        assert not multiset_less([0], [])
+
+    @given(small_multisets)
+    def test_irreflexive(self, items):
+        assert not multiset_less(items, items)
+
+    @given(small_multisets, small_multisets)
+    def test_asymmetric(self, left, right):
+        if multiset_less(left, right):
+            assert not multiset_less(right, left)
+
+    @given(small_multisets, small_multisets, small_multisets)
+    def test_transitive(self, a, b, c):
+        if multiset_less(a, b) and multiset_less(b, c):
+            assert multiset_less(a, c)
+
+    @given(small_multisets, small_multisets)
+    def test_adding_common_elements_preserves(self, left, right):
+        if multiset_less(left, right):
+            assert multiset_less(left + [9], right + [9])
+
+
+class TestRankPairOrder:
+    def test_first_component_dominates(self):
+        assert rank_pair_less((1, Counter([99])), (2, Counter()))
+
+    def test_ties_fall_to_multiset(self):
+        assert rank_pair_less((1, Counter([1])), (1, Counter([2])))
+        assert not rank_pair_less((1, Counter([2])), (1, Counter([1])))
+
+    def test_leq_includes_equality(self):
+        rank = (1, Counter([1, 1]))
+        assert rank_pair_leq(rank, (1, Counter([1, 1])))
+
+
+class TestSrkOrder:
+    def test_replacing_query_by_smaller_ones(self):
+        big = (2, Counter([5]))
+        small_a = (1, Counter([100, 100]))
+        small_b = (2, Counter([4, 4, 4]))
+        assert srk_less([small_a, small_b], [big])
+
+    def test_equal_sets_not_less(self):
+        ranks = [(1, Counter([1])), (2, Counter())]
+        assert not srk_less(ranks, list(ranks))
+
+    def test_dropping_a_query_decreases(self):
+        ranks = [(1, Counter([1])), (2, Counter([3]))]
+        assert srk_less(ranks[:1], ranks)

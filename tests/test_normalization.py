@@ -1,0 +1,126 @@
+"""Tests for the Appendix-A normalization (Theorem 3's machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import chase
+from repro.frontier import (
+    NormalizationError,
+    crucial_lemma_check,
+    detached_terms,
+    existential_atoms,
+    lemma70_check,
+    normalize,
+    sensible_forest,
+    tree_ancestor_sizes,
+)
+from repro.logic import parse_instance, parse_theory
+from repro.workloads import example66, example66_instance, t_a, t_p
+
+
+class TestScope:
+    def test_non_binary_rejected(self):
+        wide = parse_theory("T(x, y, z) -> exists w. P(w)")
+        with pytest.raises(NormalizationError):
+            normalize(wide)
+
+    def test_multi_head_rejected(self):
+        from repro.workloads import t_d
+
+        with pytest.raises(NormalizationError):
+            normalize(t_d())
+
+    def test_linear_theory_normalizes(self):
+        nf = normalize(t_p())
+        assert len(nf.normalized) >= 1
+        assert nf.constants.bound > 0
+
+
+class TestExample66:
+    def test_separated_rule_encapsulates_p_facts(self):
+        """The disconnected P(z) dependency becomes a nullary marker."""
+        nf = normalize(example66())
+        marker_rules = [
+            rule
+            for rule in nf.normalized
+            if rule.head[0].predicate.name.startswith("M_")
+            and rule.body
+            and rule.body[0].predicate.name == "P"
+        ]
+        assert marker_rules, "no M_phi producer rewritten down to P(z)"
+
+    def test_lemma_70_chases_agree(self):
+        nf = normalize(example66())
+        base = example66_instance(3)
+        assert lemma70_check(nf, base, depth=4)
+
+    def test_lemma_70_on_other_instances(self):
+        nf = normalize(example66())
+        base = parse_instance("E(a, b). E(b, c). P(p1). R(p1, b)")
+        assert lemma70_check(nf, base, depth=3)
+
+    @pytest.mark.parametrize("spokes", [2, 4])
+    def test_crucial_lemma_bound_holds(self, spokes):
+        nf = normalize(example66())
+        observed, bound = crucial_lemma_check(
+            nf, example66_instance(spokes), depth=5
+        )
+        assert observed <= bound
+
+    def test_normalized_ancestry_does_not_grow_with_spokes(self):
+        """The Crucial Lemma's point: after normalization the per-tree
+        connected ancestry is flat in the instance size."""
+        nf = normalize(example66())
+        observed = [
+            crucial_lemma_check(nf, example66_instance(spokes), depth=5)[0]
+            for spokes in (2, 3, 5)
+        ]
+        assert observed[0] == observed[1] == observed[2]
+
+
+class TestTaxonomy:
+    def test_detached_terms_found(self):
+        theory = parse_theory("P(x) -> exists y, z. E(y, z)")
+        run = chase(theory, parse_instance("P(a)"), max_rounds=3, max_atoms=10_000)
+        found = detached_terms(run)
+        assert len(found) == 2
+
+    def test_sensible_forest_roots(self):
+        run = chase(t_a(), parse_instance("Human(abel)"), max_rounds=3)
+        forest = sensible_forest(run)
+        from repro.logic.terms import Constant
+
+        assert Constant("abel") in forest
+        assert forest[Constant("abel")]  # the mother chain hangs below abel
+
+    def test_forest_trees_partition_sensible_atoms(self):
+        run = chase(t_a(), parse_instance("Human(a). Human(b)"), max_rounds=3)
+        forest = sensible_forest(run)
+        total = sum(len(atoms) for atoms in forest.values())
+        sensible = [
+            item
+            for item, d in run.derivations.items()
+            if not d.rule.is_datalog() and not d.rule.is_detached()
+        ]
+        assert total == len(sensible)
+
+    def test_existential_atoms_exclude_datalog_products(self):
+        run = chase(t_a(), parse_instance("Human(abel)"), max_rounds=3)
+        exist = existential_atoms(run)
+        datalog_products = [
+            item
+            for item, d in run.derivations.items()
+            if d.rule.is_datalog()
+        ]
+        assert all(item not in exist for item in datalog_products)
+
+
+class TestConstants:
+    def test_bound_formula(self):
+        nf = normalize(example66())
+        constants = nf.constants
+        assert constants.bound == (
+            constants.tree_budget * constants.max_body
+            + constants.nullary_count * constants.max_body
+        )

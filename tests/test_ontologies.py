@@ -1,0 +1,69 @@
+"""Tests for the realistic ontology workloads (repro.workloads.ontologies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classes import classify
+from repro.frontier import linear_locality_constant
+from repro.rewriting import cross_validate, rewrite
+from repro.workloads import all_ontology_workloads
+
+
+@pytest.fixture(params=all_ontology_workloads(), ids=lambda w: w.name)
+def workload(request):
+    return request.param
+
+
+class TestOntologyShape:
+    def test_all_linear_hence_bdd_local_sticky(self, workload):
+        report = classify(workload.theory)
+        assert report.linear
+        assert report.sticky
+        assert report.known_bdd_by_syntax()
+        assert linear_locality_constant(workload.theory) == 1
+
+    def test_queries_reference_declared_predicates(self, workload):
+        declared = {p.name for p in workload.theory.predicates()}
+        for query in workload.queries.values():
+            assert {a.predicate.name for a in query.atoms} <= declared
+
+    def test_database_generation_is_seeded(self, workload):
+        first = workload.database(25, seed=3)
+        second = workload.database(25, seed=3)
+        different = workload.database(25, seed=4)
+        assert first == second
+        assert first != different
+
+    def test_database_scales(self, workload):
+        small = workload.database(10, seed=1)
+        large = workload.database(80, seed=1)
+        assert len(large) > len(small)
+
+
+class TestOntologyAnswering:
+    def test_every_query_rewrites_completely(self, workload):
+        for query in workload.queries.values():
+            result = rewrite(workload.theory, query)
+            assert result.complete
+            assert result.max_disjunct_size() <= query.size
+
+    def test_cross_validation_on_two_scales(self, workload):
+        for scale in (15, 45):
+            database = workload.database(scale, seed=6)
+            for name, query in workload.queries.items():
+                report = cross_validate(workload.theory, query, database)
+                assert report.agree, (workload.name, name, scale)
+
+    def test_ontology_adds_answers_beyond_raw_data(self, workload):
+        """The whole point of OMQA: implied answers the raw data misses."""
+        from repro.logic.homomorphism import evaluate
+
+        database = workload.database(40, seed=9)
+        gained = 0
+        for query in workload.queries.values():
+            raw = evaluate(query, database)
+            report = cross_validate(workload.theory, query, database)
+            assert raw <= report.rewriting_answers
+            gained += len(report.rewriting_answers) - len(raw)
+        assert gained > 0

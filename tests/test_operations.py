@@ -1,0 +1,206 @@
+"""Tests for the five operations (Definitions 56-58, Lemmas 51/52/55).
+
+The centrepiece is the empirical Lemma-52 check: every operation preserves
+marked-query satisfaction over real chases of random instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.chase import chase
+from repro.frontier import (
+    MarkedQuery,
+    NoMaximalVariable,
+    UnsupportedFusion,
+    all_markings,
+    apply_operation,
+    find_maximal_variable,
+    is_live,
+    is_properly_marked,
+    marked_holds,
+    peel_true_components,
+)
+from repro.frontier.operations import cut, fuse, reduce_step
+from repro.logic.atoms import atom
+from repro.logic.instance import Instance
+from repro.logic.parser import parse_query
+from repro.logic.terms import FreshVariables, Variable
+from repro.workloads import t_d
+
+X, Y, Z, W, U = (Variable(n) for n in "xyzwu")
+
+
+def mq(atoms, marked, answers=()):
+    return MarkedQuery(tuple(answers), tuple(atoms), frozenset(marked))
+
+
+class TestMaximalVariables:
+    def test_sink_is_maximal(self):
+        query = mq([atom("G", X, Y), atom("G", Y, Z)], {X})
+        maximal = find_maximal_variable(query)
+        assert maximal.variable == Z
+        assert len(maximal.in_atoms) == 1
+
+    def test_marked_sinks_are_skipped(self):
+        query = mq([atom("G", X, Y)], {X, Y}, answers=())
+        with pytest.raises(NoMaximalVariable):
+            find_maximal_variable(query)
+
+    def test_variable_with_outgoing_atom_not_maximal(self):
+        query = mq([atom("G", X, Y), atom("R", Y, Z)], {X})
+        assert find_maximal_variable(query).variable == Z
+
+
+class TestCut:
+    def test_cut_removes_sink_atom(self):
+        query = mq([atom("G", X, Y), atom("G", Y, Z)], {X})
+        maximal = find_maximal_variable(query)
+        result = cut(query, maximal)
+        assert result.atoms == (atom("G", X, Y),)
+
+    def test_cut_rescues_marked_variable_via_adom(self):
+        query = mq([atom("G", X, Y)], {X}, answers=(X,))
+        maximal = find_maximal_variable(query)
+        result = cut(query, maximal)
+        assert result.atoms == (atom("Adom", X),)
+        assert X in result.marked
+
+
+class TestFuse:
+    def test_fuse_identifies_sources(self):
+        query = mq([atom("G", X, Z), atom("G", Y, Z), atom("R", X, W)], {W})
+        # z is unmarked with two green in-atoms (x, y unmarked too).
+        record = apply_operation(query, FreshVariables())
+        assert record.operation == "fuse-green"
+        (result,) = record.results
+        assert result.size() == 2  # the two greens merged into one
+
+    def test_fusing_answer_variables_unsupported(self):
+        query = mq(
+            [atom("G", X, Z), atom("G", Y, Z)], {X, Y}, answers=(X, Y)
+        )
+        maximal = find_maximal_variable(query)
+        with pytest.raises(UnsupportedFusion):
+            fuse(query, maximal, atom("G", X, Z), atom("G", Y, Z))
+
+
+class TestReduce:
+    def test_reduce_produces_four_markings(self):
+        query = mq([atom("R", X, Z), atom("G", Y, Z)], {X, Y}, answers=(X, Y))
+        maximal = find_maximal_variable(query)
+        results = reduce_step(query, maximal, FreshVariables())
+        assert len(results) == 4
+        markings = {len(r.marked) for r in results}
+        assert markings == {2, 3, 4}
+
+    def test_reduce_shape_matches_definition_58(self):
+        query = mq([atom("R", X, Z), atom("G", Y, Z)], {X, Y}, answers=(X, Y))
+        maximal = find_maximal_variable(query)
+        result = reduce_step(query, maximal, FreshVariables())[0]
+        names = sorted(
+            (item.predicate.name, ) for item in result.atoms
+        )
+        assert [n for (n,) in names] == ["G", "G", "R"]
+        # One red edge consumed, one created.
+        assert len(result.atoms_of("R")) == 1
+        assert len(result.atoms_of("G")) == 2
+
+    def test_footnote_33_marking_is_improper(self):
+        # With unmarked red/green sources, exactly the V u {x''} variant is
+        # improperly marked (G(x', x'') with x'' marked forces x' marked).
+        query = mq([atom("R", X, Z), atom("G", Y, Z)], set())
+        maximal = find_maximal_variable(query)
+        results = reduce_step(query, maximal, FreshVariables())
+        improper = [r for r in results if not is_properly_marked(r)]
+        assert len(improper) == 1
+        assert len(improper[0].marked) == 1
+
+    def test_reduce_with_marked_sources_prunes_harder(self):
+        # When x_r is marked, G(x'', x_r) forces x'' marked, so only the
+        # fully-marked variant survives the properness filter.
+        query = mq([atom("R", X, Z), atom("G", Y, Z)], {X, Y}, answers=(X, Y))
+        maximal = find_maximal_variable(query)
+        results = reduce_step(query, maximal, FreshVariables())
+        proper = [r for r in results if is_properly_marked(r)]
+        assert len(proper) == 1
+        assert proper[0].is_totally_marked()
+
+
+class TestLemma51Completeness:
+    def test_every_live_marking_of_phi_r_1_classifies(self):
+        from repro.frontier.td import phi_r_n
+
+        fresh = FreshVariables()
+        for marking in all_markings(phi_r_n(1)):
+            peeled = peel_true_components(marking)
+            if not is_live(peeled):
+                continue
+            record = apply_operation(peeled, fresh)
+            assert record.operation in {
+                "cut-red",
+                "cut-green",
+                "fuse-red",
+                "fuse-green",
+                "reduce",
+            }
+
+
+def random_marked_query(rng: random.Random) -> MarkedQuery:
+    """A small random connected R/G query with a random proper marking."""
+    variables = [Variable(f"v{i}") for i in range(rng.randint(2, 4))]
+    atoms = []
+    for index in range(1, len(variables)):
+        color = rng.choice(["R", "G"])
+        source = variables[rng.randrange(index)]
+        atoms.append(atom(color, source, variables[index]))
+    if rng.random() < 0.5:
+        color = rng.choice(["R", "G"])
+        atoms.append(
+            atom(color, rng.choice(variables), rng.choice(variables))
+        )
+    marked = frozenset(v for v in variables if rng.random() < 0.5)
+    try:
+        query = MarkedQuery((), tuple(dict.fromkeys(atoms)), marked)
+    except ValueError:
+        return random_marked_query(rng)
+    return query
+
+
+class TestLemma52Soundness:
+    """Operations preserve marked-query satisfaction over real chases."""
+
+    @pytest.mark.slow
+    def test_operations_preserve_satisfaction(self):
+        rng = random.Random(2024)
+        theory = t_d()
+        bases = [
+            Instance([atom("G", "c0", "c1"), atom("G", "c1", "c2")]),
+            Instance([atom("G", "c0", "c1"), atom("R", "c1", "c2")]),
+            Instance([atom("R", "c0", "c0")]),
+        ]
+        runs = [chase(theory, base, max_rounds=4, max_atoms=300_000) for base in bases]
+        fresh = FreshVariables()
+        checked = 0
+        for _ in range(90):
+            query = random_marked_query(rng)
+            query = peel_true_components(query)
+            if not is_live(query):
+                continue
+            record = apply_operation(query, fresh)
+            for run in runs:
+                before = marked_holds(run, query, ())
+                results = [
+                    peel_true_components(r)
+                    for r in record.results
+                    if is_properly_marked(peel_true_components(r))
+                ]
+                after = any(marked_holds(run, r, ()) for r in results)
+                assert before == after, (
+                    f"{record.operation} broke satisfaction on {query!r}"
+                )
+                checked += 1
+        assert checked >= 30

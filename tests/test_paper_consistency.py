@@ -1,0 +1,146 @@
+"""Cross-consistency checks between independent parts of the reproduction.
+
+Each test pits two different implementations (or two different paper
+routes to the same fact) against each other: translation layers, the
+renamed T_d^2 vs T_d, rewriting-size bounds vs distance contraction
+(Observation 44), and the class-catalogue's promised inclusions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import chase
+from repro.frontier import distance_contraction
+from repro.frontier.tdk import phi_pair, run_process_k
+from repro.frontier.process import run_process
+from repro.frontier.td import phi_r_n
+from repro.logic import parse_instance, parse_query
+from repro.logic.atoms import Atom
+from repro.logic.signature import Predicate
+from repro.logic.terms import Constant
+from repro.rewriting import rewrite
+from repro.workloads import (
+    edge_path,
+    green_path,
+    level_path,
+    t_d,
+    t_d_k,
+    t_p,
+    university_ontology,
+)
+
+
+class TestTdVersusTdK2:
+    """T_d^2 is T_d with I_2 = R, I_1 = G (the pins rules split per level,
+    which cannot change which atoms exist, only their Skolem spellings)."""
+
+    def _rename(self, instance):
+        renaming = {"R": Predicate("I2", 2), "G": Predicate("I1", 2)}
+        return {
+            (renaming[a.predicate.name].name, a.args)
+            for a in instance
+            if a.predicate.name in renaming
+        }
+
+    @pytest.mark.parametrize("rounds", [1, 2, 3])
+    def test_same_atom_counts_per_round(self, rounds):
+        td_run = chase(t_d(), green_path(2), max_rounds=rounds, max_atoms=200_000)
+        tdk_run = chase(
+            t_d_k(2), level_path(2, 1), max_rounds=rounds, max_atoms=200_000
+        )
+        assert len(td_run.instance) == len(tdk_run.instance)
+
+    def test_same_rewriting_shape(self):
+        td_rewriting = run_process(phi_r_n(2)).rewriting()
+        tdk_rewriting = run_process_k(phi_pair(1, 2), levels=2).rewriting()
+        assert len(td_rewriting) == len(tdk_rewriting)
+        assert sorted(d.size for d in td_rewriting) == sorted(
+            d.size for d in tdk_rewriting
+        )
+
+
+class TestSingleHeadTranslation:
+    """Footnote 10's multi-head-to-single-head translation preserves the
+    original-signature entailments (at the cost of higher arity)."""
+
+    def test_td_translation_preserves_phi_r_1(self):
+        theory = t_d()
+        translated = theory.single_head_equivalent()
+        base = green_path(2)
+        query = phi_r_n(1)
+        original = chase(theory, base, max_rounds=3, max_atoms=200_000)
+        # The translation interleaves Aux production and projections, so
+        # it may need up to twice the rounds for the same atoms.
+        doubled = chase(translated, base, max_rounds=6, max_atoms=400_000)
+        from repro.logic.homomorphism import holds
+
+        answer = (Constant("a0"), Constant("a2"))
+        assert holds(query, original.instance, answer) == holds(
+            query, doubled.instance, answer
+        )
+
+    def test_translation_raises_arity(self):
+        translated = t_d().single_head_equivalent()
+        assert translated.max_arity() > 2
+        assert translated.is_single_head()
+
+
+class TestObservation44Link:
+    """Linear-size rewritings come with bounded distance contraction; the
+    two measurements must agree on which theories are tame."""
+
+    def test_tp_small_rewritings_and_no_contraction(self):
+        query = parse_query(
+            "q(x0) := E(x0, x1), E(x1, x2), E(x2, x3)"
+        )
+        result = rewrite(t_p(), query)
+        assert result.complete
+        assert result.max_disjunct_size() <= query.size  # linear-size
+        path = edge_path(6)
+        pair = distance_contraction(
+            t_p(), path, [(Constant("a0"), Constant("a6"))], depth=4
+        )[0]
+        assert pair.contraction_ratio <= 1.0  # distancing
+
+    def test_td_large_rewritings_and_contraction_go_together(self):
+        process = run_process(phi_r_n(3))
+        assert process.rewriting().max_disjunct_size() >= 8  # 2^3 disjunct
+        from repro.frontier.td import doubling_witness
+
+        instance, start, end = doubling_witness(3)
+        pair = distance_contraction(
+            t_d(), instance, [(start, end)], depth=7, max_atoms=2_000_000
+        )[0]
+        assert pair.contraction_ratio > 1.0  # non-distancing
+
+
+class TestCatalogueInclusions:
+    """Section 1's promised inclusions, checked on the whole catalogue."""
+
+    def test_linear_implies_guarded_and_sticky(self):
+        from repro.classes import classify
+        from repro.workloads import t_a, university_ontology
+
+        for theory in (t_p(), t_a(), university_ontology()):
+            report = classify(theory)
+            assert report.linear
+            assert report.guarded  # one body atom guards trivially
+            assert report.sticky
+
+    def test_guarded_implies_frontier_guarded(self):
+        from repro.classes import classify
+        from repro.workloads import example41
+
+        report = classify(example41())
+        assert report.guarded
+        assert report.frontier_guarded
+
+    def test_university_rewriting_depth_matches_chain_length(self):
+        """The depth bound certified by rewriting tracks the ontology's
+        longest implication chain."""
+        from repro.rewriting import depth_bound_from_rewriting
+
+        query = parse_query("q() := exists p, d. MemberOf(p, d), Department(d)")
+        bound = depth_bound_from_rewriting(university_ontology(), query)
+        assert 1 <= bound <= len(university_ontology())

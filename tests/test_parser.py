@@ -1,0 +1,133 @@
+"""Unit tests for repro.logic.parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.parser import (
+    ParseError,
+    parse_instance,
+    parse_query,
+    parse_rule,
+    parse_theory,
+)
+from repro.logic.terms import Constant, Variable
+
+
+class TestRuleParsing:
+    def test_simple_rule(self):
+        rule = parse_rule("E(x, y) -> exists z. E(y, z)")
+        assert len(rule.body) == 1
+        assert rule.existential == frozenset({Variable("z")})
+        assert rule.frontier() == {Variable("y")}
+
+    def test_datalog_rule(self):
+        rule = parse_rule("Mother(x, y) -> Human(y)")
+        assert rule.is_datalog()
+
+    def test_multi_head_rule(self):
+        rule = parse_rule("R(x, x1), G(x, u), G(u, u1) -> exists z. R(u1, z), G(x1, z)")
+        assert len(rule.head) == 2
+        assert not rule.is_single_head()
+
+    def test_empty_body_with_true(self):
+        rule = parse_rule("true -> exists x. R(x, x)")
+        assert rule.body == ()
+        assert rule.existential == frozenset({Variable("x")})
+
+    def test_universal_head_variable(self):
+        rule = parse_rule("true -> exists z. R(x, z)")
+        assert rule.universal_head_variables() == {Variable("x")}
+        assert rule.frontier() == {Variable("x")}
+
+    def test_quoted_constant_in_rule(self):
+        rule = parse_rule("Siblings('abel', x) -> Human(x)")
+        assert Constant("abel") in rule.body[0].args
+
+    def test_primes_in_variable_names(self):
+        rule = parse_rule("R(x, x'), G(x, u) -> exists z. R(u, z)")
+        assert Variable("x'") in rule.body_variables()
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("E(x, y) -> E(y, x) garbage")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("E(x, y)")
+
+
+class TestTheoryParsing:
+    def test_multiple_rules_with_comments(self):
+        theory = parse_theory(
+            """
+            # the classic pair
+            Human(y) -> exists z. Mother(y, z)
+            Mother(x, y) -> Human(y)   # mothers are human
+            """,
+            name="T_a",
+        )
+        assert len(theory) == 2
+        assert theory.name == "T_a"
+
+    def test_semicolon_separator(self):
+        theory = parse_theory("P(x) -> Q(x); Q(x) -> R(x)")
+        assert len(theory) == 2
+
+    def test_rules_get_labels(self):
+        theory = parse_theory("P(x) -> Q(x)\nQ(x) -> R(x)")
+        assert [rule.label for rule in theory] == ["r0", "r1"]
+
+
+class TestQueryParsing:
+    def test_explicit_answer_tuple(self):
+        query = parse_query("q(x, y) := R(x, z), G(z, y)")
+        assert query.answer_vars == (Variable("x"), Variable("y"))
+        assert query.size == 2
+
+    def test_exists_prefix_infers_answers(self):
+        query = parse_query("exists z. R(x, z), G(z, y)")
+        assert query.answer_vars == (Variable("x"), Variable("y"))
+
+    def test_no_quantifier_everything_free(self):
+        query = parse_query("R(x, y)")
+        assert query.answer_vars == (Variable("x"), Variable("y"))
+
+    def test_answer_vars_override(self):
+        query = parse_query("R(x, y)", answer_vars=[])
+        assert query.is_boolean()
+
+    def test_boolean_query_via_head(self):
+        query = parse_query("q() := exists x. P(x)")
+        assert query.is_boolean()
+
+    def test_constants_in_query(self):
+        query = parse_query("q() := exists x. Siblings('abel', x)")
+        assert Constant("abel") in query.atoms[0].args
+
+    def test_colon_dash_alias(self):
+        query = parse_query("q(x) :- P(x)")
+        assert query.answer_vars == (Variable("x"),)
+
+
+class TestInstanceParsing:
+    def test_facts_are_constants(self):
+        instance = parse_instance("E(a, b). E(b, c)")
+        assert len(instance) == 2
+        assert Constant("a") in instance.domain()
+
+    def test_newline_separator(self):
+        instance = parse_instance("P(a)\nP(b)")
+        assert len(instance) == 2
+
+    def test_numbers_become_constants(self):
+        instance = parse_instance("Age(abel, 930)")
+        assert Constant("930") in instance.domain()
+
+    def test_comments_ignored(self):
+        instance = parse_instance("P(a)  # a fact\n# only a comment\nP(b)")
+        assert len(instance) == 2
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_instance("P(@)")

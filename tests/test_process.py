@@ -1,0 +1,138 @@
+"""Tests for the five-operation rewriting process (Section 10) and
+Theorem 5: T_d is BDD (A) with doubling rewritings (B)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.chase import chase
+from repro.frontier import run_process
+from repro.frontier.td import (
+    check_theorem_5b,
+    doubling_witness,
+    g_path_query,
+    phi_r_n,
+)
+from repro.logic import Instance, holds, parse_query
+from repro.logic.atoms import atom
+from repro.logic.containment import are_equivalent
+from repro.workloads import t_d
+
+
+class TestProcessMechanics:
+    def test_process_terminates_without_live_queries(self):
+        result = run_process(phi_r_n(1))
+        from repro.frontier import is_live
+
+        assert all(not is_live(mq) for mq in result.survivors)
+
+    def test_survivors_are_totally_marked_or_empty(self):
+        result = run_process(phi_r_n(1))
+        for mq in result.survivors:
+            assert mq.is_totally_marked() or mq.is_empty()
+
+    def test_deduplication_keeps_process_small(self):
+        result = run_process(phi_r_n(2))
+        assert result.steps < 100
+
+    def test_boolean_connected_query_is_trivially_true(self):
+        """Section 10: thanks to (loop), Ch_1(D) satisfies every boolean
+        query; the process discovers this via peeling."""
+        query = parse_query("q() := exists x, y, z. R(x, y), G(y, z)")
+        result = run_process(query)
+        assert any(mq.is_empty() for mq in result.survivors)
+        assert result.holds_on_base(Instance([atom("P", "a")]), ())
+
+    def test_records_collected_on_demand(self):
+        result = run_process(phi_r_n(1), collect_records=True)
+        assert result.records
+        operations = {record.operation for record in result.records}
+        assert operations <= {
+            "cut-red",
+            "cut-green",
+            "fuse-red",
+            "fuse-green",
+            "reduce",
+        }
+
+
+class TestTheorem5B:
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_green_power_path_in_rewriting(self, depth):
+        """G^{2^n} appears among the rewriting's disjuncts."""
+        result = run_process(phi_r_n(depth))
+        target = g_path_query(2 ** depth)
+        assert any(are_equivalent(d, target) for d in result.rewriting())
+
+    @pytest.mark.slow
+    def test_green_power_path_n3(self):
+        result = run_process(phi_r_n(3))
+        target = g_path_query(8)
+        assert any(are_equivalent(d, target) for d in result.rewriting())
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_chase_witness(self, depth):
+        """Claims (i) and (ii): the full green path satisfies phi_R^n in
+        the chase; one-edge-removed subsets never do."""
+        check = check_theorem_5b(depth, max_atoms=600_000)
+        assert check.positive
+        assert check.subsets_fail
+        assert check.path_length == 2 ** depth
+
+    def test_max_disjunct_size_doubles(self):
+        sizes = [
+            run_process(phi_r_n(depth)).rewriting().max_disjunct_size()
+            for depth in (1, 2)
+        ]
+        assert sizes[1] >= 2 * sizes[0]
+
+
+class TestProcessSoundness:
+    """The process output is a true rewriting: evaluation over D matches
+    chase-based certain answers (the (spades) + totally-marked conversion)."""
+
+    @pytest.mark.slow
+    def test_cross_validation_on_random_instances(self):
+        rng = random.Random(11)
+        query = phi_r_n(1)
+        result = run_process(query)
+        theory = t_d()
+        for trial in range(20):
+            constants = [f"c{i}" for i in range(3)]
+            facts = [
+                atom(
+                    rng.choice(["R", "G"]),
+                    rng.choice(constants),
+                    rng.choice(constants),
+                )
+                for _ in range(rng.randint(1, 4))
+            ]
+            base = Instance(facts)
+            run = chase(theory, base, max_rounds=4, max_atoms=300_000)
+            domain = sorted(base.domain(), key=repr)
+            for pair in itertools.product(domain, repeat=2):
+                via_chase = holds(query, run.instance, pair)
+                via_rewriting = result.holds_on_base(base, pair)
+                assert via_chase == via_rewriting, (base, pair)
+
+    def test_rewriting_evaluation_on_doubling_witness(self):
+        query = phi_r_n(2)
+        result = run_process(query)
+        instance, start, end = doubling_witness(2)
+        assert result.holds_on_base(instance, (start, end))
+        # Reversed endpoints: no.
+        assert not result.holds_on_base(instance, (end, start))
+
+    def test_rewriting_rejects_short_paths(self):
+        from repro.workloads import green_path
+        from repro.logic.terms import Constant
+
+        query = phi_r_n(2)
+        result = run_process(query)
+        short = green_path(3)
+        assert not result.holds_on_base(
+            short, (Constant("a0"), Constant("a3"))
+        )

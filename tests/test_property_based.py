@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on the core data structures and the
+paper's foundational invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chase import chase
+from repro.logic.atoms import Atom
+from repro.logic.containment import (
+    are_equivalent,
+    core_query,
+    is_contained_in,
+    minimize_ucq,
+)
+from repro.logic.homomorphism import evaluate, find_structure_homomorphism
+from repro.logic.instance import Instance
+from repro.logic.query import ConjunctiveQuery
+from repro.logic.signature import Predicate
+from repro.logic.terms import Constant, Variable
+from repro.workloads import exercise23, t_a, t_p
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+E = Predicate("E", 2)
+P = Predicate("P", 1)
+
+constants = st.integers(min_value=0, max_value=4).map(lambda i: Constant(f"c{i}"))
+variables = st.integers(min_value=0, max_value=4).map(lambda i: Variable(f"v{i}"))
+
+
+def _edge(source, target):
+    return Atom(E, (source, target))
+
+
+edge_facts = st.tuples(constants, constants).map(lambda p: _edge(*p))
+unary_facts = constants.map(lambda c: Atom(P, (c,)))
+instances = st.lists(
+    st.one_of(edge_facts, unary_facts), min_size=1, max_size=7
+).map(Instance)
+
+edge_patterns = st.tuples(variables, variables).map(lambda p: _edge(*p))
+
+
+@st.composite
+def queries(draw):
+    atoms = tuple(
+        dict.fromkeys(draw(st.lists(edge_patterns, min_size=1, max_size=4)))
+    )
+    all_vars = sorted({v for a in atoms for v in a.variable_set()}, key=repr)
+    answer_count = draw(st.integers(min_value=0, max_value=min(2, len(all_vars))))
+    return ConjunctiveQuery(tuple(all_vars[:answer_count]), atoms)
+
+
+# ----------------------------------------------------------------------
+# Chase invariants
+# ----------------------------------------------------------------------
+class TestChaseInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(instances)
+    def test_observation_8_literal_monotonicity(self, base):
+        """Ch(T, F) is a literal subset of Ch(T, D) for F ⊆ D."""
+        theory = exercise23()
+        full = chase(theory, base, max_rounds=3, max_atoms=20_000).instance
+        facts = sorted(base, key=repr)
+        part = Instance(facts[: max(1, len(facts) // 2)])
+        partial = chase(theory, part, max_rounds=3, max_atoms=20_000).instance
+        assert partial.issubset(full)
+
+    @settings(max_examples=30, deadline=None)
+    @given(instances)
+    def test_rounds_are_increasing(self, base):
+        result = chase(t_p(), base, max_rounds=3, max_atoms=20_000)
+        previous = Instance()
+        for depth in range(result.rounds_run + 1):
+            current = result.prefix(depth)
+            assert previous.issubset(current)
+            previous = current
+
+    @settings(max_examples=20, deadline=None)
+    @given(instances)
+    def test_base_preserved(self, base):
+        result = chase(t_p(), base, max_rounds=2, max_atoms=20_000)
+        assert base.issubset(result.instance)
+
+
+# ----------------------------------------------------------------------
+# Containment / core invariants
+# ----------------------------------------------------------------------
+class TestContainmentInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(queries())
+    def test_containment_is_reflexive(self, query):
+        assert is_contained_in(query, query)
+
+    @settings(max_examples=40, deadline=None)
+    @given(queries())
+    def test_core_is_equivalent_and_no_larger(self, query):
+        core = core_query(query)
+        assert core.size <= query.size
+        assert are_equivalent(core, query)
+
+    @settings(max_examples=40, deadline=None)
+    @given(queries())
+    def test_core_is_idempotent(self, query):
+        core = core_query(query)
+        assert core_query(core).size == core.size
+
+    @settings(max_examples=25, deadline=None)
+    @given(queries(), instances)
+    def test_core_preserves_answers(self, query, instance):
+        assert evaluate(query, instance) == evaluate(core_query(query), instance)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(queries(), min_size=1, max_size=3))
+    def test_minimize_ucq_preserves_boolean_semantics(self, disjuncts):
+        boolean = [ConjunctiveQuery((), q.atoms) for q in disjuncts]
+        minimized = minimize_ucq(boolean)
+        assert len(minimized) >= 1
+        for original in boolean:
+            assert any(
+                is_contained_in(original, kept) for kept in minimized
+            )
+
+
+# ----------------------------------------------------------------------
+# Homomorphism invariants
+# ----------------------------------------------------------------------
+class TestHomomorphismInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(instances)
+    def test_identity_endomorphism_exists(self, instance):
+        hom = find_structure_homomorphism(
+            instance, instance, {t: t for t in instance.domain()}
+        )
+        assert hom is not None
+
+    @settings(max_examples=30, deadline=None)
+    @given(instances, queries())
+    def test_answers_come_from_domain(self, instance, query):
+        for answer in evaluate(query, instance):
+            assert all(term in instance.domain() for term in answer)
+
+    @settings(max_examples=20, deadline=None)
+    @given(instances, instances)
+    def test_union_admits_both_inclusions(self, left, right):
+        merged = left.union(right)
+        assert left.issubset(merged) and right.issubset(merged)
+
+
+# ----------------------------------------------------------------------
+# Rewriting invariants on a linear theory
+# ----------------------------------------------------------------------
+class TestRewritingInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(instances, queries())
+    def test_rewriting_agrees_with_chase_on_tp(self, instance, query):
+        """rewrite-then-evaluate == chase-then-evaluate for every random
+        instance and E-pattern query under the linear theory T_p."""
+        from repro.rewriting import cross_validate
+
+        report = cross_validate(t_p(), query, instance, max_rounds=12)
+        assert report.agree

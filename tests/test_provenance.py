@@ -1,0 +1,148 @@
+"""Tests for repro.chase.provenance (Observations 9 & 10, Appendix A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import (
+    ancestor_support,
+    ancestors,
+    birth_atom,
+    chase,
+    connected_parents,
+    derivation_depths,
+    frontier_of,
+    invented_terms,
+    parents,
+)
+from repro.logic import parse_instance, parse_theory
+from repro.logic.terms import Constant, FunctionTerm
+from repro.workloads import example66, example66_instance, t_a
+
+
+@pytest.fixture
+def ta_run():
+    return chase(t_a(), parse_instance("Human(abel)"), max_rounds=3)
+
+
+class TestFrontier:
+    def test_frontier_of_mother_atom(self, ta_run):
+        mothers = [
+            a
+            for a in ta_run.instance
+            if a.predicate.name == "Mother" and a.args[0] == Constant("abel")
+        ]
+        assert frontier_of(ta_run, mothers[0]) == {Constant("abel")}
+
+    def test_frontier_of_base_atom_raises(self, ta_run):
+        base = next(iter(ta_run.base))
+        with pytest.raises(KeyError):
+            frontier_of(ta_run, base)
+
+
+class TestBirthAtoms:
+    def test_invented_terms(self, ta_run):
+        invented = invented_terms(ta_run)
+        assert invented
+        assert all(isinstance(t, FunctionTerm) for t in invented)
+
+    def test_birth_atom_is_unique_and_excludes_frontier(self, ta_run):
+        for term in invented_terms(ta_run):
+            birth = birth_atom(ta_run, term)
+            assert term in birth.args
+            assert term not in frontier_of(ta_run, birth)
+
+    def test_birth_atom_of_base_term_rejected(self, ta_run):
+        with pytest.raises(ValueError):
+            birth_atom(ta_run, Constant("abel"))
+
+
+class TestAncestors:
+    def test_base_atoms_are_their_own_ancestors(self, ta_run):
+        base = next(iter(ta_run.base))
+        assert ancestors(ta_run, base) == frozenset({base})
+
+    def test_ancestors_ground_out_in_base(self, ta_run):
+        for item in ta_run.instance:
+            found = ancestors(ta_run, item)
+            assert found
+            assert all(a in ta_run.base for a in found)
+
+    def test_parents_of_produced_atom(self, ta_run):
+        produced = [a for a in ta_run.instance if a not in ta_run.base]
+        for item in produced:
+            assert parents(ta_run, item)
+
+    def test_example_66_all_p_facts_enter_some_ancestry(self):
+        """Example 66: every P-fact is an ancestor of some R-atom — the raw
+        theory spreads the whole instance across derivations (which parent
+        each E-atom records is chase-nondeterministic, exactly the paper's
+        point, so the per-tree blowup itself is asserted via the
+        normalization benchmarks instead)."""
+        theory = example66()
+        base = example66_instance(4)
+        run = chase(theory, base, max_rounds=6, max_atoms=50_000)
+        r_atoms = [a for a in run.instance if a.predicate.name == "R"]
+        support = ancestor_support(run, r_atoms)
+        p_facts_used = {a for a in support if a.predicate.name == "P"}
+        assert len(p_facts_used) == 4
+
+    def test_connected_parents_skip_nullary(self):
+        theory = parse_theory("M() , P(x) -> Q(x)")
+        base = parse_instance("M(). P(a)")
+        run = chase(theory, base, max_rounds=2)
+        q_atom = next(a for a in run.instance if a.predicate.name == "Q")
+        connected = connected_parents(run, q_atom)
+        assert all(p.predicate.arity > 0 for p in connected)
+
+
+class TestPossibleAncestors:
+    def test_one_e_atom_can_cite_every_p_fact(self):
+        """Example 66 proper: over all derivation choices, a single E-atom's
+        ancestry spans the whole instance."""
+        from repro.chase import possible_ancestors
+
+        theory = example66()
+        base = example66_instance(4)
+        run = chase(theory, base, max_rounds=5, max_atoms=50_000)
+        produced_e = [
+            a for a in run.instance if a.predicate.name == "E" and a not in base
+        ]
+        anc = possible_ancestors(run, produced_e[:1])
+        p_facts = {a for a in anc if a.predicate.name == "P"}
+        assert len(p_facts) == 4
+
+    def test_possible_parent_sets_cover_recorded_derivation(self, ta_run):
+        from repro.chase import possible_parent_sets
+
+        produced = [a for a in ta_run.instance if a not in ta_run.base]
+        for item in produced:
+            recorded = set(parents(ta_run, item))
+            options = possible_parent_sets(ta_run, item)
+            assert any(set(option) == recorded for option in options)
+
+    def test_possible_ancestors_superset_of_recorded(self, ta_run):
+        from repro.chase import possible_ancestors
+
+        produced = [a for a in ta_run.instance if a not in ta_run.base]
+        for item in produced:
+            assert ancestors(ta_run, item) <= possible_ancestors(ta_run, [item])
+
+    def test_base_atom_is_its_own_possible_ancestry(self, ta_run):
+        from repro.chase import possible_ancestors
+
+        base = next(iter(ta_run.base))
+        assert possible_ancestors(ta_run, [base]) == frozenset({base})
+
+
+class TestDepths:
+    def test_derivation_depths_match_rounds(self, ta_run):
+        depths = derivation_depths(ta_run)
+        for item, depth in depths.items():
+            assert ta_run.depth_of(item) == depth
+
+    def test_depths_increase_along_derivation(self, ta_run):
+        depths = derivation_depths(ta_run)
+        for item in ta_run.instance:
+            for parent in parents(ta_run, item):
+                assert depths[parent] < depths[item]

@@ -1,0 +1,169 @@
+"""Unit tests for repro.logic.query and repro.logic.containment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.atoms import atom
+from repro.logic.containment import (
+    are_equivalent,
+    core_query,
+    evaluate_ucq,
+    is_contained_in,
+    minimize_ucq,
+    ucq_holds,
+)
+from repro.logic.parser import parse_instance, parse_query
+from repro.logic.query import ConjunctiveQuery, UnionOfCQs, boolean_query
+from repro.logic.terms import Constant, FreshVariables, Variable
+
+
+class TestQueryStructure:
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery((), ())
+
+    def test_answer_variable_must_occur(self):
+        with pytest.raises(ValueError):
+            parse_query("q(w) := P(x)")
+
+    def test_duplicate_answer_vars_allowed(self):
+        # Theorem 1's disjuncts may repeat an answer variable: q(x, x).
+        x = Variable("x")
+        query = ConjunctiveQuery((x, x), (atom("E", x, x),))
+        from repro.logic.homomorphism import evaluate, holds
+
+        loops = parse_instance("E(a, a). E(b, c)")
+        assert evaluate(query, loops) == {(Constant("a"), Constant("a"))}
+        assert holds(query, loops, (Constant("a"), Constant("a")))
+        assert not holds(query, loops, (Constant("a"), Constant("b")))
+
+    def test_size_counts_atoms(self):
+        assert parse_query("q() := exists x, y. E(x, y), P(x)").size == 2
+
+    def test_connected_components_split(self):
+        query = parse_query("q(x, z) := exists y. E(x, y), P(z)")
+        components = query.connected_components()
+        assert len(components) == 2
+        answers = {tuple(v.name for v in c.answer_vars) for c in components}
+        assert answers == {("x",), ("z",)}
+
+    def test_substitute_may_merge_answers(self):
+        query = parse_query("q(x, y) := E(x, y)")
+        merged = query.substitute({Variable("x"): Variable("y")})
+        assert merged.answer_vars == (Variable("y"), Variable("y"))
+
+    def test_substitute_rejects_non_variable_answers(self):
+        query = parse_query("q(x, y) := E(x, y)")
+        with pytest.raises(ValueError):
+            query.substitute({Variable("x"): Constant("a")})
+
+    def test_rename_apart(self):
+        query = parse_query("q(x) := exists y. E(x, y)")
+        renamed = query.rename_apart(FreshVariables())
+        assert renamed.variables().isdisjoint(query.variables())
+        assert renamed.size == query.size
+
+    def test_canonical_instance_has_variables_as_domain(self):
+        query = parse_query("q(x) := exists y. E(x, y)")
+        canonical = query.canonical_instance()
+        assert Variable("x") in canonical.domain()
+
+
+class TestContainment:
+    def test_longer_path_contained_in_shorter(self):
+        # "x has a 2-step path" implies "x has a 1-step path".
+        two = parse_query("q(x) := exists y, z. E(x, y), E(y, z)")
+        one = parse_query("q(x) := exists y. E(x, y)")
+        assert is_contained_in(two, one)
+        assert not is_contained_in(one, two)
+
+    def test_containment_respects_answer_positions(self):
+        forward = parse_query("q(x) := exists y. E(x, y)")
+        backward = parse_query("q(x) := exists y. E(y, x)")
+        assert not is_contained_in(forward, backward)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            is_contained_in(parse_query("q(x) := P(x)"), parse_query("q() := exists x. P(x)"))
+
+    def test_equivalence_up_to_renaming(self):
+        first = parse_query("q(x) := exists y. E(x, y)")
+        second = parse_query("q(x) := exists w. E(x, w)")
+        assert are_equivalent(first, second)
+
+    def test_constant_specializes(self):
+        with_constant = parse_query("q() := E('a', 'b')")
+        general = parse_query("q() := exists x, y. E(x, y)")
+        assert is_contained_in(with_constant, general)
+        assert not is_contained_in(general, with_constant)
+
+
+class TestCore:
+    def test_redundant_atom_folds_away(self):
+        # E(x,y) & E(x,z) has core E(x,y).
+        query = parse_query("q(x) := exists y, z. E(x, y), E(x, z)")
+        core = core_query(query)
+        assert core.size == 1
+        assert are_equivalent(core, query)
+
+    def test_core_keeps_answer_variables(self):
+        query = parse_query("q(x, y) := exists z. E(x, z), E(y, z)")
+        core = core_query(query)
+        assert set(core.answer_vars) == {Variable("x"), Variable("y")}
+        assert core.size == 2  # x and y are distinct answers; nothing folds
+
+    def test_triangle_is_its_own_core(self):
+        query = parse_query(
+            "q() := exists x, y, z. E(x, y), E(y, z), E(z, x)"
+        )
+        assert core_query(query).size == 3
+
+    def test_path_with_backtrack_folds(self):
+        # E(x,y), E(z,y) boolean: folds to a single edge.
+        query = parse_query("q() := exists x, y, z. E(x, y), E(z, y)")
+        assert core_query(query).size == 1
+
+
+class TestUcq:
+    def test_minimize_drops_contained_disjuncts(self):
+        specific = parse_query("q(x) := exists y, z. E(x, y), E(y, z)")
+        general = parse_query("q(x) := exists y. E(x, y)")
+        minimized = minimize_ucq([specific, general])
+        assert len(minimized) == 1
+        assert are_equivalent(minimized.disjuncts()[0], general)
+
+    def test_minimize_keeps_incomparable(self):
+        forward = parse_query("q(x) := exists y. E(x, y)")
+        backward = parse_query("q(x) := exists y. E(y, x)")
+        assert len(minimize_ucq([forward, backward])) == 2
+
+    def test_evaluate_ucq_unions_answers(self):
+        ucq = UnionOfCQs(
+            [
+                parse_query("q(x) := exists y. E(x, y)"),
+                parse_query("q(x) := exists y. E(y, x)"),
+            ]
+        )
+        instance = parse_instance("E(a, b)")
+        assert evaluate_ucq(ucq, instance) == {(Constant("a"),), (Constant("b"),)}
+
+    def test_ucq_holds(self):
+        ucq = UnionOfCQs([boolean_query((atom("P", Variable("x")),))])
+        assert ucq_holds(ucq, parse_instance("P(a)"))
+        assert not ucq_holds(ucq, parse_instance("Q(a)"))
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ValueError):
+            UnionOfCQs(
+                [parse_query("q(x) := P(x)"), parse_query("q() := exists x. P(x)")]
+            )
+
+    def test_max_disjunct_size(self):
+        ucq = UnionOfCQs(
+            [
+                parse_query("q() := exists x. P(x)"),
+                parse_query("q() := exists x, y. E(x, y), P(x)"),
+            ]
+        )
+        assert ucq.max_disjunct_size() == 2

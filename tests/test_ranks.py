@@ -1,0 +1,89 @@
+"""Tests for R-paths, elevation/cost and erk/qrk (Definitions 59-62)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontier import MarkedQuery, hike_costs, qrk
+from repro.frontier.process import run_process
+from repro.frontier.ranks import erk
+from repro.frontier.td import phi_r_n
+from repro.logic.atoms import atom
+from repro.logic.terms import Variable
+
+X, Y, Z, W = (Variable(n) for n in "xyzw")
+
+
+def mq(atoms, marked, answers=()):
+    return MarkedQuery(tuple(answers), tuple(atoms), frozenset(marked))
+
+
+class TestHandComputedRanks:
+    def test_single_green_edge_from_marked_source(self):
+        """No red atoms: elevation is 3^0 = 1, one green step costs 1."""
+        query = mq([atom("G", X, Y)], {X})
+        assert erk(query, atom("G", X, Y)) == 1
+
+    def test_green_edge_behind_forward_red(self):
+        """|Q_R| = 1: base elevation 3; crossing the red first lifts the
+        elevation to 9, so the green step costs 9... unless the hike can
+        start at a marked variable past the red edge."""
+        query = mq([atom("R", X, Y), atom("G", Y, Z)], {X})
+        assert erk(query, atom("G", Y, Z)) == 9
+
+    def test_green_edge_behind_backward_red(self):
+        """Walking the red edge backwards divides the elevation by 3."""
+        query = mq([atom("R", Y, X), atom("G", Y, Z)], {X})
+        assert erk(query, atom("G", Y, Z)) == 1  # 3^1 / 3 = 1
+
+    def test_marked_variable_adjacent_to_green_wins(self):
+        query = mq(
+            [atom("R", X, Y), atom("G", Y, Z), atom("G", X, W)], {X}
+        )
+        # G(x, w) starts right at the marked variable: cost = elevation 3.
+        assert erk(query, atom("G", X, W)) == 3
+        # G(y, z) needs the red climb: cost 9.
+        assert erk(query, atom("G", Y, Z)) == 9
+
+    def test_unreachable_green_atom_is_infinite(self):
+        query = mq([atom("G", X, Y), atom("G", Z, W)], {X})
+        costs = hike_costs(query)
+        assert costs[atom("G", X, Y)] == 3 ** 0
+        assert costs[atom("G", Z, W)] == float("inf")
+
+    def test_red_atom_used_at_most_once(self):
+        """A hike cannot bounce over the same red edge to pump elevation
+        down: (*) of Definition 59."""
+        query = mq([atom("R", Y, X), atom("G", Y, Z)], {X})
+        # The only route is backward over R once: 3/3 = 1; re-crossing is
+        # forbidden so no cheaper (or different) cost exists.
+        assert hike_costs(query)[atom("G", Y, Z)] == 1
+
+    def test_qrk_components(self):
+        query = mq([atom("R", X, Y), atom("G", Y, Z)], {X})
+        red_count, costs = qrk(query)
+        assert red_count == 1
+        assert sorted(costs.elements()) == [9]
+
+
+class TestLemma53OnRealRuns:
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_process_ranks_strictly_decrease(self, depth):
+        """Machine-check Lemma 53: every operation output ranks strictly
+        below its input in <_R."""
+        result = run_process(phi_r_n(depth), check_ranks=True)
+        assert result.rank_violations == []
+
+    def test_reduce_decreases_green_rank(self):
+        """Definition 58's replacement lowers the erk of the new greens
+        below the removed one (claim (iv)(b))."""
+        from repro.frontier.operations import find_maximal_variable, reduce_step
+        from repro.logic.terms import FreshVariables
+
+        query = mq([atom("R", X, Z), atom("G", Y, Z)], {X, Y})
+        removed_rank = erk(query, atom("G", Y, Z))
+        maximal = find_maximal_variable(query)
+        produced = reduce_step(query, maximal, FreshVariables())[2]  # fully marked
+        new_greens = produced.atoms_of("G")
+        for green in new_greens:
+            assert erk(produced, green) < removed_rank

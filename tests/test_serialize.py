@@ -1,0 +1,84 @@
+"""Tests for textual serialization (repro.logic.serialize)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import chase
+from repro.logic import parse_instance, parse_theory
+from repro.logic.serialize import (
+    SerializationError,
+    dump_instance,
+    dump_query,
+    dump_theory,
+    load_instance,
+    load_theory,
+    save_instance,
+    save_theory,
+)
+from repro.workloads import (
+    edge_path,
+    example39_sticky,
+    exercise23,
+    t_a,
+    t_d,
+    university_ontology,
+)
+
+THEORIES = [t_a, exercise23, example39_sticky, t_d, university_ontology]
+
+
+class TestTheoryRoundTrip:
+    @pytest.mark.parametrize("factory", THEORIES)
+    def test_dump_parse_identity(self, factory):
+        theory = factory()
+        reparsed = parse_theory(dump_theory(theory))
+        assert len(reparsed) == len(theory)
+        for original, parsed in zip(theory, reparsed):
+            assert parsed.body == original.body
+            assert parsed.head == original.head
+            assert parsed.existential == original.existential
+
+    def test_save_load_file(self, tmp_path):
+        target = tmp_path / "theory.tgd"
+        save_theory(t_a(), target)
+        loaded = load_theory(target, name="T_a")
+        assert len(loaded) == 2
+        assert loaded.name == "T_a"
+
+    def test_name_comment_included(self):
+        assert "# theory: T_a" in dump_theory(t_a())
+
+
+class TestInstanceRoundTrip:
+    def test_dump_parse_identity(self):
+        instance = parse_instance("E(a, b). P(a). Q(b, c, d)")
+        assert load_equivalent(instance)
+
+    def test_save_load_file(self, tmp_path):
+        target = tmp_path / "data.facts"
+        save_instance(edge_path(3), target)
+        assert load_instance(target) == edge_path(3)
+
+    def test_skolem_terms_rejected(self):
+        run = chase(t_a(), parse_instance("Human(abel)"), max_rounds=2)
+        with pytest.raises(SerializationError):
+            dump_instance(run.instance)
+
+    def test_base_of_chase_still_serializable(self):
+        run = chase(t_a(), parse_instance("Human(abel)"), max_rounds=2)
+        assert "Human(abel)" in dump_instance(run.base)
+
+
+def load_equivalent(instance):
+    return parse_instance(dump_instance(instance)) == instance
+
+
+class TestQueryDump:
+    def test_query_dump_reparses(self):
+        from repro.logic import parse_query
+        from repro.logic.containment import are_equivalent
+
+        query = parse_query("q(x) := exists y, z. E(x, y), E(y, z)")
+        reparsed = parse_query(dump_query(query).strip())
+        assert are_equivalent(query, reparsed)

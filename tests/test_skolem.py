@@ -1,0 +1,71 @@
+"""Unit tests for repro.chase.skolem (Definitions 3-4)."""
+
+from __future__ import annotations
+
+from repro.chase.skolem import skolemize
+from repro.logic.parser import parse_rule
+from repro.logic.terms import FunctionTerm, Variable
+
+
+class TestSkolemization:
+    def test_paper_example_definition_4(self):
+        """rho = E(x,y,z), P(x) -> exists v. R(y,v,z,v):
+        sh(rho) = R(y, f(y,z), z, f(y,z)) — one functor, frontier args."""
+        rule = parse_rule("E(x, y, z), P(x) -> exists v. R(y, v, z, v)")
+        skolemized = skolemize(rule)
+        head = skolemized.head[0]
+        assert head.args[0] == Variable("y")
+        assert head.args[2] == Variable("z")
+        assert isinstance(head.args[1], FunctionTerm)
+        assert head.args[1] == head.args[3]
+        assert head.args[1].args == (Variable("y"), Variable("z"))
+
+    def test_skolem_ignores_non_frontier_body_variables(self):
+        """sh(rho) depends only on the head — semi-oblivious, not oblivious."""
+        first = parse_rule("E(x, y), P(x) -> exists v. R(y, v)")
+        second = parse_rule("E(w, y), Q(w, w) -> exists v. R(y, v)")
+        f1 = skolemize(first).head[0].args[1]
+        f2 = skolemize(second).head[0].args[1]
+        assert isinstance(f1, FunctionTerm) and isinstance(f2, FunctionTerm)
+        assert f1.functor == f2.functor  # isomorphic heads share functors
+
+    def test_different_heads_get_different_functors(self):
+        first = parse_rule("P(y) -> exists v. R(y, v)")
+        second = parse_rule("P(y) -> exists v. R(v, y)")
+        f1 = skolemize(first).head[0].args[1]
+        f2 = skolemize(second).head[0].args[0]
+        assert f1.functor != f2.functor
+
+    def test_equality_pattern_matters(self):
+        same = parse_rule("P(y) -> exists v. T(y, v, v)")
+        different = parse_rule("P(y) -> exists v, w. T(y, v, w)")
+        t_same = skolemize(same).head[0]
+        t_diff = skolemize(different).head[0]
+        assert t_same.args[1] == t_same.args[2]
+        assert t_diff.args[1] != t_diff.args[2]
+
+    def test_multi_head_shares_existential_witness(self):
+        rule = parse_rule("true -> exists x. R(x, x), G(x, x)")
+        skolemized = skolemize(rule)
+        witnesses = {arg for item in skolemized.head for arg in item.args}
+        assert len(witnesses) == 1
+        witness = witnesses.pop()
+        assert isinstance(witness, FunctionTerm)
+        assert witness.args == ()  # no frontier: a Skolem constant
+
+    def test_universal_variable_counts_as_frontier(self):
+        rule = parse_rule("true -> exists z. R(x, z)")
+        skolemized = skolemize(rule)
+        witness = skolemized.head[0].args[1]
+        assert isinstance(witness, FunctionTerm)
+        assert witness.args == (Variable("x"),)
+
+    def test_datalog_head_unchanged(self):
+        rule = parse_rule("E(x, y) -> E(y, x)")
+        assert skolemize(rule).head == rule.head
+
+    def test_frontier_order_is_head_occurrence_order(self):
+        rule = parse_rule("E(a1, b1) -> exists v. T(b1, a1, v)")
+        witness = skolemize(rule).head[0].args[2]
+        assert isinstance(witness, FunctionTerm)
+        assert witness.args == (Variable("b1"), Variable("a1"))

@@ -1,0 +1,103 @@
+"""Tests for T_d specifics: queries, witnesses, Figure 1, Exercise 46."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import chase
+from repro.frontier.td import (
+    doubling_witness,
+    figure1_apex_counts,
+    figure1_grid,
+    g_path_query,
+    phi_r_n,
+    render_figure1,
+)
+from repro.logic import holds
+from repro.logic.terms import Constant
+from repro.rewriting import answer_depth_profile
+from repro.workloads import green_path, t_d, t_d_without_loop
+
+
+class TestQueryBuilders:
+    def test_g_path_query_shape(self):
+        query = g_path_query(3)
+        assert query.size == 3
+        assert [v.name for v in query.answer_vars] == ["x0", "xn"]
+        assert all(a.predicate.name == "G" for a in query.atoms)
+
+    def test_phi_r_n_shape(self):
+        query = phi_r_n(2)
+        assert query.size == 2 * 2 + 1
+        reds = [a for a in query.atoms if a.predicate.name == "R"]
+        greens = [a for a in query.atoms if a.predicate.name == "G"]
+        assert len(reds) == 4 and len(greens) == 1
+
+    def test_phi_r_n_rejects_zero(self):
+        with pytest.raises(ValueError):
+            phi_r_n(0)
+
+    def test_doubling_witness(self):
+        instance, start, end = doubling_witness(2)
+        assert len(instance) == 4
+        assert start == Constant("a0") and end == Constant("a4")
+
+
+class TestFigure1:
+    def test_apex_triangle_counts(self):
+        """Figure 1 quantified: level k realizes phi_R^k exactly on the
+        windows of width 2^k — triangle rows 3, 1 for the G^4 path."""
+        from repro.frontier.td import figure1_apex_counts
+
+        rows = figure1_apex_counts(2)
+        assert rows == [(1, 3, 3), (2, 1, 1)]
+
+    def test_grid_levels_are_anchored_in_path(self):
+        grid = figure1_grid(8, 3)
+        assert any(level.red_atoms for level in grid)
+        assert any(level.green_atoms for level in grid)
+
+    def test_render_mentions_the_path(self):
+        text = render_figure1(4, 3)
+        assert "G^4" in text
+        assert "level" in text
+
+    def test_grid_atoms_are_grid_created(self):
+        grid = figure1_grid(4, 2)
+        for level in grid:
+            for item in level.red_atoms + level.green_atoms:
+                assert item.predicate.name in ("R", "G")
+
+
+class TestExercise46:
+    def test_without_loop_not_bdd_shape(self):
+        """Exercise 46: dropping (loop) breaks BDD.  Evidence: the boolean
+        query R(x,y),G(x,y) needs ever deeper chases as instances grow —
+        with (loop) it is satisfied at depth 1 on every instance."""
+        from repro.logic import parse_query
+
+        query = parse_query("q() := exists x, y. R(x, y), G(x, y)")
+        with_loop = answer_depth_profile(
+            t_d(), query, [green_path(1), green_path(2)], probe_depth=3,
+            max_atoms=100_000,
+        )
+        assert set(with_loop) == {1}
+        without_loop = answer_depth_profile(
+            t_d_without_loop(),
+            query,
+            [green_path(1), green_path(2)],
+            probe_depth=3,
+            max_atoms=100_000,
+        )
+        # Without the loop island the parallel R/G pair never materializes
+        # on plain green paths within the probe horizon.
+        assert set(without_loop) == {-1}
+
+    def test_loop_island_exists(self):
+        run = chase(t_d(), green_path(1), max_rounds=1, max_atoms=10_000)
+        self_loops = [
+            item
+            for item in run.instance
+            if item.args[0] == item.args[1] and item not in run.base
+        ]
+        assert len(self_loops) == 2  # R(l, l) and G(l, l)

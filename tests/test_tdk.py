@@ -1,0 +1,137 @@
+"""Tests for the Section-12 theories T_d^K and the K-level process."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import chase
+from repro.frontier import (
+    check_level_pair_doubling,
+    composed_tower_bound,
+    level_names,
+    phi_pair,
+    run_process_k,
+    tower,
+    tower_rank,
+    tower_rank_less,
+)
+from repro.frontier.process import run_process
+from repro.frontier.td import phi_r_n
+from repro.logic import Instance
+from repro.logic.atoms import atom
+from repro.logic.containment import are_equivalent
+from repro.logic.query import ConjunctiveQuery
+from repro.logic.terms import Variable
+from repro.workloads import level_path, t_d_k
+
+
+class TestTheoryShape:
+    def test_rule_count(self):
+        # 1 (loop) + K (pins_k) + K-1 (grid_i) = 2K rules.  (The paper's
+        # prose says "2K+1"; counting its displayed rule schemas gives 2K.)
+        for levels in (2, 3, 4):
+            assert len(t_d_k(levels)) == 2 * levels
+
+    def test_binary_signature(self):
+        assert t_d_k(3).is_binary()
+
+    def test_needs_two_levels(self):
+        with pytest.raises(ValueError):
+            t_d_k(1)
+
+    def test_level_names(self):
+        assert level_names(3) == ("I1", "I2", "I3")
+
+    def test_loop_creates_all_colour_self_loops(self):
+        run = chase(t_d_k(3), Instance([atom("I1", "a", "b")]), max_rounds=1,
+                    max_atoms=10_000)
+        self_loops = {
+            item.predicate.name
+            for item in run.instance
+            if item.args[0] == item.args[1]
+        }
+        assert self_loops == {"I1", "I2", "I3"}
+
+
+class TestKProcessMatchesTd:
+    def test_k2_reproduces_theorem_5b(self):
+        """With K = 2 the pair (2, 1) is literally T_d's (R, G)."""
+        result = run_process_k(phi_pair(1, 2), levels=2)
+        rewriting = result.rewriting()
+        td_result = run_process(phi_r_n(2))
+        assert len(rewriting) == len(td_result.rewriting())
+        assert rewriting.max_disjunct_size() == td_result.rewriting().max_disjunct_size()
+
+
+class TestLevelPairDoubling:
+    @pytest.mark.parametrize("pair_level", [1, 2])
+    def test_k3_pairs_double(self, pair_level):
+        check = check_level_pair_doubling(3, pair_level, depth=1)
+        assert check.doubled
+        assert check.lower_path_found == 2
+
+    def test_k3_depth2_doubles_to_four(self):
+        check = check_level_pair_doubling(3, 2, depth=2)
+        assert check.lower_path_found == 4
+
+    def test_bad_pair_rejected(self):
+        with pytest.raises(ValueError):
+            check_level_pair_doubling(3, 3, depth=1)
+
+    def test_tower_bound(self):
+        assert tower(0, 3) == 3
+        assert tower(1, 3) == 8
+        assert tower(2, 2) == 16
+        assert composed_tower_bound(3, 2) == 16
+
+
+class TestDropLoopPattern:
+    def test_non_adjacent_in_pattern_is_dropped(self):
+        """An unmarked sink with I_1 and I_3 in-atoms can only denote the
+        loop element, unreachable from marked variables: unsatisfiable."""
+        from repro.frontier.tdk import apply_operation_k
+        from repro.logic.terms import FreshVariables
+
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        from repro.frontier import MarkedQuery
+
+        query = MarkedQuery(
+            (x,),
+            (atom("I1", x, z), atom("I3", y, z)),
+            frozenset({x}),
+        )
+        record = apply_operation_k(query, FreshVariables(), levels=3)
+        assert record.operation == "drop_loop_pattern"
+        assert record.results == ()
+
+    def test_dropped_pattern_really_is_unsatisfiable(self):
+        """Cross-check against the chase: no base-anchored homomorphism
+        realizes the non-adjacent in-pattern."""
+        from repro.frontier import marked_holds, MarkedQuery
+        from repro.logic.terms import Constant
+
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        query = MarkedQuery(
+            (x,), (atom("I1", x, z), atom("I3", y, z)), frozenset({x})
+        )
+        base = Instance([atom("I1", "a", "b")])
+        run = chase(t_d_k(3), base, max_rounds=3, max_atoms=400_000)
+        assert not marked_holds(run, query, (Constant("a"),))
+
+
+class TestTowerRanks:
+    def test_rank_decreases_under_k_process(self):
+        result = run_process_k(phi_pair(2, 1), levels=3, check_ranks=True)
+        assert result.rank_violations == []
+
+    def test_rank_comparison_is_lexicographic(self):
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        from repro.frontier import MarkedQuery
+
+        heavy = MarkedQuery(
+            (), (atom("I3", x, y), atom("I2", y, z)), frozenset({x})
+        )
+        light = MarkedQuery((), (atom("I2", x, y),), frozenset({x}))
+        assert tower_rank_less(
+            tower_rank(light, 3), tower_rank(heavy, 3)
+        )

@@ -1,0 +1,89 @@
+"""Extra Core-Termination tests: Exercise 25 and Definition 19/20 duality."""
+
+from __future__ import annotations
+
+from repro.chase import (
+    chase,
+    core_termination,
+    is_model,
+    minimize_model,
+)
+from repro.logic import parse_instance, parse_theory
+from repro.workloads import edge_cycle, edge_path, exercise23
+
+
+class TestExercise25:
+    def test_model_is_its_own_core(self):
+        """If D |= T then Core(D) = D (first bullet of Exercise 25)."""
+        theory = exercise23()
+        model = parse_instance("E(a, b). E(b, b)")
+        assert is_model(model, theory)
+        witness = core_termination(theory, model, max_depth=5)
+        assert witness is not None
+        assert witness.bound == 0
+        assert witness.model == model
+
+    def test_core_is_idempotent(self):
+        """Core(Core(D)) = Core(D) (second bullet)."""
+        theory = exercise23()
+        base = edge_path(3)
+        witness = core_termination(theory, base, max_depth=8)
+        core = minimize_model(witness.model, keep=base)
+        again = minimize_model(core, keep=base)
+        assert again == core
+        # And the core of the core *as an instance* is itself: it is
+        # already a model, so its Core-Termination bound is 0.
+        rewitness = core_termination(theory, core, max_depth=5)
+        assert rewitness is not None and rewitness.bound == 0
+
+
+class TestDefinition19And20Duality:
+    def test_witness_yields_both_forms(self):
+        """Definition 19 (a homomorphism from the chase) and Definition 20
+        (a model inside a prefix) are interchangeable: the witness carries
+        both and they certify each other."""
+        theory = exercise23()
+        base = edge_cycle(4)
+        witness = core_termination(theory, base, max_depth=8)
+        assert witness is not None
+        # Definition 20 form: D ⊆ M ⊆ Ch_n and M |= T.
+        prefix = chase(theory, base, max_rounds=witness.bound, max_atoms=50_000)
+        assert base.issubset(witness.model)
+        assert witness.model.issubset(prefix.instance)
+        assert is_model(witness.model, theory)
+        # Definition 19 form: the folding maps a deeper prefix into the
+        # model, fixing the model's domain.
+        deeper = chase(theory, base, max_rounds=witness.bound + 1, max_atoms=50_000)
+        for term in witness.model.domain():
+            assert witness.folding.get(term, term) == term
+        for term in deeper.instance.domain():
+            assert witness.folding[term] in witness.model.domain()
+
+    def test_folding_is_a_homomorphism(self):
+        from repro.logic.homomorphism import apply_structure_homomorphism
+
+        theory = exercise23()
+        base = edge_path(2)
+        witness = core_termination(theory, base, max_depth=8)
+        deeper = chase(theory, base, max_rounds=witness.bound + 1, max_atoms=50_000)
+        image = apply_structure_homomorphism(deeper.instance, witness.folding)
+        assert image.issubset(witness.model.union(image))  # total map
+        assert image == witness.model  # exactly the eventual image
+
+
+class TestCoreSizes:
+    def test_core_no_larger_than_witness_model(self):
+        theory = exercise23()
+        base = edge_path(4)
+        witness = core_termination(theory, base, max_depth=8)
+        core = minimize_model(witness.model, keep=base)
+        assert len(core) <= len(witness.model)
+        assert base.issubset(core)
+        assert is_model(core, theory)
+
+    def test_cycle_instance_core_keeps_whole_cycle(self):
+        theory = exercise23()
+        base = edge_cycle(5)
+        witness = core_termination(theory, base, max_depth=8)
+        core = minimize_model(witness.model, keep=base)
+        assert base.issubset(core)

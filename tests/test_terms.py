@@ -1,0 +1,122 @@
+"""Unit tests for repro.logic.terms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.terms import (
+    Constant,
+    FreshVariables,
+    FunctionTerm,
+    Variable,
+    apply_substitution,
+    as_term,
+    compose,
+    variables_of,
+)
+
+
+class TestTermBasics:
+    def test_variable_equality_is_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_variable_and_constant_with_same_name_differ(self):
+        assert Variable("a") != Constant("a")
+
+    def test_terms_are_hashable_and_usable_in_sets(self):
+        terms = {Variable("x"), Constant("x"), Variable("x")}
+        assert len(terms) == 2
+
+    def test_function_term_structural_equality(self):
+        first = FunctionTerm("f", (Constant("a"), Variable("x")))
+        second = FunctionTerm("f", (Constant("a"), Variable("x")))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_function_term_differs_by_functor(self):
+        args = (Constant("a"),)
+        assert FunctionTerm("f", args) != FunctionTerm("g", args)
+
+    def test_groundness(self):
+        assert Constant("a").is_ground()
+        assert not Variable("x").is_ground()
+        assert FunctionTerm("f", (Constant("a"),)).is_ground()
+        assert not FunctionTerm("f", (Variable("x"),)).is_ground()
+
+    def test_depth_counts_nesting(self):
+        ground = Constant("a")
+        one = FunctionTerm("f", (ground,))
+        two = FunctionTerm("g", (one, ground))
+        assert ground.depth() == 0
+        assert one.depth() == 1
+        assert two.depth() == 2
+
+    def test_depth_of_nullary_function_term(self):
+        assert FunctionTerm("c", ()).depth() == 1
+
+    def test_variables_iteration(self):
+        term = FunctionTerm("f", (Variable("x"), FunctionTerm("g", (Variable("y"),))))
+        assert set(term.variables()) == {Variable("x"), Variable("y")}
+
+
+class TestSubstitution:
+    def test_apply_to_variable(self):
+        theta = {Variable("x"): Constant("a")}
+        assert apply_substitution(Variable("x"), theta) == Constant("a")
+        assert apply_substitution(Variable("y"), theta) == Variable("y")
+
+    def test_apply_rebuilds_function_terms(self):
+        theta = {Variable("x"): Constant("a")}
+        term = FunctionTerm("f", (Variable("x"), Constant("b")))
+        result = apply_substitution(term, theta)
+        assert result == FunctionTerm("f", (Constant("a"), Constant("b")))
+
+    def test_apply_is_identity_when_nothing_matches(self):
+        term = FunctionTerm("f", (Constant("b"),))
+        assert apply_substitution(term, {Variable("x"): Constant("a")}) is term
+
+    def test_compose_order(self):
+        x, y = Variable("x"), Variable("y")
+        first = {x: y}
+        second = {y: Constant("a")}
+        combined = compose(first, second)
+        assert combined[x] == Constant("a")
+        assert combined[y] == Constant("a")
+
+    def test_compose_keeps_second_only_bindings(self):
+        x, y = Variable("x"), Variable("y")
+        combined = compose({x: Constant("a")}, {y: Constant("b")})
+        assert combined[y] == Constant("b")
+
+
+class TestFreshVariables:
+    def test_fresh_variables_never_repeat(self):
+        supply = FreshVariables()
+        produced = {supply.fresh() for _ in range(100)}
+        assert len(produced) == 100
+
+    def test_fresh_like_embeds_hint(self):
+        supply = FreshVariables()
+        fresh = supply.fresh_like(Variable("target"))
+        assert "target" in fresh.name
+
+    def test_fresh_names_start_with_underscore(self):
+        assert FreshVariables().fresh().name.startswith("_")
+
+
+class TestHelpers:
+    def test_as_term_coerces_strings_to_constants(self):
+        assert as_term("abel") == Constant("abel")
+
+    def test_as_term_passes_terms_through(self):
+        v = Variable("x")
+        assert as_term(v) is v
+
+    def test_as_term_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_term(3.14)
+
+    def test_variables_of(self):
+        terms = [Variable("x"), Constant("a"), FunctionTerm("f", (Variable("y"),))]
+        assert variables_of(terms) == {Variable("x"), Variable("y")}

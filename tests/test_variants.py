@@ -1,0 +1,69 @@
+"""Tests for repro.chase.variants (oblivious / restricted chase)."""
+
+from __future__ import annotations
+
+from repro.chase import chase, oblivious_chase, restricted_chase
+from repro.logic import parse_instance, parse_theory
+from repro.logic.homomorphism import holds
+from repro.logic.parser import parse_query
+from repro.workloads import t_a
+
+
+class TestOblivious:
+    def test_oblivious_at_least_as_large_as_semi_oblivious(self):
+        """Footnote 15: oblivious Skolems mention non-frontier variables,
+        so distinct body matches make distinct witnesses."""
+        theory = parse_theory("E(x, y) -> exists z. F(y, z)")
+        base = parse_instance("E(a, c). E(b, c)")
+        semi = chase(theory, base, max_rounds=3)
+        obl = oblivious_chase(theory, base, max_rounds=3)
+        f_semi = [a for a in semi.instance if a.predicate.name == "F"]
+        f_obl = [a for a in obl.instance if a.predicate.name == "F"]
+        assert len(f_semi) == 1  # frontier {y}: both matches share a witness
+        assert len(f_obl) == 2  # oblivious keys on x too
+
+    def test_oblivious_terminates_on_terminating_theory(self):
+        theory = parse_theory("P(x) -> exists y. Q(x, y)")
+        result = oblivious_chase(theory, parse_instance("P(a)"), max_rounds=5)
+        assert result.terminated
+
+    def test_oblivious_budget(self):
+        theory = parse_theory("E(x, y) -> exists z. E(y, z)")
+        result = oblivious_chase(
+            theory, parse_instance("E(a, b)"), max_rounds=3, max_atoms=2
+        )
+        assert not result.terminated
+
+
+class TestRestricted:
+    def test_restricted_skips_satisfied_heads(self):
+        theory = parse_theory("P(x) -> exists y. E(x, y)")
+        base = parse_instance("P(a). E(a, b)")
+        result = restricted_chase(theory, base, max_rounds=5)
+        assert result.terminated
+        assert len(result.instance) == 2  # nothing to do
+
+    def test_restricted_smaller_than_semi_oblivious(self):
+        theory = t_a()
+        base = parse_instance("Human(abel). Mother(abel, eve)")
+        restricted = restricted_chase(theory, base, max_rounds=6)
+        semi = chase(theory, base, max_rounds=6)
+        # Semi-oblivious re-creates a mother for abel despite Mother(abel,
+        # eve); the restricted chase reuses eve.
+        assert len(restricted.instance) < len(semi.instance)
+
+    def test_restricted_can_terminate_where_skolem_does_not(self):
+        """Exercise 23's flavour: satisfied heads stop the restricted chase."""
+        theory = parse_theory("E(x, y) -> exists z. E(y, z)")
+        looped = parse_instance("E(a, a)")
+        result = restricted_chase(theory, looped, max_rounds=10)
+        assert result.terminated
+        assert len(result.instance) == 1
+
+    def test_restricted_answers_agree_on_base_queries(self):
+        theory = t_a()
+        base = parse_instance("Human(abel)")
+        query = parse_query("q() := exists y, z. Mother('abel', y), Mother(y, z)")
+        semi = chase(theory, base, max_rounds=6)
+        restricted = restricted_chase(theory, base, max_rounds=6)
+        assert holds(query, semi.instance) == holds(query, restricted.instance)

@@ -9,13 +9,14 @@ enumeration, containment, and the process's canonicalization.
 
 import pytest
 
-from repro.chase import chase, resume
+from repro.chase import ChaseBudget, chase, resume
 from repro.frontier.process import _canonical_key, run_process
 from repro.frontier.td import phi_r_n
 from repro.logic import evaluate, parse_query, parse_rule
 from repro.logic.containment import is_contained_in
 from repro.logic.terms import FreshVariables
 from repro.rewriting import iter_piece_unifiers
+from repro.telemetry import validate_stats_dict
 from repro.workloads import t_d, university_database, university_ontology
 
 
@@ -34,13 +35,19 @@ def test_bench_micro_evaluate_join(benchmark, university_db):
 
 def test_bench_micro_chase_round(benchmark, university_db):
     ontology = university_ontology()
-    prefix = chase(ontology, university_db, max_rounds=1, max_atoms=100_000)
+    budget = ChaseBudget(max_rounds=1, max_atoms=100_000)
+    prefix = chase(ontology, university_db, budget=budget)
 
     def one_more_round():
-        return resume(prefix, 1, max_atoms=100_000)
+        return resume(prefix, 1, budget=ChaseBudget(max_atoms=100_000))
 
     result = benchmark(one_more_round)
     assert result.rounds_run >= prefix.rounds_run
+    # Telemetry rides along on every result and keeps its JSON schema.
+    stats = result.stats.as_dict()
+    validate_stats_dict(stats)
+    assert stats["counters"]["chase.rounds"] >= 1
+    assert stats["rounds"], "per-round records must be populated"
 
 
 def test_bench_micro_piece_unifiers(benchmark):
@@ -83,7 +90,7 @@ def test_bench_micro_td_chase_three_rounds(benchmark):
     theory = t_d()
 
     def three_rounds():
-        return chase(theory, base, max_rounds=3, max_atoms=100_000)
+        return chase(theory, base, budget=ChaseBudget(max_rounds=3, max_atoms=100_000))
 
     result = benchmark(three_rounds)
     assert result.rounds_run == 3

@@ -3,7 +3,9 @@
 Every bench target renders its experiment table through the ``report``
 fixture, which both prints it (visible with ``pytest -s``) and persists it
 under ``benchmarks/out/<test name>.txt`` so EXPERIMENTS.md can quote the
-measured rows verbatim.
+measured rows verbatim.  A structured twin lands next to it as
+``<test name>.json`` (``Table.as_dict()``), carrying any attached engine
+telemetry for machine consumers.
 """
 
 from __future__ import annotations
@@ -23,6 +25,8 @@ def report(request):
         OUT_DIR.mkdir(exist_ok=True)
         target = OUT_DIR / f"{request.node.name}.txt"
         target.write_text(table.render() + "\n", encoding="utf8")
+        json_target = OUT_DIR / f"{request.node.name}.json"
+        json_target.write_text(table.to_json() + "\n", encoding="utf8")
         print("\n" + table.render())
 
     return _report

@@ -82,8 +82,8 @@ def main() -> None:
         print(f"  star with {spokes} colours: {len(defect.missing)} chase atoms "
               f"need more than {spokes} base facts")
     star = sticky_star(3)
-    from repro.chase import chase
-    run = chase(theory, star, max_rounds=3, max_atoms=100_000)
+    from repro.chase import ChaseBudget, chase
+    run = chase(theory, star, budget=ChaseBudget(max_rounds=3, max_atoms=100_000))
     worst_atom, worst_support = None, 0
     for deep in sorted(run.round_added[3], key=repr):
         support = min_support_size(theory, star, deep, depth=4) or 0

@@ -16,7 +16,7 @@ This script shows each step on the paper's own Example 66:
 Run:  python examples/normalization_walkthrough.py
 """
 
-from repro.chase import chase, possible_ancestors
+from repro.chase import ChaseBudget, chase, possible_ancestors
 from repro.frontier import (
     crucial_lemma_check,
     lemma70_check,
@@ -34,7 +34,7 @@ def main() -> None:
     print("\n--- 1. The problem ------------------------------------------")
     base = example66_instance(4)
     print(f"Instance: one E-edge plus 4 P-facts ({len(base)} facts).")
-    run = chase(theory, base, max_rounds=5, max_atoms=50_000)
+    run = chase(theory, base, budget=ChaseBudget(max_rounds=5, max_atoms=50_000))
     produced_e = sorted(
         (a for a in run.instance if a.predicate.name == "E" and a not in base),
         key=repr,

@@ -10,7 +10,7 @@ theory T, and a conjunctive query phi — answered two ways:
 Run:  python examples/quickstart.py
 """
 
-from repro import parse_instance, parse_query, parse_theory, run_chase
+from repro import ChaseBudget, parse_instance, parse_query, parse_theory, run_chase
 from repro.rewriting import (
     answer_by_materialization,
     answer_by_rewriting,
@@ -37,7 +37,7 @@ def main() -> None:
     print("\nQuery:", query)
 
     # --- Strategy 1: chase, then evaluate -----------------------------
-    chase_result = run_chase(theory, database, max_rounds=4)
+    chase_result = run_chase(theory, database, budget=ChaseBudget(max_rounds=4))
     print(f"\nChase ran {chase_result.rounds_run} rounds, "
           f"{len(chase_result.instance)} atoms (infinite in the limit: "
           "T_a is BDD but not core-terminating).")

@@ -29,6 +29,7 @@ Subpackages
 __version__ = "1.0.0"
 
 # Convenient top-level re-exports for the most used entry points.
+from .chase import ChaseBudget
 from .chase import chase as run_chase
 from .chase import core_termination, is_model
 from .logic import (
@@ -41,10 +42,17 @@ from .logic import (
     parse_rule,
     parse_theory,
 )
+from .rewriting import OMQASession, RewritingBudget, certain_answers
+from .telemetry import Telemetry
 
 __all__ = [
+    "ChaseBudget",
     "Instance",
+    "OMQASession",
+    "RewritingBudget",
+    "Telemetry",
     "Theory",
+    "certain_answers",
     "core_termination",
     "evaluate",
     "holds",

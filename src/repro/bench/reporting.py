@@ -1,24 +1,36 @@
-"""Fixed-width table reporting for the experiment suite.
+"""Fixed-width table + structured JSON reporting for the experiment suite.
 
 Every bench target prints its rows through :class:`Table` so that the
 console output, EXPERIMENTS.md and the test assertions all look at the
-same numbers in the same format.
+same numbers in the same format.  A table also serializes to JSON
+(:meth:`Table.as_dict` / :meth:`Table.to_json`); the benchmark conftest
+persists both forms under ``benchmarks/out/``, so ``BENCH_*.json``
+trajectories can carry engine telemetry (attach a
+``Telemetry.as_dict()`` via :meth:`Table.attach_stats`), not just wall
+time.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 
 @dataclass
 class Table:
-    """A tiny fixed-width table builder."""
+    """A tiny fixed-width table builder (with a JSON form).
+
+    ``stats`` optionally carries an engine telemetry snapshot in the
+    stats JSON schema (see :func:`repro.telemetry.validate_stats_dict`);
+    it rides along in :meth:`as_dict` untouched.
+    """
 
     title: str
     columns: Sequence[str]
     rows: list[tuple] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    stats: dict | None = None
 
     def add(self, *values: Any) -> None:
         if len(values) != len(self.columns):
@@ -30,6 +42,13 @@ class Table:
 
     def note(self, text: str) -> None:
         self.notes.append(text)
+
+    def attach_stats(self, stats: dict) -> None:
+        """Attach (or merge-by-key) a stats dict for the JSON output."""
+        from ..telemetry import validate_stats_dict
+
+        validate_stats_dict(stats)
+        self.stats = stats
 
     def _widths(self) -> list[int]:
         widths = [len(column) for column in self.columns]
@@ -61,6 +80,23 @@ class Table:
     def column(self, name: str) -> list:
         index = list(self.columns).index(name)
         return [row[index] for row in self.rows]
+
+    def as_dict(self) -> dict:
+        """Structured form: rows as column-keyed dicts, plus notes/stats."""
+        document: dict = {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [
+                dict(zip(self.columns, row)) for row in self.rows
+            ],
+            "notes": list(self.notes),
+        }
+        if self.stats is not None:
+            document["stats"] = self.stats
+        return document
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
 
 
 def _fmt(value: Any) -> str:

@@ -2,6 +2,7 @@
 
 from .explain import DerivationNode, derivation_tree, explain, explain_answer
 from .engine import (
+    ChaseBudget,
     ChaseBudgetExceeded,
     ChaseResult,
     Derivation,
@@ -34,6 +35,7 @@ from .termination import (
 from .variants import VariantResult, oblivious_chase, restricted_chase
 
 __all__ = [
+    "ChaseBudget",
     "ChaseBudgetExceeded",
     "ChaseResult",
     "CoreTerminationWitness",

@@ -16,24 +16,84 @@ The engine records one *derivation* ``(rule, sigma)`` per produced atom — a
 parent function in the sense of Appendix A — from which
 :mod:`repro.chase.provenance` reconstructs birth atoms, frontiers and
 ancestor sets.
+
+Resource limits are a :class:`ChaseBudget`; :func:`chase` and
+:func:`resume` share one round loop (:func:`_run_rounds`), which carries a
+:class:`~repro.telemetry.Telemetry` recording per-round counters (matches
+attempted, atoms produced, dedup hits, delta sizes, wall time) surfaced as
+``ChaseResult.stats``.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+import time
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
 from ..logic.atoms import Atom
-from ..logic.homomorphism import iter_query_homomorphisms
+from ..logic.homomorphism import compile_query_patterns, iter_pattern_homomorphisms
 from ..logic.instance import Instance
 from ..logic.terms import Term, Variable
 from ..logic.tgd import TGD, Theory
+from ..telemetry import Telemetry
 from .skolem import SkolemizedRule, skolemize
 
 
 class ChaseBudgetExceeded(RuntimeError):
-    """Raised by :func:`chase` with ``on_budget='raise'`` when limits hit."""
+    """Raised by :func:`chase` with ``on_exceeded='raise'`` when limits hit."""
+
+
+@dataclass(frozen=True)
+class ChaseBudget:
+    """Resource limits for a chase run (mirrors ``RewritingBudget``).
+
+    ``on_exceeded`` picks the overrun behaviour: ``'return'`` hands back
+    the truncated result with ``terminated=False``, ``'raise'`` throws
+    :class:`ChaseBudgetExceeded`.  Instances are frozen so they can be
+    shared across runs and stored on sessions.
+    """
+
+    max_rounds: int = 50
+    max_atoms: int = 200_000
+    on_exceeded: str = "return"
+
+    def __post_init__(self) -> None:
+        if self.on_exceeded not in ("return", "raise"):
+            raise ValueError("on_exceeded must be 'return' or 'raise'")
+
+
+_LEGACY_BUDGET_MESSAGE = (
+    "the max_rounds=/max_atoms=/on_budget= kwargs are deprecated; "
+    "pass budget=ChaseBudget(max_rounds=..., max_atoms=..., on_exceeded=...)"
+)
+
+
+def _coerce_budget(
+    budget: ChaseBudget | None,
+    default: ChaseBudget,
+    max_rounds: int | None = None,
+    max_atoms: int | None = None,
+    on_budget: str | None = None,
+    stacklevel: int = 3,
+) -> ChaseBudget:
+    """Resolve the budget from ``budget=`` or the deprecated kwargs."""
+    legacy = {
+        key: value
+        for key, value in (
+            ("max_rounds", max_rounds),
+            ("max_atoms", max_atoms),
+            ("on_exceeded", on_budget),
+        )
+        if value is not None
+    }
+    if not legacy:
+        return budget if budget is not None else default
+    warnings.warn(_LEGACY_BUDGET_MESSAGE, DeprecationWarning, stacklevel=stacklevel)
+    if budget is not None:
+        raise TypeError("pass either budget= or the deprecated kwargs, not both")
+    return replace(default, **legacy)
 
 
 @dataclass(frozen=True)
@@ -64,7 +124,9 @@ class ChaseResult:
     ``round_added[i]`` holds the atoms that first appear in ``Ch_i`` (index
     0 is the input instance).  ``terminated`` is ``True`` when a fixpoint
     was reached, i.e. the final round added nothing new and the result *is*
-    ``Ch(T, D)``.
+    ``Ch(T, D)``.  ``stats`` carries the run's telemetry: per-round records
+    (one per executed round, including the empty fixpoint-confirming one)
+    plus ``chase.*`` / ``hom.*`` counters and phase timings.
     """
 
     theory: Theory
@@ -73,6 +135,7 @@ class ChaseResult:
     round_added: list[frozenset[Atom]]
     terminated: bool
     derivations: dict[Atom, Derivation] = field(default_factory=dict)
+    stats: Telemetry = field(default_factory=Telemetry)
 
     @property
     def rounds_run(self) -> int:
@@ -100,6 +163,31 @@ class ChaseResult:
         return produced
 
 
+@dataclass(frozen=True)
+class _PreparedRule:
+    """A skolemized rule with loop-invariant match structures precompiled."""
+
+    skolemized: SkolemizedRule
+    body_patterns: tuple
+    universal: tuple[Variable, ...]
+
+
+def _prepare_rules(theory: Theory) -> list[_PreparedRule]:
+    prepared = []
+    for rule in theory:
+        skolemized = skolemize(rule)
+        prepared.append(
+            _PreparedRule(
+                skolemized=skolemized,
+                body_patterns=compile_query_patterns(rule.body),
+                universal=tuple(
+                    sorted(rule.universal_head_variables(), key=lambda v: v.name)
+                ),
+            )
+        )
+    return prepared
+
+
 def _universal_assignments(
     variables: tuple[Variable, ...], terms: Iterable[Term]
 ) -> Iterator[dict[Variable, Term]]:
@@ -109,17 +197,21 @@ def _universal_assignments(
 
 
 def _round_matches(
-    skolemized: SkolemizedRule,
+    prepared: _PreparedRule,
     current: Instance,
     delta: Instance | None,
     delta_terms: set[Term] | None,
+    telemetry: Telemetry | None = None,
 ) -> Iterator[dict[Variable, Term]]:
     """All ``sigma`` to apply this round, semi-naive when a delta is given."""
-    rule = skolemized.rule
-    universal = tuple(sorted(rule.universal_head_variables(), key=lambda v: v.name))
+    rule = prepared.skolemized.rule
+    universal = prepared.universal
+    patterns = prepared.body_patterns
     if delta is None:
         # Full evaluation (the first round).
-        for body_match in iter_query_homomorphisms(rule.body, current):
+        for body_match in iter_pattern_homomorphisms(
+            patterns, current, telemetry=telemetry
+        ):
             if not universal:
                 yield body_match
                 continue
@@ -128,7 +220,9 @@ def _round_matches(
         return
     # Semi-naive: matches whose body touches the delta ...
     if rule.body:
-        for body_match in iter_query_homomorphisms(rule.body, current, delta=delta):
+        for body_match in iter_pattern_homomorphisms(
+            patterns, current, delta=delta, telemetry=telemetry
+        ):
             if not universal:
                 yield body_match
                 continue
@@ -139,7 +233,9 @@ def _round_matches(
     if universal and delta_terms:
         body_matches: Iterable[dict[Variable, Term]]
         if rule.body:
-            body_matches = iter_query_homomorphisms(rule.body, current)
+            body_matches = iter_pattern_homomorphisms(
+                patterns, current, telemetry=telemetry
+            )
         else:
             body_matches = ({},)
         for body_match in body_matches:
@@ -148,52 +244,65 @@ def _round_matches(
                     yield {**body_match, **extra}
 
 
-def chase(
-    theory: Theory,
-    base: Instance,
-    max_rounds: int = 50,
-    max_atoms: int = 200_000,
-    on_budget: str = "return",
-    track_provenance: bool = True,
-    semi_naive: bool = True,
-) -> ChaseResult:
-    """Run the semi-oblivious Skolem chase.
+def _run_rounds(
+    prepared: list[_PreparedRule],
+    current: Instance,
+    round_added: list[frozenset[Atom]],
+    derivations: dict[Atom, Derivation],
+    rounds: int,
+    budget: ChaseBudget,
+    track_provenance: bool,
+    semi_naive: bool,
+    delta: Instance | None,
+    delta_terms: set[Term] | None,
+    telemetry: Telemetry,
+) -> bool:
+    """The round loop shared by :func:`chase` and :func:`resume`.
 
-    Stops early at a fixpoint (then ``terminated`` is ``True``).  When a
-    budget is exceeded the partial result is returned with ``terminated =
-    False`` (or :class:`ChaseBudgetExceeded` is raised under
-    ``on_budget='raise'``).
-
-    ``semi_naive=False`` re-evaluates every rule against the whole current
-    instance each round (ablation A1) — same result atom-for-atom thanks
-    to Skolem determinism, strictly more matching work.
+    Mutates ``current``, ``round_added`` and ``derivations`` in place and
+    returns whether a fixpoint was reached.  One telemetry record is
+    appended per executed round — including the final empty round that
+    confirms the fixpoint, whose matching work is real.
     """
-    if on_budget not in ("return", "raise"):
-        raise ValueError("on_budget must be 'return' or 'raise'")
-    skolemized_rules = [skolemize(rule) for rule in theory]
-    current = base.copy()
-    round_added: list[frozenset[Atom]] = [frozenset(base)]
-    derivations: dict[Atom, Derivation] = {}
-    delta: Instance | None = None
-    delta_terms: set[Term] | None = None
     terminated = False
-
-    for _ in range(max_rounds):
+    counters = telemetry.counters
+    for _ in range(rounds):
+        round_number = len(round_added)
+        round_started = time.perf_counter()
         produced: dict[Atom, Derivation] = {}
+        matches = 0
+        dedup_hits = 0
         round_delta = delta if semi_naive else None
         round_delta_terms = delta_terms if semi_naive else None
-        for skolemized in skolemized_rules:
+        for rule in prepared:
+            skolem_head = rule.skolemized.head
             for sigma in _round_matches(
-                skolemized, current, round_delta, round_delta_terms
+                rule, current, round_delta, round_delta_terms, telemetry
             ):
-                for new_atom in (item.substitute(sigma) for item in skolemized.head):
+                matches += 1
+                for new_atom in (item.substitute(sigma) for item in skolem_head):
                     if new_atom in current or new_atom in produced:
+                        dedup_hits += 1
                         continue
                     produced[new_atom] = Derivation(
-                        skolemized.rule, tuple(sorted(sigma.items(), key=lambda kv: kv[0].name))
+                        rule.skolemized.rule,
+                        tuple(sorted(sigma.items(), key=lambda kv: kv[0].name)),
                     )
+        counters["chase.rounds"] += 1
+        counters["chase.matches"] += matches
+        counters["chase.atoms_produced"] += len(produced)
+        counters["chase.dedup_hits"] += dedup_hits
         if not produced:
             terminated = True
+            telemetry.record_round(
+                round=round_number,
+                matches=matches,
+                atoms_produced=0,
+                dedup_hits=dedup_hits,
+                new_terms=0,
+                total_atoms=len(current),
+                seconds=round(time.perf_counter() - round_started, 6),
+            )
             break
         old_domain = current.domain()
         for new_atom in produced:
@@ -203,12 +312,73 @@ def chase(
         round_added.append(frozenset(produced))
         delta = Instance(produced)
         delta_terms = current.domain() - old_domain
-        if len(current) > max_atoms:
-            if on_budget == "raise":
+        telemetry.record_round(
+            round=round_number,
+            matches=matches,
+            atoms_produced=len(produced),
+            dedup_hits=dedup_hits,
+            new_terms=len(delta_terms),
+            total_atoms=len(current),
+            seconds=round(time.perf_counter() - round_started, 6),
+        )
+        if len(current) > budget.max_atoms:
+            if budget.on_exceeded == "raise":
                 raise ChaseBudgetExceeded(
-                    f"chase exceeded {max_atoms} atoms after {len(round_added) - 1} rounds"
+                    f"chase exceeded {budget.max_atoms} atoms after "
+                    f"{len(round_added) - 1} rounds"
                 )
             break
+    return terminated
+
+
+def chase(
+    theory: Theory,
+    base: Instance,
+    budget: ChaseBudget | None = None,
+    track_provenance: bool = True,
+    semi_naive: bool = True,
+    telemetry: Telemetry | None = None,
+    max_rounds: int | None = None,
+    max_atoms: int | None = None,
+    on_budget: str | None = None,
+) -> ChaseResult:
+    """Run the semi-oblivious Skolem chase.
+
+    Stops early at a fixpoint (then ``terminated`` is ``True``).  When the
+    ``budget`` is exceeded the partial result is returned with
+    ``terminated = False`` (or :class:`ChaseBudgetExceeded` is raised under
+    ``ChaseBudget(on_exceeded='raise')``).  ``max_rounds=`` / ``max_atoms=``
+    / ``on_budget=`` are the deprecated pre-budget spelling and emit a
+    ``DeprecationWarning``.
+
+    ``semi_naive=False`` re-evaluates every rule against the whole current
+    instance each round (ablation A1) — same result atom-for-atom thanks
+    to Skolem determinism, strictly more matching work.
+
+    ``telemetry`` lets callers supply a hook-carrying collector; by default
+    a fresh one is created and returned as ``ChaseResult.stats``.
+    """
+    budget = _coerce_budget(budget, ChaseBudget(), max_rounds, max_atoms, on_budget)
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    prepared = _prepare_rules(theory)
+    current = base.copy()
+    round_added: list[frozenset[Atom]] = [frozenset(base)]
+    derivations: dict[Atom, Derivation] = {}
+
+    with telemetry.phase("chase"):
+        terminated = _run_rounds(
+            prepared,
+            current,
+            round_added,
+            derivations,
+            rounds=budget.max_rounds,
+            budget=budget,
+            track_provenance=track_provenance,
+            semi_naive=semi_naive,
+            delta=None,
+            delta_terms=None,
+            telemetry=telemetry,
+        )
 
     return ChaseResult(
         theory=theory,
@@ -217,28 +387,36 @@ def chase(
         round_added=round_added,
         terminated=terminated,
         derivations=derivations,
+        stats=telemetry,
     )
 
 
 def resume(
     result: ChaseResult,
     extra_rounds: int,
-    max_atoms: int = 200_000,
-    on_budget: str = "return",
+    budget: ChaseBudget | None = None,
+    max_atoms: int | None = None,
+    on_budget: str | None = None,
 ) -> ChaseResult:
     """Continue a chase for more rounds, reusing the computed prefix.
 
     By Observation 8 (and the determinism of Skolem naming) continuing from
     ``Ch_i`` produces exactly the rounds ``Ch_{i+1}, ...`` of the original
     chase; the engine re-seeds its semi-naive delta from the last recorded
-    round.
+    round.  The returned ``stats`` continue the original run's: counters
+    and round records accumulate as if the chase had run in one go
+    (``budget.max_rounds`` is ignored here — ``extra_rounds`` rules).
     """
+    budget = _coerce_budget(
+        budget, ChaseBudget(), max_atoms=max_atoms, on_budget=on_budget
+    )
     if result.terminated or extra_rounds <= 0:
         return result
-    skolemized_rules = [skolemize(rule) for rule in result.theory]
+    prepared = _prepare_rules(result.theory)
     current = result.instance.copy()
     round_added = list(result.round_added)
     derivations = dict(result.derivations)
+    telemetry = result.stats.fork()
     delta = Instance(round_added[-1]) if len(round_added) > 1 else None
     previous = Instance()
     for added in round_added[:-1]:
@@ -246,35 +424,21 @@ def resume(
     delta_terms = (
         current.domain() - previous.domain() if len(round_added) > 1 else None
     )
-    terminated = False
 
-    for _ in range(extra_rounds):
-        produced: dict[Atom, Derivation] = {}
-        for skolemized in skolemized_rules:
-            for sigma in _round_matches(skolemized, current, delta, delta_terms):
-                for new_atom in (item.substitute(sigma) for item in skolemized.head):
-                    if new_atom in current or new_atom in produced:
-                        continue
-                    produced[new_atom] = Derivation(
-                        skolemized.rule,
-                        tuple(sorted(sigma.items(), key=lambda kv: kv[0].name)),
-                    )
-        if not produced:
-            terminated = True
-            break
-        old_domain = current.domain()
-        for new_atom in produced:
-            current.add(new_atom)
-        derivations.update(produced)
-        round_added.append(frozenset(produced))
-        delta = Instance(produced)
-        delta_terms = current.domain() - old_domain
-        if len(current) > max_atoms:
-            if on_budget == "raise":
-                raise ChaseBudgetExceeded(
-                    f"chase exceeded {max_atoms} atoms after {len(round_added) - 1} rounds"
-                )
-            break
+    with telemetry.phase("chase"):
+        terminated = _run_rounds(
+            prepared,
+            current,
+            round_added,
+            derivations,
+            rounds=extra_rounds,
+            budget=budget,
+            track_provenance=True,
+            semi_naive=True,
+            delta=delta,
+            delta_terms=delta_terms,
+            telemetry=telemetry,
+        )
 
     return ChaseResult(
         theory=result.theory,
@@ -283,20 +447,32 @@ def resume(
         round_added=round_added,
         terminated=terminated,
         derivations=derivations,
+        stats=telemetry,
     )
 
 
 def chase_to_fixpoint(
-    theory: Theory, base: Instance, max_rounds: int = 200, max_atoms: int = 500_000
+    theory: Theory,
+    base: Instance,
+    budget: ChaseBudget | None = None,
+    max_rounds: int | None = None,
+    max_atoms: int | None = None,
 ) -> ChaseResult:
     """Chase until a fixpoint, raising when budgets are exceeded.
 
     Use only for theories known (or expected) to have a terminating Skolem
     chase on ``base``; the error keeps non-terminating cases loud.
     """
-    result = chase(theory, base, max_rounds=max_rounds, max_atoms=max_atoms, on_budget="raise")
+    budget = _coerce_budget(
+        budget,
+        ChaseBudget(max_rounds=200, max_atoms=500_000),
+        max_rounds,
+        max_atoms,
+    )
+    budget = replace(budget, on_exceeded="raise")
+    result = chase(theory, base, budget=budget)
     if not result.terminated:
         raise ChaseBudgetExceeded(
-            f"no fixpoint within {max_rounds} rounds on {len(base)} facts"
+            f"no fixpoint within {budget.max_rounds} rounds on {len(base)} facts"
         )
     return result

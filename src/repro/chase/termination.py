@@ -33,7 +33,7 @@ from ..logic.homomorphism import (
 from ..logic.instance import Instance
 from ..logic.terms import Term, Variable
 from ..logic.tgd import TGD, Theory
-from .engine import chase
+from .engine import ChaseBudget, chase
 
 
 def _head_witnessed(rule: TGD, sigma: Mapping[Variable, Term], instance: Instance) -> bool:
@@ -160,7 +160,7 @@ def core_termination(
     rounds — which means "unknown", not "no": Core Termination is
     undecidable in general (see DESIGN.md, Limitations).
     """
-    result = chase(theory, base, max_rounds=max_depth + 1, max_atoms=max_atoms)
+    result = chase(theory, base, budget=ChaseBudget(max_rounds=max_depth + 1, max_atoms=max_atoms))
     top = len(result.round_added) - 1
     for bound in range(top):
         lower = result.prefix(bound)
@@ -196,7 +196,7 @@ def all_instances_termination(
     theory: Theory, base: Instance, max_rounds: int = 50, max_atoms: int = 100_000
 ) -> int | None:
     """The least ``n`` with ``Ch(T,D) = Ch_n(T,D)``, or ``None`` (unknown)."""
-    result = chase(theory, base, max_rounds=max_rounds, max_atoms=max_atoms)
+    result = chase(theory, base, budget=ChaseBudget(max_rounds=max_rounds, max_atoms=max_atoms))
     if not result.terminated:
         return None
     return result.rounds_run

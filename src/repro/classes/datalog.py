@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from ..chase.engine import chase
+from ..chase.engine import ChaseBudget, chase
 from ..logic.instance import Instance
 from ..logic.tgd import Theory
 
@@ -64,7 +64,7 @@ def probe_boundedness(
         raise ValueError("boundedness probing is defined for datalog theories")
     depths: list[int] = []
     for instance in instances:
-        result = chase(theory, instance, max_rounds=max_rounds, max_atoms=max_atoms)
+        result = chase(theory, instance, budget=ChaseBudget(max_rounds=max_rounds, max_atoms=max_atoms))
         if not result.terminated:
             raise RuntimeError("datalog chase exceeded budget; raise max_rounds/max_atoms")
         depths.append(result.rounds_run)

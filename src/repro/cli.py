@@ -10,19 +10,24 @@ Commands
 ``figure1``    render the doubling triangle of Figure 1
 
 Theories and instances are read from files (or inline with ``-e``) in the
-syntax of :mod:`repro.logic.parser`.
+syntax of :mod:`repro.logic.parser`.  Every command takes ``--json`` for a
+machine-readable document on stdout; the engine-backed commands
+(``chase``/``rewrite``/``answer``) additionally take ``--stats`` to print
+telemetry (per-round counters, search effort, phase timings) in text mode.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from pathlib import Path
 
-from .chase import chase, core_termination
+from .chase import ChaseBudget, chase, core_termination
 from .classes import classify
 from .logic import parse_instance, parse_query, parse_theory
-from .rewriting import RewritingBudget, certain_answers, rewrite
+from .rewriting import OMQASession, RewritingBudget, rewrite
 
 
 def _read(value: str, inline: bool) -> str:
@@ -31,23 +36,63 @@ def _read(value: str, inline: bool) -> str:
     return Path(value).read_text(encoding="utf8")
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+def _add_common(parser: argparse.ArgumentParser, stats: bool = False) -> None:
     parser.add_argument(
         "-e",
         "--inline",
         action="store_true",
         help="treat THEORY/INSTANCE/QUERY arguments as literal text, not paths",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON document (including telemetry) instead of text",
+    )
+    if stats:
+        parser.add_argument(
+            "--stats",
+            action="store_true",
+            help="print engine telemetry (counters, per-round records, timings)",
+        )
+
+
+def _emit_json(document: dict) -> None:
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+
+def _print_stats(stats: dict) -> None:
+    """Human-readable telemetry: counters, phases, then per-round lines."""
+    counters = " ".join(f"{name}={value}" for name, value in stats["counters"].items())
+    print(f"# stats: {counters}")
+    for name, seconds in stats["phases"].items():
+        print(f"# phase {name}: {seconds:.6f}s")
+    for entry in stats["rounds"]:
+        cells = " ".join(f"{key}={value}" for key, value in entry.items())
+        print(f"# round {cells}")
 
 
 def _cmd_chase(args: argparse.Namespace) -> int:
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
     instance = parse_instance(_read(args.instance, args.inline))
-    result = chase(
-        theory, instance, max_rounds=args.rounds, max_atoms=args.max_atoms
-    )
+    budget = ChaseBudget(max_rounds=args.rounds, max_atoms=args.max_atoms)
+    result = chase(theory, instance, budget=budget)
+    stats = result.stats.as_dict()
+    if args.json:
+        _emit_json(
+            {
+                "command": "chase",
+                "atom_count": len(result.instance),
+                "rounds_run": result.rounds_run,
+                "terminated": result.terminated,
+                "atoms": sorted(repr(item) for item in result.instance),
+                "stats": stats,
+            }
+        )
+        return 0
     status = "fixpoint" if result.terminated else f"truncated at {result.rounds_run} rounds"
     print(f"# {len(result.instance)} atoms ({status})")
+    if args.stats:
+        _print_stats(stats)
     for item in sorted(result.instance, key=repr):
         print(item)
     return 0
@@ -58,8 +103,24 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
     query = parse_query(_read(args.query, args.inline))
     budget = RewritingBudget(max_kept=args.max_kept, max_steps=args.max_steps)
     result = rewrite(theory, query, budget)
+    stats = result.stats.as_dict()
+    if args.json:
+        _emit_json(
+            {
+                "command": "rewrite",
+                "complete": result.complete,
+                "always_true": result.always_true,
+                "disjunct_count": len(result.ucq),
+                "max_disjunct_size": result.max_disjunct_size(),
+                "disjuncts": [repr(disjunct) for disjunct in result.ucq],
+                "stats": stats,
+            }
+        )
+        return 0 if result.complete else 2
     print(f"# complete: {result.complete}; {len(result.ucq)} disjuncts; "
           f"max size {result.max_disjunct_size()}")
+    if args.stats:
+        _print_stats(stats)
     for disjunct in result.ucq:
         print(disjunct)
     return 0 if result.complete else 2
@@ -69,8 +130,28 @@ def _cmd_answer(args: argparse.Namespace) -> int:
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
     instance = parse_instance(_read(args.instance, args.inline))
     query = parse_query(_read(args.query, args.inline))
-    answers = certain_answers(theory, query, instance)
-    print(f"# {len(answers)} certain answers")
+    session = OMQASession(theory)
+    prepared = session.prepare(query)
+    strategy = "rewrite" if prepared.complete else "materialize"
+    answers = session.answer(query, instance)
+    stats = session.stats.as_dict()
+    if args.json:
+        _emit_json(
+            {
+                "command": "answer",
+                "answer_count": len(answers),
+                "answers": sorted(
+                    [repr(term) for term in answer] for answer in answers
+                ),
+                "strategy": strategy,
+                "cache_info": session.cache_info(),
+                "stats": stats,
+            }
+        )
+        return 0
+    print(f"# {len(answers)} certain answers (via {strategy})")
+    if args.stats:
+        _print_stats(stats)
     for answer in sorted(answers, key=repr):
         print(answer)
     return 0
@@ -78,7 +159,13 @@ def _cmd_answer(args: argparse.Namespace) -> int:
 
 def _cmd_classify(args: argparse.Namespace) -> int:
     theory = parse_theory(_read(args.theory, args.inline), name=args.name)
-    print(*classify(theory).lines(), sep="\n")
+    report = classify(theory)
+    if args.json:
+        document = dataclasses.asdict(report)
+        document["known_bdd_by_syntax"] = report.known_bdd_by_syntax()
+        _emit_json({"command": "classify", **document})
+        return 0
+    print(*report.lines(), sep="\n")
     return 0
 
 
@@ -86,6 +173,20 @@ def _cmd_termination(args: argparse.Namespace) -> int:
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
     instance = parse_instance(_read(args.instance, args.inline))
     witness = core_termination(theory, instance, max_depth=args.depth)
+    if args.json:
+        _emit_json(
+            {
+                "command": "termination",
+                "bound": None if witness is None else witness.bound,
+                "model": (
+                    None
+                    if witness is None
+                    else sorted(repr(item) for item in witness.model)
+                ),
+                "max_depth": args.depth,
+            }
+        )
+        return 0 if witness is not None else 2
     if witness is None:
         print(f"no Core-Termination witness within depth {args.depth} (unknown)")
         return 2
@@ -98,8 +199,21 @@ def _cmd_termination(args: argparse.Namespace) -> int:
 def _cmd_figure1(args: argparse.Namespace) -> int:
     from .frontier.td import figure1_apex_counts
 
+    rows = figure1_apex_counts(args.n)
+    if args.json:
+        _emit_json(
+            {
+                "command": "figure1",
+                "n": args.n,
+                "levels": [
+                    {"level": level, "satisfied": satisfied, "expected": expected}
+                    for level, satisfied, expected in rows
+                ],
+            }
+        )
+        return 0
     print(f"doubling triangle over G^{2 ** args.n}:")
-    for level, satisfied, expected in figure1_apex_counts(args.n):
+    for level, satisfied, expected in rows:
         bar = "#" * satisfied
         print(f"  level {level}: {satisfied:>3}/{expected:<3} windows  {bar}")
     return 0
@@ -118,7 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
     chase_cmd.add_argument("instance")
     chase_cmd.add_argument("--rounds", type=int, default=10)
     chase_cmd.add_argument("--max-atoms", type=int, default=100_000)
-    _add_common(chase_cmd)
+    _add_common(chase_cmd, stats=True)
     chase_cmd.set_defaults(handler=_cmd_chase)
 
     rewrite_cmd = commands.add_parser("rewrite", help="UCQ rewriting (Theorem 1)")
@@ -126,14 +240,14 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite_cmd.add_argument("query")
     rewrite_cmd.add_argument("--max-kept", type=int, default=2_000)
     rewrite_cmd.add_argument("--max-steps", type=int, default=200_000)
-    _add_common(rewrite_cmd)
+    _add_common(rewrite_cmd, stats=True)
     rewrite_cmd.set_defaults(handler=_cmd_rewrite)
 
     answer_cmd = commands.add_parser("answer", help="certain answers")
     answer_cmd.add_argument("theory")
     answer_cmd.add_argument("instance")
     answer_cmd.add_argument("query")
-    _add_common(answer_cmd)
+    _add_common(answer_cmd, stats=True)
     answer_cmd.set_defaults(handler=_cmd_answer)
 
     classify_cmd = commands.add_parser("classify", help="syntactic classes")
@@ -153,6 +267,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure_cmd = commands.add_parser("figure1", help="Figure 1 triangle")
     figure_cmd.add_argument("-n", type=int, default=3, choices=(1, 2, 3))
+    figure_cmd.add_argument(
+        "--json", action="store_true", help="emit a JSON document instead of text"
+    )
     figure_cmd.set_defaults(handler=_cmd_figure1)
 
     return parser

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from ..chase.engine import chase
+from ..chase.engine import ChaseBudget, chase
 from ..logic.gaifman import distance, gaifman_graph
 from ..logic.instance import Instance
 from ..logic.terms import Term
@@ -48,7 +48,7 @@ def distance_contraction(
 ) -> list[DistancePair]:
     """Measure base-vs-chase Gaifman distances for the given pairs."""
     base_graph = gaifman_graph(instance)
-    result = chase(theory, instance, max_rounds=depth, max_atoms=max_atoms)
+    result = chase(theory, instance, budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms))
     chase_graph = gaifman_graph(result.instance)
     measured: list[DistancePair] = []
     for source, target in pairs:

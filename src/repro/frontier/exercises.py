@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..chase.engine import ChaseResult, chase
+from ..chase.engine import ChaseBudget, ChaseResult, chase
 from ..logic.atoms import Atom
 from ..logic.gaifman import distance, gaifman_graph
 from ..logic.homomorphism import holds
@@ -45,7 +45,7 @@ def adjacency_contraction(
     connected BDD theories, over every instance; callers sweep instance
     families and watch for flatness.
     """
-    result = chase(theory, instance, max_rounds=depth, max_atoms=max_atoms)
+    result = chase(theory, instance, budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms))
     base_domain = instance.domain()
     base_graph = gaifman_graph(instance)
     chase_graph = gaifman_graph(result.instance)
@@ -116,7 +116,7 @@ def observation29_supports(
     """
     from ..logic.homomorphism import evaluate
 
-    result = chase(theory, instance, max_rounds=depth, max_atoms=max_atoms)
+    result = chase(theory, instance, budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms))
     base_domain = instance.domain()
     answers = {
         answer
@@ -127,7 +127,7 @@ def observation29_supports(
     for answer in sorted(answers, key=repr):
         found = None
         for part in subsets_of_size_at_most(instance, size_bound):
-            partial = chase(theory, part, max_rounds=depth, max_atoms=max_atoms)
+            partial = chase(theory, part, budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms))
             if holds(query, partial.instance, answer):
                 found = part
                 break
@@ -232,7 +232,7 @@ def exercise16_check(
     instance, so the query must follow by chasing it)."""
     for disjunct in rewriting_disjuncts:
         canonical = disjunct.canonical_instance()
-        run = chase(theory, canonical, max_rounds=depth, max_atoms=max_atoms)
+        run = chase(theory, canonical, budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms))
         if not holds(query, run.instance, disjunct.answer_vars):
             return False
     return True

@@ -27,7 +27,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..chase.engine import chase, chase_to_fixpoint
+from ..chase.engine import ChaseBudget, chase, chase_to_fixpoint
 from ..chase.termination import (
     CoreTerminationWitness,
     core_termination,
@@ -121,7 +121,7 @@ def h_star(
     is fully checkable); Core-Terminating-but-not-AIT theories are handled
     by the truncated pipeline in :func:`uniform_bound_profile` instead.
     """
-    result = chase_to_fixpoint(theory, instance, max_rounds=max_rounds, max_atoms=max_atoms)
+    result = chase_to_fixpoint(theory, instance, budget=ChaseBudget(max_rounds=max_rounds, max_atoms=max_atoms))
     witness = core_termination(theory, instance, max_depth=result.rounds_run + 1)
     if witness is None:
         raise RuntimeError("terminating chase without a core witness — bug")
@@ -152,10 +152,10 @@ def global_folding(
     chase: every term of ``dom(Ch_depth(D))`` lands in ``dom(C_D)``.
     """
     cores = small_subset_cores(theory, instance, bound)
-    full = chase(theory, instance, max_rounds=depth, max_atoms=max_atoms).instance
+    full = chase(theory, instance, budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms)).instance
     composed = {term: term for term in full.domain()}
     for part, witness in cores.witnesses:
-        part_chase = chase(theory, part, max_rounds=depth, max_atoms=max_atoms).instance
+        part_chase = chase(theory, part, budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms)).instance
         folding = dict(witness.folding)
         # Extend the subset folding to a map defined on all of Ch_depth(F):
         # terms beyond the witness's horizon fold via their deepest known

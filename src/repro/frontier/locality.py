@@ -23,7 +23,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..chase.engine import chase
+from ..chase.engine import ChaseBudget, chase
 from ..logic.atoms import Atom
 from ..logic.instance import Instance
 from ..logic.tgd import Theory
@@ -42,7 +42,7 @@ def union_of_subset_chases(
     for size in range(1, min(bound, len(facts)) + 1):
         for chosen in itertools.combinations(facts, size):
             part = chase(
-                theory, Instance(chosen), max_rounds=depth, max_atoms=max_atoms
+                theory, Instance(chosen), budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms)
             )
             union.update(part.instance)
     return union
@@ -82,14 +82,14 @@ def locality_defect(
     """
     if subset_depth is None:
         subset_depth = depth + 2
-    full = chase(theory, instance, max_rounds=depth, max_atoms=max_atoms).instance
+    full = chase(theory, instance, budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms)).instance
     union = union_of_subset_chases(
         theory, instance, bound, subset_depth, max_atoms=max_atoms
     )
     missing = frozenset(item for item in full if item not in union)
     if verify_monotonicity:
         deep_full = chase(
-            theory, instance, max_rounds=subset_depth, max_atoms=max_atoms
+            theory, instance, budget=ChaseBudget(max_rounds=subset_depth, max_atoms=max_atoms)
         ).instance
         extras = [item for item in union if item not in deep_full]
         if extras:
@@ -143,7 +143,7 @@ def min_support_size(
     for size in range(1, len(facts) + 1):
         for chosen in itertools.combinations(facts, size):
             result = chase(
-                theory, Instance(chosen), max_rounds=depth, max_atoms=max_atoms
+                theory, Instance(chosen), budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms)
             )
             if target in result.instance:
                 return size

@@ -25,7 +25,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from ..chase.engine import ChaseResult, chase
+from ..chase.engine import ChaseBudget, ChaseResult, chase
 from ..chase.provenance import ancestors, connected_parents
 from ..logic.atoms import Atom
 from ..logic.gaifman import connected_components, query_gaifman_graph
@@ -284,10 +284,10 @@ def lemma70_check(
     rounds deeper and the original side's existential atoms must appear in
     it, and vice versa (original chased deeper for the converse).
     """
-    original_run = chase(normalized.original, instance, max_rounds=depth + 2, max_atoms=max_atoms)
-    normalized_run = chase(normalized.normalized, instance, max_rounds=depth + 2, max_atoms=max_atoms)
-    original_shallow = chase(normalized.original, instance, max_rounds=depth, max_atoms=max_atoms)
-    normalized_shallow = chase(normalized.normalized, instance, max_rounds=depth, max_atoms=max_atoms)
+    original_run = chase(normalized.original, instance, budget=ChaseBudget(max_rounds=depth + 2, max_atoms=max_atoms))
+    normalized_run = chase(normalized.normalized, instance, budget=ChaseBudget(max_rounds=depth + 2, max_atoms=max_atoms))
+    original_shallow = chase(normalized.original, instance, budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms))
+    normalized_shallow = chase(normalized.normalized, instance, budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms))
 
     original_exists = existential_atoms(original_shallow)
     normalized_exists = _strip_markers(existential_atoms(normalized_run))
@@ -311,7 +311,7 @@ def tree_ancestor_sizes(
     With ``connected_only=True`` nullary parents are ignored (``canc``),
     matching the Crucial Lemma's accounting for the normalized theory.
     """
-    result = chase(theory, instance, max_rounds=depth, max_atoms=max_atoms)
+    result = chase(theory, instance, budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms))
     trees = sensible_forest(result)
     parent_fn = connected_parents if connected_only else None
     sizes: dict[Term, int] = {}
@@ -344,7 +344,7 @@ def tree_possible_ancestor_sizes(
     """
     from ..chase.provenance import possible_ancestors
 
-    result = chase(theory, instance, max_rounds=depth, max_atoms=max_atoms)
+    result = chase(theory, instance, budget=ChaseBudget(max_rounds=depth, max_atoms=max_atoms))
     trees = sensible_forest(result)
     return {
         root: len(possible_ancestors(result, atoms, connected_only=connected_only))

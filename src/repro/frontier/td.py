@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..chase.engine import chase
+from ..chase.engine import ChaseBudget, chase
 from ..logic.atoms import Atom, atom
 from ..logic.homomorphism import holds
 from ..logic.instance import Instance
@@ -102,7 +102,7 @@ def check_theorem_5b(depth: int, max_atoms: int = 2_000_000) -> Theorem5BCheck:
     query = phi_r_n(depth)
     instance, start, end = doubling_witness(depth)
     rounds_budget = 2 ** depth + depth + 2
-    result = chase(theory, instance, max_rounds=1, max_atoms=max_atoms)
+    result = chase(theory, instance, budget=ChaseBudget(max_rounds=1, max_atoms=max_atoms))
     positive = False
     rounds_needed = -1
     while True:
@@ -112,14 +112,14 @@ def check_theorem_5b(depth: int, max_atoms: int = 2_000_000) -> Theorem5BCheck:
             break
         if result.rounds_run >= rounds_budget or len(result.instance) > max_atoms:
             break
-        result = resume(result, 1, max_atoms=max_atoms)
+        result = resume(result, 1, budget=ChaseBudget(max_atoms=max_atoms))
 
     subsets_fail = True
     probe_rounds = max(rounds_needed, 1)
     for dropped in sorted(instance, key=repr):
         remaining = Instance(item for item in instance if item != dropped)
         partial = chase(
-            theory, remaining, max_rounds=probe_rounds, max_atoms=max_atoms
+            theory, remaining, budget=ChaseBudget(max_rounds=probe_rounds, max_atoms=max_atoms)
         )
         if holds(query, partial.instance, (start, end)):
             subsets_fail = False
@@ -160,7 +160,7 @@ def figure1_grid(path_length: int, levels: int) -> list[GridLevel]:
     theory = t_d()
     instance = green_path(path_length)
     result = chase(
-        theory, instance, max_rounds=levels, max_atoms=2_000_000
+        theory, instance, budget=ChaseBudget(max_rounds=levels, max_atoms=2_000_000)
     )
     grid_rule_label = "r2"  # (grid) is the third rule of t_d()
     cache: dict[Atom, frozenset[Atom]] = {}
@@ -202,7 +202,7 @@ def figure1_apex_counts(depth: int, max_atoms: int = 2_000_000) -> list[tuple[in
 
     length = 2 ** depth
     instance = green_path(length)
-    result = chase(t_d(), instance, max_rounds=1, max_atoms=max_atoms)
+    result = chase(t_d(), instance, budget=ChaseBudget(max_rounds=1, max_atoms=max_atoms))
     rounds_budget = length + depth + 2
     while result.rounds_run < rounds_budget and len(result.instance) <= max_atoms:
         if holds(
@@ -211,7 +211,7 @@ def figure1_apex_counts(depth: int, max_atoms: int = 2_000_000) -> list[tuple[in
             (Constant("a0"), Constant(f"a{length}")),
         ):
             break
-        result = resume(result, 1, max_atoms=max_atoms)
+        result = resume(result, 1, budget=ChaseBudget(max_atoms=max_atoms))
     rows: list[tuple[int, int, int]] = []
     for level in range(1, depth + 1):
         window = 2 ** level

@@ -14,16 +14,25 @@ Two flavours are provided over one backtracking core:
 
 The search uses the instance's ``(predicate, position, term)`` indexes and a
 dynamic fewest-candidates-first atom ordering.
+
+Hot callers (the chase) precompile their patterns once via
+:func:`compile_query_patterns` and search with
+:func:`iter_pattern_homomorphisms`; an optional
+:class:`~repro.telemetry.Telemetry` records search effort (nodes expanded,
+index-bucket estimates vs. facts actually scanned, backtrack clashes).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 from .atoms import Atom
 from .instance import Instance
 from .query import ConjunctiveQuery
 from .terms import Term, Variable
+
+if TYPE_CHECKING:
+    from ..telemetry import Telemetry
 
 # A pattern slot: ("var", key) must be assigned, ("const", term) must match.
 _Slot = tuple[str, object]
@@ -42,6 +51,16 @@ def _slots_for_query_atom(item: Atom) -> tuple[_Slot, ...]:
                 f"query atoms must not contain non-ground function terms: {item!r}"
             )
     return tuple(slots)
+
+
+def compile_query_patterns(atoms: Sequence[Atom]) -> tuple[_Pattern, ...]:
+    """Precompile query atoms into match patterns.
+
+    The slot classification (variable vs. ground) per atom position is
+    loop-invariant; the chase compiles each rule body once per run instead
+    of once per round per rule.
+    """
+    return tuple((item, _slots_for_query_atom(item)) for item in atoms)
 
 
 def _slots_for_element_atom(item: Atom, fixed: Mapping[Term, Term]) -> tuple[_Slot, ...]:
@@ -103,11 +122,26 @@ def _match(pattern: _Pattern, fact: Atom, assignment: dict) -> dict | None:
     return added
 
 
+# Search-effort accumulator slots (flushed to Telemetry counters in bulk;
+# list-index bumps are far cheaper than per-node Counter increments).
+_NODES, _ESTIMATED, _SCANNED, _CLASHES = range(4)
+
+
+def _flush_search_effort(telemetry: "Telemetry", effort: list[int]) -> None:
+    counters = telemetry.counters
+    counters["hom.nodes"] += effort[_NODES]
+    counters["hom.candidates_estimated"] += effort[_ESTIMATED]
+    counters["hom.candidates_scanned"] += effort[_SCANNED]
+    if effort[_CLASHES]:
+        counters["hom.backtrack_clashes"] += effort[_CLASHES]
+
+
 def _search(
     patterns: list[_Pattern],
     instance: Instance,
     assignment: dict,
     restrictions: dict[int, Instance] | None,
+    effort: list[int] | None = None,
 ) -> Iterator[dict]:
     """Backtracking join with dynamic fewest-candidates atom selection.
 
@@ -137,14 +171,44 @@ def _search(
                 continue
             rest_restrictions[index if index < best_index else index - 1] = restricted
     chosen = patterns[best_index]
-    for fact in list(best_candidates):
+    candidates_list = list(best_candidates)
+    if effort is not None:
+        effort[_NODES] += 1
+        effort[_ESTIMATED] += best_count or 0
+        effort[_SCANNED] += len(candidates_list)
+    for fact in candidates_list:
         added = _match(chosen, fact, assignment)
         if added is None:
+            if effort is not None:
+                effort[_CLASHES] += 1
             continue
         assignment.update(added)
-        yield from _search(rest, instance, assignment, rest_restrictions)
+        yield from _search(rest, instance, assignment, rest_restrictions, effort)
         for key in added:
             del assignment[key]
+
+
+def iter_pattern_homomorphisms(
+    patterns: Sequence[_Pattern],
+    instance: Instance,
+    partial: Mapping[Variable, Term] | None = None,
+    delta: Instance | None = None,
+    telemetry: "Telemetry | None" = None,
+) -> Iterator[dict[Variable, Term]]:
+    """Like :func:`iter_query_homomorphisms` over precompiled patterns."""
+    pattern_list = list(patterns)
+    base = dict(partial) if partial else {}
+    effort = [0, 0, 0, 0] if telemetry is not None else None
+    try:
+        if delta is None:
+            yield from _search(pattern_list, instance, base, None, effort)
+            return
+        for pivot in range(len(pattern_list)):
+            yield from _search(pattern_list, instance, dict(base), {pivot: delta}, effort)
+    finally:
+        # Flush once per search, even when the consumer stops early.
+        if telemetry is not None and effort is not None:
+            _flush_search_effort(telemetry, effort)
 
 
 def iter_query_homomorphisms(
@@ -152,6 +216,7 @@ def iter_query_homomorphisms(
     instance: Instance,
     partial: Mapping[Variable, Term] | None = None,
     delta: Instance | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> Iterator[dict[Variable, Term]]:
     """All homomorphisms of ``atoms`` into ``instance`` extending ``partial``.
 
@@ -159,13 +224,9 @@ def iter_query_homomorphisms(
     are produced (semi-naive evaluation); the same homomorphism may then be
     yielded more than once, which chase insertion deduplicates for free.
     """
-    patterns = [(item, _slots_for_query_atom(item)) for item in atoms]
-    base = dict(partial) if partial else {}
-    if delta is None:
-        yield from _search(patterns, instance, base, None)
-        return
-    for pivot in range(len(patterns)):
-        yield from _search(patterns, instance, dict(base), {pivot: delta})
+    yield from iter_pattern_homomorphisms(
+        compile_query_patterns(atoms), instance, partial, delta, telemetry
+    )
 
 
 def find_query_homomorphism(

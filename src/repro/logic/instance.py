@@ -4,8 +4,10 @@ An :class:`Instance` is a set of atoms with secondary indexes that make
 homomorphism search (and thus chase steps, query evaluation and containment
 checks) efficient:
 
-* by predicate, and
-* by ``(predicate, position, term)``.
+* by predicate,
+* by ``(predicate, position, term)``, and
+* by term (every fact mentioning a term, powering ``containing()`` and the
+  active-domain queries in O(result)).
 
 Following the paper's Section 7, the *domain elements* of an instance may be
 arbitrary terms — including variables (the proof of Observation 31 works with
@@ -16,7 +18,6 @@ the facts.
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Iterable, Iterator
 
 from .atoms import Atom
@@ -31,13 +32,13 @@ class Instance:
     supported for workload construction and subset experiments.
     """
 
-    __slots__ = ("_atoms", "_by_pred", "_by_pos", "_dom_counts")
+    __slots__ = ("_atoms", "_by_pred", "_by_pos", "_by_term")
 
     def __init__(self, atoms: Iterable[Atom] = ()) -> None:
         self._atoms: set[Atom] = set()
         self._by_pred: dict[Predicate, set[Atom]] = {}
         self._by_pos: dict[tuple[Predicate, int, Term], set[Atom]] = {}
-        self._dom_counts: Counter[Term] = Counter()
+        self._by_term: dict[Term, set[Atom]] = {}
         for item in atoms:
             self.add(item)
 
@@ -52,7 +53,7 @@ class Instance:
         self._by_pred.setdefault(item.predicate, set()).add(item)
         for position, term in enumerate(item.args):
             self._by_pos.setdefault((item.predicate, position, term), set()).add(item)
-            self._dom_counts[term] += 1
+            self._by_term.setdefault(term, set()).add(item)
         return True
 
     def update(self, items: Iterable[Atom]) -> int:
@@ -67,9 +68,11 @@ class Instance:
         self._by_pred[item.predicate].discard(item)
         for position, term in enumerate(item.args):
             self._by_pos[(item.predicate, position, term)].discard(item)
-            self._dom_counts[term] -= 1
-            if not self._dom_counts[term]:
-                del self._dom_counts[term]
+            bucket = self._by_term.get(term)
+            if bucket is not None:
+                bucket.discard(item)
+                if not bucket:
+                    del self._by_term[term]
         return True
 
     # ------------------------------------------------------------------
@@ -89,10 +92,10 @@ class Instance:
 
     def domain(self) -> set[Term]:
         """The active domain: every term occurring in some fact."""
-        return set(self._dom_counts)
+        return set(self._by_term)
 
     def domain_size(self) -> int:
-        return len(self._dom_counts)
+        return len(self._by_term)
 
     def predicates(self) -> set[Predicate]:
         return {pred for pred, atoms in self._by_pred.items() if atoms}
@@ -109,12 +112,13 @@ class Instance:
         return self._by_pos.get((predicate, position, term), set())
 
     def containing(self, term: Term) -> set[Atom]:
-        """All facts mentioning ``term`` at any position."""
-        found: set[Atom] = set()
-        for (_, _, indexed), atoms in self._by_pos.items():
-            if indexed == term:
-                found.update(atoms)
-        return found
+        """All facts mentioning ``term`` at any position.
+
+        Served from the per-term index — O(result), not a scan of the
+        ``(predicate, position, term)`` buckets.  Returns a fresh set the
+        caller may mutate.
+        """
+        return set(self._by_term.get(term, ()))
 
     def candidate_count(self, predicate: Predicate, position: int, term: Term) -> int:
         """Size of the ``(predicate, position, term)`` index bucket."""

@@ -21,12 +21,14 @@ from .engine import (
     rewrite,
     rewriting_size,
 )
+from .session import OMQASession, query_shape
 from .unification import EmptyRewriting, PieceUnifier, iter_piece_unifiers
 
 __all__ = [
     "AgreementReport",
     "BddVerdict",
     "EmptyRewriting",
+    "OMQASession",
     "PieceUnifier",
     "RewritingBudget",
     "RewritingResult",
@@ -40,6 +42,7 @@ __all__ = [
     "enough",
     "iter_piece_unifiers",
     "probe_bdd",
+    "query_shape",
     "rewrite",
     "rewriting_size",
 ]

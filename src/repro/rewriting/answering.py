@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..chase.engine import ChaseResult, chase
+from ..chase.engine import ChaseBudget, ChaseResult, _coerce_budget, chase
 from ..logic.containment import evaluate_ucq
 from ..logic.homomorphism import evaluate
 from ..logic.instance import Instance
@@ -61,23 +61,34 @@ def answer_by_materialization(
     query: ConjunctiveQuery,
     instance: Instance,
     depth: int | None = None,
-    max_rounds: int = 100,
-    max_atoms: int = 500_000,
+    budget: ChaseBudget | None = None,
     prepared: ChaseResult | None = None,
+    max_rounds: int | None = None,
+    max_atoms: int | None = None,
 ) -> set[tuple[Term, ...]]:
     """Certain answers via chasing.
 
     With ``depth`` given, chase that many rounds (sound and complete when
     ``depth >= n_query`` for a BDD theory).  Without it, chase to a
-    fixpoint within budget and fail loudly otherwise.  Answers are
-    restricted to base-domain tuples — certain answers over labelled nulls
-    are not answers.
+    fixpoint within ``budget`` and fail loudly otherwise.  The deprecated
+    ``max_rounds=`` / ``max_atoms=`` kwargs still work (with a
+    ``DeprecationWarning``).  Answers are restricted to base-domain
+    tuples — certain answers over labelled nulls are not answers.
     """
+    budget = _coerce_budget(
+        budget,
+        ChaseBudget(max_rounds=100, max_atoms=500_000),
+        max_rounds,
+        max_atoms,
+    )
     if prepared is not None:
         result = prepared
     else:
-        rounds = depth if depth is not None else max_rounds
-        result = chase(theory, instance, max_rounds=rounds, max_atoms=max_atoms)
+        if depth is not None:
+            budget = ChaseBudget(
+                max_rounds=depth, max_atoms=budget.max_atoms, on_exceeded=budget.on_exceeded
+            )
+        result = chase(theory, instance, budget=budget)
         if depth is None and not result.terminated:
             raise RuntimeError(
                 "chase did not terminate within budget; pass an explicit depth "
@@ -91,16 +102,19 @@ def certain_answers(
     query: ConjunctiveQuery,
     instance: Instance,
     budget: RewritingBudget | None = None,
+    chase_budget: ChaseBudget | None = None,
 ) -> set[tuple[Term, ...]]:
     """Certain answers by the safest available route.
 
     Tries rewriting first; when saturation does not complete, falls back to
-    a terminating chase.  Raises when neither route is conclusive.
+    a terminating chase (limited by ``chase_budget``).  Raises when neither
+    route is conclusive.  For repeated queries over the same theory prefer
+    :class:`repro.rewriting.session.OMQASession`, which caches both routes.
     """
     result = rewrite(theory, query, budget)
     if result.complete:
         return answer_by_rewriting(theory, query, instance, prepared=result)
-    return answer_by_materialization(theory, query, instance)
+    return answer_by_materialization(theory, query, instance, budget=chase_budget)
 
 
 @dataclass

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from ..chase.engine import chase
+from ..chase.engine import ChaseBudget, chase
 from ..logic.homomorphism import evaluate
 from ..logic.instance import Instance
 from ..logic.query import ConjunctiveQuery
@@ -43,7 +43,7 @@ def enough(
     """
     if probe_depth < depth:
         raise ValueError("probe_depth must be at least depth")
-    result = chase(theory, instance, max_rounds=probe_depth, max_atoms=max_atoms)
+    result = chase(theory, instance, budget=ChaseBudget(max_rounds=probe_depth, max_atoms=max_atoms))
     base_domain = instance.domain()
 
     def base_answers(structure: Instance) -> set[tuple[Term, ...]]:
@@ -79,7 +79,7 @@ def depth_bound_from_rewriting(
 
     for disjunct in result.ucq:
         canonical = disjunct.canonical_instance()
-        run = chase(theory, canonical, max_rounds=max_depth)
+        run = chase(theory, canonical, budget=ChaseBudget(max_rounds=max_depth))
         found = None
         for depth in range(len(run.round_added)):
             if holds(query, run.prefix(depth), disjunct.answer_vars):
@@ -136,7 +136,7 @@ def answer_depth_profile(
     """
     profile: list[int] = []
     for instance in instances:
-        result = chase(theory, instance, max_rounds=probe_depth, max_atoms=max_atoms)
+        result = chase(theory, instance, budget=ChaseBudget(max_rounds=probe_depth, max_atoms=max_atoms))
         base_domain = instance.domain()
         first = -1
         for depth in range(len(result.round_added)):

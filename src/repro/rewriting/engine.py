@@ -14,12 +14,13 @@ diagnostics of :mod:`repro.rewriting.bdd` interpret.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..logic.containment import core_query, is_contained_in
 from ..logic.query import ConjunctiveQuery, UnionOfCQs
 from ..logic.terms import FreshVariables
 from ..logic.tgd import Theory
+from ..telemetry import Telemetry
 from .unification import EmptyRewriting, iter_piece_unifiers
 
 
@@ -41,6 +42,9 @@ class RewritingResult:
         flag in.
     ``explored``
         Number of rewriting steps attempted (a work measure for benches).
+    ``stats``
+        Saturation telemetry: ``rewrite.*`` counters (pieces unified,
+        subsumption checks, evictions, peak queue length) and phase time.
     """
 
     query: ConjunctiveQuery
@@ -49,6 +53,7 @@ class RewritingResult:
     complete: bool
     always_true: bool = False
     explored: int = 0
+    stats: Telemetry = field(default_factory=Telemetry)
 
     def max_disjunct_size(self) -> int:
         """``rs_T(psi)``: the largest disjunct size (Section 7)."""
@@ -75,6 +80,7 @@ def rewrite(
     theory: Theory,
     query: ConjunctiveQuery,
     budget: RewritingBudget | None = None,
+    telemetry: Telemetry | None = None,
 ) -> RewritingResult:
     """Saturate piece-rewriting from ``query`` under ``theory``.
 
@@ -86,8 +92,13 @@ def rewrite(
     would leave an *answer* variable without any atom (possible only with
     empty-bodied rules) is skipped — expressing it would need a
     domain-membership predicate outside CQ syntax.
+
+    ``telemetry`` lets callers supply a hook-carrying collector; by default
+    a fresh one is created and returned as ``RewritingResult.stats``.
     """
     budget = budget or RewritingBudget()
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    counters = telemetry.counters
     fresh = FreshVariables(prefix="_rw")
     start = core_query(query)
     kept: list[ConjunctiveQuery] = [start]
@@ -96,47 +107,59 @@ def rewrite(
     complete = True
     always_true = False
 
-    while frontier:
-        current = frontier.popleft()
-        if current not in kept:
-            continue  # evicted while queued
-        for rule in theory:
-            for unifier in iter_piece_unifiers(current, rule, fresh):
-                explored += 1
-                if explored > budget.max_steps:
-                    complete = False
-                    frontier.clear()
-                    break
-                try:
-                    produced = unifier.rewrite(current)
-                except EmptyRewriting:
-                    always_true = True
+    with telemetry.phase("rewrite"):
+        while frontier:
+            current = frontier.popleft()
+            if current not in kept:
+                counters["rewrite.evicted_while_queued"] += 1
+                continue  # evicted while queued
+            for rule in theory:
+                for unifier in iter_piece_unifiers(current, rule, fresh):
+                    explored += 1
+                    counters["rewrite.steps"] += 1
+                    if explored > budget.max_steps:
+                        complete = False
+                        frontier.clear()
+                        break
+                    try:
+                        produced = unifier.rewrite(current)
+                    except EmptyRewriting:
+                        always_true = True
+                        continue
+                    except ValueError:
+                        # An answer variable lost its last atom; see docstring.
+                        continue
+                    if produced.size > budget.max_disjunct_atoms:
+                        counters["rewrite.oversize_dropped"] += 1
+                        complete = False
+                        continue
+                    produced = core_query(produced)
+                    counters["rewrite.subsumption_checks"] += len(kept)
+                    if any(is_contained_in(produced, existing) for existing in kept):
+                        counters["rewrite.subsumed_dropped"] += 1
+                        continue
+                    if budget.evict_subsumed:
+                        counters["rewrite.subsumption_checks"] += len(kept)
+                        survivors = [
+                            existing
+                            for existing in kept
+                            if not is_contained_in(existing, produced)
+                        ]
+                        counters["rewrite.evicted"] += len(kept) - len(survivors)
+                        kept = survivors
+                    kept.append(produced)
+                    counters["rewrite.produced"] += 1
+                    frontier.append(produced)
+                    telemetry.gauge_max("rewrite.queue_peak", len(frontier))
+                    if len(kept) > budget.max_kept:
+                        complete = False
+                        frontier.clear()
+                        break
+                else:
                     continue
-                except ValueError:
-                    # An answer variable lost its last atom; see docstring.
-                    continue
-                if produced.size > budget.max_disjunct_atoms:
-                    complete = False
-                    continue
-                produced = core_query(produced)
-                if any(is_contained_in(produced, existing) for existing in kept):
-                    continue
-                if budget.evict_subsumed:
-                    kept = [
-                        existing
-                        for existing in kept
-                        if not is_contained_in(existing, produced)
-                    ]
-                kept.append(produced)
-                frontier.append(produced)
-                if len(kept) > budget.max_kept:
-                    complete = False
-                    frontier.clear()
-                    break
-            else:
-                continue
-            break
+                break
 
+    counters["rewrite.kept"] = len(kept)
     return RewritingResult(
         query=query,
         theory=theory,
@@ -144,6 +167,7 @@ def rewrite(
         complete=complete,
         always_true=always_true,
         explored=explored,
+        stats=telemetry,
     )
 
 

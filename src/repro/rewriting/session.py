@@ -1,0 +1,199 @@
+"""Prepared OMQA sessions: cache rewritings per query shape, chases per
+instance.
+
+The realistic deployment mode of ontology-mediated query answering pays
+its big costs once: the UCQ rewriting once per *query shape* (it is
+database-independent, Theorem 1) and the materialized chase once per
+*database* (it is query-independent).  :class:`OMQASession` is the facade
+that owns both caches, replacing the ad-hoc ``prepared=`` threading of
+:mod:`repro.rewriting.answering` for callers that answer more than one
+query.
+
+Cache keys:
+
+* **query shape** — the query canonicalized by renaming variables in
+  first-occurrence order (answer variables first), so alpha-equivalent
+  queries with identical atom order share one prepared rewriting;
+* **instance content** — the frozenset of facts, so two instances with
+  the same atoms share one materialization (content hashing costs O(n)
+  per lookup; for repeated answering over a handle the caller keeps, that
+  is the safe trade).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..chase.engine import ChaseBudget, ChaseBudgetExceeded, ChaseResult, chase
+from ..logic.instance import Instance
+from ..logic.query import ConjunctiveQuery
+from ..logic.terms import Term, Variable
+from ..logic.tgd import Theory
+from ..telemetry import Telemetry
+from .answering import answer_by_materialization, answer_by_rewriting
+from .engine import RewritingBudget, RewritingResult, rewrite
+
+
+def query_shape(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Canonicalize a query up to variable renaming (stable atom order).
+
+    Variables are renamed ``_s0, _s1, ...`` in order of first occurrence,
+    answer variables first — the session's cache key.
+    """
+    renaming: dict[Variable, Variable] = {}
+
+    def canonical(var: Variable) -> Variable:
+        if var not in renaming:
+            renaming[var] = Variable(f"_s{len(renaming)}")
+        return renaming[var]
+
+    for var in query.answer_vars:
+        canonical(var)
+    for item in query.atoms:
+        for term in item.args:
+            if isinstance(term, Variable):
+                canonical(term)
+    return query.substitute(renaming)
+
+
+class OMQASession:
+    """A prepared query-answering session over one theory.
+
+    ``answer()`` picks the route: the cached rewriting when it is
+    complete, otherwise a cached fixpoint materialization (raising like
+    :func:`repro.rewriting.answering.certain_answers` when neither route
+    is conclusive).  ``stats`` aggregates the telemetry of every engine
+    run the session triggered; ``cache_info()`` reports hits/misses.
+    """
+
+    def __init__(
+        self,
+        theory: Theory,
+        rewriting_budget: RewritingBudget | None = None,
+        chase_budget: ChaseBudget | None = None,
+    ) -> None:
+        self.theory = theory
+        self.rewriting_budget = rewriting_budget
+        self.chase_budget = chase_budget or ChaseBudget(
+            max_rounds=100, max_atoms=500_000
+        )
+        self.stats = Telemetry()
+        self._rewritings: dict[ConjunctiveQuery, RewritingResult] = {}
+        self._chases: dict[frozenset, ChaseResult] = {}
+        self._hits = {"rewriting": 0, "chase": 0}
+        self._misses = {"rewriting": 0, "chase": 0}
+
+    # ------------------------------------------------------------------
+    # Prepared artifacts
+    # ------------------------------------------------------------------
+    def prepare(self, query: ConjunctiveQuery) -> RewritingResult:
+        """The (cached) UCQ rewriting for this query's shape.
+
+        Note the result's ``query``/``ucq`` are phrased over the canonical
+        shape variables; ``answer()`` evaluates via the shape, so answer
+        tuples are unaffected.
+        """
+        shape = query_shape(query)
+        cached = self._rewritings.get(shape)
+        if cached is not None:
+            self._hits["rewriting"] += 1
+            return cached
+        self._misses["rewriting"] += 1
+        result = rewrite(self.theory, shape, self.rewriting_budget)
+        self.stats.merge(result.stats)
+        self._rewritings[shape] = result
+        return result
+
+    def materialize(self, instance: Instance) -> ChaseResult:
+        """The (cached) fixpoint chase of this instance's content.
+
+        Raises :class:`ChaseBudgetExceeded` when the chase does not reach
+        a fixpoint within the session's chase budget — a non-terminating
+        materialization must stay loud, not cached as truncated.
+        """
+        key = instance.atoms()
+        cached = self._chases.get(key)
+        if cached is not None:
+            self._hits["chase"] += 1
+            return cached
+        self._misses["chase"] += 1
+        result = chase(self.theory, instance, budget=self.chase_budget)
+        self.stats.merge(result.stats)
+        if not result.terminated:
+            raise ChaseBudgetExceeded(
+                f"chase did not reach a fixpoint within {self.chase_budget}; "
+                "answer via a complete rewriting or raise the session's budget"
+            )
+        self._chases[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+    def answer(
+        self,
+        query: ConjunctiveQuery,
+        instance: Instance,
+        strategy: str = "auto",
+    ) -> set[tuple[Term, ...]]:
+        """Certain answers using the session's prepared artifacts.
+
+        ``strategy``: ``'rewrite'`` forces the rewriting route (raises on
+        an incomplete rewriting), ``'materialize'`` forces the chase
+        route, ``'auto'`` prefers a complete rewriting and falls back to
+        materialization.
+        """
+        if strategy not in ("auto", "rewrite", "materialize"):
+            raise ValueError("strategy must be 'auto', 'rewrite' or 'materialize'")
+        shape = query_shape(query)
+        if strategy in ("auto", "rewrite"):
+            prepared = self.prepare(query)
+            if prepared.complete:
+                return answer_by_rewriting(
+                    self.theory, shape, instance, prepared=prepared
+                )
+            if strategy == "rewrite":
+                raise RuntimeError("rewriting incomplete; cannot answer soundly")
+        materialized = self.materialize(instance)
+        return answer_by_materialization(
+            self.theory, shape, instance, prepared=materialized
+        )
+
+    def answer_many(
+        self,
+        queries: Iterable[ConjunctiveQuery],
+        instance: Instance,
+        strategy: str = "auto",
+    ) -> list[set[tuple[Term, ...]]]:
+        """Answer a batch of queries over one instance, caches shared."""
+        return [self.answer(query, instance, strategy) for query in queries]
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def cache_info(self) -> dict[str, dict[str, int]]:
+        return {
+            "rewriting": {
+                "hits": self._hits["rewriting"],
+                "misses": self._misses["rewriting"],
+                "entries": len(self._rewritings),
+            },
+            "chase": {
+                "hits": self._hits["chase"],
+                "misses": self._misses["chase"],
+                "entries": len(self._chases),
+            },
+        }
+
+    def clear(self) -> None:
+        """Drop every cached artifact (budgets and stats survive)."""
+        self._rewritings.clear()
+        self._chases.clear()
+
+    def __repr__(self) -> str:
+        info = self.cache_info()
+        return (
+            f"OMQASession({self.theory!r}, "
+            f"{info['rewriting']['entries']} rewritings, "
+            f"{info['chase']['entries']} chases)"
+        )

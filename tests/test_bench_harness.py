@@ -51,6 +51,25 @@ class TestTable:
         table.note("a remark")
         assert "note: a remark" in table.render()
 
+    def test_as_dict_round_trips_rows(self):
+        table = Table("demo", ["n", "seconds"])
+        table.add(1, 0.5)
+        table.note("a remark")
+        document = table.as_dict()
+        assert document["rows"] == [{"n": 1, "seconds": 0.5}]
+        assert document["notes"] == ["a remark"]
+        assert "stats" not in document
+        import json
+
+        assert json.loads(table.to_json()) == document
+
+    def test_attach_stats_validates_schema(self):
+        table = Table("demo", ["a"])
+        table.attach_stats({"counters": {"x": 1}, "phases": {}, "rounds": []})
+        assert table.as_dict()["stats"]["counters"] == {"x": 1}
+        with pytest.raises(ValueError):
+            table.attach_stats({"counters": "nope"})
+
 
 class TestShapeChecks:
     def test_monotone(self):

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.telemetry import validate_stats_dict
 
 TA = "Human(y) -> exists z. Mother(y, z)\nMother(x, y) -> Human(y)"
 
@@ -26,6 +29,24 @@ class TestChaseCommand:
         assert code == 0
         assert "Human(abel)" in capsys.readouterr().out
 
+    def test_chase_stats_prints_round_counters(self, capsys):
+        code = main(["chase", "-e", TA, "Human(abel)", "--rounds", "2", "--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# stats: " in out and "chase.matches=" in out
+        round_lines = [line for line in out.splitlines() if line.startswith("# round")]
+        assert len(round_lines) == 2
+        assert "matches=" in round_lines[0] and "total_atoms=" in round_lines[0]
+
+    def test_chase_json_schema(self, capsys):
+        code = main(["chase", "-e", TA, "Human(abel)", "--rounds", "2", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["command"] == "chase"
+        assert document["rounds_run"] == 2 and document["terminated"] is False
+        validate_stats_dict(document["stats"])
+        assert len(document["stats"]["rounds"]) == 2
+
 
 class TestRewriteCommand:
     def test_rewrite_inline(self, capsys):
@@ -34,6 +55,16 @@ class TestRewriteCommand:
         out = capsys.readouterr().out
         assert "complete: True" in out
         assert "Human(x)" in out
+
+    def test_rewrite_json(self, capsys):
+        code = main(
+            ["rewrite", "-e", TA, "q(x) := exists y. Mother(x, y)", "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["complete"] is True
+        assert document["disjunct_count"] == len(document["disjuncts"])
+        validate_stats_dict(document["stats"])
 
     def test_rewrite_incomplete_exit_code(self, capsys):
         non_bdd = "E(x, y, z), R(x, z) -> R(y, z)"
@@ -61,6 +92,26 @@ class TestAnswerCommand:
         assert code == 0
         assert "abel" in capsys.readouterr().out
 
+    def test_answer_json_reports_strategy_and_stats(self, capsys):
+        code = main(
+            [
+                "answer",
+                "-e",
+                TA,
+                "Human(abel)",
+                "q(x) := exists y. Mother(x, y)",
+                "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["answer_count"] == 1
+        assert document["answers"] == [["abel"]]
+        assert document["strategy"] == "rewrite"
+        assert document["cache_info"]["rewriting"]["misses"] == 1
+        validate_stats_dict(document["stats"])
+        assert document["stats"]["counters"]["rewrite.steps"] >= 1
+
 
 class TestClassifyCommand:
     def test_classify(self, capsys):
@@ -69,6 +120,14 @@ class TestClassifyCommand:
         out = capsys.readouterr().out
         assert "T_a" in out
         assert "linear" in out
+
+    def test_classify_json(self, capsys):
+        code = main(["classify", "-e", TA, "--name", "T_a", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["name"] == "T_a"
+        assert document["linear"] is True
+        assert "known_bdd_by_syntax" in document
 
 
 class TestTerminationCommand:
@@ -99,6 +158,33 @@ class TestFigureCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "3/3" in out and "1/1" in out
+
+    def test_figure1_json(self, capsys):
+        code = main(["figure1", "-n", "2", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["n"] == 2
+        assert all(
+            level["satisfied"] == level["expected"] for level in document["levels"]
+        )
+
+
+class TestTerminationJson:
+    def test_no_witness_json(self, capsys):
+        code = main(
+            [
+                "termination",
+                "-e",
+                "E(x, y) -> exists z. E(y, z)",
+                "E(a, b)",
+                "--depth",
+                "4",
+                "--json",
+            ]
+        )
+        assert code == 2
+        document = json.loads(capsys.readouterr().out)
+        assert document["bound"] is None and document["model"] is None
 
 
 class TestParserErrors:

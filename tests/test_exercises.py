@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.frontier import (
     adjacency_contraction,
     atom_delay,
@@ -48,18 +48,18 @@ class TestExercise13:
 
 class TestExercise17:
     def test_ta_delay_is_one(self):
-        run = chase(t_a(), parse_instance("Human(abel)"), max_rounds=6)
+        run = chase(t_a(), parse_instance("Human(abel)"), budget=ChaseBudget(max_rounds=6))
         assert atom_delay(run) == 1
 
     def test_delay_never_negative(self):
-        run = chase(exercise23(), edge_path(3), max_rounds=5, max_atoms=50_000)
+        run = chase(exercise23(), edge_path(3), budget=ChaseBudget(max_rounds=5, max_atoms=50_000))
         assert atom_delay(run) >= 0
 
     def test_delay_bounded_across_instances(self):
         """Exercise 17: n_at depends on the theory, not the instance."""
         delays = set()
         for n in (2, 4):
-            run = chase(exercise23(), edge_path(n), max_rounds=5, max_atoms=50_000)
+            run = chase(exercise23(), edge_path(n), budget=ChaseBudget(max_rounds=5, max_atoms=50_000))
             delays.add(atom_delay(run))
         assert max(delays) <= 2
 
@@ -88,7 +88,7 @@ class TestObservation29:
         )
         assert witnesses is not None
         for witness in witnesses:
-            run = chase(t_a(), witness.support, max_rounds=3)
+            run = chase(t_a(), witness.support, budget=ChaseBudget(max_rounds=3))
             assert holds(query, run.instance, witness.answer)
 
     def test_too_small_bound_reports_none(self):
@@ -112,19 +112,19 @@ class TestObservation29:
 
 class TestObservation49:
     def test_td_chase_clean_modulo_loop(self):
-        run = chase(t_d(), green_path(3), max_rounds=3, max_atoms=300_000)
+        run = chase(t_d(), green_path(3), budget=ChaseBudget(max_rounds=3, max_atoms=300_000))
         report = observation49_report(run)
         assert report.clean_modulo_loop
         assert len(report.loop_cone_cycle_atoms) == 2  # R(l,l), G(l,l)
 
     def test_base_cycles_are_allowed(self):
         base = parse_instance("G(a, b). G(b, a)")
-        run = chase(t_d(), base, max_rounds=2, max_atoms=100_000)
+        run = chase(t_d(), base, budget=ChaseBudget(max_rounds=2, max_atoms=100_000))
         report = observation49_report(run)
         assert report.clean_modulo_loop
 
     def test_in_degree_accounting(self):
-        run = chase(t_d(), green_path(2), max_rounds=3, max_atoms=300_000)
+        run = chase(t_d(), green_path(2), budget=ChaseBudget(max_rounds=3, max_atoms=300_000))
         report = observation49_report(run)
         assert report.multi_in_edges == []
         assert report.edge_into_base_from_outside == []

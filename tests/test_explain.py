@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chase import chase, derivation_tree, explain, explain_answer
+from repro.chase import ChaseBudget, chase, derivation_tree, explain, explain_answer
 from repro.logic import parse_instance, parse_query
 from repro.logic.homomorphism import find_query_homomorphism
 from repro.workloads import exercise23, t_a
@@ -12,7 +12,7 @@ from repro.workloads import exercise23, t_a
 
 @pytest.fixture
 def ta_run():
-    return chase(t_a(), parse_instance("Human(abel)"), max_rounds=3)
+    return chase(t_a(), parse_instance("Human(abel)"), budget=ChaseBudget(max_rounds=3))
 
 
 class TestDerivationTree:
@@ -67,8 +67,8 @@ class TestExplainText:
         assert indents == sorted(indents)
 
     def test_explain_answer_joins_trees(self):
-        run = chase(exercise23(), parse_instance("E(a, b). E(b, c)"), max_rounds=3,
-                    max_atoms=10_000)
+        run = chase(exercise23(), parse_instance("E(a, b). E(b, c)"),
+                    budget=ChaseBudget(max_rounds=3, max_atoms=10_000))
         query = parse_query("q() := exists x. E(x, x)")
         assignment = find_query_homomorphism(query.atoms, run.instance)
         assert assignment is not None

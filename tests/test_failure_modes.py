@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chase import ChaseBudgetExceeded, chase, chase_to_fixpoint
+from repro.chase import ChaseBudget, ChaseBudgetExceeded, chase, chase_to_fixpoint
 from repro.frontier import (
     MarkedQuery,
     NoMaximalVariable,
@@ -28,25 +28,26 @@ from repro.workloads import t_p
 class TestChaseBudgets:
     def test_raise_mode_is_loud(self):
         with pytest.raises(ChaseBudgetExceeded):
-            chase(t_p(), parse_instance("E(a, b)"), max_rounds=30,
-                  max_atoms=5, on_budget="raise")
+            chase(t_p(), parse_instance("E(a, b)"),
+                  budget=ChaseBudget(max_rounds=30, max_atoms=5,
+                                     on_exceeded="raise"))
 
     def test_return_mode_flags_truncation(self):
-        result = chase(t_p(), parse_instance("E(a, b)"), max_rounds=3)
+        result = chase(t_p(), parse_instance("E(a, b)"), budget=ChaseBudget(max_rounds=3))
         assert not result.terminated
 
     def test_invalid_budget_mode_rejected(self):
         with pytest.raises(ValueError):
-            chase(t_p(), Instance(), on_budget="whatever")
+            ChaseBudget(on_exceeded="whatever")
 
     def test_fixpoint_helper_refuses_divergence(self):
         with pytest.raises(ChaseBudgetExceeded):
-            chase_to_fixpoint(t_p(), parse_instance("E(a, b)"), max_rounds=4)
+            chase_to_fixpoint(t_p(), parse_instance("E(a, b)"), budget=ChaseBudget(max_rounds=4))
 
     def test_empty_instance_empty_theory(self):
         from repro.logic.tgd import Theory
 
-        result = chase(Theory([], name="empty"), Instance(), max_rounds=3)
+        result = chase(Theory([], name="empty"), Instance(), budget=ChaseBudget(max_rounds=3))
         assert result.terminated
         assert len(result.instance) == 0
 
@@ -66,7 +67,8 @@ class TestRewritingBudgets:
         query = parse_query("q(x) := exists y. E(x, y)")
         with pytest.raises(RuntimeError):
             answer_by_materialization(
-                t_p(), query, parse_instance("E(a, b)"), max_rounds=4
+                t_p(), query, parse_instance("E(a, b)"),
+                budget=ChaseBudget(max_rounds=4),
             )
 
     def test_max_disjunct_budget_marks_incomplete(self):

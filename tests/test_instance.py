@@ -64,6 +64,19 @@ class TestIndexes:
             atom("P", "a"),
         }
 
+    def test_containing_tracks_discard(self):
+        instance = sample()
+        instance.discard(atom("E", "a", "b"))
+        assert instance.containing(Constant("a")) == {atom("P", "a")}
+        instance.discard(atom("P", "a"))
+        assert instance.containing(Constant("a")) == set()
+
+    def test_containing_returns_fresh_set(self):
+        instance = sample()
+        hits = instance.containing(Constant("a"))
+        hits.clear()
+        assert instance.containing(Constant("a"))
+
 
 class TestSetOperations:
     def test_union_does_not_mutate(self):

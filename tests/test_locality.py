@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.frontier import (
     find_bd_locality_constant,
     find_locality_constant,
@@ -80,7 +80,7 @@ class TestExample39StickyNotLocal:
         spokes = 3
         theory = example39_sticky()
         star = sticky_star(spokes)
-        run = chase(theory, star, max_rounds=spokes, max_atoms=100_000)
+        run = chase(theory, star, budget=ChaseBudget(max_rounds=spokes, max_atoms=100_000))
         supports = [
             min_support_size(theory, star, item, depth=spokes + 1)
             for item in sorted(run.round_added[spokes], key=repr)
@@ -145,7 +145,7 @@ class TestExample42TcNotBdLocal:
         """The round-n atoms over an n-cycle need every cycle edge."""
         theory = example42_tc()
         cycle = edge_cycle(4)
-        run = chase(theory, cycle, max_rounds=4, max_atoms=100_000)
+        run = chase(theory, cycle, budget=ChaseBudget(max_rounds=4, max_atoms=100_000))
         deep = sorted(run.round_added[4], key=repr)
         supports = [
             min_support_size(theory, cycle, item, depth=5) for item in deep
@@ -158,5 +158,5 @@ class TestUnionOfSubsetChases:
         theory = t_p()
         base = edge_path(3)
         union = union_of_subset_chases(theory, base, bound=1, depth=3)
-        full = chase(theory, base, max_rounds=5, max_atoms=50_000).instance
+        full = chase(theory, base, budget=ChaseBudget(max_rounds=5, max_atoms=50_000)).instance
         assert union.issubset(full)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.frontier import (
     MarkedQuery,
     adom_atom,
@@ -110,14 +110,14 @@ class TestPeeling:
 
 class TestSemantics:
     def test_marked_variables_map_to_base(self):
-        run = chase(t_d(), green_path(2), max_rounds=2, max_atoms=50_000)
+        run = chase(t_d(), green_path(2), budget=ChaseBudget(max_rounds=2, max_atoms=50_000))
         a0, a1 = Constant("a0"), Constant("a1")
         base_edge = mq([atom("G", X, Y)], {X, Y}, answers=(X, Y))
         assert marked_holds(run, base_edge, (a0, a1))
         assert not marked_holds(run, base_edge, (a1, a0))
 
     def test_unmarked_variable_must_leave_base(self):
-        run = chase(t_d(), green_path(2), max_rounds=2, max_atoms=50_000)
+        run = chase(t_d(), green_path(2), budget=ChaseBudget(max_rounds=2, max_atoms=50_000))
         a0 = Constant("a0")
         pins_edge = mq([atom("G", X, Y)], {X}, answers=(X,))
         # a0 has a pins-created green successor outside the base: holds.
@@ -129,7 +129,7 @@ class TestSemantics:
     def test_totally_marked_equals_base_satisfaction(self):
         """For T_d every produced atom has an invented term, so a totally
         marked query holds in the chase iff it holds in D."""
-        run = chase(t_d(), green_path(3), max_rounds=2, max_atoms=50_000)
+        run = chase(t_d(), green_path(3), budget=ChaseBudget(max_rounds=2, max_atoms=50_000))
         a0, a3 = Constant("a0"), Constant("a3")
         path = parse_query("q(x, y) := exists u, v. G(x, u), G(u, v), G(v, y)")
         total = MarkedQuery(
@@ -142,12 +142,12 @@ class TestSemantics:
         )
 
     def test_empty_marked_query_is_true(self):
-        run = chase(t_d(), green_path(1), max_rounds=1, max_atoms=10_000)
+        run = chase(t_d(), green_path(1), budget=ChaseBudget(max_rounds=1, max_atoms=10_000))
         empty = MarkedQuery((), (), frozenset())
         assert marked_holds(run, empty, ())
 
     def test_answer_arity_checked(self):
-        run = chase(t_d(), green_path(1), max_rounds=1, max_atoms=10_000)
+        run = chase(t_d(), green_path(1), budget=ChaseBudget(max_rounds=1, max_atoms=10_000))
         query = mq([atom("G", X, Y)], {X, Y}, answers=(X, Y))
         with pytest.raises(ValueError):
             marked_holds(run, query, (Constant("a0"),))
@@ -156,7 +156,7 @@ class TestSemantics:
         """(spades): the query holds iff some marking of it holds."""
         from repro.logic.homomorphism import holds
 
-        run = chase(t_d(), green_path(2), max_rounds=3, max_atoms=200_000)
+        run = chase(t_d(), green_path(2), budget=ChaseBudget(max_rounds=3, max_atoms=200_000))
         query = phi_r_n(1)
         a0, a2 = Constant("a0"), Constant("a2")
         via_markings = any(

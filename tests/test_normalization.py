@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.frontier import (
     NormalizationError,
     crucial_lemma_check,
@@ -82,12 +82,12 @@ class TestExample66:
 class TestTaxonomy:
     def test_detached_terms_found(self):
         theory = parse_theory("P(x) -> exists y, z. E(y, z)")
-        run = chase(theory, parse_instance("P(a)"), max_rounds=3, max_atoms=10_000)
+        run = chase(theory, parse_instance("P(a)"), budget=ChaseBudget(max_rounds=3, max_atoms=10_000))
         found = detached_terms(run)
         assert len(found) == 2
 
     def test_sensible_forest_roots(self):
-        run = chase(t_a(), parse_instance("Human(abel)"), max_rounds=3)
+        run = chase(t_a(), parse_instance("Human(abel)"), budget=ChaseBudget(max_rounds=3))
         forest = sensible_forest(run)
         from repro.logic.terms import Constant
 
@@ -95,7 +95,7 @@ class TestTaxonomy:
         assert forest[Constant("abel")]  # the mother chain hangs below abel
 
     def test_forest_trees_partition_sensible_atoms(self):
-        run = chase(t_a(), parse_instance("Human(a). Human(b)"), max_rounds=3)
+        run = chase(t_a(), parse_instance("Human(a). Human(b)"), budget=ChaseBudget(max_rounds=3))
         forest = sensible_forest(run)
         total = sum(len(atoms) for atoms in forest.values())
         sensible = [
@@ -106,7 +106,7 @@ class TestTaxonomy:
         assert total == len(sensible)
 
     def test_existential_atoms_exclude_datalog_products(self):
-        run = chase(t_a(), parse_instance("Human(abel)"), max_rounds=3)
+        run = chase(t_a(), parse_instance("Human(abel)"), budget=ChaseBudget(max_rounds=3))
         exist = existential_atoms(run)
         datalog_products = [
             item

@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.frontier import (
     MarkedQuery,
     NoMaximalVariable,
@@ -182,7 +182,7 @@ class TestLemma52Soundness:
             Instance([atom("G", "c0", "c1"), atom("R", "c1", "c2")]),
             Instance([atom("R", "c0", "c0")]),
         ]
-        runs = [chase(theory, base, max_rounds=4, max_atoms=300_000) for base in bases]
+        runs = [chase(theory, base, budget=ChaseBudget(max_rounds=4, max_atoms=300_000)) for base in bases]
         fresh = FreshVariables()
         checked = 0
         for _ in range(90):

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.frontier import distance_contraction
 from repro.frontier.tdk import phi_pair, run_process_k
 from repro.frontier.process import run_process
@@ -45,9 +45,11 @@ class TestTdVersusTdK2:
 
     @pytest.mark.parametrize("rounds", [1, 2, 3])
     def test_same_atom_counts_per_round(self, rounds):
-        td_run = chase(t_d(), green_path(2), max_rounds=rounds, max_atoms=200_000)
+        td_run = chase(t_d(), green_path(2), budget=ChaseBudget(max_rounds=rounds, max_atoms=200_000))
         tdk_run = chase(
-            t_d_k(2), level_path(2, 1), max_rounds=rounds, max_atoms=200_000
+            t_d_k(2),
+            level_path(2, 1),
+            budget=ChaseBudget(max_rounds=rounds, max_atoms=200_000),
         )
         assert len(td_run.instance) == len(tdk_run.instance)
 
@@ -69,10 +71,10 @@ class TestSingleHeadTranslation:
         translated = theory.single_head_equivalent()
         base = green_path(2)
         query = phi_r_n(1)
-        original = chase(theory, base, max_rounds=3, max_atoms=200_000)
+        original = chase(theory, base, budget=ChaseBudget(max_rounds=3, max_atoms=200_000))
         # The translation interleaves Aux production and projections, so
         # it may need up to twice the rounds for the same atoms.
-        doubled = chase(translated, base, max_rounds=6, max_atoms=400_000)
+        doubled = chase(translated, base, budget=ChaseBudget(max_rounds=6, max_atoms=400_000))
         from repro.logic.homomorphism import holds
 
         answer = (Constant("a0"), Constant("a2"))

@@ -8,7 +8,7 @@ import random
 
 import pytest
 
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.frontier import run_process
 from repro.frontier.td import (
     check_theorem_5b,
@@ -111,7 +111,7 @@ class TestProcessSoundness:
                 for _ in range(rng.randint(1, 4))
             ]
             base = Instance(facts)
-            run = chase(theory, base, max_rounds=4, max_atoms=300_000)
+            run = chase(theory, base, budget=ChaseBudget(max_rounds=4, max_atoms=300_000))
             domain = sorted(base.domain(), key=repr)
             for pair in itertools.product(domain, repeat=2):
                 via_chase = holds(query, run.instance, pair)

@@ -6,7 +6,7 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.logic.atoms import Atom
 from repro.logic.containment import (
     are_equivalent,
@@ -63,16 +63,16 @@ class TestChaseInvariants:
     def test_observation_8_literal_monotonicity(self, base):
         """Ch(T, F) is a literal subset of Ch(T, D) for F ⊆ D."""
         theory = exercise23()
-        full = chase(theory, base, max_rounds=3, max_atoms=20_000).instance
+        full = chase(theory, base, budget=ChaseBudget(max_rounds=3, max_atoms=20_000)).instance
         facts = sorted(base, key=repr)
         part = Instance(facts[: max(1, len(facts) // 2)])
-        partial = chase(theory, part, max_rounds=3, max_atoms=20_000).instance
+        partial = chase(theory, part, budget=ChaseBudget(max_rounds=3, max_atoms=20_000)).instance
         assert partial.issubset(full)
 
     @settings(max_examples=30, deadline=None)
     @given(instances)
     def test_rounds_are_increasing(self, base):
-        result = chase(t_p(), base, max_rounds=3, max_atoms=20_000)
+        result = chase(t_p(), base, budget=ChaseBudget(max_rounds=3, max_atoms=20_000))
         previous = Instance()
         for depth in range(result.rounds_run + 1):
             current = result.prefix(depth)
@@ -82,7 +82,7 @@ class TestChaseInvariants:
     @settings(max_examples=20, deadline=None)
     @given(instances)
     def test_base_preserved(self, base):
-        result = chase(t_p(), base, max_rounds=2, max_atoms=20_000)
+        result = chase(t_p(), base, budget=ChaseBudget(max_rounds=2, max_atoms=20_000))
         assert base.issubset(result.instance)
 
 

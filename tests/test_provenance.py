@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.chase import (
+    ChaseBudget,
     ancestor_support,
     ancestors,
     birth_atom,
@@ -22,7 +23,7 @@ from repro.workloads import example66, example66_instance, t_a
 
 @pytest.fixture
 def ta_run():
-    return chase(t_a(), parse_instance("Human(abel)"), max_rounds=3)
+    return chase(t_a(), parse_instance("Human(abel)"), budget=ChaseBudget(max_rounds=3))
 
 
 class TestFrontier:
@@ -81,7 +82,7 @@ class TestAncestors:
         normalization benchmarks instead)."""
         theory = example66()
         base = example66_instance(4)
-        run = chase(theory, base, max_rounds=6, max_atoms=50_000)
+        run = chase(theory, base, budget=ChaseBudget(max_rounds=6, max_atoms=50_000))
         r_atoms = [a for a in run.instance if a.predicate.name == "R"]
         support = ancestor_support(run, r_atoms)
         p_facts_used = {a for a in support if a.predicate.name == "P"}
@@ -90,7 +91,7 @@ class TestAncestors:
     def test_connected_parents_skip_nullary(self):
         theory = parse_theory("M() , P(x) -> Q(x)")
         base = parse_instance("M(). P(a)")
-        run = chase(theory, base, max_rounds=2)
+        run = chase(theory, base, budget=ChaseBudget(max_rounds=2))
         q_atom = next(a for a in run.instance if a.predicate.name == "Q")
         connected = connected_parents(run, q_atom)
         assert all(p.predicate.arity > 0 for p in connected)
@@ -104,7 +105,7 @@ class TestPossibleAncestors:
 
         theory = example66()
         base = example66_instance(4)
-        run = chase(theory, base, max_rounds=5, max_atoms=50_000)
+        run = chase(theory, base, budget=ChaseBudget(max_rounds=5, max_atoms=50_000))
         produced_e = [
             a for a in run.instance if a.predicate.name == "E" and a not in base
         ]

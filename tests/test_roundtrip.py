@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.frontier import MarkedQuery
 from repro.frontier.process import _canonical_key
 from repro.logic import parse_query, parse_rule
@@ -55,16 +55,17 @@ class TestChaseDeterminism:
     def test_two_runs_identical(self, factory):
         theory = factory()
         base = edge_path(2, predicate="E" if factory is not t_d else "G")
-        first = chase(theory, base, max_rounds=3, max_atoms=100_000)
-        second = chase(theory, base, max_rounds=3, max_atoms=100_000)
+        first = chase(theory, base, budget=ChaseBudget(max_rounds=3, max_atoms=100_000))
+        second = chase(theory, base, budget=ChaseBudget(max_rounds=3, max_atoms=100_000))
         assert first.instance == second.instance
         assert first.round_added == second.round_added
 
     def test_provenance_off_same_atoms(self):
         base = edge_path(3)
-        with_prov = chase(exercise23(), base, max_rounds=4, max_atoms=50_000)
+        with_prov = chase(exercise23(), base, budget=ChaseBudget(max_rounds=4, max_atoms=50_000))
         without = chase(
-            exercise23(), base, max_rounds=4, max_atoms=50_000,
+            exercise23(), base,
+            budget=ChaseBudget(max_rounds=4, max_atoms=50_000),
             track_provenance=False,
         )
         assert with_prov.instance == without.instance
@@ -126,6 +127,6 @@ class TestSkolemStability:
     def test_chase_prefix_then_resume_matches_repr(self):
         """Skolem terms are stable across runs, so even reprs agree."""
         base = edge_path(2)
-        first = chase(exercise23(), base, max_rounds=3, max_atoms=50_000)
-        second = chase(exercise23(), base, max_rounds=3, max_atoms=50_000)
+        first = chase(exercise23(), base, budget=ChaseBudget(max_rounds=3, max_atoms=50_000))
+        second = chase(exercise23(), base, budget=ChaseBudget(max_rounds=3, max_atoms=50_000))
         assert sorted(map(repr, first.instance)) == sorted(map(repr, second.instance))

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.logic import parse_instance, parse_theory
 from repro.logic.serialize import (
     SerializationError,
@@ -61,12 +61,12 @@ class TestInstanceRoundTrip:
         assert load_instance(target) == edge_path(3)
 
     def test_skolem_terms_rejected(self):
-        run = chase(t_a(), parse_instance("Human(abel)"), max_rounds=2)
+        run = chase(t_a(), parse_instance("Human(abel)"), budget=ChaseBudget(max_rounds=2))
         with pytest.raises(SerializationError):
             dump_instance(run.instance)
 
     def test_base_of_chase_still_serializable(self):
-        run = chase(t_a(), parse_instance("Human(abel)"), max_rounds=2)
+        run = chase(t_a(), parse_instance("Human(abel)"), budget=ChaseBudget(max_rounds=2))
         assert "Human(abel)" in dump_instance(run.base)
 
 

@@ -1,0 +1,127 @@
+"""Tests for repro.rewriting.session (OMQASession, query_shape)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OMQASession
+from repro.chase import ChaseBudget
+from repro.chase.engine import ChaseBudgetExceeded
+from repro.logic import parse_instance, parse_query, parse_theory
+from repro.rewriting import certain_answers, query_shape
+
+TA = "Human(y) -> exists z. Mother(y, z)\nMother(x, y) -> Human(y)"
+UNIVERSITY = (
+    "EnrolledIn(s, c) -> Student(s)\n"
+    "TaughtBy(c, p) -> Professor(p)\n"
+    "Professor(p) -> Person(p)"
+)
+
+
+class TestQueryShape:
+    def test_alpha_equivalent_queries_share_shape(self):
+        left = parse_query("q(x) := exists y. Mother(x, y)")
+        right = parse_query("q(u) := exists w. Mother(u, w)")
+        assert query_shape(left) == query_shape(right)
+
+    def test_different_structure_different_shape(self):
+        left = parse_query("q(x) := exists y. Mother(x, y)")
+        right = parse_query("q(x) := exists y. Mother(y, x)")
+        assert query_shape(left) != query_shape(right)
+
+    def test_answer_variables_renamed_first(self):
+        query = parse_query("q(b, a) := R(a, b)")
+        shape = query_shape(query)
+        assert [v.name for v in shape.answer_vars] == ["_s0", "_s1"]
+
+
+class TestRewritingCache:
+    def test_alpha_equivalent_queries_hit(self):
+        session = OMQASession(parse_theory(TA))
+        session.prepare(parse_query("q(x) := exists y. Mother(x, y)"))
+        session.prepare(parse_query("q(u) := exists w. Mother(u, w)"))
+        info = session.cache_info()["rewriting"]
+        assert info == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_distinct_shapes_miss(self):
+        session = OMQASession(parse_theory(TA))
+        session.prepare(parse_query("q(x) := Human(x)"))
+        session.prepare(parse_query("q(x) := exists y. Mother(x, y)"))
+        assert session.cache_info()["rewriting"]["entries"] == 2
+
+
+class TestChaseCache:
+    def test_same_content_hits(self):
+        session = OMQASession(parse_theory(UNIVERSITY))
+        first = parse_instance("EnrolledIn(ann, cs1). TaughtBy(cs1, turing)")
+        second = parse_instance("TaughtBy(cs1, turing). EnrolledIn(ann, cs1)")
+        session.materialize(first)
+        session.materialize(second)
+        info = session.cache_info()["chase"]
+        assert info == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_non_terminating_materialization_raises_and_is_not_cached(self):
+        session = OMQASession(
+            parse_theory(TA), chase_budget=ChaseBudget(max_rounds=2)
+        )
+        with pytest.raises(ChaseBudgetExceeded):
+            session.materialize(parse_instance("Human(abel)"))
+        assert session.cache_info()["chase"]["entries"] == 0
+
+
+class TestAnswering:
+    def test_answers_match_certain_answers(self):
+        theory = parse_theory(UNIVERSITY)
+        instance = parse_instance(
+            "EnrolledIn(ann, cs1). EnrolledIn(bob, cs1). TaughtBy(cs1, turing)"
+        )
+        query = parse_query(
+            "q(s) := exists c, p. EnrolledIn(s, c), TaughtBy(c, p), Person(p)"
+        )
+        session = OMQASession(theory)
+        assert session.answer(query, instance) == certain_answers(
+            theory, query, instance
+        )
+
+    def test_materialize_strategy(self):
+        theory = parse_theory(UNIVERSITY)
+        instance = parse_instance("TaughtBy(cs1, turing)")
+        query = parse_query("q(p) := Person(p)")
+        session = OMQASession(theory)
+        answers = session.answer(query, instance, strategy="materialize")
+        assert answers == certain_answers(theory, query, instance)
+        assert session.cache_info()["chase"]["entries"] == 1
+
+    def test_answer_many_shares_caches(self):
+        theory = parse_theory(UNIVERSITY)
+        instance = parse_instance("EnrolledIn(ann, cs1). TaughtBy(cs1, turing)")
+        queries = [
+            parse_query("q(s) := Student(s)"),
+            parse_query("q(t) := Student(t)"),  # alpha-equivalent
+            parse_query("q(p) := Person(p)"),
+        ]
+        session = OMQASession(theory)
+        results = session.answer_many(queries, instance)
+        assert results[0] == results[1]
+        assert session.cache_info()["rewriting"]["hits"] >= 1
+
+    def test_invalid_strategy_rejected(self):
+        session = OMQASession(parse_theory(TA))
+        with pytest.raises(ValueError):
+            session.answer(
+                parse_query("q(x) := Human(x)"), parse_instance("Human(a)"), "guess"
+            )
+
+    def test_stats_aggregate_across_runs(self):
+        session = OMQASession(parse_theory(UNIVERSITY))
+        instance = parse_instance("TaughtBy(cs1, turing)")
+        session.answer(parse_query("q(p) := Person(p)"), instance)
+        assert session.stats.counters["rewrite.steps"] >= 1
+
+    def test_clear_drops_entries_keeps_stats(self):
+        session = OMQASession(parse_theory(UNIVERSITY))
+        session.prepare(parse_query("q(s) := Student(s)"))
+        counter_snapshot = dict(session.stats.counters)
+        session.clear()
+        assert session.cache_info()["rewriting"]["entries"] == 0
+        assert dict(session.stats.counters) == counter_snapshot

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.frontier.td import (
     doubling_witness,
     figure1_apex_counts,
@@ -94,7 +94,7 @@ class TestExercise46:
         assert set(without_loop) == {-1}
 
     def test_loop_island_exists(self):
-        run = chase(t_d(), green_path(1), max_rounds=1, max_atoms=10_000)
+        run = chase(t_d(), green_path(1), budget=ChaseBudget(max_rounds=1, max_atoms=10_000))
         self_loops = [
             item
             for item in run.instance

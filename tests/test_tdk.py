@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.frontier import (
     check_level_pair_doubling,
     composed_tower_bound,
@@ -43,8 +43,8 @@ class TestTheoryShape:
         assert level_names(3) == ("I1", "I2", "I3")
 
     def test_loop_creates_all_colour_self_loops(self):
-        run = chase(t_d_k(3), Instance([atom("I1", "a", "b")]), max_rounds=1,
-                    max_atoms=10_000)
+        run = chase(t_d_k(3), Instance([atom("I1", "a", "b")]),
+                    budget=ChaseBudget(max_rounds=1, max_atoms=10_000))
         self_loops = {
             item.predicate.name
             for item in run.instance
@@ -115,7 +115,7 @@ class TestDropLoopPattern:
             (x,), (atom("I1", x, z), atom("I3", y, z)), frozenset({x})
         )
         base = Instance([atom("I1", "a", "b")])
-        run = chase(t_d_k(3), base, max_rounds=3, max_atoms=400_000)
+        run = chase(t_d_k(3), base, budget=ChaseBudget(max_rounds=3, max_atoms=400_000))
         assert not marked_holds(run, query, (Constant("a"),))
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.chase import (
+    ChaseBudget,
     chase,
     core_termination,
     is_model,
@@ -47,13 +48,17 @@ class TestDefinition19And20Duality:
         witness = core_termination(theory, base, max_depth=8)
         assert witness is not None
         # Definition 20 form: D ⊆ M ⊆ Ch_n and M |= T.
-        prefix = chase(theory, base, max_rounds=witness.bound, max_atoms=50_000)
+        prefix = chase(theory, base, budget=ChaseBudget(max_rounds=witness.bound, max_atoms=50_000))
         assert base.issubset(witness.model)
         assert witness.model.issubset(prefix.instance)
         assert is_model(witness.model, theory)
         # Definition 19 form: the folding maps a deeper prefix into the
         # model, fixing the model's domain.
-        deeper = chase(theory, base, max_rounds=witness.bound + 1, max_atoms=50_000)
+        deeper = chase(
+            theory,
+            base,
+            budget=ChaseBudget(max_rounds=witness.bound + 1, max_atoms=50_000),
+        )
         for term in witness.model.domain():
             assert witness.folding.get(term, term) == term
         for term in deeper.instance.domain():
@@ -65,7 +70,11 @@ class TestDefinition19And20Duality:
         theory = exercise23()
         base = edge_path(2)
         witness = core_termination(theory, base, max_depth=8)
-        deeper = chase(theory, base, max_rounds=witness.bound + 1, max_atoms=50_000)
+        deeper = chase(
+            theory,
+            base,
+            budget=ChaseBudget(max_rounds=witness.bound + 1, max_atoms=50_000),
+        )
         image = apply_structure_homomorphism(deeper.instance, witness.folding)
         assert image.issubset(witness.model.union(image))  # total map
         assert image == witness.model  # exactly the eventual image

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.logic import parse_instance, parse_rule, parse_theory
 from repro.logic.terms import FreshVariables, Variable
 from repro.logic.tgd import TGD, Theory
@@ -86,8 +86,8 @@ class TestTransformations:
         theory = t_d()
         split = theory.single_head_equivalent()
         base = parse_instance("G(a, b)")
-        original = chase(theory, base, max_rounds=2, max_atoms=10_000).instance
-        translated = chase(split, base, max_rounds=6, max_atoms=100_000).instance
+        original = chase(theory, base, budget=ChaseBudget(max_rounds=2, max_atoms=10_000)).instance
+        translated = chase(split, base, budget=ChaseBudget(max_rounds=6, max_atoms=100_000)).instance
         original_preds = {i.predicate.name for i in original}
         for item in original:
             # Every original atom must be re-derivable in the translation

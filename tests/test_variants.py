@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.chase import chase, oblivious_chase, restricted_chase
+from repro.chase import ChaseBudget, chase, oblivious_chase, restricted_chase
 from repro.logic import parse_instance, parse_theory
 from repro.logic.homomorphism import holds
 from repro.logic.parser import parse_query
@@ -15,7 +15,7 @@ class TestOblivious:
         so distinct body matches make distinct witnesses."""
         theory = parse_theory("E(x, y) -> exists z. F(y, z)")
         base = parse_instance("E(a, c). E(b, c)")
-        semi = chase(theory, base, max_rounds=3)
+        semi = chase(theory, base, budget=ChaseBudget(max_rounds=3))
         obl = oblivious_chase(theory, base, max_rounds=3)
         f_semi = [a for a in semi.instance if a.predicate.name == "F"]
         f_obl = [a for a in obl.instance if a.predicate.name == "F"]
@@ -47,7 +47,7 @@ class TestRestricted:
         theory = t_a()
         base = parse_instance("Human(abel). Mother(abel, eve)")
         restricted = restricted_chase(theory, base, max_rounds=6)
-        semi = chase(theory, base, max_rounds=6)
+        semi = chase(theory, base, budget=ChaseBudget(max_rounds=6))
         # Semi-oblivious re-creates a mother for abel despite Mother(abel,
         # eve); the restricted chase reuses eve.
         assert len(restricted.instance) < len(semi.instance)
@@ -64,6 +64,6 @@ class TestRestricted:
         theory = t_a()
         base = parse_instance("Human(abel)")
         query = parse_query("q() := exists y, z. Mother('abel', y), Mother(y, z)")
-        semi = chase(theory, base, max_rounds=6)
+        semi = chase(theory, base, budget=ChaseBudget(max_rounds=6))
         restricted = restricted_chase(theory, base, max_rounds=6)
         assert holds(query, semi.instance) == holds(query, restricted.instance)

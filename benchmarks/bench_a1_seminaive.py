@@ -10,7 +10,7 @@ re-deriving old matches dominates full evaluation.
 import time
 
 from repro.bench import Table
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.logic import parse_theory
 from repro.workloads import edge_path
 
@@ -26,11 +26,14 @@ def run_seminaive_ablation() -> Table:
     for length in LENGTHS:
         base = edge_path(length)
         started = time.perf_counter()
-        semi = chase(theory, base, max_rounds=80, max_atoms=2_000_000)
+        semi = chase(theory, base, budget=ChaseBudget(max_rounds=80, max_atoms=2_000_000))
         semi_ms = (time.perf_counter() - started) * 1000
         started = time.perf_counter()
         full = chase(
-            theory, base, max_rounds=80, max_atoms=2_000_000, semi_naive=False
+            theory,
+            base,
+            budget=ChaseBudget(max_rounds=80, max_atoms=2_000_000),
+            semi_naive=False,
         )
         full_ms = (time.perf_counter() - started) * 1000
         table.add(

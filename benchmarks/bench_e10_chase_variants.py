@@ -13,7 +13,7 @@ against the still-growing Skolem materializations.
 """
 
 from repro.bench import Table
-from repro.chase import chase, oblivious_chase, restricted_chase
+from repro.chase import ChaseBudget, chase, oblivious_chase, restricted_chase
 from repro.logic import parse_instance
 from repro.workloads import (
     edge_cycle,
@@ -50,7 +50,9 @@ def run_chase_variants() -> Table:
         ],
     )
     for name, theory, base, rounds in _cases():
-        semi = chase(theory, base, max_rounds=rounds, max_atoms=500_000)
+        semi = chase(
+            theory, base, budget=ChaseBudget(max_rounds=rounds, max_atoms=500_000)
+        )
         obl = oblivious_chase(theory, base, max_rounds=rounds, max_atoms=500_000)
         res = restricted_chase(theory, base, max_rounds=50, max_atoms=500_000)
         table.add(

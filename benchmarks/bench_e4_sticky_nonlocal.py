@@ -8,7 +8,7 @@ degree grows with k), which is exactly what bd-locality repairs.
 """
 
 from repro.bench import Table, monotonically_nondecreasing
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.frontier import locality_defect, min_support_size
 from repro.logic.gaifman import max_degree
 from repro.workloads import example39_sticky, sticky_star
@@ -31,7 +31,9 @@ def run_sticky_nonlocal() -> Table:
     for spokes in SPOKES:
         star = sticky_star(spokes)
         defect = locality_defect(theory, star, bound=spokes, depth=spokes)
-        run = chase(theory, star, max_rounds=spokes, max_atoms=300_000)
+        run = chase(
+            theory, star, budget=ChaseBudget(max_rounds=spokes, max_atoms=300_000)
+        )
         worst = 0
         for item in sorted(run.round_added[spokes], key=repr):
             support = min_support_size(theory, star, item, depth=spokes + 1)

@@ -7,7 +7,7 @@ the degree restores locality.
 """
 
 from repro.bench import Table
-from repro.chase import chase
+from repro.chase import ChaseBudget, chase
 from repro.frontier import locality_defect, min_support_size
 from repro.logic.gaifman import max_degree
 from repro.workloads import edge_cycle, example42_tc
@@ -26,7 +26,9 @@ def run_tc_cycles() -> Table:
         defect = locality_defect(
             theory, cycle, bound=length - 1, depth=length
         )
-        run = chase(theory, cycle, max_rounds=length, max_atoms=300_000)
+        run = chase(
+            theory, cycle, budget=ChaseBudget(max_rounds=length, max_atoms=300_000)
+        )
         worst = 0
         for item in sorted(run.round_added[length], key=repr):
             support = min_support_size(theory, cycle, item, depth=length + 1)

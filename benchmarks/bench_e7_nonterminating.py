@@ -8,7 +8,7 @@ axes, which is exactly why the FUS/FES conjecture needs both.
 """
 
 from repro.bench import Table, monotonically_nondecreasing
-from repro.chase import chase, core_termination
+from repro.chase import ChaseBudget, chase, core_termination
 from repro.logic import parse_instance, parse_query
 from repro.rewriting import rewrite
 from repro.workloads import t_p
@@ -26,7 +26,9 @@ def run_nonterminating() -> Table:
     query = parse_query("q(x) := exists y, z. E(x, y), E(y, z)")
     rewriting = rewrite(theory, query)
     for depth in DEPTHS:
-        run = chase(theory, base, max_rounds=depth, max_atoms=100_000)
+        run = chase(
+            theory, base, budget=ChaseBudget(max_rounds=depth, max_atoms=100_000)
+        )
         witness = core_termination(theory, base, max_depth=depth)
         table.add(
             depth,

@@ -1,19 +1,35 @@
-"""Benchmark harness: sweeps and fixed-width reporting."""
+"""Benchmark harness: sweeps, fixed-width reporting, regression guard."""
 
+from .guard import (
+    GuardReport,
+    Scenario,
+    compare_documents,
+    default_baseline_path,
+    run_guard_scenarios,
+)
 from .reporting import (
     Table,
+    bench_document,
     grows_at_least_geometrically,
     monotonically_nondecreasing,
     roughly_flat,
+    validate_bench_document,
 )
 from .runner import SweepPoint, sweep, sweep_table
 
 __all__ = [
+    "GuardReport",
+    "Scenario",
     "SweepPoint",
     "Table",
+    "bench_document",
+    "compare_documents",
+    "default_baseline_path",
     "grows_at_least_geometrically",
     "monotonically_nondecreasing",
     "roughly_flat",
+    "run_guard_scenarios",
     "sweep",
     "sweep_table",
+    "validate_bench_document",
 ]

@@ -8,6 +8,12 @@ persists both forms under ``benchmarks/out/``, so ``BENCH_*.json``
 trajectories can carry engine telemetry (attach a
 ``Telemetry.as_dict()`` via :meth:`Table.attach_stats`), not just wall
 time.
+
+This module also owns the canonical ``BENCH_*.json`` *trajectory*
+schema (:func:`bench_document` / :func:`validate_bench_document`): a
+versioned document of timed guard scenarios with per-scenario value
+checksums and a calibration measurement, produced and compared by
+:mod:`repro.bench.guard`.
 """
 
 from __future__ import annotations
@@ -105,6 +111,66 @@ def _fmt(value: Any) -> str:
     if isinstance(value, bool):
         return "yes" if value else "no"
     return str(value)
+
+
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def bench_document(
+    mode: str,
+    calibration_seconds: float,
+    scenarios: list[dict],
+    meta: dict | None = None,
+) -> dict:
+    """Assemble (and validate) a canonical ``BENCH_*.json`` document.
+
+    ``scenarios`` entries carry ``name``, ``seconds`` (the comparable
+    best-of-N), ``runs`` (every sample) and ``value`` (a deterministic
+    JSON checksum of what was computed — the guard fails on drift).
+    """
+    document = {
+        "schema": BENCH_SCHEMA,
+        "mode": mode,
+        "calibration_seconds": calibration_seconds,
+        "scenarios": scenarios,
+        "meta": dict(meta or {}),
+    }
+    validate_bench_document(document)
+    return document
+
+
+def validate_bench_document(document: Any) -> None:
+    """Assert the BENCH JSON schema; raise ``ValueError`` on violation."""
+    if not isinstance(document, dict):
+        raise ValueError(f"bench document must be a dict, got {type(document).__name__}")
+    if document.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"bench document schema must be {BENCH_SCHEMA!r}, "
+            f"got {document.get('schema')!r}"
+        )
+    if document.get("mode") not in ("quick", "full"):
+        raise ValueError("bench document mode must be 'quick' or 'full'")
+    calibration = document.get("calibration_seconds")
+    if not isinstance(calibration, (int, float)) or calibration <= 0:
+        raise ValueError("bench document needs a positive calibration_seconds")
+    scenarios = document.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        raise ValueError("bench document needs a non-empty scenarios list")
+    for entry in scenarios:
+        if not isinstance(entry, dict):
+            raise ValueError("every scenario must be a dict")
+        if not isinstance(entry.get("name"), str) or not entry["name"]:
+            raise ValueError("every scenario needs a non-empty name")
+        seconds = entry.get("seconds")
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            raise ValueError(f"scenario {entry['name']!r} needs numeric seconds")
+        runs = entry.get("runs")
+        if not isinstance(runs, list) or not all(
+            isinstance(sample, (int, float)) for sample in runs
+        ):
+            raise ValueError(f"scenario {entry['name']!r} needs a numeric runs list")
+        if "value" not in entry:
+            raise ValueError(f"scenario {entry['name']!r} needs a value checksum")
 
 
 def monotonically_nondecreasing(values: Iterable[float]) -> bool:

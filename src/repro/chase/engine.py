@@ -29,6 +29,7 @@ from __future__ import annotations
 import itertools
 import time
 import warnings
+import weakref
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
@@ -38,6 +39,7 @@ from ..logic.instance import Instance
 from ..logic.terms import Term, Variable
 from ..logic.tgd import TGD, Theory
 from ..telemetry import Telemetry
+from .planner import RulePlan, plan_rule
 from .skolem import SkolemizedRule, skolemize
 
 
@@ -136,6 +138,10 @@ class ChaseResult:
     terminated: bool
     derivations: dict[Atom, Derivation] = field(default_factory=dict)
     stats: Telemetry = field(default_factory=Telemetry)
+    _depth_index: dict[Atom, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _depth_index_rounds: int = field(default=-1, init=False, repr=False, compare=False)
 
     @property
     def rounds_run(self) -> int:
@@ -149,11 +155,23 @@ class ChaseResult:
         return collected
 
     def depth_of(self, item: Atom) -> int | None:
-        """The round in which ``item`` first appeared, or ``None``."""
-        for index, added in enumerate(self.round_added):
-            if item in added:
-                return index
-        return None
+        """The round in which ``item`` first appeared, or ``None``.
+
+        Served from a lazily built atom-to-round dictionary (the rounds
+        partition the instance, so one dict answers every query in O(1)
+        after an O(instance) build).  The index is keyed to the number of
+        recorded rounds, so results extended by :func:`resume` — which
+        builds a fresh ``ChaseResult`` — never serve stale depths.
+        """
+        index = self._depth_index
+        if index is None or self._depth_index_rounds != len(self.round_added):
+            index = {}
+            for depth, added in enumerate(self.round_added):
+                for atom in added:
+                    index.setdefault(atom, depth)
+            self._depth_index = index
+            self._depth_index_rounds = len(self.round_added)
+        return index.get(item)
 
     def new_atoms(self) -> Instance:
         """Everything produced by the chase (``Ch \\ D``)."""
@@ -165,35 +183,77 @@ class ChaseResult:
 
 @dataclass(frozen=True)
 class _PreparedRule:
-    """A skolemized rule with loop-invariant match structures precompiled."""
+    """A skolemized rule with loop-invariant match structures precompiled.
+
+    ``plan`` (see :mod:`repro.chase.planner`) carries the static join
+    orders, body-predicate set and universal-variable order computed once
+    per chase and consulted every round.
+    """
 
     skolemized: SkolemizedRule
     body_patterns: tuple
-    universal: tuple[Variable, ...]
+    plan: RulePlan
 
 
-def _prepare_rules(theory: Theory) -> list[_PreparedRule]:
+_PREPARED_CACHE: "weakref.WeakKeyDictionary[Theory, tuple[_PreparedRule, ...]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _prepare_rules(theory: Theory) -> tuple[_PreparedRule, ...]:
+    """Skolemize and plan every rule, cached per (identity of) theory.
+
+    Locality and support searches chase the same theory over hundreds of
+    sub-instances; skolemization and join planning are deterministic per
+    rule, so the prepared tuple is shared (it is immutable and read-only
+    in the round loop).  The weak keying keeps throwaway theories
+    collectable.
+    """
+    cached = _PREPARED_CACHE.get(theory)
+    if cached is not None:
+        return cached
     prepared = []
     for rule in theory:
         skolemized = skolemize(rule)
+        body_patterns = compile_query_patterns(rule.body)
         prepared.append(
             _PreparedRule(
                 skolemized=skolemized,
-                body_patterns=compile_query_patterns(rule.body),
-                universal=tuple(
-                    sorted(rule.universal_head_variables(), key=lambda v: v.name)
-                ),
+                body_patterns=body_patterns,
+                plan=plan_rule(rule, body_patterns),
             )
         )
-    return prepared
+    result = tuple(prepared)
+    _PREPARED_CACHE[theory] = result
+    return result
 
 
 def _universal_assignments(
-    variables: tuple[Variable, ...], terms: Iterable[Term]
+    variables: tuple[Variable, ...], pool: list[Term]
 ) -> Iterator[dict[Variable, Term]]:
-    pool = list(terms)
     for combo in itertools.product(pool, repeat=len(variables)):
         yield dict(zip(variables, combo))
+
+
+def _universal_delta_assignments(
+    variables: tuple[Variable, ...],
+    pool: list[Term],
+    delta_pool: list[Term],
+    old_pool: list[Term],
+) -> Iterator[dict[Variable, Term]]:
+    """Assignments into ``pool`` that use at least one delta term.
+
+    Each qualifying assignment is produced exactly once: split on the
+    first position carrying a delta term (earlier positions range over
+    old terms only, later ones over the whole pool).  This replaces the
+    old enumerate-everything-and-filter product, whose cost was
+    ``|domain|^k`` per body match regardless of the delta's size.
+    """
+    count = len(variables)
+    for first in range(count):
+        pools = [old_pool] * first + [delta_pool] + [pool] * (count - first - 1)
+        for combo in itertools.product(*pools):
+            yield dict(zip(variables, combo))
 
 
 def _round_matches(
@@ -202,50 +262,83 @@ def _round_matches(
     delta: Instance | None,
     delta_terms: set[Term] | None,
     telemetry: Telemetry | None = None,
+    domain_pool: list[Term] | None = None,
 ) -> Iterator[dict[Variable, Term]]:
-    """All ``sigma`` to apply this round, semi-naive when a delta is given."""
+    """All ``sigma`` to apply this round, semi-naive when a delta is given.
+
+    ``domain_pool`` is the round's active domain as a list, hoisted by
+    the round loop so rules with universal head variables do not rebuild
+    it per rule (or, worse, per body match).
+    """
     rule = prepared.skolemized.rule
-    universal = prepared.universal
+    plan = prepared.plan
+    universal = plan.universal
     patterns = prepared.body_patterns
+    if delta is not None and not plan.relevant(
+        delta.predicates_with_facts(), delta_terms
+    ):
+        # Relevance pruning: no body predicate in the delta and no new
+        # domain term a universal variable could grab — provably no
+        # semi-naive match this round.
+        if telemetry is not None:
+            telemetry.counters["plan.rules_skipped"] += 1
+            telemetry.counters["plan.nodes_saved"] += plan.search_count
+        return
+    if universal and domain_pool is None:
+        domain_pool = list(current.domain())
     if delta is None:
         # Full evaluation (the first round).
+        universal_pool: list[dict[Variable, Term]] | None = None
         for body_match in iter_pattern_homomorphisms(
-            patterns, current, telemetry=telemetry
+            patterns, current, telemetry=telemetry, plan=plan.join
         ):
             if not universal:
                 yield body_match
                 continue
-            for extra in _universal_assignments(universal, current.domain()):
+            if universal_pool is None:
+                universal_pool = list(_universal_assignments(universal, domain_pool))
+            for extra in universal_pool:
                 yield {**body_match, **extra}
         return
     # Semi-naive: matches whose body touches the delta ...
     if rule.body:
+        universal_pool = None
         for body_match in iter_pattern_homomorphisms(
-            patterns, current, delta=delta, telemetry=telemetry
+            patterns, current, delta=delta, telemetry=telemetry, plan=plan.join
         ):
             if not universal:
                 yield body_match
                 continue
-            for extra in _universal_assignments(universal, current.domain()):
+            if universal_pool is None:
+                universal_pool = list(_universal_assignments(universal, domain_pool))
+            for extra in universal_pool:
                 yield {**body_match, **extra}
     # ... plus, for rules with universal variables, matches grabbing a term
     # that only just entered the domain.
     if universal and delta_terms:
+        delta_pool = [term for term in domain_pool if term in delta_terms]
+        old_pool = [term for term in domain_pool if term not in delta_terms]
         body_matches: Iterable[dict[Variable, Term]]
         if rule.body:
             body_matches = iter_pattern_homomorphisms(
-                patterns, current, telemetry=telemetry
+                patterns, current, telemetry=telemetry, plan=plan.join
             )
         else:
             body_matches = ({},)
+        delta_assignments: list[dict[Variable, Term]] | None = None
         for body_match in body_matches:
-            for extra in _universal_assignments(universal, current.domain()):
-                if any(extra[var] in delta_terms for var in universal):
-                    yield {**body_match, **extra}
+            if delta_assignments is None:
+                delta_assignments = list(
+                    _universal_delta_assignments(
+                        universal, domain_pool, delta_pool, old_pool
+                    )
+                )
+            for extra in delta_assignments:
+                yield {**body_match, **extra}
 
 
 def _run_rounds(
-    prepared: list[_PreparedRule],
+    prepared: tuple[_PreparedRule, ...],
     current: Instance,
     round_added: list[frozenset[Atom]],
     derivations: dict[Atom, Derivation],
@@ -266,6 +359,7 @@ def _run_rounds(
     """
     terminated = False
     counters = telemetry.counters
+    any_universal = any(rule.plan.universal for rule in prepared)
     for _ in range(rounds):
         round_number = len(round_added)
         round_started = time.perf_counter()
@@ -274,10 +368,11 @@ def _run_rounds(
         dedup_hits = 0
         round_delta = delta if semi_naive else None
         round_delta_terms = delta_terms if semi_naive else None
+        domain_pool = list(current.domain()) if any_universal else None
         for rule in prepared:
             skolem_head = rule.skolemized.head
             for sigma in _round_matches(
-                rule, current, round_delta, round_delta_terms, telemetry
+                rule, current, round_delta, round_delta_terms, telemetry, domain_pool
             ):
                 matches += 1
                 for new_atom in (item.substitute(sigma) for item in skolem_head):
@@ -417,13 +512,18 @@ def resume(
     round_added = list(result.round_added)
     derivations = dict(result.derivations)
     telemetry = result.stats.fork()
-    delta = Instance(round_added[-1]) if len(round_added) > 1 else None
-    previous = Instance()
-    for added in round_added[:-1]:
-        previous.update(added)
-    delta_terms = (
-        current.domain() - previous.domain() if len(round_added) > 1 else None
-    )
+    if len(round_added) > 1:
+        delta = Instance(round_added[-1])
+        # Only the term set of the pre-delta prefix matters here; walking
+        # the atoms directly avoids rebuilding a fully indexed Instance.
+        previous_terms: set[Term] = set()
+        for added in round_added[:-1]:
+            for item in added:
+                previous_terms.update(item.args)
+        delta_terms = current.domain() - previous_terms
+    else:
+        delta = None
+        delta_terms = None
 
     with telemetry.phase("chase"):
         terminated = _run_rounds(

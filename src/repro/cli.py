@@ -8,6 +8,7 @@ Commands
 ``classify``   syntactic class membership report (Section 1's catalogue)
 ``termination`` Core-Termination probe (Definitions 18-24)
 ``figure1``    render the doubling triangle of Figure 1
+``bench-guard`` run the guard benchmarks and compare against a baseline
 
 Theories and instances are read from files (or inline with ``-e``) in the
 syntax of :mod:`repro.logic.parser`.  Every command takes ``--json`` for a
@@ -219,6 +220,64 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_guard(args: argparse.Namespace) -> int:
+    from .bench import (
+        compare_documents,
+        default_baseline_path,
+        run_guard_scenarios,
+        validate_bench_document,
+    )
+
+    baseline_path = Path(
+        args.baseline if args.baseline else default_baseline_path(args.quick)
+    )
+    document = run_guard_scenarios(quick=args.quick, repeats=args.repeats)
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf8"
+        )
+    if args.update:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf8"
+        )
+        print(f"# baseline written to {baseline_path}")
+        return 0
+    if not baseline_path.exists():
+        print(
+            f"# no baseline at {baseline_path}; run with --update to create one",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf8"))
+    validate_bench_document(baseline)
+    report = compare_documents(document, baseline, tolerance=args.tolerance)
+    if args.json:
+        _emit_json(
+            {
+                "command": "bench-guard",
+                "ok": report.ok,
+                "tolerance": args.tolerance,
+                "baseline": str(baseline_path),
+                "missing": report.missing,
+                "rows": [
+                    {
+                        "name": row.name,
+                        "baseline_seconds": row.baseline_seconds,
+                        "current_seconds": row.current_seconds,
+                        "normalized_ratio": round(row.normalized_ratio, 4),
+                        "value_matches": row.value_matches,
+                        "regressed": row.regressed,
+                    }
+                    for row in report.rows
+                ],
+            }
+        )
+        return 0 if report.ok else 1
+    print(report.table().render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -271,6 +330,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit a JSON document instead of text"
     )
     figure_cmd.set_defaults(handler=_cmd_figure1)
+
+    guard_cmd = commands.add_parser(
+        "bench-guard", help="benchmark regression guard (BENCH_*.json)"
+    )
+    guard_cmd.add_argument(
+        "--quick", action="store_true", help="reduced scenario sizes (CI mode)"
+    )
+    guard_cmd.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed calibration-normalized slowdown (0.25 = 25%%)",
+    )
+    guard_cmd.add_argument(
+        "--baseline", default=None, help="baseline JSON path (default per mode)"
+    )
+    guard_cmd.add_argument(
+        "--repeats", type=int, default=3, help="samples per scenario (best wins)"
+    )
+    guard_cmd.add_argument(
+        "--update", action="store_true", help="rewrite the baseline and exit"
+    )
+    guard_cmd.add_argument(
+        "--output", default=None, help="also write the fresh BENCH document here"
+    )
+    guard_cmd.add_argument(
+        "--json", action="store_true", help="emit the comparison as JSON"
+    )
+    guard_cmd.set_defaults(handler=_cmd_bench_guard)
 
     return parser
 

@@ -66,14 +66,27 @@ class MarkedQuery:
     # Structure
     # ------------------------------------------------------------------
     def variables(self) -> set[Variable]:
-        return variables_of_atoms(self.atoms) | set(self.answer_vars)
+        """All variables (cached; callers must not mutate the result)."""
+        cached = self.__dict__.get("_variables")
+        if cached is None:
+            cached = variables_of_atoms(self.atoms) | set(self.answer_vars)
+            object.__setattr__(self, "_variables", cached)
+        return cached
 
     def unmarked(self) -> set[Variable]:
         return self.variables() - self.marked
 
     def real_atoms(self) -> tuple[Atom, ...]:
-        """Atoms over the actual signature (``Adom`` pseudo-atoms excluded)."""
-        return tuple(item for item in self.atoms if item.predicate != ADOM)
+        """Atoms over the actual signature (``Adom`` pseudo-atoms excluded).
+
+        Cached: the process layer consults this several times per admitted
+        query (peeling, marking closure, liveness, keys).
+        """
+        cached = self.__dict__.get("_real_atoms")
+        if cached is None:
+            cached = tuple(item for item in self.atoms if item.predicate != ADOM)
+            object.__setattr__(self, "_real_atoms", cached)
+        return cached
 
     def atoms_of(self, predicate_name: str) -> tuple[Atom, ...]:
         return tuple(
@@ -134,25 +147,66 @@ def _binary_edges(mq: MarkedQuery, colors: Sequence[str]) -> list[tuple[Variable
 
 
 def _cycle_variables(edges: list[tuple[Variable, Variable]]) -> set[Variable]:
-    """Variables lying on a directed cycle (over all colours jointly)."""
+    """Variables lying on a directed cycle (over all colours jointly).
+
+    A vertex is on a cycle iff it belongs to a strongly connected
+    component of size at least two, or carries a self-loop; one iterative
+    Tarjan pass finds these in O(V + E) (the per-vertex reachability it
+    replaces was O(V * E) and dominated the marking closure on admission).
+    """
     adjacency: dict[Variable, set[Variable]] = {}
     for source, target in edges:
         adjacency.setdefault(source, set()).add(target)
         adjacency.setdefault(target, set())
-    # Tarjan-free approach: a variable is on a cycle iff it can reach itself.
     on_cycle: set[Variable] = set()
-    for start in adjacency:
-        frontier = list(adjacency[start])
-        seen: set[Variable] = set()
-        while frontier:
-            vertex = frontier.pop()
-            if vertex == start:
-                on_cycle.add(start)
-                break
-            if vertex in seen:
+    index_of: dict[Variable, int] = {}
+    low: dict[Variable, int] = {}
+    on_stack: set[Variable] = set()
+    scc_stack: list[Variable] = []
+    counter = 0
+    for root in adjacency:
+        if root in index_of:
+            continue
+        work: list[tuple[Variable, Iterator[Variable]]] = [
+            (root, iter(adjacency[root]))
+        ]
+        index_of[root] = low[root] = counter
+        counter += 1
+        scc_stack.append(root)
+        on_stack.add(root)
+        while work:
+            vertex, successors = work[-1]
+            advanced = False
+            for nxt in successors:
+                if nxt not in index_of:
+                    index_of[nxt] = low[nxt] = counter
+                    counter += 1
+                    scc_stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(adjacency[nxt])))
+                    advanced = True
+                    break
+                if nxt in on_stack and index_of[nxt] < low[vertex]:
+                    low[vertex] = index_of[nxt]
+            if advanced:
                 continue
-            seen.add(vertex)
-            frontier.extend(adjacency.get(vertex, ()))
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if low[vertex] < low[parent]:
+                    low[parent] = low[vertex]
+            if low[vertex] == index_of[vertex]:
+                component = []
+                while True:
+                    member = scc_stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == vertex:
+                        break
+                if len(component) > 1:
+                    on_cycle.update(component)
+                elif vertex in adjacency[vertex]:
+                    on_cycle.add(vertex)
     return on_cycle
 
 
@@ -235,27 +289,36 @@ def peel_true_components(
     real = mq.real_atoms()
     if not real:
         return mq
-    # Union-find over variables through shared atoms.
-    parent: dict[Variable, Variable] = {}
-
-    def find(v: Variable) -> Variable:
-        parent.setdefault(v, v)
-        while parent[v] != v:
-            parent[v] = parent[parent[v]]
-            v = parent[v]
-        return v
-
+    # Connected components over variables through shared atoms: chain each
+    # atom's variables and flood-fill.  (This replaced a union-find whose
+    # find() calls dominated the admission path.)
+    adjacency: dict[Variable, list[Variable]] = {}
     for item in real:
         variables = [t for t in item.args if isinstance(t, Variable)]
-        for other in variables[1:]:
-            parent[find(variables[0])] = find(other)
-    marked_roots = {find(v) for v in mq.marked if v in parent}
+        for v in variables:
+            adjacency.setdefault(v, [])
+        for first, second in zip(variables, variables[1:]):
+            adjacency[first].append(second)
+            adjacency[second].append(first)
+    component: dict[Variable, int] = {}
+    next_component = 0
+    for start in adjacency:
+        if start in component:
+            continue
+        next_component += 1
+        component[start] = next_component
+        queue = [start]
+        while queue:
+            vertex = queue.pop()
+            for neighbour in adjacency[vertex]:
+                if neighbour not in component:
+                    component[neighbour] = next_component
+                    queue.append(neighbour)
+    marked_components = {component[v] for v in mq.marked if v in component}
     kept_real = tuple(
         item
         for item in real
-        if any(
-            isinstance(t, Variable) and find(t) in marked_roots for t in item.args
-        )
+        if any(component[v] in marked_components for v in item.variable_set())
     )
     if len(kept_real) == len(real):
         return mq

@@ -108,38 +108,43 @@ def _canonical_key(mq: MarkedQuery) -> tuple:
     """
     variables = sorted(mq.variables(), key=lambda v: v.name)
     answer_index = {var: i for i, var in enumerate(mq.answer_vars)}
+    # Incidence structures are loop-invariant: one pass over the atoms
+    # instead of one pass per variable (and per refinement iteration).
+    incidences: dict[Variable, list[tuple[str, int]]] = {var: [] for var in variables}
+    occurrences: dict[Variable, list[int]] = {var: [] for var in variables}
+    for atom_index, item in enumerate(mq.atoms):
+        name = item.predicate.name
+        for position, term in enumerate(item.args):
+            if isinstance(term, Variable):
+                incidences[term].append((name, position))
+        for var in item.variable_set():
+            occurrences[var].append(atom_index)
     color: dict[Variable, int] = {}
-    signature0 = {}
-    for var in variables:
-        incidences = []
-        for item in mq.atoms:
-            for position, term in enumerate(item.args):
-                if term == var:
-                    incidences.append((item.predicate.name, position))
-        signature0[var] = (
+    signature0 = {
+        var: (
             answer_index.get(var, -1),
             var in mq.marked,
-            tuple(sorted(incidences)),
+            tuple(sorted(incidences[var])),
         )
+        for var in variables
+    }
     palette = {sig: i for i, sig in enumerate(sorted(set(signature0.values())))}
     for var in variables:
         color[var] = palette[signature0[var]]
     for _ in range(len(variables)):
-        refined = {}
-        for var in variables:
-            neighbourhood = []
-            for item in mq.atoms:
-                if var in item.variable_set():
-                    neighbourhood.append(
-                        (
-                            item.predicate.name,
-                            tuple(
-                                color[t] if isinstance(t, Variable) else -1
-                                for t in item.args
-                            ),
-                        )
-                    )
-            refined[var] = (color[var], tuple(sorted(neighbourhood)))
+        colored = [
+            (
+                item.predicate.name,
+                tuple(
+                    color[t] if isinstance(t, Variable) else -1 for t in item.args
+                ),
+            )
+            for item in mq.atoms
+        ]
+        refined = {
+            var: (color[var], tuple(sorted(colored[i] for i in occurrences[var])))
+            for var in variables
+        }
         palette = {sig: i for i, sig in enumerate(sorted(set(refined.values())))}
         new_color = {var: palette[refined[var]] for var in variables}
         if new_color == color:
@@ -229,7 +234,10 @@ def run_process(
             if key in seen:
                 return
             seen.add(key)
-        if is_live(mq, colors):
+        # Properness was just established, so liveness reduces to the two
+        # structural checks — re-running the marking closure here doubled
+        # the per-admission cost for nothing.
+        if not mq.is_totally_marked() and not mq.is_empty():
             work.append(mq)
         else:
             survivors.append(mq)

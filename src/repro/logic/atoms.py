@@ -8,7 +8,7 @@ modelled by :class:`repro.logic.instance.Instance`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from .signature import Predicate
@@ -17,10 +17,20 @@ from .terms import Substitution, Term, TermLike, Variable, apply_substitution, a
 
 @dataclass(frozen=True, slots=True)
 class Atom:
-    """An atomic formula ``P(t1, ..., tn)``."""
+    """An atomic formula ``P(t1, ..., tn)``.
+
+    The hash is computed once at construction (atoms spend their lives in
+    instance sets and index buckets) and ``variable_set`` is cached on
+    first use — both were top profile entries on the larger chase and
+    rewriting workloads.
+    """
 
     predicate: Predicate
     args: tuple[Term, ...]
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+    _variable_set: "frozenset[Variable] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.args) != self.predicate.arity:
@@ -28,6 +38,10 @@ class Atom:
                 f"predicate {self.predicate!r} applied to {len(self.args)} "
                 f"arguments"
             )
+        object.__setattr__(self, "_hash", hash((self.predicate, self.args)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def is_ground(self) -> bool:
         """True when no variable occurs in the atom (i.e. it is a fact)."""
@@ -38,8 +52,12 @@ class Atom:
         for arg in self.args:
             yield from arg.variables()
 
-    def variable_set(self) -> set[Variable]:
-        return set(self.variables())
+    def variable_set(self) -> frozenset[Variable]:
+        cached = self._variable_set
+        if cached is None:
+            cached = frozenset(self.variables())
+            object.__setattr__(self, "_variable_set", cached)
+        return cached
 
     def terms(self) -> Iterator[Term]:
         """Yield the (top-level) argument terms."""
@@ -71,5 +89,5 @@ def variables_of_atoms(atoms: "Iterator[Atom] | tuple[Atom, ...] | list[Atom]") 
     """All variables occurring in a collection of atoms."""
     found: set[Variable] = set()
     for item in atoms:
-        found.update(item.variables())
+        found |= item.variable_set()
     return found

@@ -15,10 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from .homomorphism import (
-    find_query_homomorphism,
-    iter_query_homomorphisms,
-)
+from .homomorphism import iter_pattern_homomorphisms
 from .instance import Instance
 from .query import ConjunctiveQuery, UnionOfCQs
 from .terms import Term, Variable
@@ -42,7 +39,11 @@ def is_contained_in(phi: ConjunctiveQuery, psi: ConjunctiveQuery) -> bool:
         # psi's answers always satisfy the equality, phi's need not — so a
         # homomorphism witnessing containment cannot exist.
         return False
-    return find_query_homomorphism(psi.atoms, canonical, partial) is not None
+    for _ in iter_pattern_homomorphisms(
+        psi.compiled_patterns(), canonical, partial, plan=psi.join_plan()
+    ):
+        return True
+    return False
 
 
 def are_equivalent(phi: ConjunctiveQuery, psi: ConjunctiveQuery) -> bool:
@@ -66,13 +67,15 @@ def core_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
 
 def _one_folding_step(query: ConjunctiveQuery) -> ConjunctiveQuery | None:
     canonical = query.canonical_instance()
+    patterns = query.compiled_patterns()
+    plan = query.join_plan()
     variables = sorted(query.variables(), key=lambda v: v.name)
     partial: dict[Variable, Term] = {var: var for var in query.answer_vars}
     for dropped in variables:
         if dropped in query.answer_vars:
             continue
         # Try to fold the query so that `dropped` disappears from the image.
-        for hom in iter_query_homomorphisms(query.atoms, canonical, partial):
+        for hom in iter_pattern_homomorphisms(patterns, canonical, partial, plan=plan):
             if hom[dropped] == dropped:
                 continue
             if any(image == dropped for image in hom.values()):

@@ -24,6 +24,7 @@ index-bucket estimates vs. facts actually scanned, backtrack clashes).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 from .atoms import Atom
@@ -37,6 +38,93 @@ if TYPE_CHECKING:
 # A pattern slot: ("var", key) must be assigned, ("const", term) must match.
 _Slot = tuple[str, object]
 _Pattern = tuple[Atom, tuple[_Slot, ...]]
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """Precomputed atom orders for a compiled pattern sequence.
+
+    ``base_order`` drives full (non-delta) searches; ``pivot_orders[i]``
+    drives the semi-naive search whose pattern ``i`` is pinned to the
+    delta.  An entry of ``None`` means the static order would hit an
+    *unbound prefix* (an atom sharing no variable with everything placed
+    before it and carrying no constant) — those searches fall back to the
+    dynamic fewest-candidates selection.
+    """
+
+    base_order: tuple[int, ...] | None
+    pivot_orders: tuple[tuple[int, ...] | None, ...]
+
+
+def connectivity_order(
+    patterns: Sequence[_Pattern], first: int | None = None
+) -> tuple[tuple[int, ...], bool]:
+    """A static join order by greedy variable connectivity.
+
+    Starting from ``first`` (or the syntactically most constrained atom),
+    repeatedly append the pattern sharing the most variables with the
+    prefix (ties: more constant slots, fewer fresh variables, original
+    index).  Returns the order plus whether every non-initial atom was
+    *connected* — had a shared variable or a constant — when placed; a
+    ``False`` means the order contains an unbound prefix and a dynamic
+    search will likely do better.
+    """
+    remaining = set(range(len(patterns)))
+    bound_vars: set = set()
+    order: list[int] = []
+    connected = True
+
+    def place(index: int) -> None:
+        order.append(index)
+        remaining.discard(index)
+        for kind, value in patterns[index][1]:
+            if kind == "var":
+                bound_vars.add(value)
+
+    if first is not None:
+        place(first)
+    while remaining:
+        best_index = -1
+        best_score: tuple | None = None
+        for index in remaining:
+            shared = 0
+            ground = 0
+            fresh = 0
+            seen: set = set()
+            for kind, value in patterns[index][1]:
+                if kind == "const":
+                    ground += 1
+                elif value in bound_vars:
+                    shared += 1
+                elif value not in seen:
+                    fresh += 1
+                    seen.add(value)
+            score = (shared, ground, -fresh, -index)
+            if best_score is None or score > best_score:
+                best_score = score
+                best_index = index
+        if order and best_score is not None and best_score[0] == 0 and best_score[1] == 0:
+            connected = False
+        place(best_index)
+    return tuple(order), connected
+
+
+def plan_join(patterns: Sequence[_Pattern]) -> JoinPlan:
+    """Plan a pattern sequence: base order plus one order per delta pivot.
+
+    Orders that would expand an unbound prefix are dropped (``None``) so
+    the search keeps its dynamic fewest-candidates behaviour exactly
+    where static planning has nothing to offer.
+    """
+    base_order, base_connected = connectivity_order(patterns)
+    pivot_orders: list[tuple[int, ...] | None] = []
+    for pivot in range(len(patterns)):
+        order, connected = connectivity_order(patterns, first=pivot)
+        pivot_orders.append(order if connected else None)
+    return JoinPlan(
+        base_order=base_order if base_connected else None,
+        pivot_orders=tuple(pivot_orders),
+    )
 
 
 def _slots_for_query_atom(item: Atom) -> tuple[_Slot, ...]:
@@ -142,50 +230,100 @@ def _search(
     assignment: dict,
     restrictions: dict[int, Instance] | None,
     effort: list[int] | None = None,
+    order: Sequence[int] | None = None,
 ) -> Iterator[dict]:
-    """Backtracking join with dynamic fewest-candidates atom selection.
+    """Iterative backtracking join over an explicit frame stack.
 
     ``restrictions`` optionally forces specific pattern indices to match
     within a different (smaller) instance — the semi-naive chase uses this
     to pin one atom to the most recent delta.
+
+    Atom selection is dynamic fewest-candidates-first by default; with
+    ``order`` (a permutation of pattern indices, e.g. a chase plan's
+    connectivity order) level ``k`` expands ``patterns[order[k]]`` without
+    re-scoring the remaining atoms.  The candidate *facts* at each level
+    still come from the smallest index bucket the current bindings allow,
+    so a static order only fixes which atom is expanded, never which
+    bucket serves it.
     """
-    if not patterns:
+    depth_limit = len(patterns)
+    if depth_limit == 0:
         yield dict(assignment)
         return
-    best_index = 0
-    best_count = None
-    best_candidates: Iterable[Atom] = ()
-    for index, pattern in enumerate(patterns):
-        source = restrictions.get(index, instance) if restrictions else instance
-        count, candidates = _candidates(pattern, source, assignment)
-        if best_count is None or count < best_count:
-            best_index, best_count, best_candidates = index, count, candidates
-            if count == 0:
-                break
-    rest = patterns[:best_index] + patterns[best_index + 1 :]
-    rest_restrictions = None
-    if restrictions:
-        rest_restrictions = {}
-        for index, restricted in restrictions.items():
-            if index == best_index:
-                continue
-            rest_restrictions[index if index < best_index else index - 1] = restricted
-    chosen = patterns[best_index]
-    candidates_list = list(best_candidates)
-    if effort is not None:
-        effort[_NODES] += 1
-        effort[_ESTIMATED] += best_count or 0
-        effort[_SCANNED] += len(candidates_list)
-    for fact in candidates_list:
-        added = _match(chosen, fact, assignment)
-        if added is None:
-            if effort is not None:
-                effort[_CLASHES] += 1
+    track = effort is not None
+    used = [False] * depth_limit if order is None else None
+    # One frame per expanded pattern: [pattern index, candidate facts,
+    # next candidate position, keys bound by the current candidate].
+    stack: list[list] = []
+    descend = True
+    while True:
+        if descend:
+            # Pick the pattern for the next level and push a fresh frame.
+            if order is not None:
+                index = order[len(stack)]
+                source = restrictions.get(index, instance) if restrictions else instance
+                count, candidates = _candidates(patterns[index], source, assignment)
+            else:
+                index = -1
+                count = None
+                candidates = ()
+                for candidate_index in range(depth_limit):
+                    if used[candidate_index]:
+                        continue
+                    source = (
+                        restrictions.get(candidate_index, instance)
+                        if restrictions
+                        else instance
+                    )
+                    found_count, found = _candidates(
+                        patterns[candidate_index], source, assignment
+                    )
+                    if count is None or found_count < count:
+                        index, count, candidates = candidate_index, found_count, found
+                        if found_count == 0:
+                            break
+                used[index] = True
+            candidate_list = list(candidates)
+            if track:
+                effort[_NODES] += 1
+                effort[_ESTIMATED] += count or 0
+                effort[_SCANNED] += len(candidate_list)
+            stack.append([index, candidate_list, 0, None])
+            descend = False
             continue
-        assignment.update(added)
-        yield from _search(rest, instance, assignment, rest_restrictions, effort)
-        for key in added:
-            del assignment[key]
+        # Advance the top frame to its next matching candidate.
+        frame = stack[-1]
+        index, candidate_list, position, added = frame
+        if added is not None:
+            for key in added:
+                del assignment[key]
+            frame[3] = None
+        pattern = patterns[index]
+        matched = False
+        while position < len(candidate_list):
+            fact = candidate_list[position]
+            position += 1
+            bindings = _match(pattern, fact, assignment)
+            if bindings is None:
+                if track:
+                    effort[_CLASHES] += 1
+                continue
+            assignment.update(bindings)
+            frame[2] = position
+            frame[3] = tuple(bindings)
+            matched = True
+            break
+        if not matched:
+            stack.pop()
+            if used is not None:
+                used[index] = False
+            if not stack:
+                return
+            continue
+        if len(stack) == depth_limit:
+            yield dict(assignment)
+        else:
+            descend = True
 
 
 def iter_pattern_homomorphisms(
@@ -194,14 +332,41 @@ def iter_pattern_homomorphisms(
     partial: Mapping[Variable, Term] | None = None,
     delta: Instance | None = None,
     telemetry: "Telemetry | None" = None,
+    plan: JoinPlan | None = None,
 ) -> Iterator[dict[Variable, Term]]:
-    """Like :func:`iter_query_homomorphisms` over precompiled patterns."""
+    """Like :func:`iter_query_homomorphisms` over precompiled patterns.
+
+    With a ``plan`` (see :func:`plan_join`) searches follow the
+    precomputed atom orders instead of re-scoring every remaining pattern
+    per node, and semi-naive pivots whose predicate has no fact in
+    ``delta`` are skipped outright — they cannot yield a match.  Both
+    shortcuts change only the work done, never the set of homomorphisms.
+    """
     pattern_list = list(patterns)
     base = dict(partial) if partial else {}
     effort = [0, 0, 0, 0] if telemetry is not None else None
+    counters = telemetry.counters if telemetry is not None else None
     try:
         if delta is None:
-            yield from _search(pattern_list, instance, base, None, effort)
+            order = plan.base_order if plan is not None else None
+            if order is not None and counters is not None:
+                counters["plan.plans_reused"] += 1
+            yield from _search(pattern_list, instance, base, None, effort, order)
+            return
+        if plan is not None:
+            live = delta.predicates_with_facts()
+            for pivot in range(len(pattern_list)):
+                if pattern_list[pivot][0].predicate not in live:
+                    if counters is not None:
+                        counters["plan.pivots_skipped"] += 1
+                        counters["plan.nodes_saved"] += 1
+                    continue
+                order = plan.pivot_orders[pivot]
+                if order is not None and counters is not None:
+                    counters["plan.plans_reused"] += 1
+                yield from _search(
+                    pattern_list, instance, dict(base), {pivot: delta}, effort, order
+                )
             return
         for pivot in range(len(pattern_list)):
             yield from _search(pattern_list, instance, dict(base), {pivot: delta}, effort)

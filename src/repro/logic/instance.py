@@ -32,13 +32,14 @@ class Instance:
     supported for workload construction and subset experiments.
     """
 
-    __slots__ = ("_atoms", "_by_pred", "_by_pos", "_by_term")
+    __slots__ = ("_atoms", "_by_pred", "_by_pos", "_by_term", "_live_preds")
 
     def __init__(self, atoms: Iterable[Atom] = ()) -> None:
         self._atoms: set[Atom] = set()
         self._by_pred: dict[Predicate, set[Atom]] = {}
         self._by_pos: dict[tuple[Predicate, int, Term], set[Atom]] = {}
         self._by_term: dict[Term, set[Atom]] = {}
+        self._live_preds: set[Predicate] = set()
         for item in atoms:
             self.add(item)
 
@@ -51,6 +52,7 @@ class Instance:
             return False
         self._atoms.add(item)
         self._by_pred.setdefault(item.predicate, set()).add(item)
+        self._live_preds.add(item.predicate)
         for position, term in enumerate(item.args):
             self._by_pos.setdefault((item.predicate, position, term), set()).add(item)
             self._by_term.setdefault(term, set()).add(item)
@@ -65,7 +67,10 @@ class Instance:
         if item not in self._atoms:
             return False
         self._atoms.discard(item)
-        self._by_pred[item.predicate].discard(item)
+        bucket = self._by_pred[item.predicate]
+        bucket.discard(item)
+        if not bucket:
+            self._live_preds.discard(item.predicate)
         for position, term in enumerate(item.args):
             self._by_pos[(item.predicate, position, term)].discard(item)
             bucket = self._by_term.get(term)
@@ -98,7 +103,17 @@ class Instance:
         return len(self._by_term)
 
     def predicates(self) -> set[Predicate]:
-        return {pred for pred, atoms in self._by_pred.items() if atoms}
+        return set(self._live_preds)
+
+    def predicates_with_facts(self) -> set[Predicate]:
+        """The live predicate set, served without a copy.
+
+        Maintained incrementally by ``add``/``discard``; the chase
+        planner's relevance check consults it once per rule per round, so
+        it must be O(1).  Callers must treat the returned set as
+        read-only.
+        """
+        return self._live_preds
 
     def signature(self) -> Signature:
         return Signature(self.predicates())
@@ -128,7 +143,20 @@ class Instance:
     # Set-like operations
     # ------------------------------------------------------------------
     def copy(self) -> "Instance":
-        return Instance(self._atoms)
+        """A fast structural copy: index dicts rebuilt by copying buckets.
+
+        Re-running ``add`` per atom would re-derive every index entry;
+        copying the three index dicts (bucket sets shallow-copied — atoms
+        are immutable) makes chase start-up O(index size) with tiny
+        constants instead.
+        """
+        clone = Instance.__new__(Instance)
+        clone._atoms = set(self._atoms)
+        clone._by_pred = {key: set(value) for key, value in self._by_pred.items()}
+        clone._by_pos = {key: set(value) for key, value in self._by_pos.items()}
+        clone._by_term = {key: set(value) for key, value in self._by_term.items()}
+        clone._live_preds = set(self._live_preds)
+        return clone
 
     def union(self, other: "Instance | Iterable[Atom]") -> "Instance":
         result = self.copy()

@@ -127,8 +127,49 @@ class ConjunctiveQuery:
         return ConjunctiveQuery(self.answer_vars, kept)
 
     def canonical_instance(self) -> Instance:
-        """The query body seen as a structure over its own variables."""
-        return Instance(self.atoms)
+        """The query body seen as a structure over its own variables.
+
+        Built once and cached: containment checks probe the canonical
+        instance of the same query against many candidates (UCQ
+        minimization, core folding), and rebuilding the index dicts per
+        probe dominated those loops.  Callers must not mutate the result
+        (the chase copies its base, so chasing it stays safe).
+        """
+        cached = self.__dict__.get("_canonical")
+        if cached is None:
+            cached = Instance(self.atoms)
+            object.__setattr__(self, "_canonical", cached)
+        return cached
+
+    def compiled_patterns(self) -> tuple:
+        """The body precompiled for homomorphism search, built once.
+
+        See :func:`repro.logic.homomorphism.compile_query_patterns`; the
+        slot classification is immutable alongside the query.
+        """
+        cached = self.__dict__.get("_patterns")
+        if cached is None:
+            from .homomorphism import compile_query_patterns
+
+            cached = compile_query_patterns(self.atoms)
+            object.__setattr__(self, "_patterns", cached)
+        return cached
+
+    def join_plan(self):
+        """A static atom order for searches over this body, built once.
+
+        See :func:`repro.logic.homomorphism.plan_join`; containment and
+        core folding probe the same body against many instances, so the
+        connectivity order is worth precomputing exactly like a chase
+        rule's.
+        """
+        cached = self.__dict__.get("_join_plan")
+        if cached is None:
+            from .homomorphism import plan_join
+
+            cached = plan_join(self.compiled_patterns())
+            object.__setattr__(self, "_join_plan", cached)
+        return cached
 
     def __repr__(self) -> str:
         body = ", ".join(repr(item) for item in self.atoms)

@@ -9,20 +9,29 @@ hypothesis of Theorem 3 need the explicit notion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 
 @dataclass(frozen=True, slots=True)
 class Predicate:
-    """A relation symbol with a fixed arity."""
+    """A relation symbol with a fixed arity.
+
+    The hash is cached at construction: predicates key the instance
+    indexes probed on every fact insertion and candidate lookup.
+    """
 
     name: str
     arity: int
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.arity < 0:
             raise ValueError(f"negative arity for predicate {self.name}")
+        object.__setattr__(self, "_hash", hash((Predicate, self.name, self.arity)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:
         return f"{self.name}/{self.arity}"

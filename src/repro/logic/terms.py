@@ -12,7 +12,7 @@ sub-instances are *literal* subsets of chases of larger instances
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Union
 
 
@@ -36,9 +36,21 @@ class Term:
 
 @dataclass(frozen=True, slots=True)
 class Variable(Term):
-    """A first-order variable, identified by its name."""
+    """A first-order variable, identified by its name.
+
+    The hash is computed once at construction: terms live in sets and
+    index-dict keys throughout the chase, where re-hashing on every probe
+    dominated profiles of the larger workloads.
+    """
 
     name: str
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((Variable, self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def is_ground(self) -> bool:
         return False
@@ -58,6 +70,13 @@ class Constant(Term):
     """A constant (a named element of the active domain)."""
 
     name: str
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((Constant, self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def is_ground(self) -> bool:
         return True
@@ -85,6 +104,16 @@ class FunctionTerm(Term):
 
     functor: str
     args: tuple[Term, ...]
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Child hashes are already cached, so this is O(arity), not a
+        # re-walk of the whole Skolem tree — deep chase terms made the
+        # recursive dataclass hash the hottest frame on cyclic workloads.
+        object.__setattr__(self, "_hash", hash((FunctionTerm, self.functor, self.args)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def is_ground(self) -> bool:
         return all(arg.is_ground() for arg in self.args)

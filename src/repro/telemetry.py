@@ -29,6 +29,10 @@ table):
 
 ``chase.rounds / chase.matches / chase.atoms_produced / chase.dedup_hits``
     per-run totals of the round loop;
+``plan.rules_skipped / plan.pivots_skipped / plan.plans_reused /
+plan.nodes_saved``
+    effect of the join planner: delta-relevance rule skips, pivot
+    searches avoided, searches run under a precomputed static order;
 ``hom.nodes / hom.candidates_estimated / hom.candidates_scanned /
 hom.backtrack_clashes``
     search effort of the backtracking join, including the index-bucket

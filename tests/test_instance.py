@@ -101,6 +101,38 @@ class TestSetOperations:
         clone.add(atom("P", "zz"))
         assert atom("P", "zz") not in original
 
+    def test_copy_indexes_are_independent(self):
+        # The fast structural copy shares no bucket sets: mutating the
+        # clone through add/discard must leave every original index view
+        # (predicate, position, term) unchanged.
+        original = sample()
+        clone = original.copy()
+        clone.discard(atom("E", "a", "b"))
+        clone.add(atom("E", "a", "zz"))
+        assert original.with_predicate(Predicate("E", 2)) == {
+            atom("E", "a", "b"),
+            atom("E", "b", "c"),
+        }
+        assert original.with_term_at(Predicate("E", 2), 0, Constant("a")) == {
+            atom("E", "a", "b")
+        }
+        assert original.containing(Constant("a")) == {
+            atom("E", "a", "b"),
+            atom("P", "a"),
+        }
+        assert original.domain() == sample().domain()
+
+    def test_copy_preserves_index_answers(self):
+        original = sample()
+        clone = original.copy()
+        assert clone.with_predicate(Predicate("E", 2)) == original.with_predicate(
+            Predicate("E", 2)
+        )
+        assert clone.candidate_count(
+            Predicate("E", 2), 1, Constant("b")
+        ) == original.candidate_count(Predicate("E", 2), 1, Constant("b"))
+        assert clone.predicates() == original.predicates()
+
     def test_restrict_to_terms_is_induced_substructure(self):
         instance = sample()
         allowed = {Constant("a"), Constant("b")}
@@ -108,6 +140,34 @@ class TestSetOperations:
         assert restricted.atoms() == frozenset(
             {atom("E", "a", "b"), atom("P", "a")}
         )
+
+
+class TestLivePredicates:
+    def test_predicates_with_facts_tracks_add(self):
+        instance = Instance()
+        assert instance.predicates_with_facts() == set()
+        instance.add(atom("P", "a"))
+        assert instance.predicates_with_facts() == {Predicate("P", 1)}
+
+    def test_predicates_with_facts_tracks_discard(self):
+        instance = Instance([atom("P", "a"), atom("P", "b")])
+        instance.discard(atom("P", "a"))
+        assert Predicate("P", 1) in instance.predicates_with_facts()
+        instance.discard(atom("P", "b"))
+        assert Predicate("P", 1) not in instance.predicates_with_facts()
+
+    def test_predicates_returns_a_copy(self):
+        instance = sample()
+        view = instance.predicates()
+        view.add(Predicate("Zzz", 3))
+        assert Predicate("Zzz", 3) not in instance.predicates()
+
+    def test_live_view_survives_copy(self):
+        clone = sample().copy()
+        assert clone.predicates_with_facts() == {
+            Predicate("E", 2),
+            Predicate("P", 1),
+        }
 
 
 class TestSubsetEnumeration:

@@ -4,7 +4,9 @@ The experiment benches under ``benchmarks/`` measure *shapes* (doubling
 series, locality defects); this module is the *trajectory* side: a fixed
 set of guard scenarios — mirroring ``bench_e1_doubling``,
 ``bench_e5_tc_cycles`` and ``bench_micro_core_ops`` at their default
-sizes — is timed into a canonical JSON document (see
+sizes, plus a ``parallel_equivalence`` tripwire pinning the parallel
+round executor to the sequential engine's checksums — is timed into a
+canonical JSON document (see
 :func:`repro.bench.reporting.validate_bench_document` for the schema) and
 compared against a committed baseline.
 
@@ -134,6 +136,62 @@ def _run_micro_core_ops(quick: bool) -> list[int]:
     ]
 
 
+_PARALLEL_WORKERS = 4
+_LAST_PARALLEL: dict | None = None
+
+
+def _run_parallel_equivalence(quick: bool) -> dict:
+    """Parallel == sequential tripwire on the e5 workload (T_c cycles).
+
+    Chases the transitive-closure theory of Example 42 over an E-cycle
+    twice — in-process and with ``workers=_PARALLEL_WORKERS`` — and
+    checksums both results.  The compared ``value`` carries the atom
+    count, a round-for-round equality bit and a content checksum, all of
+    which are executor-independent by construction (see
+    :mod:`repro.chase.parallel`); any drift between the two executors or
+    against the baseline fails the guard.  The measured wall-clock
+    speedup is hardware-dependent, so it is reported in the document's
+    ``meta["parallel"]`` (see :func:`run_guard_scenarios`) rather than
+    compared: on a single-CPU runner the parallel run is *slower* (the
+    processes time-slice one core and pay the pipe protocol), while on a
+    multi-core machine the per-round matching overlaps.
+    """
+    import hashlib
+
+    from ..chase import ChaseBudget, chase
+    from ..workloads import edge_cycle, example42_tc
+
+    global _LAST_PARALLEL
+    theory = example42_tc()
+    length, rounds = (30, 8) if quick else (60, 12)
+    cycle = edge_cycle(length)
+    budget = ChaseBudget(max_rounds=rounds, max_atoms=500_000)
+    started = time.perf_counter()
+    sequential = chase(theory, cycle, budget=budget)
+    sequential_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = chase(theory, cycle, budget=budget, workers=_PARALLEL_WORKERS)
+    parallel_seconds = time.perf_counter() - started
+    identical = [frozenset(r) for r in sequential.round_added] == [
+        frozenset(r) for r in parallel.round_added
+    ]
+    digest = hashlib.sha256(
+        "\n".join(sorted(repr(item) for item in parallel.instance)).encode("utf8")
+    ).hexdigest()[:16]
+    _LAST_PARALLEL = {
+        "workers": _PARALLEL_WORKERS,
+        "sequential_seconds": round(sequential_seconds, 6),
+        "parallel_seconds": round(parallel_seconds, 6),
+        "speedup": (
+            round(sequential_seconds / parallel_seconds, 3) if parallel_seconds else 0.0
+        ),
+        "fallback_inprocess": int(
+            bool(parallel.stats.counters.get("parallel.fallback_inprocess", 0))
+        ),
+    }
+    return {"atoms": len(parallel.instance), "identical": identical, "checksum": digest}
+
+
 SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
         "e1_doubling",
@@ -149,6 +207,11 @@ SCENARIOS: tuple[Scenario, ...] = (
         "micro_core_ops",
         "hot inner operations: join, chase round, containment, process",
         _run_micro_core_ops,
+    ),
+    Scenario(
+        "parallel_equivalence",
+        "parallel vs sequential chase on T_c cycles: identical checksums",
+        _run_parallel_equivalence,
     ),
 )
 
@@ -174,8 +237,21 @@ def run_guard_scenarios(
     quick: bool = False,
     repeats: int = 3,
     scenarios: tuple[Scenario, ...] = SCENARIOS,
+    workers: int | None = None,
 ) -> dict:
-    """Time every scenario and return the canonical BENCH document."""
+    """Time every scenario and return the canonical BENCH document.
+
+    ``workers`` overrides the process count the ``parallel_equivalence``
+    scenario uses (default 4).  The scenario's compared ``value`` is
+    worker-count-independent; the measured speedup lands in
+    ``meta["parallel"]`` because wall-clock ratios are a property of the
+    machine, not of the code under guard.
+    """
+    global _PARALLEL_WORKERS, _LAST_PARALLEL
+    saved_workers = _PARALLEL_WORKERS
+    if workers is not None:
+        _PARALLEL_WORKERS = max(2, workers)
+    _LAST_PARALLEL = None
     measured = []
     for scenario in scenarios:
         runs: list[float] = []
@@ -193,15 +269,19 @@ def run_guard_scenarios(
                 "value": value,
             }
         )
+    meta = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    if _LAST_PARALLEL is not None:
+        meta["parallel"] = dict(_LAST_PARALLEL)
+    _PARALLEL_WORKERS = saved_workers
     document = bench_document(
         mode="quick" if quick else "full",
         calibration_seconds=round(measure_calibration(), 6),
         scenarios=measured,
-        meta={
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        },
+        meta=meta,
     )
     return document
 

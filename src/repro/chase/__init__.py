@@ -1,4 +1,28 @@
-"""The chase: semi-oblivious Skolem engine, variants, provenance, termination."""
+"""The chase: semi-oblivious Skolem engine, variants, provenance, termination.
+
+Resource limits live on :class:`ChaseBudget` — the ``max_rounds=`` /
+``max_atoms=`` kwargs accepted directly by :func:`chase` are deprecated.
+A typical bounded run::
+
+    from repro.chase import ChaseBudget, chase
+    from repro.workloads.generators import edge_cycle
+    from repro.workloads.theories import example42_tc
+
+    result = chase(
+        example42_tc(), edge_cycle(4), budget=ChaseBudget(max_rounds=10)
+    )
+    assert not result.terminated  # T_c never fixpoints; the budget returns
+
+``ChaseBudget(on_exceeded="return")`` (the default) stops cleanly at the
+budget; ``on_exceeded="raise"`` turns the same limit into a
+:class:`ChaseBudgetExceeded`.
+
+``chase(..., workers=N)`` runs each round on a process pool with a
+deterministic merge; results are atom-for-atom identical to the
+sequential engine (Skolem determinism, Observation 8).  See
+``docs/performance.md`` for tuning guidance and the ``parallel.*``
+telemetry counters.
+"""
 
 from .explain import DerivationNode, derivation_tree, explain, explain_answer
 from .engine import (

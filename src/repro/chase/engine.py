@@ -55,15 +55,30 @@ class ChaseBudget:
     the truncated result with ``terminated=False``, ``'raise'`` throws
     :class:`ChaseBudgetExceeded`.  Instances are frozen so they can be
     shared across runs and stored on sessions.
+
+    ``workers`` is the round executor's process count: ``1`` (the
+    default) evaluates rounds in-process, ``N > 1`` partitions each
+    round's trigger matching across ``N`` worker processes (see
+    :mod:`repro.chase.parallel`) — same result atom-for-atom.
+    ``worker_max_atoms`` optionally caps the atoms any single worker may
+    produce in one round (a per-worker memory guard); an overrun is a
+    budget overrun at round granularity, handled per ``on_exceeded``
+    with the overflowing round left unapplied.
     """
 
     max_rounds: int = 50
     max_atoms: int = 200_000
     on_exceeded: str = "return"
+    workers: int = 1
+    worker_max_atoms: int | None = None
 
     def __post_init__(self) -> None:
         if self.on_exceeded not in ("return", "raise"):
             raise ValueError("on_exceeded must be 'return' or 'raise'")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.worker_max_atoms is not None and self.worker_max_atoms < 1:
+            raise ValueError("worker_max_atoms must be positive when set")
 
 
 _LEGACY_BUDGET_MESSAGE = (
@@ -337,6 +352,71 @@ def _round_matches(
                 yield {**body_match, **extra}
 
 
+@dataclass
+class RoundOutcome:
+    """What one round's trigger matching produced, executor-agnostic.
+
+    ``produced`` maps each genuinely new atom to its recorded derivation
+    (first producer in the executor's deterministic enumeration order);
+    ``matches`` counts every sigma applied, ``dedup_hits`` every head
+    atom that was already present.  ``overflow`` signals a per-worker
+    budget overrun — the round loop then treats the round as a budget
+    overrun *without* applying its atoms.
+    """
+
+    produced: dict[Atom, Derivation]
+    matches: int
+    dedup_hits: int
+    overflow: bool = False
+
+
+class SequentialRoundExecutor:
+    """The default in-process round executor.
+
+    One round = one pass over the prepared rules, enumerating this
+    round's matches via :func:`_round_matches` and deduplicating head
+    atoms against the current instance and the round's own production.
+    :class:`repro.chase.parallel.ParallelRoundExecutor` implements the
+    same ``run_round`` contract across worker processes.
+    """
+
+    def __init__(
+        self, prepared: tuple[_PreparedRule, ...], telemetry: Telemetry
+    ) -> None:
+        self.prepared = prepared
+        self.telemetry = telemetry
+
+    def run_round(
+        self,
+        current: Instance,
+        sync: Iterable[Atom],
+        delta: Instance | None,
+        delta_terms: set[Term] | None,
+        domain_pool: list[Term] | None,
+    ) -> RoundOutcome:
+        produced: dict[Atom, Derivation] = {}
+        matches = 0
+        dedup_hits = 0
+        for rule in self.prepared:
+            skolem_head = rule.skolemized.head
+            for sigma in _round_matches(
+                rule, current, delta, delta_terms, self.telemetry, domain_pool
+            ):
+                matches += 1
+                for new_atom in (item.substitute(sigma) for item in skolem_head):
+                    if new_atom in current or new_atom in produced:
+                        dedup_hits += 1
+                        continue
+                    produced[new_atom] = Derivation(
+                        rule.skolemized.rule,
+                        tuple(sorted(sigma.items(), key=lambda kv: kv[0].name)),
+                    )
+        return RoundOutcome(produced=produced, matches=matches, dedup_hits=dedup_hits)
+
+    def close(self) -> None:
+        """Nothing to release for the in-process executor."""
+
+
 def _run_rounds(
     prepared: tuple[_PreparedRule, ...],
     current: Instance,
@@ -349,6 +429,7 @@ def _run_rounds(
     delta: Instance | None,
     delta_terms: set[Term] | None,
     telemetry: Telemetry,
+    executor: "SequentialRoundExecutor | None" = None,
 ) -> bool:
     """The round loop shared by :func:`chase` and :func:`resume`.
 
@@ -356,33 +437,38 @@ def _run_rounds(
     returns whether a fixpoint was reached.  One telemetry record is
     appended per executed round — including the final empty round that
     confirms the fixpoint, whose matching work is real.
+
+    ``executor`` pluggably owns the per-round trigger matching (defaults
+    to :class:`SequentialRoundExecutor`); the loop itself stays the
+    single owner of budget checks, the semi-naive delta hand-off and the
+    per-round telemetry records, so every executor produces identical
+    rounds by construction.
     """
     terminated = False
     counters = telemetry.counters
+    if executor is None:
+        executor = SequentialRoundExecutor(prepared, telemetry)
     any_universal = any(rule.plan.universal for rule in prepared)
+    sync: Iterable[Atom] = ()
     for _ in range(rounds):
         round_number = len(round_added)
         round_started = time.perf_counter()
-        produced: dict[Atom, Derivation] = {}
-        matches = 0
-        dedup_hits = 0
         round_delta = delta if semi_naive else None
         round_delta_terms = delta_terms if semi_naive else None
         domain_pool = list(current.domain()) if any_universal else None
-        for rule in prepared:
-            skolem_head = rule.skolemized.head
-            for sigma in _round_matches(
-                rule, current, round_delta, round_delta_terms, telemetry, domain_pool
-            ):
-                matches += 1
-                for new_atom in (item.substitute(sigma) for item in skolem_head):
-                    if new_atom in current or new_atom in produced:
-                        dedup_hits += 1
-                        continue
-                    produced[new_atom] = Derivation(
-                        rule.skolemized.rule,
-                        tuple(sorted(sigma.items(), key=lambda kv: kv[0].name)),
-                    )
+        outcome = executor.run_round(
+            current, sync, round_delta, round_delta_terms, domain_pool
+        )
+        if outcome.overflow:
+            if budget.on_exceeded == "raise":
+                raise ChaseBudgetExceeded(
+                    f"a chase worker exceeded worker_max_atoms="
+                    f"{budget.worker_max_atoms} in round {round_number}"
+                )
+            break
+        produced = outcome.produced
+        matches = outcome.matches
+        dedup_hits = outcome.dedup_hits
         counters["chase.rounds"] += 1
         counters["chase.matches"] += matches
         counters["chase.atoms_produced"] += len(produced)
@@ -407,6 +493,7 @@ def _run_rounds(
         round_added.append(frozenset(produced))
         delta = Instance(produced)
         delta_terms = current.domain() - old_domain
+        sync = produced
         telemetry.record_round(
             round=round_number,
             matches=matches,
@@ -433,18 +520,27 @@ def chase(
     track_provenance: bool = True,
     semi_naive: bool = True,
     telemetry: Telemetry | None = None,
+    workers: int | None = None,
     max_rounds: int | None = None,
     max_atoms: int | None = None,
     on_budget: str | None = None,
 ) -> ChaseResult:
     """Run the semi-oblivious Skolem chase.
 
-    Stops early at a fixpoint (then ``terminated`` is ``True``).  When the
-    ``budget`` is exceeded the partial result is returned with
-    ``terminated = False`` (or :class:`ChaseBudgetExceeded` is raised under
-    ``ChaseBudget(on_exceeded='raise')``).  ``max_rounds=`` / ``max_atoms=``
-    / ``on_budget=`` are the deprecated pre-budget spelling and emit a
-    ``DeprecationWarning``.
+    Resource limits live in the frozen :class:`ChaseBudget`: the chase
+    stops early at a fixpoint (then ``terminated`` is ``True``), and when
+    the budget is exceeded the partial result is returned with
+    ``terminated = False`` (or :class:`ChaseBudgetExceeded` is raised
+    under ``ChaseBudget(on_exceeded='raise')``).
+
+    ``workers`` selects the round executor: ``N > 1`` evaluates each
+    round's trigger matches across ``N`` worker processes (see
+    :mod:`repro.chase.parallel`) and merges the production
+    deterministically — the rounds are identical to the sequential
+    engine's, set-for-set.  ``None`` defers to ``budget.workers``.  When
+    multiprocessing is unavailable or the workload does not serialize,
+    the chase degrades to the in-process executor and flags
+    ``parallel.fallback_inprocess`` in the stats — never an error.
 
     ``semi_naive=False`` re-evaluates every rule against the whole current
     instance each round (ablation A1) — same result atom-for-atom thanks
@@ -452,6 +548,11 @@ def chase(
 
     ``telemetry`` lets callers supply a hook-carrying collector; by default
     a fresh one is created and returned as ``ChaseResult.stats``.
+
+    .. deprecated:: 1.1
+        The ``max_rounds=`` / ``max_atoms=`` / ``on_budget=`` kwargs are
+        the pre-:class:`ChaseBudget` spelling; they still work but emit a
+        ``DeprecationWarning``.  Pass ``budget=ChaseBudget(...)`` instead.
     """
     budget = _coerce_budget(budget, ChaseBudget(), max_rounds, max_atoms, on_budget)
     telemetry = telemetry if telemetry is not None else Telemetry()
@@ -460,20 +561,38 @@ def chase(
     round_added: list[frozenset[Atom]] = [frozenset(base)]
     derivations: dict[Atom, Derivation] = {}
 
-    with telemetry.phase("chase"):
-        terminated = _run_rounds(
-            prepared,
-            current,
-            round_added,
-            derivations,
-            rounds=budget.max_rounds,
-            budget=budget,
-            track_provenance=track_provenance,
-            semi_naive=semi_naive,
-            delta=None,
-            delta_terms=None,
-            telemetry=telemetry,
+    requested_workers = workers if workers is not None else budget.workers
+    executor: SequentialRoundExecutor | None = None
+    if requested_workers > 1:
+        from .parallel import make_round_executor
+
+        executor = make_round_executor(
+            prepared, theory, current, budget, telemetry, requested_workers
         )
+    elif workers is not None:
+        # Parallelism was explicitly (if trivially) requested; record the
+        # in-process degrade so callers can tell the paths apart.
+        telemetry.counters["parallel.fallback_inprocess"] = 1
+
+    try:
+        with telemetry.phase("chase"):
+            terminated = _run_rounds(
+                prepared,
+                current,
+                round_added,
+                derivations,
+                rounds=budget.max_rounds,
+                budget=budget,
+                track_provenance=track_provenance,
+                semi_naive=semi_naive,
+                delta=None,
+                delta_terms=None,
+                telemetry=telemetry,
+                executor=executor,
+            )
+    finally:
+        if executor is not None:
+            executor.close()
 
     return ChaseResult(
         theory=theory,
@@ -501,6 +620,12 @@ def resume(
     round.  The returned ``stats`` continue the original run's: counters
     and round records accumulate as if the chase had run in one go
     (``budget.max_rounds`` is ignored here — ``extra_rounds`` rules).
+
+    .. deprecated:: 1.1
+        ``max_atoms=`` / ``on_budget=`` are the pre-:class:`ChaseBudget`
+        spelling; pass ``budget=ChaseBudget(max_atoms=...,
+        on_exceeded=...)`` instead.  The legacy kwargs still work but
+        emit a ``DeprecationWarning``.
     """
     budget = _coerce_budget(
         budget, ChaseBudget(), max_atoms=max_atoms, on_budget=on_budget
@@ -561,7 +686,15 @@ def chase_to_fixpoint(
     """Chase until a fixpoint, raising when budgets are exceeded.
 
     Use only for theories known (or expected) to have a terminating Skolem
-    chase on ``base``; the error keeps non-terminating cases loud.
+    chase on ``base``; the error keeps non-terminating cases loud.  Limits
+    come from ``budget`` (a :class:`ChaseBudget`; ``on_exceeded`` is
+    forced to ``"raise"`` here).
+
+    .. deprecated:: 1.1
+        ``max_rounds=`` / ``max_atoms=`` are the pre-:class:`ChaseBudget`
+        spelling; pass ``budget=ChaseBudget(max_rounds=...,
+        max_atoms=...)`` instead.  The legacy kwargs still work but emit
+        a ``DeprecationWarning``.
     """
     budget = _coerce_budget(
         budget,

@@ -1,0 +1,682 @@
+"""Parallel round execution for the semi-oblivious Skolem chase.
+
+Each chase round (Definitions 5–6) applies every rule to every trigger
+independently before any produced atom becomes visible — the round is
+embarrassingly parallel.  This module exploits that:
+:class:`ParallelRoundExecutor` partitions a round's trigger matching into
+*(rule, pivot-delta-shard)* work items (see
+:meth:`repro.chase.planner.RulePlan.shard_items`), evaluates the items in
+worker processes against a replica of the current instance, and merges
+the produced atoms back on the coordinator in a deterministic order —
+sorted by rule index, then pivot, then shard — so ``chase(..., workers=N)``
+yields rounds that are *identical as sets* to the sequential engine at
+every depth (the planner-equivalence harness re-verifies this, see
+``tests/test_parallel.py``).
+
+Design points:
+
+* **Replicated instances, delta broadcast.**  Every worker keeps a full
+  replica of the chase instance.  Per round the coordinator sends only
+  the previous round's production (the semi-naive delta); workers apply
+  it locally, so per-round traffic is O(delta), not O(instance).  Each
+  worker owns a dedicated pipe and the protocol is strict
+  request/response, so replicas can never miss an update.
+* **Interned wire format.**  Skolem terms are DAGs whose ancestry grows
+  with chase depth; pickling a round's delta naively re-serializes every
+  ancestor term every round (quadratic total traffic, and the dominant
+  cost on deep workloads like T_c cycles).  Instead each pipe direction
+  carries an incremental interning codec (:class:`_WireEncoder` /
+  :class:`_WireDecoder`): a term or predicate crosses the pipe exactly
+  once, as a definition referencing earlier definitions by integer code,
+  and every later occurrence is just that integer.
+* **Deterministic merge.**  Work items sort exactly the way the
+  sequential engine enumerates them (rule, then pivot, then shard); the
+  coordinator folds results in that order, deduplicating against the
+  current instance and the round's accumulated production — the same
+  first-producer-wins rule the in-process executor applies.
+* **Graceful degrade, never an error.**  ``workers=1``, an unpicklable
+  theory/instance, a platform without usable ``multiprocessing``, or a
+  worker failing mid-chase all fall back to the in-process executor and
+  set the ``parallel.fallback_inprocess`` telemetry flag.  A fallback
+  mid-run is safe because the coordinator's instance is authoritative —
+  replicas are only ever derived state.
+
+Telemetry (all plain integer counters, see ``docs/performance.md``):
+``parallel.workers`` (pool size), ``parallel.rounds`` (rounds executed by
+the pool), ``parallel.shards_dispatched`` (work items sent),
+``parallel.worker_us`` (summed in-worker wall time, microseconds),
+``parallel.merge_dedup_hits`` (cross-item duplicates folded at merge),
+``parallel.bytes_sent`` / ``parallel.bytes_received`` (serialized
+payload volume), ``parallel.worker_truncated`` (per-worker budget
+overruns) and ``parallel.fallback_inprocess`` (the degrade flag).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+import traceback
+from typing import Iterable, Sequence
+
+from ..logic.atoms import Atom
+from ..logic.homomorphism import _search
+from ..logic.instance import Instance
+from ..logic.signature import Predicate
+from ..logic.terms import Constant, FunctionTerm, Term, Variable
+from ..telemetry import Telemetry
+from .engine import (
+    ChaseBudget,
+    Derivation,
+    RoundOutcome,
+    SequentialRoundExecutor,
+    _PreparedRule,
+    _prepare_rules,
+    _universal_assignments,
+    _universal_delta_assignments,
+)
+
+# A delta below this many facts per requested worker is not worth
+# sharding: the pivot searches stay whole and only rule-level parallelism
+# applies.
+_MIN_FACTS_PER_SHARD = 4
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+class _ParallelUnavailable(RuntimeError):
+    """Internal: raised when the process pool cannot be (or stay) up."""
+
+
+# ----------------------------------------------------------------------
+# Wire codec: incremental interning of terms / predicates / atoms
+# ----------------------------------------------------------------------
+
+
+class _WireEncoder:
+    """One pipe direction's sender state: values become integer codes.
+
+    The first occurrence of a term appends a *definition* — its leaf data
+    plus the codes of its (already defined) children — to the message's
+    ``term_defs`` list; every later occurrence is the bare code.  Both
+    ends assign codes in definition order, so no ids ever cross the wire
+    out of band.  Structural equality of terms makes the cache exact:
+    equal Skolem terms rebuilt in different rounds share one code.
+    """
+
+    __slots__ = ("_terms", "_preds")
+
+    def __init__(self) -> None:
+        self._terms: dict[Term, int] = {}
+        self._preds: dict[Predicate, int] = {}
+
+    def term(self, term: Term, defs: list) -> int:
+        code = self._terms.get(term)
+        if code is not None:
+            return code
+        kind = type(term)
+        if kind is FunctionTerm:
+            entry = ("f", term.functor, tuple(self.term(a, defs) for a in term.args))
+        elif kind is Constant:
+            entry = ("c", term.name)
+        elif kind is Variable:
+            entry = ("v", term.name)
+        else:
+            raise _ParallelUnavailable(
+                f"cannot encode term type {kind.__name__} for a worker pipe"
+            )
+        code = len(self._terms)
+        self._terms[term] = code
+        defs.append(entry)
+        return code
+
+    def predicate(self, pred: Predicate, defs: list) -> int:
+        code = self._preds.get(pred)
+        if code is None:
+            code = len(self._preds)
+            self._preds[pred] = code
+            defs.append((pred.name, pred.arity))
+        return code
+
+    def atom(self, item: Atom, term_defs: list, pred_defs: list) -> tuple:
+        return (
+            self.predicate(item.predicate, pred_defs),
+            tuple(self.term(t, term_defs) for t in item.args),
+        )
+
+
+class _WireDecoder:
+    """The matching receiver state: codes back to terms/predicates."""
+
+    __slots__ = ("_terms", "_preds")
+
+    def __init__(self) -> None:
+        self._terms: list[Term] = []
+        self._preds: list[Predicate] = []
+
+    def apply_defs(self, term_defs: list, pred_defs: list) -> None:
+        for name, arity in pred_defs:
+            self._preds.append(Predicate(name, arity))
+        for entry in term_defs:
+            kind = entry[0]
+            if kind == "f":
+                term: Term = FunctionTerm(
+                    entry[1], tuple(self._terms[c] for c in entry[2])
+                )
+            elif kind == "c":
+                term = Constant(entry[1])
+            else:
+                term = Variable(entry[1])
+            self._terms.append(term)
+
+    def term(self, code: int) -> Term:
+        return self._terms[code]
+
+    def atom(self, code: tuple) -> Atom:
+        pred_code, arg_codes = code
+        return Atom(self._preds[pred_code], tuple(self._terms[c] for c in arg_codes))
+
+
+def _item_sort_key(item: tuple) -> tuple:
+    """Order work items the way the sequential engine enumerates matches.
+
+    Full-evaluation items come per rule; semi-naive items per rule run
+    pivots in body order (shards in slice order), then the
+    universal-new-term branch — mirroring ``_round_matches``.
+    """
+    kind = item[0]
+    rule_index = item[1]
+    if kind == "full":
+        return (rule_index, 0, 0, 0)
+    if kind == "pivot":
+        return (rule_index, 1, item[2], item[3])
+    return (rule_index, 2, 0, 0)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _iter_item_matches(
+    item: tuple,
+    prepared: Sequence[_PreparedRule],
+    replica: Instance,
+    shards: list[Instance] | None,
+    delta_terms: set[Term] | None,
+    domain_pool: list[Term] | None,
+    effort: list[int],
+    counters: dict[str, int],
+):
+    """All sigmas of one work item — a slice of ``_round_matches``."""
+    kind = item[0]
+    rule = prepared[item[1]]
+    patterns = list(rule.body_patterns)
+    plan = rule.plan
+    universal = plan.universal
+    if kind == "full":
+        order = plan.join.base_order
+        if order is not None:
+            counters["plan.plans_reused"] = counters.get("plan.plans_reused", 0) + 1
+        universal_pool: list[dict] | None = None
+        for body_match in _search(patterns, replica, {}, None, effort, order):
+            if not universal:
+                yield body_match
+                continue
+            if universal_pool is None:
+                universal_pool = list(_universal_assignments(universal, domain_pool))
+            for extra in universal_pool:
+                yield {**body_match, **extra}
+        return
+    if kind == "pivot":
+        _, _, pivot, shard_index, shard_count = item
+        shard = shards[shard_index] if shards is not None else None
+        if not shard:
+            return
+        order = plan.join.pivot_orders[pivot]
+        if order is not None:
+            counters["plan.plans_reused"] = counters.get("plan.plans_reused", 0) + 1
+        universal_pool = None
+        for body_match in _search(patterns, replica, {}, {pivot: shard}, effort, order):
+            if not universal:
+                yield body_match
+                continue
+            if universal_pool is None:
+                universal_pool = list(_universal_assignments(universal, domain_pool))
+            for extra in universal_pool:
+                yield {**body_match, **extra}
+        return
+    # kind == "universal": matches grabbing a term new to the domain.
+    if rule.skolemized.rule.body:
+        order = plan.join.base_order
+        if order is not None:
+            counters["plan.plans_reused"] = counters.get("plan.plans_reused", 0) + 1
+        body_matches: Iterable[dict] = _search(
+            patterns, replica, {}, None, effort, order
+        )
+    else:
+        body_matches = ({},)
+    delta_pool = [term for term in domain_pool if term in delta_terms]
+    old_pool = [term for term in domain_pool if term not in delta_terms]
+    delta_assignments: list[dict] | None = None
+    for body_match in body_matches:
+        if delta_assignments is None:
+            delta_assignments = list(
+                _universal_delta_assignments(universal, domain_pool, delta_pool, old_pool)
+            )
+        for extra in delta_assignments:
+            yield {**body_match, **extra}
+
+
+def _run_worker_round(
+    replica: Instance,
+    prepared: tuple[_PreparedRule, ...],
+    decoder: _WireDecoder,
+    encoder: _WireEncoder,
+    message: tuple,
+) -> tuple:
+    """Apply the round's sync, evaluate the assigned items, report back."""
+    (
+        term_defs,
+        pred_defs,
+        sync_codes,
+        delta_codes,
+        items,
+        need_domain,
+        atom_cap,
+    ) = message
+    started = time.perf_counter()
+    decoder.apply_defs(term_defs, pred_defs)
+    sync_atoms = [decoder.atom(code) for code in sync_codes]
+    delta_terms = (
+        None if delta_codes is None else {decoder.term(code) for code in delta_codes}
+    )
+    replica.update(sync_atoms)
+    # Shards slice the broadcast sync list positionally: every worker
+    # receives the identical list, so the slices agree across the pool
+    # without any per-round canonicalization of (deep) Skolem terms.
+    shards_by_count: dict[int, list[Instance]] = {}
+    if sync_atoms:
+        for item in items:
+            if item[0] == "pivot" and item[4] not in shards_by_count:
+                count = item[4]
+                shards_by_count[count] = [
+                    Instance(sync_atoms[shard::count]) for shard in range(count)
+                ]
+    domain_pool = list(replica.domain()) if need_domain else None
+    effort = [0, 0, 0, 0]
+    counters: dict[str, int] = {}
+    out_term_defs: list = []
+    out_pred_defs: list = []
+    results: list[tuple] = []
+    produced_total = 0
+    truncated = False
+    for item in items:
+        shards = shards_by_count.get(item[4]) if item[0] == "pivot" else None
+        rule = prepared[item[1]]
+        skolem_head = rule.skolemized.head
+        matches = 0
+        dedup_hits = 0
+        pairs: list[tuple] = []
+        for sigma in _iter_item_matches(
+            item, prepared, replica, shards, delta_terms, domain_pool, effort, counters
+        ):
+            matches += 1
+            sigma_code = tuple(
+                (encoder.term(var, out_term_defs), encoder.term(image, out_term_defs))
+                for var, image in sorted(sigma.items(), key=lambda kv: kv[0].name)
+            )
+            for new_atom in (head.substitute(sigma) for head in skolem_head):
+                if new_atom in replica:
+                    dedup_hits += 1
+                    continue
+                pairs.append(
+                    (encoder.atom(new_atom, out_term_defs, out_pred_defs), sigma_code)
+                )
+                produced_total += 1
+            if atom_cap is not None and produced_total > atom_cap:
+                truncated = True
+                break
+        results.append((item, matches, dedup_hits, pairs))
+        if truncated:
+            break
+    counters["hom.nodes"] = counters.get("hom.nodes", 0) + effort[0]
+    counters["hom.candidates_estimated"] = (
+        counters.get("hom.candidates_estimated", 0) + effort[1]
+    )
+    counters["hom.candidates_scanned"] = (
+        counters.get("hom.candidates_scanned", 0) + effort[2]
+    )
+    if effort[3]:
+        counters["hom.backtrack_clashes"] = (
+            counters.get("hom.backtrack_clashes", 0) + effort[3]
+        )
+    seconds = time.perf_counter() - started
+    return ("ok", out_term_defs, out_pred_defs, results, counters, seconds, truncated)
+
+
+def _worker_main(conn, theory, base_atoms) -> None:
+    """Worker process entry point: a strict request/response loop."""
+    replica = Instance(base_atoms)
+    prepared = _prepare_rules(theory)
+    decoder = _WireDecoder()
+    encoder = _WireEncoder()
+    while True:
+        try:
+            payload = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        message = pickle.loads(payload)
+        if message is None:
+            break
+        try:
+            response = _run_worker_round(replica, prepared, decoder, encoder, message)
+        except Exception:  # noqa: BLE001 — shipped to the coordinator
+            response = ("err", traceback.format_exc())
+        try:
+            conn.send_bytes(pickle.dumps(response, _PICKLE_PROTOCOL))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+class ParallelRoundExecutor:
+    """Process-pool round executor with a deterministic merge.
+
+    Satisfies the same ``run_round`` contract as
+    :class:`repro.chase.engine.SequentialRoundExecutor`.  On any worker
+    or serialization failure it shuts the pool down, flags
+    ``parallel.fallback_inprocess`` and continues in-process — the
+    coordinator's instance is authoritative, so a mid-run degrade never
+    loses or duplicates atoms.
+    """
+
+    def __init__(
+        self,
+        prepared: tuple[_PreparedRule, ...],
+        theory,
+        base: Instance,
+        budget: ChaseBudget,
+        telemetry: Telemetry,
+        workers: int,
+    ) -> None:
+        self.prepared = prepared
+        self.telemetry = telemetry
+        self.workers = workers
+        self.worker_max_atoms = budget.worker_max_atoms
+        self._fallback = SequentialRoundExecutor(prepared, telemetry)
+        self._degraded = False
+        self._connections: list = []
+        self._processes: list = []
+        self._encoder = _WireEncoder()
+        self._decoders: list[_WireDecoder] = []
+        # The theory and base cross process boundaries at startup (by
+        # pickle under the spawn start method); probing them up front
+        # turns a mid-chase crash into a clean construction failure the
+        # caller converts into a fallback.
+        try:
+            base_atoms = list(base)
+            pickle.dumps((theory, base_atoms), _PICKLE_PROTOCOL)
+        except Exception as error:  # unpicklable workload
+            raise _ParallelUnavailable(f"workload does not serialize: {error!r}")
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else methods[0]
+            )
+            for _ in range(workers):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, theory, base_atoms),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._connections.append(parent_conn)
+                self._processes.append(process)
+                self._decoders.append(_WireDecoder())
+        except Exception as error:
+            self.close()
+            raise _ParallelUnavailable(f"cannot start worker processes: {error!r}")
+        telemetry.gauge_max("parallel.workers", workers)
+
+    # ------------------------------------------------------------------
+    def _shard_count(self, delta_size: int) -> int:
+        if delta_size >= self.workers * _MIN_FACTS_PER_SHARD:
+            return self.workers
+        return 1
+
+    def _build_items(
+        self, delta: Instance | None, delta_terms: set[Term] | None
+    ) -> list[tuple]:
+        """This round's work items, with sequential-parity skip counters."""
+        counters = self.telemetry.counters
+        if delta is None:
+            return [("full", index) for index in range(len(self.prepared))]
+        delta_predicates = delta.predicates_with_facts()
+        shards = self._shard_count(len(delta))
+        items: list[tuple] = []
+        for index, rule in enumerate(self.prepared):
+            plan = rule.plan
+            if not plan.relevant(delta_predicates, delta_terms):
+                counters["plan.rules_skipped"] += 1
+                counters["plan.nodes_saved"] += plan.search_count
+                continue
+            if plan.has_body and not plan.body_predicates.isdisjoint(delta_predicates):
+                skipped = sum(
+                    1
+                    for predicate in plan.pivot_predicates
+                    if predicate not in delta_predicates
+                )
+                if skipped:
+                    counters["plan.pivots_skipped"] += skipped
+                    counters["plan.nodes_saved"] += skipped
+            items.extend(plan.shard_items(index, delta_predicates, delta_terms, shards))
+        return items
+
+    def run_round(
+        self,
+        current: Instance,
+        sync: Iterable[Atom],
+        delta: Instance | None,
+        delta_terms: set[Term] | None,
+        domain_pool: list[Term] | None,
+    ) -> RoundOutcome:
+        if self._degraded:
+            return self._fallback.run_round(
+                current, sync, delta, delta_terms, domain_pool
+            )
+        try:
+            return self._pooled_round(sync, delta, delta_terms, domain_pool, current)
+        except _ParallelUnavailable:
+            self._degrade()
+            return self._fallback.run_round(
+                current, sync, delta, delta_terms, domain_pool
+            )
+
+    def _pooled_round(
+        self,
+        sync: Iterable[Atom],
+        delta: Instance | None,
+        delta_terms: set[Term] | None,
+        domain_pool: list[Term] | None,
+        current: Instance,
+    ) -> RoundOutcome:
+        counters = self.telemetry.counters
+        items = self._build_items(delta, delta_terms)
+        items.sort(key=_item_sort_key)
+        need_domain = domain_pool is not None
+        try:
+            # Encode the broadcast parts (sync delta + new terms) once;
+            # the per-worker messages differ only in their item slice.
+            term_defs: list = []
+            pred_defs: list = []
+            sync_codes = [
+                self._encoder.atom(item, term_defs, pred_defs) for item in sync
+            ]
+            delta_codes = (
+                None
+                if delta_terms is None
+                else [self._encoder.term(term, term_defs) for term in delta_terms]
+            )
+            per_worker_payloads = []
+            for worker_index in range(self.workers):
+                message = (
+                    term_defs,
+                    pred_defs,
+                    sync_codes,
+                    delta_codes,
+                    items[worker_index :: self.workers],
+                    need_domain,
+                    self.worker_max_atoms,
+                )
+                per_worker_payloads.append(pickle.dumps(message, _PICKLE_PROTOCOL))
+        except _ParallelUnavailable:
+            raise
+        except Exception as error:  # defensive: codec state must stay sane
+            raise _ParallelUnavailable(f"round payload encoding failed: {error!r}")
+        responses = []
+        try:
+            for connection, payload in zip(self._connections, per_worker_payloads):
+                connection.send_bytes(payload)
+                counters["parallel.bytes_sent"] += len(payload)
+            for connection in self._connections:
+                raw = connection.recv_bytes()
+                counters["parallel.bytes_received"] += len(raw)
+                responses.append(pickle.loads(raw))
+        except (EOFError, OSError, pickle.PicklingError) as error:
+            raise _ParallelUnavailable(f"worker pipe failed: {error!r}")
+        for response in responses:
+            if response[0] == "err":
+                raise _ParallelUnavailable(f"worker raised:\n{response[1]}")
+        counters["parallel.rounds"] += 1
+        counters["parallel.shards_dispatched"] += len(items)
+        return self._merge(responses, current)
+
+    def _merge(self, responses: list[tuple], current: Instance) -> RoundOutcome:
+        """Fold worker results in deterministic (rule, pivot, shard) order."""
+        counters = self.telemetry.counters
+        matches = 0
+        dedup_hits = 0
+        truncated = False
+        item_results: list[tuple] = []
+        for worker_index, response in enumerate(responses):
+            _, term_defs, pred_defs, results, worker_counters, seconds, overran = (
+                response
+            )
+            decoder = self._decoders[worker_index]
+            decoder.apply_defs(term_defs, pred_defs)
+            truncated = truncated or overran
+            counters["parallel.worker_us"] += int(seconds * 1_000_000)
+            for name, value in worker_counters.items():
+                counters[name] += value
+            for item, item_matches, item_dedups, pairs in results:
+                item_results.append((item, item_matches, item_dedups, pairs, decoder))
+        if truncated:
+            counters["parallel.worker_truncated"] += 1
+            return RoundOutcome(produced={}, matches=0, dedup_hits=0, overflow=True)
+        item_results.sort(key=lambda entry: _item_sort_key(entry[0]))
+        produced: dict[Atom, Derivation] = {}
+        merge_dedups = 0
+        with self.telemetry.phase("parallel.merge"):
+            for item, item_matches, item_dedups, pairs, decoder in item_results:
+                matches += item_matches
+                dedup_hits += item_dedups
+                rule = self.prepared[item[1]].skolemized.rule
+                for atom_code, sigma_code in pairs:
+                    new_atom = decoder.atom(atom_code)
+                    if new_atom in current or new_atom in produced:
+                        dedup_hits += 1
+                        merge_dedups += 1
+                        continue
+                    sigma_key = tuple(
+                        (decoder.term(var_code), decoder.term(term_code))
+                        for var_code, term_code in sigma_code
+                    )
+                    produced[new_atom] = Derivation(rule, sigma_key)
+        if merge_dedups:
+            counters["parallel.merge_dedup_hits"] += merge_dedups
+        return RoundOutcome(produced=produced, matches=matches, dedup_hits=dedup_hits)
+
+    # ------------------------------------------------------------------
+    def _degrade(self) -> None:
+        """Shut the pool down and continue in-process from here on."""
+        self._degraded = True
+        self.telemetry.counters["parallel.fallback_inprocess"] = 1
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.send_bytes(pickle.dumps(None, _PICKLE_PROTOCOL))
+            except (BrokenPipeError, OSError):
+                pass
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        self._connections = []
+        self._processes = []
+
+    def close(self) -> None:
+        self._shutdown()
+
+
+def make_round_executor(
+    prepared: tuple[_PreparedRule, ...],
+    theory,
+    base: Instance,
+    budget: ChaseBudget,
+    telemetry: Telemetry,
+    workers: int,
+) -> ParallelRoundExecutor | None:
+    """Build the pool, or return ``None`` (with the fallback flag set).
+
+    This is the single entry point :func:`repro.chase.engine.chase` uses:
+    a ``None`` means "run in-process" and is always safe — unpicklable
+    workloads and pool start failures degrade here, not as exceptions in
+    the middle of a chase.
+    """
+    try:
+        return ParallelRoundExecutor(
+            prepared, theory, base, budget, telemetry, workers
+        )
+    except _ParallelUnavailable:
+        telemetry.counters["parallel.fallback_inprocess"] = 1
+        return None
+
+
+def parallel_available() -> bool:
+    """Can this platform start worker processes at all?
+
+    A cheap capability probe for callers that want to pick a default
+    worker count (the CLI uses it to warn, not to fail).
+    """
+    try:
+        multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else multiprocessing.get_all_start_methods()[0]
+        )
+        return True
+    except Exception:  # pragma: no cover — exotic platforms only
+        return False
+
+
+__all__ = [
+    "ParallelRoundExecutor",
+    "make_round_executor",
+    "parallel_available",
+]

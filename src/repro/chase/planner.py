@@ -54,13 +54,17 @@ class RulePlan:
     homomorphism search; ``body_predicates`` feeds the relevance check;
     ``universal`` is the rule's universal head variables in canonical
     order (they range over the active domain and make the rule relevant
-    whenever the domain grew).
+    whenever the domain grew).  ``pivot_predicates[i]`` is the predicate
+    of body atom ``i`` — the semi-naive pivot search ``i`` can only match
+    when that predicate has facts in the delta, which both the search
+    layer and the parallel work-item partitioner consult.
     """
 
     join: JoinPlan
     body_predicates: frozenset[Predicate]
     universal: tuple[Variable, ...]
     has_body: bool
+    pivot_predicates: tuple[Predicate, ...] = ()
 
     def relevant(
         self, delta_predicates: set[Predicate], delta_terms: set[Term] | None
@@ -82,6 +86,43 @@ class RulePlan:
         """How many pivot searches a non-skipped round would have run."""
         return max(1, len(self.join.pivot_orders))
 
+    def shard_items(
+        self,
+        rule_index: int,
+        delta_predicates: set[Predicate],
+        delta_terms: set[Term] | None,
+        shards: int,
+    ) -> list[tuple]:
+        """Partition this rule's semi-naive round work into items.
+
+        An item is one independently evaluable unit of a round:
+
+        * ``("pivot", rule, pivot, shard, shards)`` — the semi-naive
+          search with body atom ``pivot`` pinned to the ``shard``-th of
+          ``shards`` canonical slices of the delta (the slices partition
+          the delta's facts, so the union of the shard searches is
+          exactly the pinned-to-the-whole-delta search, each match
+          produced once);
+        * ``("universal", rule)`` — the round's universal-head-variable
+          matches that grab a term new to the active domain.
+
+        Pivots whose predicate has no fact in the delta are omitted,
+        mirroring the skip in the sequential search layer.  The item
+        tuples sort the same way the sequential engine enumerates them
+        (rule, then pivot, then shard), which is what makes the parallel
+        executor's merge deterministic.
+        """
+        items: list[tuple] = []
+        if self.has_body and not self.body_predicates.isdisjoint(delta_predicates):
+            for pivot, predicate in enumerate(self.pivot_predicates):
+                if predicate not in delta_predicates:
+                    continue
+                for shard in range(shards):
+                    items.append(("pivot", rule_index, pivot, shard, shards))
+        if self.universal and delta_terms:
+            items.append(("universal", rule_index))
+        return items
+
 
 def plan_rule(rule: TGD, body_patterns: tuple) -> RulePlan:
     """Precompute the :class:`RulePlan` for a rule's compiled body."""
@@ -90,4 +131,5 @@ def plan_rule(rule: TGD, body_patterns: tuple) -> RulePlan:
         body_predicates=frozenset(item.predicate for item in rule.body),
         universal=tuple(sorted(rule.universal_head_variables(), key=lambda v: v.name)),
         has_body=bool(rule.body),
+        pivot_predicates=tuple(item.predicate for item in rule.body),
     )

@@ -76,7 +76,7 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
     instance = parse_instance(_read(args.instance, args.inline))
     budget = ChaseBudget(max_rounds=args.rounds, max_atoms=args.max_atoms)
-    result = chase(theory, instance, budget=budget)
+    result = chase(theory, instance, budget=budget, workers=args.workers)
     stats = result.stats.as_dict()
     if args.json:
         _emit_json(
@@ -131,7 +131,7 @@ def _cmd_answer(args: argparse.Namespace) -> int:
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
     instance = parse_instance(_read(args.instance, args.inline))
     query = parse_query(_read(args.query, args.inline))
-    session = OMQASession(theory)
+    session = OMQASession(theory, workers=args.workers)
     prepared = session.prepare(query)
     strategy = "rewrite" if prepared.complete else "materialize"
     answers = session.answer(query, instance)
@@ -231,7 +231,9 @@ def _cmd_bench_guard(args: argparse.Namespace) -> int:
     baseline_path = Path(
         args.baseline if args.baseline else default_baseline_path(args.quick)
     )
-    document = run_guard_scenarios(quick=args.quick, repeats=args.repeats)
+    document = run_guard_scenarios(
+        quick=args.quick, repeats=args.repeats, workers=args.workers
+    )
     if args.output:
         Path(args.output).write_text(
             json.dumps(document, indent=2) + "\n", encoding="utf8"
@@ -291,6 +293,13 @@ def build_parser() -> argparse.ArgumentParser:
     chase_cmd.add_argument("instance")
     chase_cmd.add_argument("--rounds", type=int, default=10)
     chase_cmd.add_argument("--max-atoms", type=int, default=100_000)
+    chase_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="round-executor process count (default: in-process; results "
+        "are identical either way, see docs/performance.md)",
+    )
     _add_common(chase_cmd, stats=True)
     chase_cmd.set_defaults(handler=_cmd_chase)
 
@@ -306,6 +315,12 @@ def build_parser() -> argparse.ArgumentParser:
     answer_cmd.add_argument("theory")
     answer_cmd.add_argument("instance")
     answer_cmd.add_argument("query")
+    answer_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the materialization chase, if one runs",
+    )
     _add_common(answer_cmd, stats=True)
     answer_cmd.set_defaults(handler=_cmd_answer)
 
@@ -357,6 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     guard_cmd.add_argument(
         "--json", action="store_true", help="emit the comparison as JSON"
+    )
+    guard_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the parallel_equivalence scenario (default 4)",
     )
     guard_cmd.set_defaults(handler=_cmd_bench_guard)
 

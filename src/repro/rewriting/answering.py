@@ -70,10 +70,16 @@ def answer_by_materialization(
 
     With ``depth`` given, chase that many rounds (sound and complete when
     ``depth >= n_query`` for a BDD theory).  Without it, chase to a
-    fixpoint within ``budget`` and fail loudly otherwise.  The deprecated
-    ``max_rounds=`` / ``max_atoms=`` kwargs still work (with a
-    ``DeprecationWarning``).  Answers are restricted to base-domain
-    tuples — certain answers over labelled nulls are not answers.
+    fixpoint within ``budget`` and fail loudly otherwise.  Resource
+    limits are a :class:`repro.chase.engine.ChaseBudget`; pass
+    ``budget=ChaseBudget(max_rounds=..., max_atoms=...)``.  Answers are
+    restricted to base-domain tuples — certain answers over labelled
+    nulls are not answers.
+
+    .. deprecated:: 1.1
+        The ``max_rounds=`` / ``max_atoms=`` kwargs are the
+        pre-``ChaseBudget`` spelling; they still work but emit a
+        ``DeprecationWarning``.
     """
     budget = _coerce_budget(
         budget,

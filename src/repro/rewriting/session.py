@@ -71,12 +71,18 @@ class OMQASession:
         theory: Theory,
         rewriting_budget: RewritingBudget | None = None,
         chase_budget: ChaseBudget | None = None,
+        workers: int | None = None,
     ) -> None:
         self.theory = theory
         self.rewriting_budget = rewriting_budget
         self.chase_budget = chase_budget or ChaseBudget(
             max_rounds=100, max_atoms=500_000
         )
+        # Round-executor process count for materializations; ``None``
+        # defers to ``chase_budget.workers``.  Chase results are
+        # executor-independent (see repro.chase.parallel), so cached
+        # materializations stay valid whatever the count.
+        self.workers = workers
         self.stats = Telemetry()
         self._rewritings: dict[ConjunctiveQuery, RewritingResult] = {}
         self._chases: dict[frozenset, ChaseResult] = {}
@@ -117,7 +123,9 @@ class OMQASession:
             self._hits["chase"] += 1
             return cached
         self._misses["chase"] += 1
-        result = chase(self.theory, instance, budget=self.chase_budget)
+        result = chase(
+            self.theory, instance, budget=self.chase_budget, workers=self.workers
+        )
         self.stats.merge(result.stats)
         if not result.terminated:
             raise ChaseBudgetExceeded(

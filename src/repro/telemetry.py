@@ -39,7 +39,16 @@ hom.backtrack_clashes``
     size estimates versus the facts actually scanned;
 ``rewrite.steps / rewrite.produced / rewrite.kept / rewrite.evicted /
 rewrite.subsumption_checks / rewrite.queue_peak``
-    saturation effort of the piece-rewriting engine.
+    saturation effort of the piece-rewriting engine;
+``parallel.workers / parallel.rounds / parallel.shards_dispatched /
+parallel.worker_us / parallel.merge_dedup_hits / parallel.bytes_sent /
+parallel.bytes_received / parallel.worker_truncated /
+parallel.fallback_inprocess``
+    the parallel round executor (``chase(..., workers=N)``): pool size,
+    pooled rounds, work items shipped, summed worker wall-time in
+    microseconds, duplicates collapsed by the deterministic merge, wire
+    traffic per direction, workers that hit ``worker_max_atoms``, and
+    whether the run degraded to the in-process executor.
 """
 
 from __future__ import annotations

@@ -47,6 +47,20 @@ class TestChaseCommand:
         validate_stats_dict(document["stats"])
         assert len(document["stats"]["rounds"]) == 2
 
+    def test_chase_workers_same_atoms_and_telemetry(self, capsys):
+        code = main(["chase", "-e", TA, "Human(abel)", "--rounds", "2", "--json"])
+        assert code == 0
+        sequential = json.loads(capsys.readouterr().out)
+        code = main(
+            ["chase", "-e", TA, "Human(abel)", "--rounds", "2", "--workers", "2", "--json"]
+        )
+        assert code == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert sorted(parallel["atoms"]) == sorted(sequential["atoms"])
+        counters = parallel["stats"]["counters"]
+        assert counters["parallel.workers"] == 2
+        assert counters["parallel.rounds"] == 2
+
 
 class TestRewriteCommand:
     def test_rewrite_inline(self, capsys):
@@ -111,6 +125,25 @@ class TestAnswerCommand:
         assert document["cache_info"]["rewriting"]["misses"] == 1
         validate_stats_dict(document["stats"])
         assert document["stats"]["counters"]["rewrite.steps"] >= 1
+
+    def test_answer_workers_flag_accepted(self, capsys):
+        # Rewriting may win the strategy race, but the flag must parse and
+        # the answers must not depend on it.
+        code = main(
+            [
+                "answer",
+                "-e",
+                TA,
+                "Human(abel)",
+                "q(x) := exists y. Mother(x, y)",
+                "--workers",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["answers"] == [["abel"]]
 
 
 class TestClassifyCommand:

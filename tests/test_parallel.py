@@ -1,0 +1,176 @@
+"""Tests for the parallel round executor (``chase/parallel.py``).
+
+The contract is Skolem determinism (Observation 8) made operational:
+``chase(..., workers=N)`` must equal the sequential engine **per round**
+(set-for-set) and counter-for-counter on ``chase.*`` totals, on every
+planner-equivalence fixture.  Degradation paths must never be louder
+than sequential: unpicklable inputs fall back to the in-process executor
+with one telemetry flag, and ``worker_max_atoms`` is an ordinary budget
+overrun.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import ChaseBudget, ChaseBudgetExceeded, chase
+from repro.chase.parallel import parallel_available
+from repro.logic import parse_instance, parse_theory
+from repro.workloads import (
+    edge_cycle,
+    edge_path,
+    example42_tc,
+    exercise23,
+    green_path,
+    t_a,
+    t_d,
+    t_p,
+    university_database,
+    university_ontology,
+)
+from repro.workloads.generators import random_instance
+
+
+def assert_parallel_identical(theory, base, rounds, workers=2, **chase_kwargs):
+    """Parallel run == sequential run, set-for-set in every round."""
+    budget = ChaseBudget(max_rounds=rounds, max_atoms=200_000)
+    sequential = chase(theory, base, budget=budget, **chase_kwargs)
+    parallel = chase(theory, base, budget=budget, workers=workers, **chase_kwargs)
+    assert len(parallel.round_added) == len(sequential.round_added)
+    for mine, theirs in zip(parallel.round_added, sequential.round_added):
+        assert set(mine) == set(theirs)
+    assert set(parallel.instance) == set(sequential.instance)
+    assert parallel.terminated == sequential.terminated
+    # The merge must preserve the sequential totals exactly, wherever the
+    # dedup happened (worker replica vs coordinator merge).
+    for name in ("chase.matches", "chase.atoms_produced", "chase.dedup_hits"):
+        assert parallel.stats.counters[name] == sequential.stats.counters[name], name
+    assert parallel.stats.counters["parallel.fallback_inprocess"] == 0
+    return parallel
+
+
+class TestRoundEquivalence:
+    """Every planner-equivalence fixture, parallel vs sequential."""
+
+    def test_t_a_family_tree(self):
+        assert_parallel_identical(t_a(), parse_instance("Human('abel')"), rounds=4)
+
+    def test_t_p_paths(self):
+        assert_parallel_identical(t_p(), edge_path(4), rounds=4)
+
+    def test_t_d_universal_rules_on_green_path(self):
+        # Empty-body rules with universal head variables: workers receive
+        # the domain pool and expand the new-term product themselves.
+        assert_parallel_identical(t_d(), green_path(3), rounds=3)
+
+    def test_exercise23_on_cycle(self):
+        assert_parallel_identical(exercise23(), edge_cycle(4), rounds=4)
+
+    def test_university_ontology(self):
+        base = university_database(students=12, professors=3, courses=5, seed=7)
+        assert_parallel_identical(university_ontology(), base, rounds=3)
+
+    def test_tc_on_cycle_four_workers(self):
+        assert_parallel_identical(example42_tc(), edge_cycle(5), rounds=8, workers=4)
+
+    def test_full_evaluation_mode(self):
+        # semi_naive=False dispatches only full-evaluation items; the
+        # partition-invariance argument is the same.
+        assert_parallel_identical(
+            exercise23(), edge_cycle(4), rounds=4, semi_naive=False
+        )
+
+    def test_budget_workers_equivalent_to_argument(self):
+        budget = ChaseBudget(max_rounds=4, max_atoms=200_000, workers=2)
+        via_budget = chase(t_p(), edge_path(3), budget=budget)
+        via_argument = chase(
+            t_p(),
+            edge_path(3),
+            budget=ChaseBudget(max_rounds=4, max_atoms=200_000),
+            workers=2,
+        )
+        assert set(via_budget.instance) == set(via_argument.instance)
+        assert via_budget.stats.counters["parallel.rounds"] > 0
+
+    def test_parallel_telemetry_present(self):
+        result = assert_parallel_identical(exercise23(), edge_cycle(4), rounds=4)
+        counters = result.stats.counters
+        assert counters["parallel.workers"] == 2
+        assert counters["parallel.rounds"] > 0
+        assert counters["parallel.shards_dispatched"] > 0
+        assert counters["parallel.bytes_sent"] > 0
+        assert counters["parallel.bytes_received"] > 0
+
+
+class TestSeededStress:
+    def test_random_workload_parity(self):
+        # A denser random instance than any fixture: transitive closure
+        # plus existential invention over seeded random edges.
+        theory = parse_theory(
+            """
+            E(x,y), E(y,z) -> E(x,z)
+            E(x,y) -> exists w. F(y,w)
+            F(x,y), E(z,x) -> G(z,y)
+            """
+        )
+        predicates = {
+            atom.predicate for rule in theory.rules() for atom in rule.body
+        }
+        base = random_instance(
+            sorted(predicates, key=lambda p: p.name),
+            fact_count=40,
+            domain_size=12,
+            seed=20260805,
+        )
+        assert_parallel_identical(theory, base, rounds=4, workers=3)
+
+
+class TestGracefulDegradation:
+    def test_workers_one_is_sequential_with_flag(self):
+        result = chase(
+            t_p(), edge_path(3), budget=ChaseBudget(max_rounds=3), workers=1
+        )
+        assert result.stats.counters["parallel.fallback_inprocess"] == 1
+        assert result.stats.counters["parallel.rounds"] == 0
+
+    def test_unpicklable_theory_falls_back(self):
+        source = t_p()
+        cls = type(source)
+
+        class LocalTheory(cls):  # local class: pickle-by-reference fails
+            pass
+
+        theory = LocalTheory.__new__(LocalTheory)
+        theory.__dict__.update(source.__dict__)
+        budget = ChaseBudget(max_rounds=3)
+        sequential = chase(source, edge_path(3), budget=budget)
+        degraded = chase(theory, edge_path(3), budget=budget, workers=2)
+        assert degraded.stats.counters["parallel.fallback_inprocess"] == 1
+        assert set(degraded.instance) == set(sequential.instance)
+
+    @pytest.mark.skipif(not parallel_available(), reason="no multiprocessing")
+    def test_parallel_available_true_here(self):
+        assert parallel_available()
+
+
+class TestWorkerBudget:
+    def test_worker_max_atoms_return_mode(self):
+        budget = ChaseBudget(max_rounds=5, workers=2, worker_max_atoms=1)
+        result = chase(example42_tc(), edge_cycle(4), budget=budget)
+        assert not result.terminated
+        # The overflowing round is left unapplied.
+        assert result.rounds_run < 5
+        assert result.stats.counters["parallel.worker_truncated"] >= 1
+
+    def test_worker_max_atoms_raise_mode(self):
+        budget = ChaseBudget(
+            max_rounds=5, workers=2, worker_max_atoms=1, on_exceeded="raise"
+        )
+        with pytest.raises(ChaseBudgetExceeded, match="worker_max_atoms"):
+            chase(example42_tc(), edge_cycle(4), budget=budget)
+
+    def test_worker_max_atoms_validation(self):
+        with pytest.raises(ValueError):
+            ChaseBudget(worker_max_atoms=0)
+        with pytest.raises(ValueError):
+            ChaseBudget(workers=0)

@@ -24,6 +24,9 @@ Subpackages
     Every named theory and witness-instance family from the paper.
 ``repro.bench``
     The parameter-sweep harness behind benchmarks/ and EXPERIMENTS.md.
+``repro.storage``
+    Pluggable fact stores (RAM / SQLite): UCQ rewritings compiled to SQL,
+    chase checkpoint/resume, and a store-backed chase with bounded RSS.
 """
 
 __version__ = "1.0.0"
@@ -42,7 +45,8 @@ from .logic import (
     parse_rule,
     parse_theory,
 )
-from .rewriting import OMQASession, RewritingBudget, certain_answers
+from .rewriting import OMQASession, RewritingBudget, answer, certain_answers
+from .storage import open_store
 from .telemetry import Telemetry
 
 __all__ = [
@@ -52,11 +56,13 @@ __all__ = [
     "RewritingBudget",
     "Telemetry",
     "Theory",
+    "answer",
     "certain_answers",
     "core_termination",
     "evaluate",
     "holds",
     "is_model",
+    "open_store",
     "parse_instance",
     "parse_query",
     "parse_rule",

@@ -192,6 +192,107 @@ def _run_parallel_equivalence(quick: bool) -> dict:
     return {"atoms": len(parallel.instance), "identical": identical, "checksum": digest}
 
 
+_LAST_STORAGE: dict | None = None
+
+
+def _run_sql_equivalence(quick: bool) -> dict:
+    """SQLite-evaluated answers == in-memory answers, e1/e5 workloads.
+
+    Three equalities, each a baseline-compared bit:
+
+    * **e1** — the Theorem-5B process rewriting of ``phi_r_n`` evaluated
+      over a green path, once by the in-memory homomorphism engine and
+      once compiled to SQL (:mod:`repro.storage.sqlcompile`);
+    * **e5** — the ``T_c`` chase over an E-cycle run in RAM and run
+      *inside* the store (:func:`repro.storage.chasestore.chase_into_store`),
+      compared by content digest, then queried both ways over the
+      materialized facts;
+    * **certain** — end-to-end ``answer(backend="memory")`` versus
+      ``answer(backend="sqlite")`` on a linear theory over the cycle.
+
+    Wall-clock splits and ``store.*`` counters are hardware-dependent, so
+    they land in ``meta["storage"]`` (mirroring ``meta["parallel"]``)
+    rather than in the compared value.
+    """
+    from ..chase import ChaseBudget, chase
+    from ..frontier.process import run_process
+    from ..frontier.td import phi_r_n
+    from ..logic import evaluate, parse_query, parse_theory
+    from ..logic.containment import evaluate_ucq
+    from ..storage import (
+        SQLiteStore,
+        chase_into_store,
+        content_digest,
+        evaluate_ucq_sql,
+    )
+    from ..rewriting import answer
+    from ..workloads import edge_cycle, example42_tc, green_path
+
+    global _LAST_STORAGE
+    # e1: the process rewriting as a UCQ over a base instance.
+    depth = 2 if quick else 3
+    ucq = run_process(phi_r_n(depth)).rewriting()
+    path = green_path(8 if quick else 12)
+    started = time.perf_counter()
+    memory_answers = evaluate_ucq(ucq, path)
+    e1_memory_seconds = time.perf_counter() - started
+    with SQLiteStore(":memory:") as store:
+        store.add_many(path)
+        started = time.perf_counter()
+        sql_answers = evaluate_ucq_sql(ucq, store)
+        e1_sql_seconds = time.perf_counter() - started
+        e1 = {
+            "answers": len(sql_answers),
+            "equal": memory_answers == sql_answers,
+            "digest_match": store.digest() == content_digest(path),
+        }
+
+    # e5: the T_c chase in RAM versus inside the store, digest-compared.
+    theory = example42_tc()
+    length, rounds = (12, 5) if quick else (24, 8)
+    cycle = edge_cycle(length)
+    budget = ChaseBudget(max_rounds=rounds, max_atoms=500_000)
+    started = time.perf_counter()
+    reference = chase(theory, cycle, budget=budget)
+    e5_memory_seconds = time.perf_counter() - started
+    probe = parse_query("q(x, y) := exists x1, y1. R(x, y, x1, y1)")
+    with SQLiteStore(":memory:") as store:
+        started = time.perf_counter()
+        outcome = chase_into_store(theory, cycle, store, budget=budget)
+        e5_store_seconds = time.perf_counter() - started
+        memory_probe = evaluate(probe, reference.instance)
+        sql_probe = evaluate_ucq_sql(probe, store)
+        e5 = {
+            "atoms": outcome.atom_count,
+            "digest_match": outcome.digest() == content_digest(reference.instance),
+            "answers": len(sql_probe),
+            "equal": memory_probe == sql_probe,
+        }
+        store_counters = {
+            name: store.stats.counters[name]
+            for name in sorted(store.stats.counters)
+            if name.startswith("store.")
+        }
+
+    # certain answers end to end, both backends.
+    linear = parse_theory(
+        "E(x, y) -> exists z. E(y, z)\nE(x, y) -> R(x, y)", name="guard-linear"
+    )
+    certain_query = parse_query("q(u) := R('a0', u)")
+    by_memory = answer(linear, certain_query, cycle, backend="memory")
+    by_sqlite = answer(linear, certain_query, cycle, backend="sqlite")
+    certain = {"answers": len(by_sqlite), "equal": by_memory == by_sqlite}
+
+    _LAST_STORAGE = {
+        "e1_memory_seconds": round(e1_memory_seconds, 6),
+        "e1_sql_seconds": round(e1_sql_seconds, 6),
+        "e5_memory_seconds": round(e5_memory_seconds, 6),
+        "e5_store_seconds": round(e5_store_seconds, 6),
+        **store_counters,
+    }
+    return {"e1": e1, "e5": e5, "certain": certain}
+
+
 SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
         "e1_doubling",
@@ -212,6 +313,11 @@ SCENARIOS: tuple[Scenario, ...] = (
         "parallel_equivalence",
         "parallel vs sequential chase on T_c cycles: identical checksums",
         _run_parallel_equivalence,
+    ),
+    Scenario(
+        "sql_equivalence",
+        "SQLite-evaluated answers and store chase match the in-memory engines",
+        _run_sql_equivalence,
     ),
 )
 
@@ -247,11 +353,12 @@ def run_guard_scenarios(
     ``meta["parallel"]`` because wall-clock ratios are a property of the
     machine, not of the code under guard.
     """
-    global _PARALLEL_WORKERS, _LAST_PARALLEL
+    global _PARALLEL_WORKERS, _LAST_PARALLEL, _LAST_STORAGE
     saved_workers = _PARALLEL_WORKERS
     if workers is not None:
         _PARALLEL_WORKERS = max(2, workers)
     _LAST_PARALLEL = None
+    _LAST_STORAGE = None
     measured = []
     for scenario in scenarios:
         runs: list[float] = []
@@ -276,6 +383,8 @@ def run_guard_scenarios(
     }
     if _LAST_PARALLEL is not None:
         meta["parallel"] = dict(_LAST_PARALLEL)
+    if _LAST_STORAGE is not None:
+        meta["storage"] = dict(_LAST_STORAGE)
     _PARALLEL_WORKERS = saved_workers
     document = bench_document(
         mode="quick" if quick else "full",

@@ -15,6 +15,12 @@ syntax of :mod:`repro.logic.parser`.  Every command takes ``--json`` for a
 machine-readable document on stdout; the engine-backed commands
 (``chase``/``rewrite``/``answer``) additionally take ``--stats`` to print
 telemetry (per-round counters, search effort, phase timings) in text mode.
+
+``chase`` and ``answer`` take ``--backend sqlite --db PATH`` to run
+against the persistent fact store (:mod:`repro.storage`): the chase
+materializes into the database (``--resume`` continues a budget-stopped
+run from disk) and ``answer`` evaluates the compiled UCQ rewriting inside
+SQLite's join engine.
 """
 
 from __future__ import annotations
@@ -72,10 +78,89 @@ def _print_stats(stats: dict) -> None:
         print(f"# round {cells}")
 
 
+def _cmd_chase_sqlite(args: argparse.Namespace, theory, budget: ChaseBudget) -> int:
+    """``chase --backend sqlite``: materialize into (or resume from) a db.
+
+    Theories the store chase supports run entirely inside SQLite; rules
+    with universal head variables fall back to the in-memory engine with
+    the result persisted as a checkpoint — either way the database at
+    ``--db`` afterwards holds the round-tagged chase prefix.
+    """
+    from .storage import (
+        SQLiteStore,
+        StoreChaseError,
+        chase_into_store,
+        resume_from_checkpoint,
+        resume_store_chase,
+        save_checkpoint,
+    )
+
+    with SQLiteStore(args.db if args.db else ":memory:") as store:
+        if args.resume:
+            if store.get_meta("storechase.schema") is not None:
+                result = resume_store_chase(store, theory=theory, budget=budget)
+                atom_count = result.atom_count
+                rounds_run, terminated = result.rounds_run, result.terminated
+                stats = result.stats.as_dict()
+            else:
+                extended = resume_from_checkpoint(
+                    store, extra_rounds=args.rounds, budget=budget, theory=theory
+                )
+                atom_count = len(extended.instance)
+                rounds_run, terminated = extended.rounds_run, extended.terminated
+                stats = extended.stats.as_dict()
+        else:
+            instance = parse_instance(_read(args.instance, args.inline))
+            try:
+                result = chase_into_store(theory, instance, store, budget=budget)
+                atom_count = result.atom_count
+                rounds_run, terminated = result.rounds_run, result.terminated
+                stats = result.stats.as_dict()
+            except StoreChaseError:
+                mem_result = chase(theory, instance, budget=budget)
+                save_checkpoint(mem_result, store)
+                atom_count = len(mem_result.instance)
+                rounds_run = mem_result.rounds_run
+                terminated = mem_result.terminated
+                stats = mem_result.stats.as_dict()
+        digest = store.digest()
+        atoms = sorted(repr(item) for item in store)
+    if args.json:
+        _emit_json(
+            {
+                "command": "chase",
+                "backend": "sqlite",
+                "db": args.db or ":memory:",
+                "atom_count": atom_count,
+                "rounds_run": rounds_run,
+                "terminated": terminated,
+                "digest": digest,
+                "atoms": atoms,
+                "stats": stats,
+            }
+        )
+        return 0
+    status = "fixpoint" if terminated else f"truncated at {rounds_run} rounds"
+    print(f"# {atom_count} atoms ({status}) in sqlite db, digest {digest}")
+    if args.stats:
+        _print_stats(stats)
+    for item in atoms:
+        print(item)
+    return 0
+
+
 def _cmd_chase(args: argparse.Namespace) -> int:
+    if args.instance is None and not getattr(args, "resume", False):
+        print("error: INSTANCE is required unless --resume", file=sys.stderr)
+        return 2
+    if getattr(args, "resume", False) and args.backend != "sqlite":
+        print("error: --resume requires --backend sqlite", file=sys.stderr)
+        return 2
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
-    instance = parse_instance(_read(args.instance, args.inline))
     budget = ChaseBudget(max_rounds=args.rounds, max_atoms=args.max_atoms)
+    if args.backend == "sqlite":
+        return _cmd_chase_sqlite(args, theory, budget)
+    instance = parse_instance(_read(args.instance, args.inline))
     result = chase(theory, instance, budget=budget, workers=args.workers)
     stats = result.stats.as_dict()
     if args.json:
@@ -131,11 +216,18 @@ def _cmd_answer(args: argparse.Namespace) -> int:
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
     instance = parse_instance(_read(args.instance, args.inline))
     query = parse_query(_read(args.query, args.inline))
-    session = OMQASession(theory, workers=args.workers)
+    session = OMQASession(theory, workers=args.workers, db_path=args.db)
     prepared = session.prepare(query)
-    strategy = "rewrite" if prepared.complete else "materialize"
-    answers = session.answer(query, instance)
+    if args.backend == "sqlite" and prepared.complete:
+        strategy = "sql"
+    elif prepared.complete:
+        strategy = "rewrite"
+    else:
+        strategy = "materialize"
+    answers = session.answer(query, instance, strategy=strategy)
     stats = session.stats.as_dict()
+    if args.backend == "sqlite":
+        session.close()
     if args.json:
         _emit_json(
             {
@@ -144,6 +236,7 @@ def _cmd_answer(args: argparse.Namespace) -> int:
                 "answers": sorted(
                     [repr(term) for term in answer] for answer in answers
                 ),
+                "backend": args.backend,
                 "strategy": strategy,
                 "cache_info": session.cache_info(),
                 "stats": stats,
@@ -290,7 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     chase_cmd = commands.add_parser("chase", help="materialize a chase prefix")
     chase_cmd.add_argument("theory")
-    chase_cmd.add_argument("instance")
+    chase_cmd.add_argument("instance", nargs="?", default=None)
     chase_cmd.add_argument("--rounds", type=int, default=10)
     chase_cmd.add_argument("--max-atoms", type=int, default=100_000)
     chase_cmd.add_argument(
@@ -299,6 +392,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="round-executor process count (default: in-process; results "
         "are identical either way, see docs/performance.md)",
+    )
+    chase_cmd.add_argument(
+        "--backend",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help="where the chase materializes: RAM, or a SQLite fact store",
+    )
+    chase_cmd.add_argument(
+        "--db",
+        default=None,
+        help="SQLite database path for --backend sqlite (default: in-memory)",
+    )
+    chase_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a budget-stopped chase persisted at --db "
+        "(the INSTANCE argument is ignored; the stored round 0 is the base)",
     )
     _add_common(chase_cmd, stats=True)
     chase_cmd.set_defaults(handler=_cmd_chase)
@@ -320,6 +430,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes for the materialization chase, if one runs",
+    )
+    answer_cmd.add_argument(
+        "--backend",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help="evaluate the rewriting in RAM or inside a SQLite store",
+    )
+    answer_cmd.add_argument(
+        "--db",
+        default=None,
+        help="SQLite database path for --backend sqlite (default: in-memory)",
     )
     _add_common(answer_cmd, stats=True)
     answer_cmd.set_defaults(handler=_cmd_answer)

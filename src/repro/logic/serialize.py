@@ -12,7 +12,7 @@ from pathlib import Path
 
 from .instance import Instance
 from .query import ConjunctiveQuery
-from .terms import FunctionTerm
+from .terms import Constant, FunctionTerm, Term, Variable
 from .tgd import Theory
 
 
@@ -43,9 +43,38 @@ def dump_instance(instance: Instance) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _dump_query_term(term: Term, query: ConjunctiveQuery) -> str:
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, Constant):
+        # Query syntax reads bare identifiers as variables, so constants
+        # must be quoted (``repr(query)`` prints them bare — fine for
+        # humans, lossy for a parser round-trip).
+        return f"'{term.name}'"
+    raise SerializationError(
+        f"query {query!r} contains the function term {term!r}; only "
+        "constant/variable arguments are expressible in query syntax"
+    )
+
+
 def dump_query(query: ConjunctiveQuery) -> str:
-    """Render a CQ in the ``q(...) := ...`` syntax."""
-    return repr(query) + "\n"
+    """Render a CQ in the ``q(...) := ...`` syntax, parse-exactly.
+
+    Unlike ``repr(query)``, constants come out quoted, so
+    ``parse_query(dump_query(q))`` is ``q`` itself (tested).  The text
+    doubles as a canonical cache key: ``OMQASession`` keys compiled SQL
+    by the dumped canonical shape.  Function terms raise
+    :class:`SerializationError` — the syntax cannot express them.
+    """
+    head = ",".join(var.name for var in query.answer_vars)
+    existential = sorted(var.name for var in query.existential_vars())
+    prefix = f"exists {','.join(existential)}. " if existential else ""
+    body = ", ".join(
+        f"{item.predicate.name}"
+        f"({','.join(_dump_query_term(term, query) for term in item.args)})"
+        for item in query.atoms
+    )
+    return f"q({head}) := {prefix}{body}\n"
 
 
 def save_theory(theory: Theory, path: str | Path) -> None:
@@ -54,6 +83,10 @@ def save_theory(theory: Theory, path: str | Path) -> None:
 
 def save_instance(instance: Instance, path: str | Path) -> None:
     Path(path).write_text(dump_instance(instance), encoding="utf8")
+
+
+def save_query(query: ConjunctiveQuery, path: str | Path) -> None:
+    Path(path).write_text(dump_query(query), encoding="utf8")
 
 
 def load_theory(path: str | Path, name: str = "") -> Theory:
@@ -66,3 +99,9 @@ def load_instance(path: str | Path) -> Instance:
     from .parser import parse_instance
 
     return parse_instance(Path(path).read_text(encoding="utf8"))
+
+
+def load_query(path: str | Path) -> ConjunctiveQuery:
+    from .parser import parse_query
+
+    return parse_query(Path(path).read_text(encoding="utf8"))

@@ -2,8 +2,10 @@
 
 from .answering import (
     AgreementReport,
+    answer,
     answer_by_materialization,
     answer_by_rewriting,
+    answer_by_rewriting_sql,
     certain_answers,
     cross_validate,
 )
@@ -32,8 +34,10 @@ __all__ = [
     "PieceUnifier",
     "RewritingBudget",
     "RewritingResult",
+    "answer",
     "answer_by_materialization",
     "answer_by_rewriting",
+    "answer_by_rewriting_sql",
     "answer_depth_profile",
     "atomic_rewriting_sizes",
     "certain_answers",

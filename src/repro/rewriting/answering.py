@@ -9,6 +9,13 @@ UCQ.  This module implements both strategies so the crossover experiment
   database;
 * **materialize-then-evaluate** — pay once per database (chase to a
   fixpoint or a safe depth), then answer every query cheaply.
+
+A third spelling of the first strategy pushes the evaluation into SQLite:
+:func:`answer_by_rewriting_sql` compiles the rewriting's disjuncts to
+SELECT-joins (:mod:`repro.storage.sqlcompile`) and lets the database's
+join engine answer them — the literal reading of the BDD property, where
+"evaluate the UCQ over ``D``" means handing SQL to the store holding
+``D``.  :func:`answer` is the backend switch over all of this.
 """
 
 from __future__ import annotations
@@ -52,6 +59,34 @@ def answer_by_rewriting(
         raise RuntimeError("rewriting incomplete; cannot answer soundly")
     answers = evaluate_ucq(result.ucq, instance)
     if result.always_true and query.is_boolean() and len(instance):
+        answers.add(())
+    return answers
+
+
+def answer_by_rewriting_sql(
+    theory: Theory,
+    query: ConjunctiveQuery,
+    store,
+    budget: RewritingBudget | None = None,
+    prepared: RewritingResult | None = None,
+) -> set[tuple[Term, ...]]:
+    """Certain answers via UCQ rewriting, evaluated *inside* SQLite.
+
+    ``store`` is a :class:`repro.storage.sqlite.SQLiteStore` already
+    holding the database.  The rewriting's disjuncts are compiled to one
+    UNION of SELECT-joins and executed by SQLite's join engine — the
+    answer set is exactly :func:`answer_by_rewriting`'s (pinned by
+    ``tests/test_storage_equivalence.py``).  Pass ``prepared`` to
+    amortize the rewriting; :class:`repro.rewriting.session.OMQASession`
+    additionally caches the compiled SQL per query shape.
+    """
+    from ..storage.sqlcompile import evaluate_ucq_sql
+
+    result = prepared if prepared is not None else rewrite(theory, query, budget)
+    if not result.complete:
+        raise RuntimeError("rewriting incomplete; cannot answer soundly")
+    answers = evaluate_ucq_sql(result.ucq, store)
+    if result.always_true and query.is_boolean() and len(store):
         answers.add(())
     return answers
 
@@ -121,6 +156,51 @@ def certain_answers(
     if result.complete:
         return answer_by_rewriting(theory, query, instance, prepared=result)
     return answer_by_materialization(theory, query, instance, budget=chase_budget)
+
+
+def answer(
+    theory: Theory,
+    query: ConjunctiveQuery,
+    instance: Instance,
+    backend: str = "memory",
+    db_path: "str | None" = None,
+    budget: RewritingBudget | None = None,
+    chase_budget: ChaseBudget | None = None,
+) -> set[tuple[Term, ...]]:
+    """Certain answers with a storage-backend switch.
+
+    ``backend="memory"`` is :func:`certain_answers` unchanged.
+    ``backend="sqlite"`` loads ``instance`` into a
+    :class:`~repro.storage.sqlite.SQLiteStore` (at ``db_path``, or a
+    private in-memory database) and evaluates the UCQ rewriting there;
+    when the rewriting does not saturate, it falls back to the
+    store-backed chase (:func:`~repro.storage.chasestore.chase_into_store`)
+    and evaluates the query over the materialized store, answers
+    restricted to the base domain as usual.  Either backend returns the
+    same set — the backends differ in *where* the joins run, never in
+    the answers.
+    """
+    if backend == "memory":
+        return certain_answers(theory, query, instance, budget, chase_budget)
+    if backend != "sqlite":
+        raise ValueError(f"backend must be 'memory' or 'sqlite', got {backend!r}")
+    from ..storage.chasestore import chase_into_store
+    from ..storage.sqlcompile import evaluate_ucq_sql
+    from ..storage.sqlite import SQLiteStore
+
+    result = rewrite(theory, query, budget)
+    with SQLiteStore(db_path if db_path is not None else ":memory:") as store:
+        if result.complete:
+            store.add_many(instance)
+            return answer_by_rewriting_sql(theory, query, store, prepared=result)
+        chase_budget = chase_budget or ChaseBudget(max_rounds=100, max_atoms=500_000)
+        outcome = chase_into_store(theory, instance, store, budget=chase_budget)
+        if not outcome.terminated:
+            raise RuntimeError(
+                "store chase did not terminate within budget and the "
+                "rewriting is incomplete; no sound route to certain answers"
+            )
+        return _base_restricted(evaluate_ucq_sql(query, store), instance)
 
 
 @dataclass

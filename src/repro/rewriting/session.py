@@ -17,7 +17,14 @@ Cache keys:
 * **instance content** — the frozenset of facts, so two instances with
   the same atoms share one materialization (content hashing costs O(n)
   per lookup; for repeated answering over a handle the caller keeps, that
-  is the safe trade).
+  is the safe trade);
+* **compiled SQL** — with ``strategy="sql"`` the session keeps a
+  :class:`~repro.storage.sqlite.SQLiteStore` (at ``db_path``, or
+  in-memory) and caches each shape's rewriting *compiled to SQL*, keyed
+  by :func:`repro.logic.serialize.dump_query` of the canonical shape.
+  Reloading a different instance clears the compiled cache (compilation
+  prunes disjuncts against the store's predicates and constants) but
+  keeps the term dictionary and tables.
 """
 
 from __future__ import annotations
@@ -72,6 +79,7 @@ class OMQASession:
         rewriting_budget: RewritingBudget | None = None,
         chase_budget: ChaseBudget | None = None,
         workers: int | None = None,
+        db_path: "str | None" = None,
     ) -> None:
         self.theory = theory
         self.rewriting_budget = rewriting_budget
@@ -83,11 +91,16 @@ class OMQASession:
         # executor-independent (see repro.chase.parallel), so cached
         # materializations stay valid whatever the count.
         self.workers = workers
+        # Where strategy="sql" keeps its SQLiteStore; None = in-memory.
+        self.db_path = db_path
         self.stats = Telemetry()
         self._rewritings: dict[ConjunctiveQuery, RewritingResult] = {}
         self._chases: dict[frozenset, ChaseResult] = {}
-        self._hits = {"rewriting": 0, "chase": 0}
-        self._misses = {"rewriting": 0, "chase": 0}
+        self._sql_store = None
+        self._sql_digest: "str | None" = None
+        self._compiled_sql: dict = {}
+        self._hits = {"rewriting": 0, "chase": 0, "sql": 0}
+        self._misses = {"rewriting": 0, "chase": 0, "sql": 0}
 
     # ------------------------------------------------------------------
     # Prepared artifacts
@@ -135,6 +148,65 @@ class OMQASession:
         self._chases[key] = result
         return result
 
+    def store(self):
+        """The session's :class:`~repro.storage.sqlite.SQLiteStore`.
+
+        Created lazily (at ``db_path``, or in-memory) and wired to the
+        session's telemetry, so ``store.*`` counters land in ``stats``.
+        """
+        if self._sql_store is None:
+            from ..storage.sqlite import SQLiteStore
+
+            self._sql_store = SQLiteStore(
+                self.db_path if self.db_path is not None else ":memory:",
+                telemetry=self.stats,
+            )
+        return self._sql_store
+
+    def _loaded_store(self, instance: Instance):
+        """The session store holding exactly ``instance``'s facts.
+
+        Content-keyed like :meth:`materialize`: a reload happens only
+        when the digest changes, and it invalidates the compiled-SQL
+        cache (compilation prunes against the store's predicate tables
+        and interned constants, which a new instance may extend).
+        """
+        from ..storage.base import instance_digest
+
+        store = self.store()
+        digest = instance_digest(instance)
+        if digest != self._sql_digest:
+            store.clear_facts()
+            store.add_many(instance)
+            self._compiled_sql.clear()
+            self._sql_digest = digest
+        return store
+
+    def compile_sql(self, query: ConjunctiveQuery, instance: Instance):
+        """The (cached) SQL compilation of this shape's rewriting.
+
+        The cache key is :func:`~repro.logic.serialize.dump_query` of the
+        canonical shape — the serialization satellite exists so this key
+        is stable text, not object identity.  Raises when the rewriting
+        is incomplete (there is nothing sound to compile).
+        """
+        from ..logic.serialize import dump_query
+        from ..storage.sqlcompile import compile_ucq
+
+        prepared = self.prepare(query)
+        if not prepared.complete:
+            raise RuntimeError("rewriting incomplete; cannot answer soundly")
+        store = self._loaded_store(instance)
+        key = dump_query(query_shape(query))
+        cached = self._compiled_sql.get(key)
+        if cached is not None:
+            self._hits["sql"] += 1
+            return cached
+        self._misses["sql"] += 1
+        compiled = compile_ucq(prepared.ucq, store)
+        self._compiled_sql[key] = compiled
+        return compiled
+
     # ------------------------------------------------------------------
     # Answering
     # ------------------------------------------------------------------
@@ -148,12 +220,25 @@ class OMQASession:
 
         ``strategy``: ``'rewrite'`` forces the rewriting route (raises on
         an incomplete rewriting), ``'materialize'`` forces the chase
-        route, ``'auto'`` prefers a complete rewriting and falls back to
-        materialization.
+        route, ``'sql'`` evaluates the compiled rewriting inside the
+        session's SQLite store (same answers as ``'rewrite'``, pinned by
+        the equivalence tests), ``'auto'`` prefers a complete rewriting
+        and falls back to materialization.
         """
-        if strategy not in ("auto", "rewrite", "materialize"):
-            raise ValueError("strategy must be 'auto', 'rewrite' or 'materialize'")
+        if strategy not in ("auto", "rewrite", "materialize", "sql"):
+            raise ValueError(
+                "strategy must be 'auto', 'rewrite', 'materialize' or 'sql'"
+            )
         shape = query_shape(query)
+        if strategy == "sql":
+            from ..storage.sqlcompile import execute_compiled
+
+            prepared = self.prepare(query)
+            compiled = self.compile_sql(query, instance)
+            answers = execute_compiled(compiled, self.store())
+            if prepared.always_true and query.is_boolean() and len(instance):
+                answers.add(())
+            return answers
         if strategy in ("auto", "rewrite"):
             prepared = self.prepare(query)
             if prepared.complete:
@@ -191,12 +276,29 @@ class OMQASession:
                 "misses": self._misses["chase"],
                 "entries": len(self._chases),
             },
+            "sql": {
+                "hits": self._hits["sql"],
+                "misses": self._misses["sql"],
+                "entries": len(self._compiled_sql),
+            },
         }
 
     def clear(self) -> None:
         """Drop every cached artifact (budgets and stats survive)."""
         self._rewritings.clear()
         self._chases.clear()
+        self._compiled_sql.clear()
+        self._sql_digest = None
+        if self._sql_store is not None:
+            self._sql_store.clear_facts()
+
+    def close(self) -> None:
+        """Release the SQL store (idempotent; caches stay usable in RAM)."""
+        if self._sql_store is not None:
+            self._sql_store.close()
+            self._sql_store = None
+            self._sql_digest = None
+            self._compiled_sql.clear()
 
     def __repr__(self) -> str:
         info = self.cache_info()

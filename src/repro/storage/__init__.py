@@ -1,0 +1,59 @@
+"""Pluggable fact storage: RAM or SQLite behind one ``FactStore`` contract.
+
+The subsystem behind ``backend="sqlite"``: persistent fact stores with an
+interned term dictionary, UCQ rewritings compiled to SQL and evaluated by
+SQLite's join engine, chase checkpoint/resume, and a store-backed chase
+whose peak RSS is bounded by its batch size instead of the instance.
+
+Layout:
+
+=====================  ===================================================
+:mod:`~repro.storage.base`        the :class:`FactStore` protocol,
+                                  :func:`content_digest`, :func:`open_store`
+:mod:`~repro.storage.memory`      :class:`MemoryStore` over ``Instance``
+:mod:`~repro.storage.sqlite`      :class:`SQLiteStore` (tables, dictionary)
+:mod:`~repro.storage.sqlcompile`  CQ/UCQ → SQL compilation + execution
+:mod:`~repro.storage.checkpoint`  persist/resume in-memory chase results
+:mod:`~repro.storage.chasestore`  the chase evaluated inside SQLite
+=====================  ===================================================
+"""
+
+from .base import FactStore, content_digest, instance_digest, open_store
+from .checkpoint import (
+    CheckpointError,
+    checkpoint_chase,
+    load_checkpoint,
+    resume_from_checkpoint,
+    save_checkpoint,
+)
+from .chasestore import (
+    StoreChaseError,
+    StoreChaseResult,
+    chase_into_store,
+    resume_store_chase,
+)
+from .memory import MemoryStore
+from .sqlcompile import CompiledQuery, compile_ucq, evaluate_ucq_sql, execute_compiled
+from .sqlite import SQLiteStore
+
+__all__ = [
+    "CheckpointError",
+    "CompiledQuery",
+    "FactStore",
+    "MemoryStore",
+    "SQLiteStore",
+    "StoreChaseError",
+    "StoreChaseResult",
+    "chase_into_store",
+    "checkpoint_chase",
+    "compile_ucq",
+    "content_digest",
+    "evaluate_ucq_sql",
+    "execute_compiled",
+    "instance_digest",
+    "load_checkpoint",
+    "open_store",
+    "resume_from_checkpoint",
+    "resume_store_chase",
+    "save_checkpoint",
+]

@@ -1,0 +1,356 @@
+"""The store-backed chase: semi-naive rounds evaluated *inside* SQLite.
+
+:func:`repro.chase.engine.chase` materializes every round in RAM, which
+caps the reachable instance size at available memory.  This module runs
+the same semi-oblivious Skolem chase (Definition 6) with the facts living
+only in a :class:`~repro.storage.sqlite.SQLiteStore`:
+
+* each rule body is compiled (per round) into SELECT-joins by
+  :func:`~repro.storage.sqlcompile.build_select`, with per-alias *round
+  bounds* implementing semi-naive evaluation — one plan per pivot atom,
+  the pivot pinned to the delta round ``r-1``, atoms before it to
+  strictly older rounds, atoms after it to ``<= r-1`` (so each
+  delta-touching sigma is enumerated exactly once, and facts inserted
+  mid-round — tagged ``r`` — are invisible to the round's own joins,
+  preserving Definition 6's round semantics);
+* head atoms are produced **id-natively**: the SELECT rows are term-id
+  tuples, Skolem terms are interned from child ids
+  (:meth:`~repro.storage.sqlite.SQLiteStore.intern_function`) and the
+  rows go back via batched ``INSERT OR IGNORE`` — no Python ``Term`` or
+  ``Atom`` objects exist for the facts themselves, so peak RSS is
+  bounded by the batch size, not the instance;
+* the chase state (theory, completed rounds, termination) is persisted
+  in the store's meta table after every round, so a budget-stopped run
+  is resumable from disk — by Observation 8 and Skolem-naming
+  determinism the continuation is exact, not approximate.
+
+Not supported here: rules with *universal head variables* (the ``T_d``
+style ``true -> exists z. R(x, z)`` rules, whose head ranges over the
+active domain).  Those raise :class:`StoreChaseError`; the in-memory
+engine plus :mod:`repro.storage.checkpoint` covers them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from ..chase.engine import ChaseBudget, ChaseBudgetExceeded
+from ..chase.skolem import skolemize
+from ..logic.instance import Instance
+from ..logic.terms import Constant, FunctionTerm, Variable
+from ..logic.tgd import Theory
+from ..telemetry import Telemetry
+from .sqlcompile import build_select
+from .sqlite import SQLiteStore
+
+STORE_CHASE_SCHEMA = "repro-storechase/1"
+
+
+class StoreChaseError(RuntimeError):
+    """The store chase cannot run: unsupported rule or inconsistent state."""
+
+
+@dataclass
+class StoreChaseResult:
+    """Outcome of a store-backed chase (facts stay in the store).
+
+    Mirrors :class:`~repro.chase.engine.ChaseResult` where it can:
+    ``rounds_run`` counts completed productive rounds, ``terminated``
+    reports the fixpoint, ``stats`` carries the telemetry (``chase.*``
+    round counters plus the store's ``store.*`` counters — the store
+    chase shares the store's collector).  The instance itself is *not*
+    materialized; call :meth:`to_instance` (or query via
+    :mod:`repro.storage.sqlcompile`) when you really want the atoms.
+    """
+
+    store: SQLiteStore
+    rounds_run: int
+    terminated: bool
+    atom_count: int
+    stats: Telemetry
+
+    def to_instance(self) -> Instance:
+        return self.store.to_instance()
+
+    def digest(self) -> str:
+        return self.store.digest()
+
+
+# A head-slot recipe, resolved per sigma row: ("v", i) copies the i-th
+# projected body variable, ("f", functor, indices) interns a Skolem term
+# over those row positions, ("c", term_id) is a pre-interned constant.
+_Slot = tuple
+
+
+class _StoreRule:
+    """A rule compiled for id-native application against a store."""
+
+    def __init__(self, rule, store: SQLiteStore) -> None:
+        if rule.universal_head_variables():
+            raise StoreChaseError(
+                f"rule {rule.label or rule!r} has universal head variables; "
+                "the store-backed chase does not enumerate the active domain "
+                "(use the in-memory engine with repro.storage.checkpoint)"
+            )
+        self.rule = rule
+        skolemized = skolemize(rule)
+        self.body = tuple(rule.body)
+        var_order: list[Variable] = []
+        for item in self.body:
+            for term in item.args:
+                if isinstance(term, Variable) and term not in var_order:
+                    var_order.append(term)
+        self.var_order = tuple(var_order)
+        index_of = {var: i for i, var in enumerate(var_order)}
+        self.head_specs: list[tuple] = []
+        for item in skolemized.head:
+            slots: list[_Slot] = []
+            for term in item.args:
+                if isinstance(term, Variable):
+                    slots.append(("v", index_of[term]))
+                elif isinstance(term, FunctionTerm):
+                    slots.append(
+                        ("f", term.functor, tuple(index_of[arg] for arg in term.args))
+                    )
+                elif isinstance(term, Constant):
+                    slots.append(("c", store.intern_term(term)))
+                else:  # pragma: no cover - the parser admits nothing else
+                    raise StoreChaseError(f"unsupported head term {term!r}")
+            self.head_specs.append((item.predicate, tuple(slots)))
+
+    def round_plans(self, round_number: int) -> "list[list]":
+        """The per-alias round bounds to evaluate this round's matches.
+
+        Round 1 is one full pass over the base (everything is round 0);
+        later rounds get one semi-naive plan per pivot position.
+        """
+        last = round_number - 1
+        if round_number == 1:
+            return [[("le", 0)] * len(self.body)]
+        plans = []
+        for pivot in range(len(self.body)):
+            bounds: list = []
+            for position in range(len(self.body)):
+                if position < pivot:
+                    bounds.append(("lt", last))
+                elif position == pivot:
+                    bounds.append(("eq", last))
+                else:
+                    bounds.append(("le", last))
+            plans.append(bounds)
+        return plans
+
+
+def _apply_rule(rule: _StoreRule, row: tuple, store: SQLiteStore) -> "list[tuple]":
+    """Head fact rows (as id tuples, paired with predicates) for one sigma."""
+    out = []
+    for predicate, slots in rule.head_specs:
+        ids = []
+        for slot in slots:
+            if slot[0] == "v":
+                ids.append(row[slot[1]])
+            elif slot[0] == "f":
+                ids.append(
+                    store.intern_function(
+                        slot[1], tuple(row[i] for i in slot[2])
+                    )
+                )
+            else:
+                ids.append(slot[1])
+        out.append((predicate, tuple(ids)))
+    return out
+
+
+def _theory_text(theory: Theory) -> str:
+    """Canonical rule text for state matching: reprs only, no name header.
+
+    ``repr(rule)`` carries no labels, so a theory reparsed from this text
+    (labels regenerated) serializes back to the same string — resume
+    matching survives the round-trip.
+    """
+    return "\n".join(repr(rule) for rule in theory) + "\n"
+
+
+def _persist_state(
+    store: SQLiteStore, rounds: int, terminated: bool, stats: Telemetry
+) -> None:
+    store.set_meta("storechase.rounds", str(rounds))
+    store.set_meta("storechase.terminated", "1" if terminated else "0")
+    store.set_meta("storechase.stats", json.dumps(stats.as_dict()))
+
+
+def chase_into_store(
+    theory: Theory,
+    base: "Instance | None",
+    store: SQLiteStore,
+    budget: "ChaseBudget | None" = None,
+) -> StoreChaseResult:
+    """Run (or continue) the Skolem chase with facts living in ``store``.
+
+    A fresh store gets ``base`` loaded as round 0 and chased from there;
+    a store already carrying store-chase state *resumes* where it
+    stopped (``base`` must then be ``None`` — the persisted round 0 is
+    the base) for up to ``budget.max_rounds`` *further* rounds.  The
+    persisted theory must match ``theory`` rule-for-rule; state is
+    written after every round, so even a killed process resumes
+    round-exactly.
+
+    Raises :class:`StoreChaseError` for rules with universal head
+    variables, mismatched resume state, or a non-empty store with no
+    chase state.  Budget overruns follow ``budget.on_exceeded``.
+    """
+    budget = budget if budget is not None else ChaseBudget()
+    stats = store.stats
+    counters = stats.counters
+    theory_text = _theory_text(theory)
+
+    schema = store.get_meta("storechase.schema")
+    if schema is not None:
+        if schema != STORE_CHASE_SCHEMA:
+            raise StoreChaseError(f"unsupported store-chase schema {schema!r}")
+        persisted = store.get_meta("storechase.theory", "")
+        if persisted != theory_text:
+            raise StoreChaseError(
+                "store was chased under a different theory; refusing to mix"
+            )
+        if base is not None:
+            raise StoreChaseError(
+                "resuming a store chase: base is already persisted, pass None"
+            )
+        rounds_run = int(store.get_meta("storechase.rounds", "0"))
+        terminated = store.get_meta("storechase.terminated") == "1"
+        total = len(store)
+        # A fresh connection starts with an empty collector; fold the
+        # persisted snapshot back in so a suspended-and-resumed chase
+        # reports the same counters and per-round records as one
+        # uninterrupted run.  A same-connection resume already holds them
+        # live (chase.rounds > 0) and must not double-count.
+        if counters["chase.rounds"] == 0:
+            persisted_stats = store.get_meta("storechase.stats")
+            if persisted_stats:
+                stats.merge(Telemetry.from_dict(json.loads(persisted_stats)))
+        if terminated:
+            return StoreChaseResult(store, rounds_run, True, total, stats)
+    else:
+        if len(store):
+            raise StoreChaseError(
+                "store holds facts but no store-chase state; start from an "
+                "empty store (or resume one this module wrote)"
+            )
+        if base is not None:
+            store.add_many(base, round_=0)
+        store.set_meta("storechase.schema", STORE_CHASE_SCHEMA)
+        store.set_meta("storechase.theory", theory_text)
+        rounds_run = 0
+        terminated = False
+        total = len(store)
+        _persist_state(store, rounds_run, terminated, stats)
+
+    prepared = [_StoreRule(rule, store) for rule in theory]
+    batch_size = store.batch_size
+
+    with stats.phase("chase"):
+        for _ in range(budget.max_rounds):
+            round_number = rounds_run + 1
+            round_started = time.perf_counter()
+            terms_before = counters["store.terms_interned"]
+            matches = 0
+            produced_rows = 0
+            inserted = 0
+            for rule in prepared:
+                if not rule.body:
+                    # Bodyless rules (no universal variables, so the head
+                    # is ground after skolemization) fire exactly once,
+                    # in the first round.
+                    if round_number != 1:
+                        continue
+                    matches += 1
+                    for predicate, ids in _apply_rule(rule, (), store):
+                        produced_rows += 1
+                        inserted += store.insert_rows(predicate, [ids], round_number)
+                    continue
+                for bounds in rule.round_plans(round_number):
+                    compiled = build_select(
+                        rule.body,
+                        rule.var_order,
+                        store,
+                        round_bounds=bounds,
+                        distinct=False,
+                    )
+                    if compiled is None:
+                        continue  # a body predicate has no fact table yet
+                    pending: dict = {}
+                    pending_rows = 0
+                    for row in store._select(compiled.sql, compiled.params):
+                        matches += 1
+                        counters["store.rows_scanned"] += 1
+                        for predicate, ids in _apply_rule(rule, row, store):
+                            produced_rows += 1
+                            pending.setdefault(predicate, []).append(ids)
+                            pending_rows += 1
+                        if pending_rows >= batch_size:
+                            for predicate, rows in pending.items():
+                                inserted += store.insert_rows(
+                                    predicate, rows, round_number
+                                )
+                            pending.clear()
+                            pending_rows = 0
+                    for predicate, rows in pending.items():
+                        inserted += store.insert_rows(predicate, rows, round_number)
+            store.connection.commit()
+            total += inserted
+            dedup_hits = produced_rows - inserted
+            counters["chase.rounds"] += 1
+            counters["chase.matches"] += matches
+            counters["chase.atoms_produced"] += inserted
+            counters["chase.dedup_hits"] += dedup_hits
+            if inserted:
+                rounds_run = round_number
+            else:
+                terminated = True
+            stats.record_round(
+                round=round_number,
+                matches=matches,
+                atoms_produced=inserted,
+                dedup_hits=dedup_hits,
+                new_terms=counters["store.terms_interned"] - terms_before,
+                total_atoms=total,
+                seconds=round(time.perf_counter() - round_started, 6),
+            )
+            _persist_state(store, rounds_run, terminated, stats)
+            if terminated:
+                break
+            if total > budget.max_atoms:
+                if budget.on_exceeded == "raise":
+                    raise ChaseBudgetExceeded(
+                        f"store chase exceeded {budget.max_atoms} atoms after "
+                        f"{rounds_run} rounds"
+                    )
+                break
+
+    return StoreChaseResult(
+        store=store,
+        rounds_run=rounds_run,
+        terminated=terminated,
+        atom_count=total,
+        stats=stats,
+    )
+
+
+def resume_store_chase(
+    store: SQLiteStore,
+    theory: "Theory | None" = None,
+    budget: "ChaseBudget | None" = None,
+) -> StoreChaseResult:
+    """Continue a persisted store chase (``theory`` defaults to the stored one)."""
+    if store.get_meta("storechase.schema") is None:
+        raise StoreChaseError(f"{store!r} holds no store-chase state")
+    if theory is None:
+        from ..logic.parser import parse_theory
+
+        theory = parse_theory(
+            store.get_meta("storechase.theory", ""), name="storechase"
+        )
+    return chase_into_store(theory, None, store, budget=budget)

@@ -1,0 +1,135 @@
+"""Chase checkpointing: persist ``Ch_i`` rounds, resume from disk.
+
+A budget-stopped chase is a prefix ``Ch_0 ⊆ Ch_1 ⊆ ... ⊆ Ch_k`` of the
+(possibly infinite) chase.  By Observation 8 and the determinism of
+Skolem naming, continuing from the persisted ``Ch_k`` produces exactly
+the rounds the uninterrupted chase would have — so a checkpoint is not a
+best-effort snapshot but an *exact* suspension point:
+
+* every fact is stored with its round tag (the ``round_added``
+  partition survives the store round-trip, Skolem terms included — the
+  interned term dictionary has no trouble with them, unlike the text
+  serialization format);
+* the run's telemetry is persisted alongside and restored via
+  :meth:`repro.telemetry.Telemetry.from_dict`, so a
+  checkpoint-restore-resume produces the same counters and per-round
+  records as one uninterrupted run (modulo wall-clock seconds);
+* the theory travels in :func:`repro.logic.serialize.dump_theory` form
+  (rule labels are regenerated on load; engine behaviour never depends
+  on them).
+
+Not persisted: per-atom derivations (provenance).  A resumed run records
+derivations for the atoms *it* produces; prefix provenance is
+re-derivable by re-chasing when needed (``Appendix A`` enumerates all
+derivations anyway — the recorded one is a choice, not ground truth).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..chase.engine import ChaseBudget, ChaseResult, chase, resume
+from ..logic.instance import Instance
+from ..logic.serialize import dump_theory
+from ..logic.tgd import Theory
+from ..telemetry import Telemetry
+from .sqlite import SQLiteStore
+
+CHECKPOINT_SCHEMA = "repro-checkpoint/1"
+
+
+class CheckpointError(RuntimeError):
+    """The store does not hold a loadable checkpoint."""
+
+
+def save_checkpoint(result: ChaseResult, store: SQLiteStore) -> None:
+    """Persist a chase result's rounds and stats into ``store``.
+
+    Facts are written round-tagged with batched ``INSERT OR IGNORE``, so
+    saving a resumed result over its own earlier checkpoint extends the
+    store in place (the shared prefix keeps its original tags).
+    """
+    for round_number, added in enumerate(result.round_added):
+        for item in added:
+            store.buffer(item, round_=round_number)
+    store.flush()
+    store.set_meta("checkpoint.schema", CHECKPOINT_SCHEMA)
+    store.set_meta("checkpoint.theory", dump_theory(result.theory))
+    store.set_meta("checkpoint.rounds", str(result.rounds_run))
+    store.set_meta("checkpoint.terminated", "1" if result.terminated else "0")
+    store.set_meta("checkpoint.stats", json.dumps(result.stats.as_dict()))
+
+
+def load_checkpoint(
+    store: SQLiteStore, theory: Theory | None = None
+) -> ChaseResult:
+    """Rebuild a :class:`ChaseResult` from a checkpointed store.
+
+    ``theory`` overrides the persisted rule text (useful to keep the
+    original ``Theory`` object identity and its prepared-rule cache);
+    when omitted, the theory is re-parsed from the checkpoint.
+    """
+    schema = store.get_meta("checkpoint.schema")
+    if schema is None:
+        raise CheckpointError(f"{store!r} holds no checkpoint")
+    if schema != CHECKPOINT_SCHEMA:
+        raise CheckpointError(f"unsupported checkpoint schema {schema!r}")
+    if theory is None:
+        from ..logic.parser import parse_theory
+
+        theory = parse_theory(
+            store.get_meta("checkpoint.theory", ""), name="checkpoint"
+        )
+    rounds = int(store.get_meta("checkpoint.rounds", "0"))
+    round_added = [store.atoms_in_round(number) for number in range(rounds + 1)]
+    current = Instance()
+    for added in round_added:
+        current.update(added)
+    stats_text = store.get_meta("checkpoint.stats")
+    stats = (
+        Telemetry.from_dict(json.loads(stats_text)) if stats_text else Telemetry()
+    )
+    return ChaseResult(
+        theory=theory,
+        base=Instance(round_added[0]),
+        instance=current,
+        round_added=round_added,
+        terminated=store.get_meta("checkpoint.terminated") == "1",
+        derivations={},
+        stats=stats,
+    )
+
+
+def checkpoint_chase(
+    theory: Theory,
+    base: Instance,
+    store: SQLiteStore,
+    budget: ChaseBudget | None = None,
+    **chase_kwargs,
+) -> ChaseResult:
+    """Chase and persist in one call (the CLI's ``--db`` path)."""
+    result = chase(theory, base, budget=budget, **chase_kwargs)
+    save_checkpoint(result, store)
+    return result
+
+
+def resume_from_checkpoint(
+    store: SQLiteStore,
+    extra_rounds: int,
+    budget: ChaseBudget | None = None,
+    theory: Theory | None = None,
+    save: bool = True,
+) -> ChaseResult:
+    """Continue a budget-stopped chase from its persisted prefix.
+
+    Loads the checkpoint, runs :func:`repro.chase.engine.resume` for
+    ``extra_rounds`` more rounds and (by default) writes the extended
+    checkpoint back.  The atoms and counters of checkpoint-resume equal
+    those of one uninterrupted run — pinned by
+    ``tests/test_storage_checkpoint.py``.
+    """
+    loaded = load_checkpoint(store, theory=theory)
+    extended = resume(loaded, extra_rounds, budget=budget)
+    if save:
+        save_checkpoint(extended, store)
+    return extended

@@ -1,0 +1,607 @@
+"""The SQLite fact store: one table per predicate, interned terms.
+
+This is the durable data plane behind ``backend="sqlite"``.  Schema:
+
+``repro_terms (id, kind, payload, display)``
+    the **interned term dictionary**.  Every term — constant, variable
+    (instances may legally contain variables, see Observation 31) or
+    Skolem function term — appears exactly once and is referenced by
+    integer id everywhere else.  ``payload`` is the structural identity
+    (for function terms: the functor plus the *child ids*, so deep Skolem
+    trees cost O(1) per node, not O(depth) per mention); ``display`` is
+    the term's repr, kept so fact reprs — and hence
+    :func:`~repro.storage.base.content_digest` checksums — can be
+    rendered straight from SQL without rebuilding Python terms.
+
+``f_<predicate>_<arity> (a0, ..., ak, round)``
+    one **fact table per predicate**, columns holding term ids, primary
+    key over all positions (``WITHOUT ROWID``: the fact *is* the key),
+    plus one index per non-leading position — the SQL analogue of the
+    ``(predicate, position, term)`` index that makes the in-memory
+    homomorphism search usable.  ``round`` tags the chase round that
+    first produced the fact (0 = base), powering checkpoint/resume.
+
+``repro_predicates`` / ``repro_meta``
+    the catalog mapping predicates to table names, and a key/value side
+    table for checkpoint state.
+
+Writes are **batched**: ``add``/``add_many`` append to a buffer that is
+flushed with one ``executemany`` per predicate inside a single
+transaction once ``batch_size`` rows accumulate (or on any read).
+Deduplication is ``INSERT OR IGNORE`` against the primary key — re-adding
+a fact never changes its round tag, which is exactly the "first round it
+appeared in" semantics of Definition 6.
+
+Telemetry (``store.*`` counters, see ``docs/architecture.md`` §6):
+``store.writes`` facts submitted, ``store.batches`` buffer flushes,
+``store.sql_queries`` SELECT statements executed, ``store.rows_scanned``
+result rows fetched, ``store.terms_interned`` dictionary inserts.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sqlite3
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..logic.atoms import Atom
+from ..logic.instance import Instance
+from ..logic.signature import Predicate
+from ..logic.terms import Constant, FunctionTerm, Term, Variable
+from ..telemetry import Telemetry
+from .base import content_digest
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS repro_meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS repro_terms (
+    id INTEGER PRIMARY KEY,
+    kind TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    display TEXT NOT NULL,
+    UNIQUE (kind, payload)
+);
+CREATE TABLE IF NOT EXISTS repro_predicates (
+    name TEXT NOT NULL,
+    arity INTEGER NOT NULL,
+    table_name TEXT NOT NULL UNIQUE,
+    PRIMARY KEY (name, arity)
+);
+"""
+
+# A soft cap on the Python-side term caches: the store must stay usable
+# for chases far larger than RAM would allow the in-memory engine, so
+# the id/display maps cannot be allowed to mirror the whole dictionary.
+_CACHE_CAP = 500_000
+
+
+def _trim(cache: dict) -> None:
+    if len(cache) > _CACHE_CAP:
+        cache.clear()
+
+
+class SQLiteStore:
+    """A :class:`~repro.storage.base.FactStore` backed by SQLite.
+
+    ``path`` may be a filesystem path or SQLite's ``":memory:"``.
+    ``batch_size`` bounds the write buffer (rows, across predicates).
+    """
+
+    def __init__(
+        self,
+        path: "str | Path" = ":memory:",
+        batch_size: int = 4096,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.path = str(path)
+        self.batch_size = batch_size
+        self.stats = telemetry if telemetry is not None else Telemetry()
+        self._conn: sqlite3.Connection | None = sqlite3.connect(self.path)
+        self._conn.executescript(_SCHEMA)
+        # Durability tuned for a data plane, not a ledger: WAL keeps
+        # readers unblocked during chase flushes, NORMAL sync is safe
+        # against process crashes (checkpoints re-derive on power loss).
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA temp_store=MEMORY")
+        self._tables: dict[Predicate, str] = {}
+        self._ids_by_term: dict[Term, int] = {}
+        self._terms_by_id: dict[int, Term] = {}
+        self._ids_by_payload: dict[tuple[str, str], int] = {}
+        self._display_by_id: dict[int, str] = {}
+        self._pending: dict[Predicate, list[tuple]] = {}
+        self._pending_rows = 0
+        for name, arity, table in self._conn.execute(
+            "SELECT name, arity, table_name FROM repro_predicates"
+        ):
+            self._tables[Predicate(name, arity)] = table
+
+    @property
+    def backend(self) -> str:
+        return "sqlite"
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    @property
+    def connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise RuntimeError("store is closed")
+        return self._conn
+
+    def _select(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
+        """Run a SELECT with ``store.sql_queries`` accounting."""
+        self.stats.counters["store.sql_queries"] += 1
+        return self.connection.execute(sql, params)
+
+    # ------------------------------------------------------------------
+    # Predicate tables
+    # ------------------------------------------------------------------
+    def table_for(self, predicate: Predicate, create: bool = False) -> str | None:
+        """The fact table for ``predicate`` (``None`` when absent).
+
+        With ``create=True`` the table (and its per-position indexes) is
+        created and cataloged on first sight.
+        """
+        table = self._tables.get(predicate)
+        if table is not None or not create:
+            return table
+        safe = re.sub(r"[^A-Za-z0-9_]", "_", predicate.name)
+        table = f"f_{safe}_{predicate.arity}"
+        if table in self._tables.values():  # sanitation collision (E' vs E_)
+            table = f"{table}_{len(self._tables)}"
+        columns = ", ".join(f"a{i} INTEGER NOT NULL" for i in range(predicate.arity))
+        key = ", ".join(f"a{i}" for i in range(predicate.arity))
+        conn = self.connection
+        if predicate.arity:
+            conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {table} ({columns}, "
+                f"round INTEGER NOT NULL DEFAULT 0, PRIMARY KEY ({key})) "
+                "WITHOUT ROWID"
+            )
+        else:  # nullary predicates: a one-row presence table
+            conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {table} "
+                "(present INTEGER PRIMARY KEY CHECK (present = 1), "
+                "round INTEGER NOT NULL DEFAULT 0)"
+            )
+        for position in range(1, predicate.arity):
+            conn.execute(
+                f"CREATE INDEX IF NOT EXISTS ix_{table}_a{position} "
+                f"ON {table} (a{position})"
+            )
+        conn.execute(
+            "CREATE INDEX IF NOT EXISTS ix_%s_round ON %s (round)" % (table, table)
+        )
+        conn.execute(
+            "INSERT OR IGNORE INTO repro_predicates (name, arity, table_name) "
+            "VALUES (?, ?, ?)",
+            (predicate.name, predicate.arity, table),
+        )
+        self._tables[predicate] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # Term dictionary
+    # ------------------------------------------------------------------
+    def _intern_row(self, kind: str, payload: str, display: str) -> int:
+        key = (kind, payload)
+        cached = self._ids_by_payload.get(key)
+        if cached is not None:
+            return cached
+        row = self._select(
+            "SELECT id FROM repro_terms WHERE kind = ? AND payload = ?", key
+        ).fetchone()
+        if row is None:
+            cursor = self.connection.execute(
+                "INSERT INTO repro_terms (kind, payload, display) VALUES (?, ?, ?)",
+                (kind, payload, display),
+            )
+            self.stats.counters["store.terms_interned"] += 1
+            term_id = int(cursor.lastrowid)
+        else:
+            term_id = int(row[0])
+        _trim(self._ids_by_payload)
+        self._ids_by_payload[key] = term_id
+        return term_id
+
+    def intern_term(self, term: Term) -> int:
+        """The dictionary id for ``term``, interning it if new."""
+        cached = self._ids_by_term.get(term)
+        if cached is not None:
+            return cached
+        if isinstance(term, Constant):
+            term_id = self._intern_row("c", term.name, term.name)
+        elif isinstance(term, Variable):
+            term_id = self._intern_row("v", term.name, term.name)
+        elif isinstance(term, FunctionTerm):
+            child_ids = [self.intern_term(child) for child in term.args]
+            payload = json.dumps([term.functor, child_ids])
+            term_id = self._intern_row("f", payload, repr(term))
+        else:
+            raise TypeError(f"cannot intern {term!r} ({type(term).__name__})")
+        _trim(self._ids_by_term)
+        self._ids_by_term[term] = term_id
+        return term_id
+
+    def intern_function(self, functor: str, child_ids: tuple[int, ...]) -> int:
+        """Intern a function term given *child ids* — the id-native path.
+
+        The store-backed chase builds Skolem terms without ever
+        materializing Python ``FunctionTerm`` objects; the display string
+        is assembled from the children's displays.
+        """
+        payload = json.dumps([functor, list(child_ids)])
+        cached = self._ids_by_payload.get(("f", payload))
+        if cached is not None:
+            return cached
+        inner = ",".join(self.display_of(child) for child in child_ids)
+        return self._intern_row("f", payload, f"{functor}({inner})")
+
+    def term_id(self, term: Term) -> int | None:
+        """The id of ``term`` if already interned, else ``None``.
+
+        Query compilation uses this for constants: an un-interned
+        constant cannot match any stored fact, so its disjunct is
+        provably empty.
+        """
+        cached = self._ids_by_term.get(term)
+        if cached is not None:
+            return cached
+        if isinstance(term, Constant):
+            key = ("c", term.name)
+        elif isinstance(term, Variable):
+            key = ("v", term.name)
+        elif isinstance(term, FunctionTerm):
+            child_ids = []
+            for child in term.args:
+                child_id = self.term_id(child)
+                if child_id is None:
+                    return None
+                child_ids.append(child_id)
+            key = ("f", json.dumps([term.functor, child_ids]))
+        else:
+            raise TypeError(f"cannot look up {term!r}")
+        cached = self._ids_by_payload.get(key)
+        if cached is None:
+            row = self._select(
+                "SELECT id FROM repro_terms WHERE kind = ? AND payload = ?", key
+            ).fetchone()
+            if row is None:
+                return None
+            cached = int(row[0])
+            _trim(self._ids_by_payload)
+            self._ids_by_payload[key] = cached
+        _trim(self._ids_by_term)
+        self._ids_by_term[term] = cached
+        return cached
+
+    def term_by_id(self, term_id: int) -> Term:
+        """Decode a dictionary id back to a Python term."""
+        cached = self._terms_by_id.get(term_id)
+        if cached is not None:
+            return cached
+        row = self._select(
+            "SELECT kind, payload FROM repro_terms WHERE id = ?", (term_id,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no term with id {term_id}")
+        kind, payload = row
+        if kind == "c":
+            term: Term = Constant(payload)
+        elif kind == "v":
+            term = Variable(payload)
+        else:
+            functor, child_ids = json.loads(payload)
+            term = FunctionTerm(
+                functor, tuple(self.term_by_id(child) for child in child_ids)
+            )
+        _trim(self._terms_by_id)
+        self._terms_by_id[term_id] = term
+        return term
+
+    def display_of(self, term_id: int) -> str:
+        """The repr text of a term id, served from the dictionary."""
+        cached = self._display_by_id.get(term_id)
+        if cached is not None:
+            return cached
+        row = self._select(
+            "SELECT display FROM repro_terms WHERE id = ?", (term_id,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no term with id {term_id}")
+        _trim(self._display_by_id)
+        self._display_by_id[term_id] = row[0]
+        return row[0]
+
+    # ------------------------------------------------------------------
+    # Writes (buffered, batched)
+    # ------------------------------------------------------------------
+    def _encode(self, item: Atom, round_: int) -> tuple:
+        if item.predicate.arity == 0:
+            return (1, round_)
+        return tuple(self.intern_term(term) for term in item.args) + (round_,)
+
+    def add(self, item: Atom, round_: int = 0) -> bool:
+        """Add one fact; returns True when it was not present before.
+
+        The membership probe forces a buffer flush, so prefer
+        :meth:`add_many` on hot paths.
+        """
+        present = item in self
+        self.add_many((item,), round_=round_)
+        return not present
+
+    def add_many(self, items: Iterable[Atom], round_: int = 0) -> int:
+        """Buffer facts for insertion; returns how many were *new*.
+
+        The count is exact (``INSERT OR IGNORE`` against the primary
+        key), measured as the connection's change-count delta across the
+        flush.
+        """
+        self._flush_pending()  # drain unrelated buffered rows first
+        for item in items:
+            self.stats.counters["store.writes"] += 1
+            self.table_for(item.predicate, create=True)
+            self._pending.setdefault(item.predicate, []).append(
+                self._encode(item, round_)
+            )
+            self._pending_rows += 1
+        inserted = self._flush_pending()
+        self.connection.commit()
+        return inserted
+
+    def _flush_pending(self) -> int:
+        """Write the buffer out; returns how many rows were genuinely new.
+
+        The count is the connection's change delta across the
+        ``executemany`` calls alone — catalog inserts and term interning
+        happen at buffering time, so they never pollute it.
+        """
+        if not self._pending_rows:
+            return 0
+        conn = self.connection
+        self.stats.counters["store.batches"] += 1
+        before = conn.total_changes
+        for predicate, rows in self._pending.items():
+            table = self._tables[predicate]
+            if predicate.arity:
+                slots = ", ".join("?" for _ in range(predicate.arity + 1))
+                conn.executemany(
+                    f"INSERT OR IGNORE INTO {table} VALUES ({slots})", rows
+                )
+            else:
+                conn.executemany(
+                    f"INSERT OR IGNORE INTO {table} (present, round) VALUES (?, ?)",
+                    rows,
+                )
+        self._pending.clear()
+        self._pending_rows = 0
+        return conn.total_changes - before
+
+    def insert_rows(
+        self, predicate: Predicate, rows: "list[tuple[int, ...]]", round_: int
+    ) -> int:
+        """Bulk-insert id-native fact rows; returns how many were new.
+
+        The store-backed chase's write path: rows are tuples of term ids
+        (no ``Atom`` objects), deduplicated by the primary key with one
+        ``executemany`` — re-proposed facts keep their original round
+        tag, matching Definition 6's first-appearance semantics.
+        """
+        if not rows:
+            return 0
+        self._flush_pending()
+        table = self.table_for(predicate, create=True)
+        conn = self.connection
+        counters = self.stats.counters
+        counters["store.writes"] += len(rows)
+        counters["store.batches"] += 1
+        before = conn.total_changes
+        if predicate.arity:
+            slots = ", ".join("?" for _ in range(predicate.arity + 1))
+            conn.executemany(
+                f"INSERT OR IGNORE INTO {table} VALUES ({slots})",
+                [row + (round_,) for row in rows],
+            )
+        else:
+            conn.executemany(
+                f"INSERT OR IGNORE INTO {table} (present, round) VALUES (?, ?)",
+                [(1, round_) for _ in rows],
+            )
+        return conn.total_changes - before
+
+    def buffer(self, item: Atom, round_: int = 0) -> None:
+        """Append to the write buffer, flushing at ``batch_size`` rows.
+
+        The bulk-load path (chase rounds, instance loads): no membership
+        answer, just throughput.
+        """
+        self.stats.counters["store.writes"] += 1
+        self.table_for(item.predicate, create=True)
+        self._pending.setdefault(item.predicate, []).append(
+            self._encode(item, round_)
+        )
+        self._pending_rows += 1
+        if self._pending_rows >= self.batch_size:
+            self._flush_pending()
+
+    def flush(self) -> None:
+        self._flush_pending()
+        if self._conn is not None:
+            self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        self.flush()
+        total = 0
+        for table in self._tables.values():
+            row = self._select(f"SELECT COUNT(*) FROM {table}").fetchone()
+            total += int(row[0])
+        return total
+
+    def __contains__(self, item: Atom) -> bool:
+        self.flush()
+        table = self._tables.get(item.predicate)
+        if table is None:
+            return False
+        if item.predicate.arity == 0:
+            return self._select(f"SELECT 1 FROM {table} LIMIT 1").fetchone() is not None
+        ids = []
+        for term in item.args:
+            term_id = self.term_id(term)
+            if term_id is None:
+                return False
+            ids.append(term_id)
+        where = " AND ".join(f"a{i} = ?" for i in range(item.predicate.arity))
+        row = self._select(
+            f"SELECT 1 FROM {table} WHERE {where} LIMIT 1", tuple(ids)
+        ).fetchone()
+        return row is not None
+
+    def __iter__(self) -> Iterator[Atom]:
+        for predicate in list(self._tables):
+            yield from self.facts(predicate)
+
+    def predicates(self) -> set[Predicate]:
+        self.flush()
+        live = set()
+        for predicate, table in self._tables.items():
+            if self._select(f"SELECT 1 FROM {table} LIMIT 1").fetchone():
+                live.add(predicate)
+        return live
+
+    def facts(self, predicate: Predicate) -> Iterator[Atom]:
+        self.flush()
+        table = self._tables.get(predicate)
+        if table is None:
+            return
+        if predicate.arity == 0:
+            if self._select(f"SELECT 1 FROM {table} LIMIT 1").fetchone():
+                self.stats.counters["store.rows_scanned"] += 1
+                yield Atom(predicate, ())
+            return
+        columns = ", ".join(f"a{i}" for i in range(predicate.arity))
+        for row in self._select(f"SELECT {columns} FROM {table}"):
+            self.stats.counters["store.rows_scanned"] += 1
+            yield Atom(predicate, tuple(self.term_by_id(term_id) for term_id in row))
+
+    def max_round(self) -> int:
+        self.flush()
+        highest = 0
+        for table in self._tables.values():
+            row = self._select(f"SELECT MAX(round) FROM {table}").fetchone()
+            if row[0] is not None:
+                highest = max(highest, int(row[0]))
+        return highest
+
+    def atoms_in_round(self, round_: int) -> frozenset[Atom]:
+        self.flush()
+        collected = []
+        for predicate, table in self._tables.items():
+            if predicate.arity == 0:
+                hit = self._select(
+                    f"SELECT 1 FROM {table} WHERE round = ?", (round_,)
+                ).fetchone()
+                if hit:
+                    collected.append(Atom(predicate, ()))
+                continue
+            columns = ", ".join(f"a{i}" for i in range(predicate.arity))
+            for row in self._select(
+                f"SELECT {columns} FROM {table} WHERE round = ?", (round_,)
+            ):
+                self.stats.counters["store.rows_scanned"] += 1
+                collected.append(
+                    Atom(predicate, tuple(self.term_by_id(t) for t in row))
+                )
+        return frozenset(collected)
+
+    def count_in_round(self, round_: int) -> int:
+        """How many facts carry round tag ``round_`` (no decode)."""
+        self.flush()
+        total = 0
+        for table in self._tables.values():
+            row = self._select(
+                f"SELECT COUNT(*) FROM {table} WHERE round = ?", (round_,)
+            ).fetchone()
+            total += int(row[0])
+        return total
+
+    def digest(self) -> str:
+        """Content digest, rendered from the term dictionary's displays.
+
+        Matches :func:`~repro.storage.base.content_digest` of the same
+        facts exactly — no ``Atom`` objects are built.
+        """
+        self.flush()
+        rendered: list[str] = []
+        for predicate, table in self._tables.items():
+            if predicate.arity == 0:
+                if self._select(f"SELECT 1 FROM {table} LIMIT 1").fetchone():
+                    rendered.append(f"{predicate.name}()")
+                continue
+            columns = ", ".join(f"a{i}" for i in range(predicate.arity))
+            for row in self._select(f"SELECT {columns} FROM {table}"):
+                self.stats.counters["store.rows_scanned"] += 1
+                inner = ",".join(self.display_of(term_id) for term_id in row)
+                rendered.append(f"{predicate.name}({inner})")
+        return content_digest(rendered)
+
+    def to_instance(self) -> Instance:
+        return Instance(self)
+
+    def clear_facts(self) -> None:
+        """Drop every stored fact, keeping tables and the term dictionary.
+
+        ``OMQASession`` reloads a different instance through this: term
+        ids and table names stay stable, so previously compiled SQL
+        remains executable against the refilled store.
+        """
+        self._pending.clear()
+        self._pending_rows = 0
+        for table in self._tables.values():
+            self.connection.execute(f"DELETE FROM {table}")
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # Metadata (checkpoints)
+    # ------------------------------------------------------------------
+    def get_meta(self, key: str, default: "str | None" = None) -> "str | None":
+        row = self._select(
+            "SELECT value FROM repro_meta WHERE key = ?", (key,)
+        ).fetchone()
+        return default if row is None else row[0]
+
+    def set_meta(self, key: str, value: str) -> None:
+        self.connection.execute(
+            "INSERT INTO repro_meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+            (key, value),
+        )
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._conn is not None:
+            self._flush_pending()
+            self._conn.commit()
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "SQLiteStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._conn is None else f"{len(self._tables)} tables"
+        return f"SQLiteStore({self.path!r}, {state})"

@@ -48,7 +48,13 @@ parallel.fallback_inprocess``
     pooled rounds, work items shipped, summed worker wall-time in
     microseconds, duplicates collapsed by the deterministic merge, wire
     traffic per direction, workers that hit ``worker_max_atoms``, and
-    whether the run degraded to the in-process executor.
+    whether the run degraded to the in-process executor;
+``store.writes / store.batches / store.sql_queries / store.rows_scanned /
+store.terms_interned``
+    the storage subsystem (``repro.storage``): facts submitted to a
+    store, write-buffer flushes, SELECT statements executed (compiled
+    rewritings and store-chase rounds included), result rows fetched
+    back into Python, and term-dictionary inserts.
 """
 
 from __future__ import annotations
@@ -138,6 +144,23 @@ class Telemetry:
             },
             "rounds": [dict(entry) for entry in self.rounds],
         }
+
+    @classmethod
+    def from_dict(cls, stats: dict[str, Any]) -> "Telemetry":
+        """Rebuild a collector from an :meth:`as_dict` snapshot.
+
+        The chase checkpointing layer (:mod:`repro.storage.checkpoint`)
+        persists a run's stats and restores them here, so a resumed
+        chase continues its counters and per-round records exactly as
+        :func:`repro.chase.engine.resume` expects.  Validates the input
+        via :func:`validate_stats_dict` first.
+        """
+        validate_stats_dict(stats)
+        restored = cls()
+        restored.counters.update(stats["counters"])
+        restored.phases.update(stats["phases"])
+        restored.rounds.extend(dict(entry) for entry in stats["rounds"])
+        return restored
 
     def __repr__(self) -> str:
         return (

@@ -62,6 +62,57 @@ class TestChaseCommand:
         assert counters["parallel.rounds"] == 2
 
 
+class TestChaseSqliteBackend:
+    TC = (
+        "E(x, y) -> exists x1, y1. R(x, y, x1, y1)\n"
+        "R(x, y, x1, y1), E(y, z) -> exists z1. R(y, z, y1, z1)"
+    )
+
+    def test_chase_sqlite_matches_memory(self, tmp_path, capsys):
+        args = ["chase", "-e", self.TC, "E(a, b). E(b, c)", "--rounds", "3", "--json"]
+        assert main(args) == 0
+        memory = json.loads(capsys.readouterr().out)
+        db = str(tmp_path / "chase.db")
+        assert main(args + ["--backend", "sqlite", "--db", db]) == 0
+        sqlite = json.loads(capsys.readouterr().out)
+        assert sqlite["backend"] == "sqlite"
+        assert sorted(sqlite["atoms"]) == sorted(memory["atoms"])
+        assert "digest" in sqlite
+        validate_stats_dict(sqlite["stats"])
+        assert sqlite["stats"]["counters"]["store.writes"] >= 1
+
+    def test_chase_sqlite_resume_extends(self, tmp_path, capsys):
+        db = str(tmp_path / "chase.db")
+        base = ["chase", "-e", self.TC, "E(a, b). E(b, c)", "--backend", "sqlite", "--db", db, "--json"]
+        assert main(base + ["--rounds", "1"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(base + ["--resume", "--rounds", "2"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["rounds_run"] > first["rounds_run"]
+        assert len(resumed["atoms"]) > len(first["atoms"])
+        # One uninterrupted run over the same budget matches exactly.
+        db2 = str(tmp_path / "oneshot.db")
+        one_shot = ["chase", "-e", self.TC, "E(a, b). E(b, c)", "--backend", "sqlite", "--db", db2, "--json"]
+        assert main(one_shot + ["--rounds", "3"]) == 0
+        reference = json.loads(capsys.readouterr().out)
+        assert resumed["digest"] == reference["digest"]
+
+    def test_chase_sqlite_falls_back_for_universal_heads(self, tmp_path, capsys):
+        # T_d-style rules can't run inside the store; the CLI chases in
+        # RAM and checkpoints the result instead of failing.
+        db = str(tmp_path / "fallback.db")
+        code = main(
+            [
+                "chase", "-e", "P(x) -> Q(x, y)", "P(a)",
+                "--rounds", "2", "--backend", "sqlite", "--db", db, "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["backend"] == "sqlite"
+        assert any("Q(a," in atom for atom in document["atoms"])
+
+
 class TestRewriteCommand:
     def test_rewrite_inline(self, capsys):
         code = main(["rewrite", "-e", TA, "q(x) := exists y. Mother(x, y)"])
@@ -125,6 +176,21 @@ class TestAnswerCommand:
         assert document["cache_info"]["rewriting"]["misses"] == 1
         validate_stats_dict(document["stats"])
         assert document["stats"]["counters"]["rewrite.steps"] >= 1
+
+    def test_answer_sqlite_backend_matches_memory(self, tmp_path, capsys):
+        args = [
+            "answer", "-e", TA, "Human(abel)",
+            "q(x) := exists y. Mother(x, y)", "--json",
+        ]
+        assert main(args) == 0
+        memory = json.loads(capsys.readouterr().out)
+        db = str(tmp_path / "answers.db")
+        assert main(args + ["--backend", "sqlite", "--db", db]) == 0
+        sqlite = json.loads(capsys.readouterr().out)
+        assert sqlite["backend"] == "sqlite"
+        assert sqlite["strategy"] == "sql"
+        assert sorted(sqlite["answers"]) == sorted(memory["answers"])
+        assert sqlite["cache_info"]["sql"]["misses"] == 1
 
     def test_answer_workers_flag_accepted(self, capsys):
         # Rewriting may win the strategy race, but the flag must parse and

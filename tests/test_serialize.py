@@ -12,8 +12,10 @@ from repro.logic.serialize import (
     dump_query,
     dump_theory,
     load_instance,
+    load_query,
     load_theory,
     save_instance,
+    save_query,
     save_theory,
 )
 from repro.workloads import (
@@ -82,3 +84,50 @@ class TestQueryDump:
         query = parse_query("q(x) := exists y, z. E(x, y), E(y, z)")
         reparsed = parse_query(dump_query(query).strip())
         assert are_equivalent(query, reparsed)
+
+    def test_constants_quoted_and_round_trip_exact(self):
+        # Bare identifiers parse as *variables*, so the dump must quote
+        # constants or the round trip silently changes the query.
+        from repro.logic import parse_query
+
+        query = parse_query("q(x) := R('a0', x), E(x, 'b')")
+        text = dump_query(query)
+        assert "'a0'" in text and "'b'" in text
+        reparsed = parse_query(text.strip())
+        assert reparsed.atoms == query.atoms
+        assert reparsed.answer_vars == query.answer_vars
+
+    def test_dump_is_stable_cache_key(self):
+        from repro.logic import parse_query
+
+        query = parse_query("q(x) := exists y. E(x, y)")
+        assert dump_query(query) == dump_query(parse_query(dump_query(query).strip()))
+
+    def test_boolean_query(self):
+        from repro.logic import parse_query
+
+        query = parse_query("q() := exists x, y. E(x, y)")
+        reparsed = parse_query(dump_query(query).strip())
+        assert reparsed.is_boolean()
+        assert reparsed.atoms == query.atoms
+
+    def test_skolem_terms_rejected(self):
+        from repro.logic import parse_query
+        from repro.logic.terms import FunctionTerm, Variable
+
+        query = parse_query("q() := exists x. E(x, x)")
+        mangled = query.substitute(
+            {Variable("x"): FunctionTerm("f_w0_deadbeef", (Variable("y"),))}
+        )
+        with pytest.raises(SerializationError):
+            dump_query(mangled)
+
+    def test_save_load_file(self, tmp_path):
+        from repro.logic import parse_query
+
+        query = parse_query("q(x) := exists y. R('a0', x), E(x, y)")
+        target = tmp_path / "query.cq"
+        save_query(query, target)
+        loaded = load_query(target)
+        assert loaded.atoms == query.atoms
+        assert loaded.answer_vars == query.answer_vars

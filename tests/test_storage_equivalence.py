@@ -1,0 +1,119 @@
+"""Property-based equivalence: the SQLite path == the in-memory path.
+
+Linear theories are BDD (Section 1), so certain answers computed by
+evaluating the UCQ rewriting *inside SQLite* must coincide exactly with
+answers from a materialized chase in RAM.  Randomized linear worlds
+(same generators as ``test_fuzz_linear.py``) drive four pinned
+equalities per seed:
+
+* ``answer(..., backend="sqlite")`` == ``answer_by_materialization``;
+* ``OMQASession.answer(strategy="sql")`` == ``strategy="rewrite"``;
+* SQL evaluation of the rewriting == in-memory evaluation of the same
+  rewriting over the same base facts;
+* the store's content digest == the instance's digest (round-trip
+  identity through the term dictionary and back).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.logic.containment import evaluate_ucq
+from repro.rewriting import (
+    OMQASession,
+    RewritingBudget,
+    answer,
+    answer_by_materialization,
+    rewrite,
+)
+from repro.rewriting.bdd import depth_bound_from_rewriting
+from repro.storage import SQLiteStore, content_digest, evaluate_ucq_sql
+from tests.test_fuzz_linear import (
+    random_instance,
+    random_linear_theory,
+    random_query,
+)
+
+BUDGET = RewritingBudget(max_kept=300, max_steps=20_000)
+
+
+def _world(seed: int):
+    rng = random.Random(1000 + seed)
+    return random_linear_theory(rng), random_instance(rng), random_query(rng)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_sqlite_backend_matches_materialization(seed):
+    theory, instance, query = _world(seed)
+    prepared = rewrite(theory, query, BUDGET)
+    if not prepared.complete:
+        pytest.skip("rewriting truncated under the fuzz budget")
+    # The certified depth bound keeps the materialization side exact even
+    # when the linear theory's chase does not terminate (still BDD).
+    depth = depth_bound_from_rewriting(theory, query, BUDGET)
+    by_chase = answer_by_materialization(theory, query, instance, depth=depth)
+    by_sqlite = answer(theory, query, instance, backend="sqlite")
+    assert by_sqlite == by_chase, f"seed={seed}\n{theory}\n{instance}\n{query}"
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_session_sql_strategy_matches_rewrite(seed):
+    theory, instance, query = _world(100 + seed)
+    session = OMQASession(theory, rewriting_budget=BUDGET)
+    try:
+        try:
+            by_rewrite = session.answer(query, instance, strategy="rewrite")
+        except RuntimeError:
+            pytest.skip("rewriting truncated under the fuzz budget")
+        by_sql = session.answer(query, instance, strategy="sql")
+        assert by_sql == by_rewrite, f"seed={seed}\n{theory}\n{instance}\n{query}"
+        # Second ask hits the compiled-SQL cache and must not drift.
+        assert session.answer(query, instance, strategy="sql") == by_sql
+        assert session.cache_info()["sql"]["hits"] >= 1
+    finally:
+        session.close()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_sql_ucq_evaluation_matches_memory(seed):
+    theory, instance, query = _world(200 + seed)
+    prepared = rewrite(theory, query, BUDGET)
+    if not prepared.complete:
+        pytest.skip("rewriting truncated under the fuzz budget")
+    in_memory = evaluate_ucq(prepared.ucq, instance)
+    with SQLiteStore(":memory:") as store:
+        store.add_many(instance)
+        in_sql = evaluate_ucq_sql(prepared.ucq, store)
+    assert in_sql == in_memory, f"seed={seed}\n{theory}\n{instance}\n{query}"
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_digest_survives_store_round_trip(seed):
+    rng = random.Random(3000 + seed)
+    instance = random_instance(rng)
+    with SQLiteStore(":memory:") as store:
+        store.add_many(instance)
+        assert store.digest() == content_digest(instance)
+        assert content_digest(store.to_instance()) == content_digest(instance)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(12))
+def test_sqlite_backend_fuzz_slow(seed):
+    """The wider sweep, mirroring test_linear_fuzz_agreement's seeds."""
+    rng = random.Random(5000 + seed)
+    theory = random_linear_theory(rng)
+    for trial in range(3):
+        instance = random_instance(rng)
+        query = random_query(rng)
+        prepared = rewrite(theory, query, BUDGET)
+        if not prepared.complete:
+            continue
+        depth = depth_bound_from_rewriting(theory, query, BUDGET)
+        by_chase = answer_by_materialization(theory, query, instance, depth=depth)
+        by_sqlite = answer(theory, query, instance, backend="sqlite")
+        assert by_sqlite == by_chase, (
+            f"seed={seed} trial={trial}\n{theory}\n{instance}\n{query}"
+        )

@@ -78,15 +78,47 @@ def _print_stats(stats: dict) -> None:
         print(f"# round {cells}")
 
 
+def _guard_checkpoint_target(store, theory) -> None:
+    """Refuse to checkpoint into a database holding unrelated state.
+
+    Mirrors :func:`~repro.storage.chasestore.chase_into_store`'s own
+    guards for the in-memory fallback path: a db holding store-chase
+    state, a checkpoint of a different theory, or facts with no
+    checkpoint at all must not be silently merged into.
+    """
+    from .logic.serialize import dump_theory
+    from .storage import StoreChaseError
+
+    if store.get_meta("storechase.schema") is not None:
+        raise StoreChaseError(
+            "db holds store-chase state; refusing to overlay an in-memory "
+            "checkpoint (use a fresh --db, or --resume to continue it)"
+        )
+    persisted = store.get_meta("checkpoint.theory")
+    if persisted is None:
+        if len(store):
+            raise StoreChaseError(
+                "db holds facts but no checkpoint state; refusing to mix "
+                "(use a fresh --db)"
+            )
+    elif persisted != dump_theory(theory):
+        raise StoreChaseError(
+            "db holds a checkpoint of a different theory; refusing to mix"
+        )
+
+
 def _cmd_chase_sqlite(args: argparse.Namespace, theory, budget: ChaseBudget) -> int:
     """``chase --backend sqlite``: materialize into (or resume from) a db.
 
     Theories the store chase supports run entirely inside SQLite; rules
-    with universal head variables fall back to the in-memory engine with
-    the result persisted as a checkpoint — either way the database at
-    ``--db`` afterwards holds the round-tagged chase prefix.
+    with universal head variables run in the in-memory engine with the
+    result persisted as a checkpoint.  The split is decided upfront from
+    the theory's syntax, so a store-state refusal (mismatched theory,
+    already-populated database) is always reported, never silently
+    papered over by the fallback.
     """
     from .storage import (
+        CheckpointError,
         SQLiteStore,
         StoreChaseError,
         chase_into_store,
@@ -95,34 +127,42 @@ def _cmd_chase_sqlite(args: argparse.Namespace, theory, budget: ChaseBudget) -> 
         save_checkpoint,
     )
 
+    needs_memory_fallback = any(
+        rule.universal_head_variables() for rule in theory
+    )
     with SQLiteStore(args.db if args.db else ":memory:") as store:
-        if args.resume:
-            if store.get_meta("storechase.schema") is not None:
-                result = resume_store_chase(store, theory=theory, budget=budget)
-                atom_count = result.atom_count
-                rounds_run, terminated = result.rounds_run, result.terminated
-                stats = result.stats.as_dict()
-            else:
-                extended = resume_from_checkpoint(
-                    store, extra_rounds=args.rounds, budget=budget, theory=theory
-                )
-                atom_count = len(extended.instance)
-                rounds_run, terminated = extended.rounds_run, extended.terminated
-                stats = extended.stats.as_dict()
-        else:
-            instance = parse_instance(_read(args.instance, args.inline))
-            try:
-                result = chase_into_store(theory, instance, store, budget=budget)
-                atom_count = result.atom_count
-                rounds_run, terminated = result.rounds_run, result.terminated
-                stats = result.stats.as_dict()
-            except StoreChaseError:
+        try:
+            if args.resume:
+                if store.get_meta("storechase.schema") is not None:
+                    result = resume_store_chase(store, theory=theory, budget=budget)
+                    atom_count = result.atom_count
+                    rounds_run, terminated = result.rounds_run, result.terminated
+                    stats = result.stats.as_dict()
+                else:
+                    extended = resume_from_checkpoint(
+                        store, extra_rounds=args.rounds, budget=budget, theory=theory
+                    )
+                    atom_count = len(extended.instance)
+                    rounds_run, terminated = extended.rounds_run, extended.terminated
+                    stats = extended.stats.as_dict()
+            elif needs_memory_fallback:
+                instance = parse_instance(_read(args.instance, args.inline))
+                _guard_checkpoint_target(store, theory)
                 mem_result = chase(theory, instance, budget=budget)
                 save_checkpoint(mem_result, store)
                 atom_count = len(mem_result.instance)
                 rounds_run = mem_result.rounds_run
                 terminated = mem_result.terminated
                 stats = mem_result.stats.as_dict()
+            else:
+                instance = parse_instance(_read(args.instance, args.inline))
+                result = chase_into_store(theory, instance, store, budget=budget)
+                atom_count = result.atom_count
+                rounds_run, terminated = result.rounds_run, result.terminated
+                stats = result.stats.as_dict()
+        except (StoreChaseError, CheckpointError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         digest = store.digest()
         atoms = sorted(repr(item) for item in store)
     if args.json:
@@ -155,6 +195,13 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         return 2
     if getattr(args, "resume", False) and args.backend != "sqlite":
         print("error: --resume requires --backend sqlite", file=sys.stderr)
+        return 2
+    if getattr(args, "resume", False) and not args.db:
+        print(
+            "error: --resume requires --db (a fresh in-memory store holds "
+            "no resumable state)",
+            file=sys.stderr,
+        )
         return 2
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
     budget = ChaseBudget(max_rounds=args.rounds, max_atoms=args.max_atoms)

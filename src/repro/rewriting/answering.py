@@ -179,19 +179,35 @@ def answer(
     restricted to the base domain as usual.  Either backend returns the
     same set — the backends differ in *where* the joins run, never in
     the answers.
+
+    A ``db_path`` pointing at a database that already holds facts is
+    accepted only when those facts are content-identical to ``instance``
+    (the digest check mirrors ``OMQASession``'s store reuse); anything
+    else raises :class:`~repro.storage.chasestore.StoreChaseError` —
+    evaluating the rewriting over a mixture of stored and passed facts
+    would return unsound answers.
     """
     if backend == "memory":
         return certain_answers(theory, query, instance, budget, chase_budget)
     if backend != "sqlite":
         raise ValueError(f"backend must be 'memory' or 'sqlite', got {backend!r}")
-    from ..storage.chasestore import chase_into_store
+    from ..storage.base import instance_digest
+    from ..storage.chasestore import StoreChaseError, chase_into_store
     from ..storage.sqlcompile import evaluate_ucq_sql
     from ..storage.sqlite import SQLiteStore
 
     result = rewrite(theory, query, budget)
     with SQLiteStore(db_path if db_path is not None else ":memory:") as store:
         if result.complete:
-            store.add_many(instance)
+            if len(store):
+                if store.digest() != instance_digest(instance):
+                    raise StoreChaseError(
+                        f"store at {store.path!r} already holds facts that "
+                        "differ from `instance`; refusing to evaluate the "
+                        "rewriting over the mixture (use a fresh db_path)"
+                    )
+            else:
+                store.add_many(instance)
             return answer_by_rewriting_sql(theory, query, store, prepared=result)
         chase_budget = chase_budget or ChaseBudget(max_rounds=100, max_atoms=500_000)
         outcome = chase_into_store(theory, instance, store, budget=chase_budget)

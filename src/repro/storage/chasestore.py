@@ -206,6 +206,13 @@ def chase_into_store(
     counters = stats.counters
     theory_text = _theory_text(theory)
 
+    # Compile the rules before touching any persistent state: an
+    # unsupported theory (universal head variables) must fail with the
+    # store unchanged — no base facts loaded, no ``storechase.*`` meta
+    # written — so callers can fall back to the in-memory engine against
+    # the same database without leaving mixed state behind.
+    prepared = [_StoreRule(rule, store) for rule in theory]
+
     schema = store.get_meta("storechase.schema")
     if schema is not None:
         if schema != STORE_CHASE_SCHEMA:
@@ -248,7 +255,6 @@ def chase_into_store(
         total = len(store)
         _persist_state(store, rounds_run, terminated, stats)
 
-    prepared = [_StoreRule(rule, store) for rule in theory]
     batch_size = store.batch_size
 
     with stats.phase("chase"):

@@ -111,6 +111,77 @@ class TestChaseSqliteBackend:
         document = json.loads(capsys.readouterr().out)
         assert document["backend"] == "sqlite"
         assert any("Q(a," in atom for atom in document["atoms"])
+        # The fallback writes checkpoint state only — never storechase.*
+        # meta — so a later --resume continues the checkpoint cleanly.
+        from repro.storage import SQLiteStore
+
+        with SQLiteStore(db) as store:
+            assert store.get_meta("storechase.schema") is None
+            assert store.get_meta("checkpoint.schema") is not None
+        code = main(
+            [
+                "chase", "-e", "P(x) -> Q(x, y)", "--resume",
+                "--rounds", "2", "--backend", "sqlite", "--db", db, "--json",
+            ]
+        )
+        assert code == 0
+
+    def test_chase_sqlite_refuses_mixed_theories(self, tmp_path, capsys):
+        # Re-running against an existing db with an unrelated theory must
+        # be a reported refusal, not a silent checkpoint-merge of two
+        # incompatible chases (the old except-StoreChaseError fallback).
+        db = str(tmp_path / "mix.db")
+        first = [
+            "chase", "-e", self.TC, "E(a, b). E(b, c)",
+            "--rounds", "2", "--backend", "sqlite", "--db", db, "--json",
+        ]
+        assert main(first) == 0
+        before = json.loads(capsys.readouterr().out)["digest"]
+        code = main(
+            [
+                "chase", "-e", "P(x) -> R(x)", "P(a)",
+                "--rounds", "2", "--backend", "sqlite", "--db", db, "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "refusing to mix" in captured.err
+        from repro.storage import SQLiteStore
+
+        with SQLiteStore(db) as store:
+            assert store.digest() == before
+
+    def test_chase_sqlite_fallback_refuses_dirty_db(self, tmp_path, capsys):
+        # The universal-head fallback must not overlay a checkpoint onto
+        # a db already holding a store chase (or a different theory's
+        # checkpoint).
+        db = str(tmp_path / "dirty.db")
+        assert main(
+            [
+                "chase", "-e", self.TC, "E(a, b)",
+                "--rounds", "1", "--backend", "sqlite", "--db", db, "--json",
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "chase", "-e", "P(x) -> Q(x, y)", "P(a)",
+                "--rounds", "1", "--backend", "sqlite", "--db", db, "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "store-chase state" in captured.err
+
+    def test_chase_sqlite_resume_requires_db(self, capsys):
+        # A fresh :memory: store can never hold resumable state; fail
+        # with a diagnostic instead of an uncaught CheckpointError.
+        code = main(
+            ["chase", "-e", self.TC, "--resume", "--backend", "sqlite"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--resume requires --db" in captured.err
 
 
 class TestRewriteCommand:

@@ -256,6 +256,19 @@ class TestStoreChase:
             with pytest.raises(StoreChaseError):
                 chase_into_store(theory, parse_instance("P(a)"), handle)
 
+    def test_unsupported_theory_leaves_store_untouched(self):
+        # The refusal must fire before any facts or storechase.* meta
+        # land in the store, so a caller falling back to the in-memory
+        # engine (the CLI's checkpoint path) finds a clean database and
+        # a later checkpoint --resume is not hijacked by stale state.
+        theory = parse_theory("P(x) -> Q(x, y)", name="universal-head")
+        with SQLiteStore(":memory:") as handle:
+            with pytest.raises(StoreChaseError):
+                chase_into_store(theory, parse_instance("P(a)"), handle)
+            assert len(handle) == 0
+            assert handle.get_meta("storechase.schema") is None
+            assert handle.get_meta("storechase.theory") is None
+
     def test_max_atoms_raise(self):
         theory = example42_tc()
         budget = ChaseBudget(max_rounds=50, max_atoms=10, on_exceeded="raise")

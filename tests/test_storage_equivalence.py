@@ -89,6 +89,36 @@ def test_sql_ucq_evaluation_matches_memory(seed):
     assert in_sql == in_memory, f"seed={seed}\n{theory}\n{instance}\n{query}"
 
 
+def test_answer_sqlite_guards_prepopulated_db(tmp_path):
+    """A db holding facts other than ``instance`` must be refused.
+
+    Evaluating the compiled rewriting over the union of stored and
+    passed facts would return a superset of the certain answers; an
+    identical (digest-equal) db is reused as-is.
+    """
+    from repro.logic import parse_instance, parse_query, parse_theory
+    from repro.storage import StoreChaseError
+
+    theory = parse_theory(
+        "Human(y) -> exists z. Mother(y, z)\nMother(x, y) -> Human(y)",
+        name="guard",
+    )
+    query = parse_query("q(x) := exists y. Mother(x, y)")
+    instance = parse_instance("Human(abel)")
+    db = str(tmp_path / "answers.db")
+    first = answer(theory, query, instance, backend="sqlite", db_path=db)
+    # Re-asking over the now-populated db with the same instance reuses it.
+    assert answer(theory, query, instance, backend="sqlite", db_path=db) == first
+    with pytest.raises(StoreChaseError):
+        answer(
+            theory,
+            query,
+            parse_instance("Human(cain)"),
+            backend="sqlite",
+            db_path=db,
+        )
+
+
 @pytest.mark.parametrize("seed", range(8))
 def test_digest_survives_store_round_trip(seed):
     rng = random.Random(3000 + seed)

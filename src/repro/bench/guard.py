@@ -192,6 +192,75 @@ def _run_parallel_equivalence(quick: bool) -> dict:
     return {"atoms": len(parallel.instance), "identical": identical, "checksum": digest}
 
 
+_LAST_COLUMNAR: dict | None = None
+
+
+def _run_columnar_equivalence(quick: bool) -> dict:
+    """Columnar kernel == object engine tripwire on a dense join workload.
+
+    Chases binary transitive closure over a seeded dense random edge set
+    twice — ``backend="memory"`` (the object engine) and
+    ``backend="columnar"`` (hash joins over interned ids) — and
+    checksums both results.  Dense TC is the workload the kernel exists
+    for: matches outnumber new atoms by two orders of magnitude, so the
+    run is dominated by join candidate scans and duplicate checks, which
+    the kernel does over flat int tuples.  The compared ``value``
+    carries the atom count, a round-for-round equality bit, a *counter*
+    equality bit (the kernel mirrors the engine's pivot semantics, so
+    ``chase.matches``/``chase.atoms_produced``/``chase.dedup_hits`` must
+    agree exactly, not just the atoms) and a content checksum.  The
+    measured speedup is hardware-dependent, so it lands in
+    ``meta["columnar"]`` rather than the compared value.
+    """
+    import hashlib
+
+    from ..logic import parse_theory
+    from ..chase import ChaseBudget, chase
+    from ..workloads.generators import random_instance
+
+    global _LAST_COLUMNAR
+    theory = parse_theory("E(x, y), E(y, z) -> E(x, z)", name="guard-tc")
+    predicates = sorted(
+        {atom.predicate for rule in theory.rules() for atom in rule.body},
+        key=lambda item: item.name,
+    )
+    facts, domain = (80, 24) if quick else (160, 40)
+    base = random_instance(
+        predicates, fact_count=facts, domain_size=domain, seed=20260808
+    )
+    budget = ChaseBudget(max_rounds=20, max_atoms=2_000_000)
+    started = time.perf_counter()
+    reference = chase(theory, base, budget=budget, backend="memory")
+    object_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    columnar = chase(theory, base, budget=budget, backend="columnar")
+    columnar_seconds = time.perf_counter() - started
+    identical = columnar.round_added == reference.round_added
+    counters_equal = all(
+        columnar.stats.counters[name] == reference.stats.counters[name]
+        for name in ("chase.matches", "chase.atoms_produced", "chase.dedup_hits")
+    )
+    digest = hashlib.sha256(
+        "\n".join(sorted(repr(item) for item in columnar.instance)).encode("utf8")
+    ).hexdigest()[:16]
+    _LAST_COLUMNAR = {
+        "object_seconds": round(object_seconds, 6),
+        "columnar_seconds": round(columnar_seconds, 6),
+        "speedup": (
+            round(object_seconds / columnar_seconds, 3) if columnar_seconds else 0.0
+        ),
+        "fallback_rules": int(
+            bool(columnar.stats.counters.get("columnar.fallback_rules", 0))
+        ),
+    }
+    return {
+        "atoms": len(columnar.instance),
+        "identical": identical,
+        "counters_equal": counters_equal,
+        "checksum": digest,
+    }
+
+
 _LAST_STORAGE: dict | None = None
 
 
@@ -315,6 +384,11 @@ SCENARIOS: tuple[Scenario, ...] = (
         _run_parallel_equivalence,
     ),
     Scenario(
+        "columnar_equivalence",
+        "columnar hash-join kernel vs object engine: identical chase, exact counters",
+        _run_columnar_equivalence,
+    ),
+    Scenario(
         "sql_equivalence",
         "SQLite-evaluated answers and store chase match the in-memory engines",
         _run_sql_equivalence,
@@ -353,12 +427,13 @@ def run_guard_scenarios(
     ``meta["parallel"]`` because wall-clock ratios are a property of the
     machine, not of the code under guard.
     """
-    global _PARALLEL_WORKERS, _LAST_PARALLEL, _LAST_STORAGE
+    global _PARALLEL_WORKERS, _LAST_PARALLEL, _LAST_STORAGE, _LAST_COLUMNAR
     saved_workers = _PARALLEL_WORKERS
     if workers is not None:
         _PARALLEL_WORKERS = max(2, workers)
     _LAST_PARALLEL = None
     _LAST_STORAGE = None
+    _LAST_COLUMNAR = None
     measured = []
     for scenario in scenarios:
         runs: list[float] = []
@@ -383,6 +458,8 @@ def run_guard_scenarios(
     }
     if _LAST_PARALLEL is not None:
         meta["parallel"] = dict(_LAST_PARALLEL)
+    if _LAST_COLUMNAR is not None:
+        meta["columnar"] = dict(_LAST_COLUMNAR)
     if _LAST_STORAGE is not None:
         meta["storage"] = dict(_LAST_STORAGE)
     _PARALLEL_WORKERS = saved_workers

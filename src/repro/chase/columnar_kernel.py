@@ -1,0 +1,568 @@
+"""The columnar chase kernel: hash-join rule application over term ids.
+
+This is the executor behind ``chase(backend="columnar")`` — the default
+engine.  Where :class:`~repro.chase.engine.SequentialRoundExecutor`
+backtracks over Python ``Atom``/``Term`` objects,
+:class:`ColumnarRoundExecutor` mirrors the current instance into a
+:class:`~repro.storage.columnar.ColumnarStore` and evaluates every
+*datalog-shaped* rule body as an index-nested-loop hash join over flat
+tuples of interned integer ids: per-level candidates come from the
+smallest per-position index bucket the current bindings allow, variable
+bindings are plain ``list`` slots, and Skolem terms are interned id-
+natively (:meth:`intern_function`) on first derivation — Python term
+objects are only built for the genuinely *new* atoms of a round, which
+is what makes deep-Skolem instances cheap (per-atom object overhead was
+the dominating cost, see ``docs/performance.md``).
+
+Semantics are the object engine's, exactly:
+
+* the planner's static join orders (:class:`~repro.chase.planner.
+  RulePlan`) are consumed unchanged — base order for full evaluation,
+  one pivot order per delta-restricted search, with the same
+  relevance/pivot pruning and the same ``plan.*`` counter accounting;
+* each pivot search restricts exactly one body atom to the round's
+  delta, so the multiset of matches per rule — and hence
+  ``chase.matches`` / ``chase.dedup_hits`` — is identical to the
+  backtracking engine's (Skolem naming determinism, Observation 8, then
+  gives identical atoms);
+* rules the kernel cannot shape — empty bodies, universal head
+  variables (the ``T_d`` family), non-ground oddities — fall back to
+  :func:`~repro.chase.engine._round_matches` verbatim, within the same
+  round.
+
+Telemetry: join effort lands in the shared ``hom.*`` counters (the
+kernel *is* the homomorphism search, columnar); ``columnar.rounds`` /
+``columnar.rules`` / ``columnar.fallback_rules`` / ``columnar.matches``
+/ ``columnar.atoms_produced`` report how much of the chase the kernel
+carried.  See ``docs/architecture.md`` §9.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..logic.atoms import Atom
+from ..logic.homomorphism import (
+    _CLASHES,
+    _ESTIMATED,
+    _NODES,
+    _SCANNED,
+    _flush_search_effort,
+    compile_query_patterns,
+    plan_join,
+)
+from ..logic.instance import Instance
+from ..logic.query import ConjunctiveQuery, UnionOfCQs
+from ..logic.signature import Predicate
+from ..logic.terms import FunctionTerm, Term, Variable
+from ..storage.columnar import ColumnarStore
+from ..telemetry import Telemetry
+from .engine import Derivation, RoundOutcome, _PreparedRule, _round_matches
+
+_EMPTY: tuple = ()
+
+
+class _CompiledRule:
+    """One rule lowered to id-native slot programs.
+
+    ``patterns[i]`` is ``(predicate, slots)`` with each slot a
+    ``(is_var, value)`` pair — ``value`` a binding index for variables,
+    an interned term id for constants.  ``heads`` carry ``("v", idx)``,
+    ``("c", id)`` and ``("f", functor, child_slots)`` entries; the
+    latter intern Skolem terms from child ids without building
+    ``FunctionTerm`` objects.  Join orders are the planner's, with
+    identity/pivot-first fallbacks where the plan has none (``planned``
+    flags keep the ``plan.plans_reused`` accounting faithful).
+    """
+
+    __slots__ = (
+        "rule",
+        "var_count",
+        "patterns",
+        "base_order",
+        "base_planned",
+        "pivot_orders",
+        "pivot_planned",
+        "heads",
+        "sigma_order",
+    )
+
+
+def _compile_rule(
+    prepared: _PreparedRule, store: ColumnarStore
+) -> "_CompiledRule | None":
+    """Lower a prepared rule for the kernel; ``None`` when out of shape."""
+    rule = prepared.skolemized.rule
+    plan = prepared.plan
+    if not rule.body or plan.universal:
+        return None
+    var_index: dict[Variable, int] = {}
+    patterns = []
+    for item in rule.body:
+        slots = []
+        for term in item.args:
+            if isinstance(term, Variable):
+                slots.append(
+                    (True, var_index.setdefault(term, len(var_index)))
+                )
+            elif term.is_ground():
+                slots.append((False, store.intern_term(term)))
+            else:
+                return None
+        patterns.append((item.predicate, tuple(slots)))
+    heads = []
+    for item in prepared.skolemized.head:
+        head_slots = []
+        for term in item.args:
+            if isinstance(term, Variable):
+                if term not in var_index:
+                    return None
+                head_slots.append(("v", var_index[term]))
+            elif isinstance(term, FunctionTerm):
+                children = []
+                for child in term.args:
+                    if isinstance(child, Variable):
+                        if child not in var_index:
+                            return None
+                        children.append((True, var_index[child]))
+                    elif child.is_ground():
+                        children.append((False, store.intern_term(child)))
+                    else:
+                        return None
+                head_slots.append(("f", term.functor, tuple(children)))
+            elif term.is_ground():
+                head_slots.append(("c", store.intern_term(term)))
+            else:
+                return None
+        heads.append((item.predicate, tuple(head_slots)))
+    count = len(patterns)
+    join = plan.join
+    compiled = _CompiledRule()
+    compiled.rule = rule
+    compiled.var_count = len(var_index)
+    compiled.patterns = tuple(patterns)
+    compiled.base_order = (
+        join.base_order if join.base_order is not None else tuple(range(count))
+    )
+    compiled.base_planned = join.base_order is not None
+    pivot_orders = []
+    pivot_planned = []
+    for pivot in range(count):
+        order = join.pivot_orders[pivot]
+        if order is None:
+            order = (pivot,) + tuple(i for i in range(count) if i != pivot)
+        pivot_orders.append(order)
+        pivot_planned.append(join.pivot_orders[pivot] is not None)
+    compiled.pivot_orders = tuple(pivot_orders)
+    compiled.pivot_planned = tuple(pivot_planned)
+    compiled.heads = tuple(heads)
+    compiled.sigma_order = tuple(
+        (var, index)
+        for var, index in sorted(var_index.items(), key=lambda kv: kv[0].name)
+    )
+    return compiled
+
+
+def _join(
+    relations: dict,
+    patterns: tuple,
+    order: "tuple[int, ...]",
+    pivot: "int | None",
+    delta_rows: "dict | None",
+    binding: list,
+    effort: "list[int] | None",
+) -> Iterator[list]:
+    """Index-nested-loop join; yields the shared ``binding`` list.
+
+    Mirrors ``homomorphism._search`` frame-for-frame, over id rows: one
+    frame per expanded pattern, candidates from the smallest index
+    bucket among bound positions (the pattern at ``pivot`` draws from
+    ``delta_rows`` instead — the semi-naive restriction).  The caller
+    must consume each yield before advancing and must not mutate the
+    relations mid-search.
+    """
+    depth = len(order)
+    track = effort is not None
+    # One frame per level: [candidate iterator, slots, bound indexes].
+    stack: list[list] = []
+    descend = True
+    while True:
+        if descend:
+            index = order[len(stack)]
+            predicate, slots = patterns[index]
+            if index == pivot:
+                candidates: Iterable[tuple] = delta_rows.get(predicate, _EMPTY)
+                count = len(candidates)  # type: ignore[arg-type]
+            else:
+                relation = relations.get(predicate)
+                if relation is None:
+                    candidates = _EMPTY
+                    count = 0
+                else:
+                    best = None
+                    buckets = []
+                    bound_ids = []
+                    dead = False
+                    for position, (is_var, value) in enumerate(slots):
+                        term_id = binding[value] if is_var else value
+                        bound_ids.append(term_id)
+                        if term_id is None:
+                            continue
+                        bucket = relation.indexes[position].get(term_id)
+                        if not bucket:
+                            dead = True
+                            break
+                        buckets.append(bucket)
+                        if best is None or len(bucket) < len(best):
+                            best = bucket
+                    if dead:
+                        candidates = _EMPTY
+                    elif best is None:
+                        candidates = relation.rows
+                    elif len(buckets) == len(slots):
+                        # Every position is pinned: membership, not a scan.
+                        row = tuple(bound_ids)
+                        candidates = (row,) if row in relation.rows else _EMPTY
+                    elif len(buckets) > 1 and len(best) > 8:
+                        # Several pinned positions with big buckets —
+                        # intersect at C speed before the Python scan.
+                        candidates = best.intersection(
+                            *(b for b in buckets if b is not best)
+                        )
+                    else:
+                        candidates = best
+                    count = len(candidates)
+            if track:
+                effort[_NODES] += 1
+                effort[_ESTIMATED] += count
+            stack.append([iter(candidates), slots, None])
+            descend = False
+            continue
+        frame = stack[-1]
+        added = frame[2]
+        if added is not None:
+            for value in added:
+                binding[value] = None
+            frame[2] = None
+        slots = frame[1]
+        matched = False
+        for row in frame[0]:
+            if track:
+                effort[_SCANNED] += 1
+            adds: list[int] = []
+            ok = True
+            for fact_id, (is_var, value) in zip(row, slots):
+                if is_var:
+                    bound = binding[value]
+                    if bound is None:
+                        binding[value] = fact_id
+                        adds.append(value)
+                    elif bound != fact_id:
+                        ok = False
+                        break
+                elif value != fact_id:
+                    ok = False
+                    break
+            if not ok:
+                for value in adds:
+                    binding[value] = None
+                if track:
+                    effort[_CLASHES] += 1
+                continue
+            frame[2] = adds
+            matched = True
+            break
+        if not matched:
+            stack.pop()
+            if not stack:
+                return
+            continue
+        if len(stack) == depth:
+            yield binding
+        else:
+            descend = True
+
+
+class ColumnarRoundExecutor:
+    """A drop-in ``run_round`` executor running the columnar kernel.
+
+    Owns a :class:`ColumnarStore` mirroring the engine's current
+    instance: the round loop's ``sync`` argument (the atoms it applied
+    since the previous call) is replayed into the store at the top of
+    each round, so the id-side relations and the object-side
+    ``Instance`` stay in lock-step without ever re-encoding the whole
+    instance.
+    """
+
+    def __init__(
+        self,
+        prepared: "tuple[_PreparedRule, ...]",
+        base: Iterable[Atom],
+        telemetry: Telemetry,
+    ) -> None:
+        self.prepared = prepared
+        self.telemetry = telemetry
+        # The mirror store keeps its own private stats: its write/intern
+        # traffic is an executor implementation detail, and folding it
+        # into the chase telemetry would make otherwise identical runs
+        # (one-shot vs checkpoint-resumed) disagree on store.* counters.
+        self.store = ColumnarStore()
+        self.compiled = tuple(
+            _compile_rule(rule, self.store) for rule in prepared
+        )
+        self.store.add_many(base, round_=0)
+        # Rows produced last round, keyed by atom, awaiting the engine's
+        # decision (applied atoms arrive back through ``sync``).
+        self._pending: dict[Atom, tuple[Predicate, tuple]] = {}
+        self._round = 0
+
+    @property
+    def supported_rules(self) -> int:
+        return sum(1 for compiled in self.compiled if compiled is not None)
+
+    def run_round(
+        self,
+        current: Instance,
+        sync: Iterable[Atom],
+        delta: "Instance | None",
+        delta_terms: "set[Term] | None",
+        domain_pool: "list[Term] | None",
+    ) -> RoundOutcome:
+        store = self.store
+        telemetry = self.telemetry
+        counters = telemetry.counters
+        pending = self._pending
+        sync_rows: dict[Atom, tuple[Predicate, tuple]] = {}
+        for atom in sync:
+            entry = pending.pop(atom, None)
+            if entry is None:  # e.g. a resume seeded outside this executor
+                entry = (atom.predicate, store._encode(atom))
+            sync_rows[atom] = entry
+            store.insert_row(entry[0], entry[1], self._round)
+        pending.clear()
+        self._round += 1
+
+        delta_rows: "dict[Predicate, list[tuple]] | None" = None
+        delta_predicates = None
+        if delta is not None:
+            # The delta is (almost always) exactly what just came through
+            # ``sync`` — reuse those rows instead of re-encoding terms.
+            delta_predicates = delta.predicates_with_facts()
+            delta_rows = {}
+            for atom in delta:
+                entry = sync_rows.get(atom)
+                row = entry[1] if entry is not None else store._encode(atom)
+                delta_rows.setdefault(atom.predicate, []).append(row)
+
+        relations = store._relations
+        term_by_id = store.term_by_id
+        intern_function = store.intern_function
+        produced: dict[Atom, Derivation] = {}
+        produced_rows: dict[Predicate, set] = {}
+        matches = 0
+        dedup_hits = 0
+        columnar_matches = 0
+        columnar_atoms = 0
+        columnar_rules = 0
+        fallback_rules = 0
+        effort = [0, 0, 0, 0]
+        for prepared, compiled in zip(self.prepared, self.compiled):
+            if compiled is None:
+                # Out-of-shape rule: the object engine handles it within
+                # the same round, with identical counter accounting.
+                fallback_rules += 1
+                skolem_head = prepared.skolemized.head
+                for sigma in _round_matches(
+                    prepared, current, delta, delta_terms, telemetry, domain_pool
+                ):
+                    matches += 1
+                    for new_atom in (
+                        item.substitute(sigma) for item in skolem_head
+                    ):
+                        if new_atom in current or new_atom in produced:
+                            dedup_hits += 1
+                            continue
+                        produced[new_atom] = Derivation(
+                            prepared.skolemized.rule,
+                            tuple(
+                                sorted(
+                                    sigma.items(), key=lambda kv: kv[0].name
+                                )
+                            ),
+                        )
+                        row = store._encode(new_atom)
+                        produced_rows.setdefault(
+                            new_atom.predicate, set()
+                        ).add(row)
+                        pending[new_atom] = (new_atom.predicate, row)
+                continue
+            plan = prepared.plan
+            if delta is not None and not plan.relevant(
+                delta_predicates, delta_terms
+            ):
+                counters["plan.rules_skipped"] += 1
+                counters["plan.nodes_saved"] += plan.search_count
+                continue
+            columnar_rules += 1
+            patterns = compiled.patterns
+            if delta is None:
+                if compiled.base_planned:
+                    counters["plan.plans_reused"] += 1
+                searches = ((compiled.base_order, None),)
+            else:
+                chosen = []
+                for index in range(len(patterns)):
+                    if patterns[index][0] not in delta_predicates:
+                        counters["plan.pivots_skipped"] += 1
+                        counters["plan.nodes_saved"] += 1
+                        continue
+                    if compiled.pivot_planned[index]:
+                        counters["plan.plans_reused"] += 1
+                    chosen.append((compiled.pivot_orders[index], index))
+                searches = tuple(chosen)
+            binding: list = [None] * compiled.var_count
+            heads = compiled.heads
+            for order, pivot in searches:
+                for bound in _join(
+                    relations, patterns, order, pivot, delta_rows, binding, effort
+                ):
+                    matches += 1
+                    columnar_matches += 1
+                    for head_predicate, head_slots in heads:
+                        out = []
+                        for slot in head_slots:
+                            kind = slot[0]
+                            if kind == "v":
+                                out.append(bound[slot[1]])
+                            elif kind == "c":
+                                out.append(slot[1])
+                            else:
+                                out.append(
+                                    intern_function(
+                                        slot[1],
+                                        tuple(
+                                            bound[value] if is_var else value
+                                            for is_var, value in slot[2]
+                                        ),
+                                    )
+                                )
+                        row = tuple(out)
+                        relation = relations.get(head_predicate)
+                        if relation is not None and row in relation.rows:
+                            dedup_hits += 1
+                            continue
+                        rows = produced_rows.get(head_predicate)
+                        if rows is None:
+                            rows = produced_rows[head_predicate] = set()
+                        if row in rows:
+                            dedup_hits += 1
+                            continue
+                        new_atom = Atom(
+                            head_predicate,
+                            tuple(term_by_id(t) for t in row),
+                        )
+                        produced[new_atom] = Derivation(
+                            compiled.rule,
+                            tuple(
+                                (var, term_by_id(bound[index]))
+                                for var, index in compiled.sigma_order
+                            ),
+                        )
+                        rows.add(row)
+                        pending[new_atom] = (head_predicate, row)
+                        columnar_atoms += 1
+        if effort[_NODES] or effort[_SCANNED]:
+            _flush_search_effort(telemetry, effort)
+        counters["columnar.rounds"] += 1
+        counters["columnar.rules"] += columnar_rules
+        if fallback_rules:
+            counters["columnar.fallback_rules"] += fallback_rules
+        counters["columnar.matches"] += columnar_matches
+        counters["columnar.atoms_produced"] += columnar_atoms
+        return RoundOutcome(
+            produced=produced, matches=matches, dedup_hits=dedup_hits
+        )
+
+    def close(self) -> None:
+        self.store.close()
+
+
+def make_columnar_executor(
+    prepared: "tuple[_PreparedRule, ...]",
+    base: Iterable[Atom],
+    telemetry: Telemetry,
+) -> "ColumnarRoundExecutor | None":
+    """A columnar executor for ``prepared``, or ``None`` when pointless.
+
+    When no rule is datalog-shaped (e.g. the pure-``T_d`` theories of
+    Section 5) the kernel would only mirror writes for nothing; the
+    engine then keeps the plain sequential executor.
+    """
+    executor = ColumnarRoundExecutor(prepared, base, telemetry)
+    if not executor.supported_rules:
+        executor.close()
+        return None
+    return executor
+
+
+# ----------------------------------------------------------------------
+# UCQ evaluation over a columnar store
+# ----------------------------------------------------------------------
+def _compile_query(cq: ConjunctiveQuery, store: ColumnarStore):
+    """Lower one CQ; ``None`` when a constant is provably absent."""
+    var_index: dict[Variable, int] = {}
+    patterns = []
+    for item in cq.atoms:
+        slots = []
+        for term in item.args:
+            if isinstance(term, Variable):
+                slots.append(
+                    (True, var_index.setdefault(term, len(var_index)))
+                )
+            else:
+                term_id = store.term_id(term)
+                if term_id is None:
+                    return None
+                slots.append((False, term_id))
+        patterns.append((item.predicate, tuple(slots)))
+    order = plan_join(compile_query_patterns(cq.atoms)).base_order
+    if order is None:
+        order = tuple(range(len(patterns)))
+    answer = tuple(var_index[var] for var in cq.answer_vars)
+    return tuple(patterns), order, len(var_index), answer
+
+
+def evaluate_ucq_columnar(
+    query: "UnionOfCQs | ConjunctiveQuery", store: ColumnarStore
+) -> set[tuple]:
+    """All certain answers of a (U)CQ over a columnar store's facts.
+
+    The id-native analogue of ``evaluate_ucq_sql``: each disjunct runs
+    as one hash join over the store's relations, answers are decoded to
+    term tuples once per distinct id row.  Boolean queries short-circuit
+    on the first witness; disjuncts mentioning never-interned constants
+    or absent predicates are pruned for free.
+    """
+    disjuncts = (
+        query.disjuncts()
+        if isinstance(query, UnionOfCQs)
+        else (query,)
+    )
+    answers: set[tuple] = set()
+    relations = store._relations
+    for cq in disjuncts:
+        compiled = _compile_query(cq, store)
+        if compiled is None:
+            continue
+        patterns, order, var_count, answer = compiled
+        binding: list = [None] * var_count
+        boolean = not answer
+        for bound in _join(
+            relations, patterns, order, None, None, binding, None
+        ):
+            if boolean:
+                return {()}
+            answers.add(
+                tuple(store.term_by_id(bound[index]) for index in answer)
+            )
+    return answers

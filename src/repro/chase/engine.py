@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import itertools
 import time
-import warnings
 import weakref
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
@@ -82,8 +81,9 @@ class ChaseBudget:
 
 
 _LEGACY_BUDGET_MESSAGE = (
-    "the max_rounds=/max_atoms=/on_budget= kwargs are deprecated; "
-    "pass budget=ChaseBudget(max_rounds=..., max_atoms=..., on_exceeded=...)"
+    "the max_rounds=/max_atoms=/on_budget= kwargs were removed (deprecated "
+    "since 1.1); pass budget=ChaseBudget(max_rounds=..., max_atoms=..., "
+    "on_exceeded=...) instead"
 )
 
 
@@ -93,24 +93,20 @@ def _coerce_budget(
     max_rounds: int | None = None,
     max_atoms: int | None = None,
     on_budget: str | None = None,
-    stacklevel: int = 3,
 ) -> ChaseBudget:
-    """Resolve the budget from ``budget=`` or the deprecated kwargs."""
-    legacy = {
-        key: value
+    """Resolve the budget, rejecting the removed legacy kwargs."""
+    legacy = [
+        key
         for key, value in (
             ("max_rounds", max_rounds),
             ("max_atoms", max_atoms),
-            ("on_exceeded", on_budget),
+            ("on_budget", on_budget),
         )
         if value is not None
-    }
-    if not legacy:
-        return budget if budget is not None else default
-    warnings.warn(_LEGACY_BUDGET_MESSAGE, DeprecationWarning, stacklevel=stacklevel)
-    if budget is not None:
-        raise TypeError("pass either budget= or the deprecated kwargs, not both")
-    return replace(default, **legacy)
+    ]
+    if legacy:
+        raise TypeError(f"{_LEGACY_BUDGET_MESSAGE} (got {', '.join(legacy)}=)")
+    return budget if budget is not None else default
 
 
 @dataclass(frozen=True)
@@ -513,6 +509,26 @@ def _run_rounds(
     return terminated
 
 
+# The round executor the in-memory chase uses when none is asked for by
+# name: the columnar kernel (see :mod:`repro.chase.columnar_kernel`),
+# which degrades to the object engine rule-by-rule where it must.
+DEFAULT_CHASE_BACKEND = "columnar"
+
+
+def _resolve_chase_backend(backend: "str | None") -> str:
+    from ..storage.base import resolve_backend
+
+    return resolve_backend(
+        backend,
+        default=DEFAULT_CHASE_BACKEND,
+        allowed=("memory", "columnar"),
+        hint=(
+            "a SQLite-backed chase runs through "
+            "repro.storage.chase_into_store or the CLI's --backend sqlite"
+        ),
+    ).name
+
+
 def chase(
     theory: Theory,
     base: Instance,
@@ -521,6 +537,7 @@ def chase(
     semi_naive: bool = True,
     telemetry: Telemetry | None = None,
     workers: int | None = None,
+    backend: str | None = None,
     max_rounds: int | None = None,
     max_atoms: int | None = None,
     on_budget: str | None = None,
@@ -532,6 +549,16 @@ def chase(
     the budget is exceeded the partial result is returned with
     ``terminated = False`` (or :class:`ChaseBudgetExceeded` is raised
     under ``ChaseBudget(on_exceeded='raise')``).
+
+    ``backend`` picks the round kernel through the unified
+    :func:`repro.storage.resolve_backend` spec: ``"columnar"`` (the
+    default) runs datalog-shaped rules as hash joins over interned term
+    ids (:mod:`repro.chase.columnar_kernel`), ``"memory"`` forces the
+    plain object engine.  Both produce identical rounds, atoms and
+    ``chase.*`` counters; the columnar kernel additionally reports
+    ``columnar.*``.  The ``"sqlite"`` backend is rejected here — the
+    store-backed chase has its own entry point
+    (:func:`repro.storage.chase_into_store`).
 
     ``workers`` selects the round executor: ``N > 1`` evaluates each
     round's trigger matches across ``N`` worker processes (see
@@ -549,12 +576,13 @@ def chase(
     ``telemetry`` lets callers supply a hook-carrying collector; by default
     a fresh one is created and returned as ``ChaseResult.stats``.
 
-    .. deprecated:: 1.1
-        The ``max_rounds=`` / ``max_atoms=`` / ``on_budget=`` kwargs are
-        the pre-:class:`ChaseBudget` spelling; they still work but emit a
-        ``DeprecationWarning``.  Pass ``budget=ChaseBudget(...)`` instead.
+    .. versionchanged:: 1.2
+        The ``max_rounds=`` / ``max_atoms=`` / ``on_budget=`` kwargs
+        (deprecated since 1.1) now raise ``TypeError``; pass
+        ``budget=ChaseBudget(...)``.
     """
     budget = _coerce_budget(budget, ChaseBudget(), max_rounds, max_atoms, on_budget)
+    backend_name = _resolve_chase_backend(backend)
     telemetry = telemetry if telemetry is not None else Telemetry()
     prepared = _prepare_rules(theory)
     current = base.copy()
@@ -569,10 +597,15 @@ def chase(
         executor = make_round_executor(
             prepared, theory, current, budget, telemetry, requested_workers
         )
-    elif workers is not None:
-        # Parallelism was explicitly (if trivially) requested; record the
-        # in-process degrade so callers can tell the paths apart.
-        telemetry.counters["parallel.fallback_inprocess"] = 1
+    else:
+        if workers is not None:
+            # Parallelism was explicitly (if trivially) requested; record
+            # the in-process degrade so callers can tell the paths apart.
+            telemetry.counters["parallel.fallback_inprocess"] = 1
+        if backend_name == "columnar":
+            from .columnar_kernel import make_columnar_executor
+
+            executor = make_columnar_executor(prepared, current, telemetry)
 
     try:
         with telemetry.phase("chase"):
@@ -609,6 +642,7 @@ def resume(
     result: ChaseResult,
     extra_rounds: int,
     budget: ChaseBudget | None = None,
+    backend: str | None = None,
     max_atoms: int | None = None,
     on_budget: str | None = None,
 ) -> ChaseResult:
@@ -620,16 +654,16 @@ def resume(
     round.  The returned ``stats`` continue the original run's: counters
     and round records accumulate as if the chase had run in one go
     (``budget.max_rounds`` is ignored here — ``extra_rounds`` rules).
+    ``backend`` selects the round kernel exactly as in :func:`chase`.
 
-    .. deprecated:: 1.1
-        ``max_atoms=`` / ``on_budget=`` are the pre-:class:`ChaseBudget`
-        spelling; pass ``budget=ChaseBudget(max_atoms=...,
-        on_exceeded=...)`` instead.  The legacy kwargs still work but
-        emit a ``DeprecationWarning``.
+    .. versionchanged:: 1.2
+        The ``max_atoms=`` / ``on_budget=`` kwargs (deprecated since
+        1.1) now raise ``TypeError``; pass ``budget=ChaseBudget(...)``.
     """
     budget = _coerce_budget(
         budget, ChaseBudget(), max_atoms=max_atoms, on_budget=on_budget
     )
+    backend_name = _resolve_chase_backend(backend)
     if result.terminated or extra_rounds <= 0:
         return result
     prepared = _prepare_rules(result.theory)
@@ -650,20 +684,30 @@ def resume(
         delta = None
         delta_terms = None
 
-    with telemetry.phase("chase"):
-        terminated = _run_rounds(
-            prepared,
-            current,
-            round_added,
-            derivations,
-            rounds=extra_rounds,
-            budget=budget,
-            track_provenance=True,
-            semi_naive=True,
-            delta=delta,
-            delta_terms=delta_terms,
-            telemetry=telemetry,
-        )
+    executor: SequentialRoundExecutor | None = None
+    if backend_name == "columnar":
+        from .columnar_kernel import make_columnar_executor
+
+        executor = make_columnar_executor(prepared, current, telemetry)
+    try:
+        with telemetry.phase("chase"):
+            terminated = _run_rounds(
+                prepared,
+                current,
+                round_added,
+                derivations,
+                rounds=extra_rounds,
+                budget=budget,
+                track_provenance=True,
+                semi_naive=True,
+                delta=delta,
+                delta_terms=delta_terms,
+                telemetry=telemetry,
+                executor=executor,
+            )
+    finally:
+        if executor is not None:
+            executor.close()
 
     return ChaseResult(
         theory=result.theory,
@@ -690,11 +734,9 @@ def chase_to_fixpoint(
     come from ``budget`` (a :class:`ChaseBudget`; ``on_exceeded`` is
     forced to ``"raise"`` here).
 
-    .. deprecated:: 1.1
-        ``max_rounds=`` / ``max_atoms=`` are the pre-:class:`ChaseBudget`
-        spelling; pass ``budget=ChaseBudget(max_rounds=...,
-        max_atoms=...)`` instead.  The legacy kwargs still work but emit
-        a ``DeprecationWarning``.
+    .. versionchanged:: 1.2
+        The ``max_rounds=`` / ``max_atoms=`` kwargs (deprecated since
+        1.1) now raise ``TypeError``; pass ``budget=ChaseBudget(...)``.
     """
     budget = _coerce_budget(
         budget,

@@ -16,11 +16,14 @@ machine-readable document on stdout; the engine-backed commands
 (``chase``/``rewrite``/``answer``) additionally take ``--stats`` to print
 telemetry (per-round counters, search effort, phase timings) in text mode.
 
-``chase`` and ``answer`` take ``--backend sqlite --db PATH`` to run
-against the persistent fact store (:mod:`repro.storage`): the chase
-materializes into the database (``--resume`` continues a budget-stopped
-run from disk) and ``answer`` evaluates the compiled UCQ rewriting inside
-SQLite's join engine.
+``chase`` and ``answer`` take ``--backend`` with any name from
+:data:`repro.storage.BACKEND_NAMES`, resolved through the same
+:func:`repro.storage.resolve_backend` registry as the library API:
+``columnar`` runs the hash-join kernel over interned term ids, and
+``sqlite --db PATH`` runs against the persistent fact store
+(:mod:`repro.storage`) — the chase materializes into the database
+(``--resume`` continues a budget-stopped run from disk) and ``answer``
+evaluates the compiled UCQ rewriting inside SQLite's join engine.
 """
 
 from __future__ import annotations
@@ -32,9 +35,11 @@ import sys
 from pathlib import Path
 
 from .chase import ChaseBudget, chase, core_termination
+from .chase.engine import DEFAULT_CHASE_BACKEND
 from .classes import classify
 from .logic import parse_instance, parse_query, parse_theory
 from .rewriting import OMQASession, RewritingBudget, rewrite
+from .storage.base import BACKEND_NAMES, resolve_backend
 
 
 def _read(value: str, inline: bool) -> str:
@@ -203,17 +208,29 @@ def _cmd_chase(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    try:
+        resolved = resolve_backend(args.backend, args.db)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
     budget = ChaseBudget(max_rounds=args.rounds, max_atoms=args.max_atoms)
-    if args.backend == "sqlite":
+    if resolved.name == "sqlite":
         return _cmd_chase_sqlite(args, theory, budget)
     instance = parse_instance(_read(args.instance, args.inline))
-    result = chase(theory, instance, budget=budget, workers=args.workers)
+    result = chase(
+        theory,
+        instance,
+        budget=budget,
+        workers=args.workers,
+        backend=resolved.name,
+    )
     stats = result.stats.as_dict()
     if args.json:
         _emit_json(
             {
                 "command": "chase",
+                "backend": resolved.name,
                 "atom_count": len(result.instance),
                 "rounds_run": result.rounds_run,
                 "terminated": result.terminated,
@@ -260,12 +277,19 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
 
 
 def _cmd_answer(args: argparse.Namespace) -> int:
+    try:
+        resolved = resolve_backend(args.backend, args.db)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
     instance = parse_instance(_read(args.instance, args.inline))
     query = parse_query(_read(args.query, args.inline))
-    session = OMQASession(theory, workers=args.workers, db_path=args.db)
+    session = OMQASession(theory, workers=args.workers, db_path=resolved.path)
     prepared = session.prepare(query)
-    if args.backend == "sqlite" and prepared.complete:
+    if resolved.name == "columnar":
+        strategy = "columnar"
+    elif resolved.name == "sqlite" and prepared.complete:
         strategy = "sql"
     elif prepared.complete:
         strategy = "rewrite"
@@ -442,9 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chase_cmd.add_argument(
         "--backend",
-        choices=("memory", "sqlite"),
-        default="memory",
-        help="where the chase materializes: RAM, or a SQLite fact store",
+        choices=BACKEND_NAMES,
+        default=DEFAULT_CHASE_BACKEND,
+        help="where the chase runs: the object engine in RAM, the "
+        "columnar hash-join kernel (default), or a SQLite fact store",
     )
     chase_cmd.add_argument(
         "--db",
@@ -480,9 +505,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     answer_cmd.add_argument(
         "--backend",
-        choices=("memory", "sqlite"),
+        choices=BACKEND_NAMES,
         default="memory",
-        help="evaluate the rewriting in RAM or inside a SQLite store",
+        help="evaluate the rewriting over objects in RAM, as hash joins "
+        "over interned ids (columnar), or inside a SQLite store",
     )
     answer_cmd.add_argument(
         "--db",

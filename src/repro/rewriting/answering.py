@@ -32,6 +32,11 @@ from ..logic.tgd import Theory
 from .bdd import depth_bound_from_rewriting
 from .engine import RewritingBudget, RewritingResult, rewrite
 
+# One fallback chase budget for every answering backend: memory, columnar
+# and sqlite give up at the same point, so backends can differ in where
+# the joins run but never in when a non-terminating chase is cut off.
+DEFAULT_ANSWER_CHASE_BUDGET = ChaseBudget(max_rounds=100, max_atoms=500_000)
+
 
 def _base_restricted(
     answers: set[tuple[Term, ...]], base: Instance
@@ -111,14 +116,13 @@ def answer_by_materialization(
     restricted to base-domain tuples — certain answers over labelled
     nulls are not answers.
 
-    .. deprecated:: 1.1
-        The ``max_rounds=`` / ``max_atoms=`` kwargs are the
-        pre-``ChaseBudget`` spelling; they still work but emit a
-        ``DeprecationWarning``.
+    .. versionchanged:: 1.2
+        The ``max_rounds=`` / ``max_atoms=`` kwargs (deprecated since
+        1.1) now raise ``TypeError``; pass ``budget=ChaseBudget(...)``.
     """
     budget = _coerce_budget(
         budget,
-        ChaseBudget(max_rounds=100, max_atoms=500_000),
+        DEFAULT_ANSWER_CHASE_BUDGET,
         max_rounds,
         max_atoms,
     )
@@ -169,16 +173,29 @@ def answer(
 ) -> set[tuple[Term, ...]]:
     """Certain answers with a storage-backend switch.
 
+    ``backend`` resolves through the one registry,
+    :func:`repro.storage.resolve_backend` — ``"memory"``, ``"columnar"``
+    or ``"sqlite"``, uniformly with ``OMQASession`` and the CLI.  Every
+    backend returns the same set: they differ in *where* the joins run,
+    never in the answers, and all three cut a non-terminating fallback
+    chase at the same :data:`DEFAULT_ANSWER_CHASE_BUDGET`.
+
     ``backend="memory"`` is :func:`certain_answers` unchanged.
+
+    ``backend="columnar"`` loads ``instance`` into an in-RAM
+    :class:`~repro.storage.columnar.ColumnarStore` and evaluates the UCQ
+    rewriting as hash joins over interned term ids
+    (:func:`~repro.chase.columnar_kernel.evaluate_ucq_columnar`); when
+    the rewriting does not saturate, it materializes with the columnar
+    chase kernel and evaluates over the result.
+
     ``backend="sqlite"`` loads ``instance`` into a
     :class:`~repro.storage.sqlite.SQLiteStore` (at ``db_path``, or a
     private in-memory database) and evaluates the UCQ rewriting there;
     when the rewriting does not saturate, it falls back to the
     store-backed chase (:func:`~repro.storage.chasestore.chase_into_store`)
     and evaluates the query over the materialized store, answers
-    restricted to the base domain as usual.  Either backend returns the
-    same set — the backends differ in *where* the joins run, never in
-    the answers.
+    restricted to the base domain as usual.
 
     A ``db_path`` pointing at a database that already holds facts is
     accepted only when those facts are content-identical to ``instance``
@@ -187,17 +204,41 @@ def answer(
     evaluating the rewriting over a mixture of stored and passed facts
     would return unsound answers.
     """
-    if backend == "memory":
+    from ..storage.base import resolve_backend
+
+    resolved = resolve_backend(backend, db_path)
+    if resolved.name == "memory":
         return certain_answers(theory, query, instance, budget, chase_budget)
-    if backend != "sqlite":
-        raise ValueError(f"backend must be 'memory' or 'sqlite', got {backend!r}")
+    chase_budget = chase_budget or DEFAULT_ANSWER_CHASE_BUDGET
+    if resolved.name == "columnar":
+        from ..chase.columnar_kernel import evaluate_ucq_columnar
+        from ..storage.columnar import ColumnarStore
+
+        result = rewrite(theory, query, budget)
+        if result.complete:
+            with ColumnarStore(instance) as store:
+                answers = evaluate_ucq_columnar(result.ucq, store)
+            if result.always_true and query.is_boolean() and len(instance):
+                answers.add(())
+            return answers
+        materialized = chase(
+            theory, instance, budget=chase_budget, backend="columnar"
+        )
+        if not materialized.terminated:
+            raise RuntimeError(
+                "columnar chase did not terminate within budget and the "
+                "rewriting is incomplete; no sound route to certain answers"
+            )
+        with ColumnarStore(materialized.instance) as store:
+            answers = evaluate_ucq_columnar(query, store)
+        return _base_restricted(answers, instance)
     from ..storage.base import instance_digest
     from ..storage.chasestore import StoreChaseError, chase_into_store
     from ..storage.sqlcompile import evaluate_ucq_sql
     from ..storage.sqlite import SQLiteStore
 
     result = rewrite(theory, query, budget)
-    with SQLiteStore(db_path if db_path is not None else ":memory:") as store:
+    with SQLiteStore(resolved.path if resolved.path is not None else ":memory:") as store:
         if result.complete:
             if len(store):
                 if store.digest() != instance_digest(instance):
@@ -209,7 +250,6 @@ def answer(
             else:
                 store.add_many(instance)
             return answer_by_rewriting_sql(theory, query, store, prepared=result)
-        chase_budget = chase_budget or ChaseBudget(max_rounds=100, max_atoms=500_000)
         outcome = chase_into_store(theory, instance, store, budget=chase_budget)
         if not outcome.terminated:
             raise RuntimeError(

@@ -24,7 +24,10 @@ Cache keys:
   by :func:`repro.logic.serialize.dump_query` of the canonical shape.
   Reloading a different instance clears the compiled cache (compilation
   prunes disjuncts against the store's predicates and constants) but
-  keeps the term dictionary and tables.
+  keeps the term dictionary and tables.  With ``strategy="columnar"``
+  the session keeps a content-keyed
+  :class:`~repro.storage.columnar.ColumnarStore` the same way (term
+  dictionary survives reloads; interning is append-only).
 """
 
 from __future__ import annotations
@@ -99,8 +102,10 @@ class OMQASession:
         self._sql_store = None
         self._sql_digest: "str | None" = None
         self._compiled_sql: dict = {}
-        self._hits = {"rewriting": 0, "chase": 0, "sql": 0}
-        self._misses = {"rewriting": 0, "chase": 0, "sql": 0}
+        self._columnar_store = None
+        self._columnar_digest: "str | None" = None
+        self._hits = {"rewriting": 0, "chase": 0, "sql": 0, "columnar": 0}
+        self._misses = {"rewriting": 0, "chase": 0, "sql": 0, "columnar": 0}
 
     # ------------------------------------------------------------------
     # Prepared artifacts
@@ -182,6 +187,29 @@ class OMQASession:
             self._sql_digest = digest
         return store
 
+    def _loaded_columnar(self, instance: Instance):
+        """The session's :class:`~repro.storage.columnar.ColumnarStore`
+        holding exactly ``instance``'s facts.
+
+        Content-keyed like :meth:`_loaded_store`; a reload keeps the term
+        dictionary (interning is append-only) and only repopulates the
+        per-predicate tuple stores.
+        """
+        from ..storage.base import instance_digest
+        from ..storage.columnar import ColumnarStore
+
+        if self._columnar_store is None:
+            self._columnar_store = ColumnarStore(telemetry=self.stats)
+        digest = instance_digest(instance)
+        if digest != self._columnar_digest:
+            self._misses["columnar"] += 1
+            self._columnar_store.clear_facts()
+            self._columnar_store.add_many(instance)
+            self._columnar_digest = digest
+        else:
+            self._hits["columnar"] += 1
+        return self._columnar_store
+
     def compile_sql(self, query: ConjunctiveQuery, instance: Instance):
         """The (cached) SQL compilation of this shape's rewriting.
 
@@ -222,14 +250,40 @@ class OMQASession:
         an incomplete rewriting), ``'materialize'`` forces the chase
         route, ``'sql'`` evaluates the compiled rewriting inside the
         session's SQLite store (same answers as ``'rewrite'``, pinned by
-        the equivalence tests), ``'auto'`` prefers a complete rewriting
-        and falls back to materialization.
+        the equivalence tests), ``'columnar'`` evaluates the rewriting as
+        hash joins over the session's interned-id
+        :class:`~repro.storage.columnar.ColumnarStore` (falling back to
+        the cached materialization when the rewriting is incomplete),
+        ``'auto'`` prefers a complete rewriting and falls back to
+        materialization.
+
+        .. versionadded:: 1.2
+            The ``'columnar'`` strategy; the name matches the chase/
+            answer backend resolved by :func:`repro.storage.resolve_backend`.
         """
-        if strategy not in ("auto", "rewrite", "materialize", "sql"):
+        if strategy not in ("auto", "rewrite", "materialize", "sql", "columnar"):
             raise ValueError(
-                "strategy must be 'auto', 'rewrite', 'materialize' or 'sql'"
+                "strategy must be 'auto', 'rewrite', 'materialize', 'sql' "
+                "or 'columnar'"
             )
         shape = query_shape(query)
+        if strategy == "columnar":
+            from ..chase.columnar_kernel import evaluate_ucq_columnar
+
+            prepared = self.prepare(query)
+            if prepared.complete:
+                store = self._loaded_columnar(instance)
+                answers = evaluate_ucq_columnar(prepared.ucq, store)
+                if prepared.always_true and query.is_boolean() and len(instance):
+                    answers.add(())
+                return answers
+            materialized = self.materialize(instance)
+            store = self._loaded_columnar(materialized.instance)
+            answers = evaluate_ucq_columnar(shape, store)
+            domain = instance.domain()
+            return {
+                tup for tup in answers if all(term in domain for term in tup)
+            }
         if strategy == "sql":
             from ..storage.sqlcompile import execute_compiled
 
@@ -281,6 +335,11 @@ class OMQASession:
                 "misses": self._misses["sql"],
                 "entries": len(self._compiled_sql),
             },
+            "columnar": {
+                "hits": self._hits["columnar"],
+                "misses": self._misses["columnar"],
+                "entries": 1 if self._columnar_digest is not None else 0,
+            },
         }
 
     def clear(self) -> None:
@@ -291,14 +350,21 @@ class OMQASession:
         self._sql_digest = None
         if self._sql_store is not None:
             self._sql_store.clear_facts()
+        self._columnar_digest = None
+        if self._columnar_store is not None:
+            self._columnar_store.clear_facts()
 
     def close(self) -> None:
-        """Release the SQL store (idempotent; caches stay usable in RAM)."""
+        """Release the stores (idempotent; caches stay usable in RAM)."""
         if self._sql_store is not None:
             self._sql_store.close()
             self._sql_store = None
             self._sql_digest = None
             self._compiled_sql.clear()
+        if self._columnar_store is not None:
+            self._columnar_store.close()
+            self._columnar_store = None
+            self._columnar_digest = None
 
     def __repr__(self) -> str:
         info = self.cache_info()

@@ -1,16 +1,22 @@
-"""Pluggable fact storage: RAM or SQLite behind one ``FactStore`` contract.
+"""Pluggable fact storage behind one ``FactStore`` contract.
 
-The subsystem behind ``backend="sqlite"``: persistent fact stores with an
-interned term dictionary, UCQ rewritings compiled to SQL and evaluated by
-SQLite's join engine, chase checkpoint/resume, and a store-backed chase
-whose peak RSS is bounded by its batch size instead of the instance.
+Three backends, one registry (:data:`BACKEND_NAMES`, resolved everywhere
+through :func:`resolve_backend`): ``"memory"`` adapts the in-RAM
+``Instance``, ``"columnar"`` holds interned id tuples with per-position
+hash indexes (the columnar chase kernel's data plane), ``"sqlite"``
+persists facts with UCQ rewritings compiled to SQL, chase
+checkpoint/resume, and a store-backed chase whose peak RSS is bounded by
+its batch size instead of the instance.
 
 Layout:
 
 =====================  ===================================================
 :mod:`~repro.storage.base`        the :class:`FactStore` protocol,
-                                  :func:`content_digest`, :func:`open_store`
+                                  :func:`content_digest`, :func:`open_store`,
+                                  :func:`resolve_backend`
+:mod:`~repro.storage.interning`   the shared term-interning mixin
 :mod:`~repro.storage.memory`      :class:`MemoryStore` over ``Instance``
+:mod:`~repro.storage.columnar`    :class:`ColumnarStore` (id tuples, indexes)
 :mod:`~repro.storage.sqlite`      :class:`SQLiteStore` (tables, dictionary)
 :mod:`~repro.storage.sqlcompile`  CQ/UCQ → SQL compilation + execution
 :mod:`~repro.storage.checkpoint`  persist/resume in-memory chase results
@@ -18,7 +24,16 @@ Layout:
 =====================  ===================================================
 """
 
-from .base import FactStore, content_digest, instance_digest, open_store
+from .base import (
+    BACKEND_NAMES,
+    FactStore,
+    ResolvedBackend,
+    content_digest,
+    instance_digest,
+    open_store,
+    resolve_backend,
+)
+from .columnar import ColumnarStore
 from .checkpoint import (
     CheckpointError,
     checkpoint_chase,
@@ -37,10 +52,13 @@ from .sqlcompile import CompiledQuery, compile_ucq, evaluate_ucq_sql, execute_co
 from .sqlite import SQLiteStore
 
 __all__ = [
+    "BACKEND_NAMES",
     "CheckpointError",
+    "ColumnarStore",
     "CompiledQuery",
     "FactStore",
     "MemoryStore",
+    "ResolvedBackend",
     "SQLiteStore",
     "StoreChaseError",
     "StoreChaseResult",
@@ -53,6 +71,7 @@ __all__ = [
     "instance_digest",
     "load_checkpoint",
     "open_store",
+    "resolve_backend",
     "resume_from_checkpoint",
     "resume_store_chase",
     "save_checkpoint",

@@ -29,6 +29,7 @@ round-trip digest-compare equal, whichever backend holds the facts.
 from __future__ import annotations
 
 import hashlib
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 from ..logic.atoms import Atom
@@ -73,7 +74,7 @@ class FactStore(Protocol):
 
     @property
     def backend(self) -> str:
-        """Backend tag: ``"memory"`` or ``"sqlite"``."""
+        """Backend tag: one of :data:`BACKEND_NAMES`."""
         ...
 
     def add(self, item: Atom, round_: int = 0) -> bool:
@@ -121,6 +122,73 @@ class FactStore(Protocol):
     def close(self) -> None:
         """Flush and release backend resources (idempotent)."""
         ...
+
+
+# The one registry of backend spellings.  Every user-facing selector —
+# ``chase(backend=)``, ``answer(backend=)``, ``OMQASession``, the CLI's
+# ``--backend/--db`` — resolves through :func:`resolve_backend`, so a new
+# backend registers here and nowhere else.
+BACKEND_NAMES: tuple[str, ...] = ("memory", "columnar", "sqlite")
+
+
+@dataclass(frozen=True)
+class ResolvedBackend:
+    """A validated backend choice: canonical name plus optional path."""
+
+    name: str
+    path: "str | None" = None
+
+    def open(self, telemetry: "Telemetry | None" = None) -> FactStore:
+        """Instantiate the chosen backend's :class:`FactStore`."""
+        if self.name == "memory":
+            from .memory import MemoryStore
+
+            return MemoryStore()
+        if self.name == "columnar":
+            from .columnar import ColumnarStore
+
+            return ColumnarStore(telemetry=telemetry)
+        from .sqlite import SQLiteStore
+
+        return SQLiteStore(
+            self.path if self.path is not None else ":memory:",
+            telemetry=telemetry,
+        )
+
+
+def resolve_backend(
+    spec: "str | None" = None,
+    path: "str | None" = None,
+    *,
+    default: str = "memory",
+    allowed: "tuple[str, ...] | None" = None,
+    hint: "str | None" = None,
+) -> ResolvedBackend:
+    """Validate a backend spec against the single registry.
+
+    ``spec`` is one of :data:`BACKEND_NAMES` (case-insensitive, ``None``
+    meaning ``default``); ``path`` is the database path and is only
+    meaningful for ``"sqlite"``.  Callers supporting a subset pass
+    ``allowed`` (and optionally ``hint``, appended to the rejection
+    message to point at the right API).  All backend error strings in
+    the package come from here, so new backends register in one place.
+    """
+    name = default if spec is None else str(spec).strip().lower()
+    if name not in BACKEND_NAMES:
+        choices = ", ".join(repr(n) for n in BACKEND_NAMES)
+        raise ValueError(f"backend must be one of {choices}, got {spec!r}")
+    if allowed is not None and name not in allowed:
+        choices = ", ".join(repr(n) for n in allowed)
+        message = f"backend {name!r} is not supported here; expected {choices}"
+        if hint:
+            message = f"{message} ({hint})"
+        raise ValueError(message)
+    if path is not None and name != "sqlite":
+        raise ValueError(
+            f"a database path only applies to the 'sqlite' backend, "
+            f"got backend={name!r} with path {path!r}"
+        )
+    return ResolvedBackend(name=name, path=path)
 
 
 def open_store(path: "str | None" = None, **kwargs) -> FactStore:

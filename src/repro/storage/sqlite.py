@@ -40,7 +40,6 @@ result rows fetched, ``store.terms_interned`` dictionary inserts.
 
 from __future__ import annotations
 
-import json
 import re
 import sqlite3
 from pathlib import Path
@@ -49,9 +48,9 @@ from typing import Iterable, Iterator
 from ..logic.atoms import Atom
 from ..logic.instance import Instance
 from ..logic.signature import Predicate
-from ..logic.terms import Constant, FunctionTerm, Term, Variable
 from ..telemetry import Telemetry
 from .base import content_digest
+from .interning import TermInterningMixin
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS repro_meta (
@@ -84,7 +83,7 @@ def _trim(cache: dict) -> None:
         cache.clear()
 
 
-class SQLiteStore:
+class SQLiteStore(TermInterningMixin):
     """A :class:`~repro.storage.base.FactStore` backed by SQLite.
 
     ``path`` may be a filesystem path or SQLite's ``":memory:"``.
@@ -109,10 +108,7 @@ class SQLiteStore:
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute("PRAGMA temp_store=MEMORY")
         self._tables: dict[Predicate, str] = {}
-        self._ids_by_term: dict[Term, int] = {}
-        self._terms_by_id: dict[int, Term] = {}
-        self._ids_by_payload: dict[tuple[str, str], int] = {}
-        self._display_by_id: dict[int, str] = {}
+        self._init_term_caches()
         self._pending: dict[Predicate, list[tuple]] = {}
         self._pending_rows = 0
         for name, arity, table in self._conn.execute(
@@ -186,137 +182,33 @@ class SQLiteStore:
         return table
 
     # ------------------------------------------------------------------
-    # Term dictionary
+    # Term dictionary (shared surface lives in TermInterningMixin; the
+    # three primitives below bind it to the repro_terms table)
     # ------------------------------------------------------------------
-    def _intern_row(self, kind: str, payload: str, display: str) -> int:
-        key = (kind, payload)
-        cached = self._ids_by_payload.get(key)
-        if cached is not None:
-            return cached
+    def _trim_term_cache(self, cache: dict) -> None:
+        _trim(cache)
+
+    def _dict_lookup(self, kind: str, payload: str) -> "int | None":
         row = self._select(
-            "SELECT id FROM repro_terms WHERE kind = ? AND payload = ?", key
+            "SELECT id FROM repro_terms WHERE kind = ? AND payload = ?",
+            (kind, payload),
         ).fetchone()
-        if row is None:
-            cursor = self.connection.execute(
-                "INSERT INTO repro_terms (kind, payload, display) VALUES (?, ?, ?)",
-                (kind, payload, display),
-            )
-            self.stats.counters["store.terms_interned"] += 1
-            term_id = int(cursor.lastrowid)
-        else:
-            term_id = int(row[0])
-        _trim(self._ids_by_payload)
-        self._ids_by_payload[key] = term_id
-        return term_id
+        return None if row is None else int(row[0])
 
-    def intern_term(self, term: Term) -> int:
-        """The dictionary id for ``term``, interning it if new."""
-        cached = self._ids_by_term.get(term)
-        if cached is not None:
-            return cached
-        if isinstance(term, Constant):
-            term_id = self._intern_row("c", term.name, term.name)
-        elif isinstance(term, Variable):
-            term_id = self._intern_row("v", term.name, term.name)
-        elif isinstance(term, FunctionTerm):
-            child_ids = [self.intern_term(child) for child in term.args]
-            payload = json.dumps([term.functor, child_ids])
-            term_id = self._intern_row("f", payload, repr(term))
-        else:
-            raise TypeError(f"cannot intern {term!r} ({type(term).__name__})")
-        _trim(self._ids_by_term)
-        self._ids_by_term[term] = term_id
-        return term_id
+    def _dict_insert(self, kind: str, payload: str, display: str) -> int:
+        cursor = self.connection.execute(
+            "INSERT INTO repro_terms (kind, payload, display) VALUES (?, ?, ?)",
+            (kind, payload, display),
+        )
+        self.stats.counters["store.terms_interned"] += 1
+        return int(cursor.lastrowid)
 
-    def intern_function(self, functor: str, child_ids: tuple[int, ...]) -> int:
-        """Intern a function term given *child ids* — the id-native path.
-
-        The store-backed chase builds Skolem terms without ever
-        materializing Python ``FunctionTerm`` objects; the display string
-        is assembled from the children's displays.
-        """
-        payload = json.dumps([functor, list(child_ids)])
-        cached = self._ids_by_payload.get(("f", payload))
-        if cached is not None:
-            return cached
-        inner = ",".join(self.display_of(child) for child in child_ids)
-        return self._intern_row("f", payload, f"{functor}({inner})")
-
-    def term_id(self, term: Term) -> int | None:
-        """The id of ``term`` if already interned, else ``None``.
-
-        Query compilation uses this for constants: an un-interned
-        constant cannot match any stored fact, so its disjunct is
-        provably empty.
-        """
-        cached = self._ids_by_term.get(term)
-        if cached is not None:
-            return cached
-        if isinstance(term, Constant):
-            key = ("c", term.name)
-        elif isinstance(term, Variable):
-            key = ("v", term.name)
-        elif isinstance(term, FunctionTerm):
-            child_ids = []
-            for child in term.args:
-                child_id = self.term_id(child)
-                if child_id is None:
-                    return None
-                child_ids.append(child_id)
-            key = ("f", json.dumps([term.functor, child_ids]))
-        else:
-            raise TypeError(f"cannot look up {term!r}")
-        cached = self._ids_by_payload.get(key)
-        if cached is None:
-            row = self._select(
-                "SELECT id FROM repro_terms WHERE kind = ? AND payload = ?", key
-            ).fetchone()
-            if row is None:
-                return None
-            cached = int(row[0])
-            _trim(self._ids_by_payload)
-            self._ids_by_payload[key] = cached
-        _trim(self._ids_by_term)
-        self._ids_by_term[term] = cached
-        return cached
-
-    def term_by_id(self, term_id: int) -> Term:
-        """Decode a dictionary id back to a Python term."""
-        cached = self._terms_by_id.get(term_id)
-        if cached is not None:
-            return cached
+    def _dict_fetch(self, term_id: int) -> "tuple[str, str, str] | None":
         row = self._select(
-            "SELECT kind, payload FROM repro_terms WHERE id = ?", (term_id,)
+            "SELECT kind, payload, display FROM repro_terms WHERE id = ?",
+            (term_id,),
         ).fetchone()
-        if row is None:
-            raise KeyError(f"no term with id {term_id}")
-        kind, payload = row
-        if kind == "c":
-            term: Term = Constant(payload)
-        elif kind == "v":
-            term = Variable(payload)
-        else:
-            functor, child_ids = json.loads(payload)
-            term = FunctionTerm(
-                functor, tuple(self.term_by_id(child) for child in child_ids)
-            )
-        _trim(self._terms_by_id)
-        self._terms_by_id[term_id] = term
-        return term
-
-    def display_of(self, term_id: int) -> str:
-        """The repr text of a term id, served from the dictionary."""
-        cached = self._display_by_id.get(term_id)
-        if cached is not None:
-            return cached
-        row = self._select(
-            "SELECT display FROM repro_terms WHERE id = ?", (term_id,)
-        ).fetchone()
-        if row is None:
-            raise KeyError(f"no term with id {term_id}")
-        _trim(self._display_by_id)
-        self._display_by_id[term_id] = row[0]
-        return row[0]
+        return None if row is None else (row[0], row[1], row[2])
 
     # ------------------------------------------------------------------
     # Writes (buffered, batched)

@@ -188,6 +188,47 @@ class TestParallelEquivalenceScenario:
         assert "parallel" not in document["meta"]
 
 
+class TestColumnarEquivalenceScenario:
+    def test_scenario_registered(self):
+        from repro.bench.guard import SCENARIOS
+
+        assert "columnar_equivalence" in [s.name for s in SCENARIOS]
+
+    def test_quick_run_is_identical_and_checksummed(self):
+        from repro.bench.guard import SCENARIOS
+
+        scenario = next(s for s in SCENARIOS if s.name == "columnar_equivalence")
+        value = scenario.run(True)
+        assert value["identical"] is True
+        assert value["counters_equal"] is True
+        assert value["atoms"] > 0
+        assert len(value["checksum"]) == 16
+
+    def test_meta_records_speedup_not_value(self):
+        from repro.bench.guard import SCENARIOS
+
+        scenario = next(s for s in SCENARIOS if s.name == "columnar_equivalence")
+        document = run_guard_scenarios(quick=True, repeats=1, scenarios=(scenario,))
+        validate_bench_document(document)
+        columnar = document["meta"]["columnar"]
+        assert columnar["object_seconds"] > 0
+        assert columnar["columnar_seconds"] > 0
+        assert columnar["fallback_rules"] == 0
+        # The compared value stays kernel-independent: no timing in it.
+        entry = document["scenarios"][0]
+        assert set(entry["value"]) == {
+            "atoms",
+            "identical",
+            "counters_equal",
+            "checksum",
+        }
+
+    def test_meta_absent_without_the_scenario(self):
+        toy = (Scenario("toy", "constant checksum", lambda quick: 42),)
+        document = run_guard_scenarios(quick=True, repeats=1, scenarios=toy)
+        assert "columnar" not in document["meta"]
+
+
 class TestBaselinePaths:
     def test_modes_map_to_distinct_files(self):
         assert default_baseline_path(True).name == "BENCH_guard_quick.json"

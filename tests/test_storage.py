@@ -17,6 +17,7 @@ from repro.logic.query import UnionOfCQs
 from repro.logic.containment import evaluate_ucq
 from repro.logic.homomorphism import evaluate
 from repro.storage import (
+    ColumnarStore,
     MemoryStore,
     SQLiteStore,
     StoreChaseError,
@@ -29,8 +30,8 @@ from repro.storage import (
 )
 from repro.workloads import edge_cycle, edge_path, example42_tc
 
-BACKENDS = [MemoryStore, lambda: SQLiteStore(":memory:")]
-BACKEND_IDS = ["memory", "sqlite"]
+BACKENDS = [MemoryStore, ColumnarStore, lambda: SQLiteStore(":memory:")]
+BACKEND_IDS = ["memory", "columnar", "sqlite"]
 
 
 @pytest.fixture(params=BACKENDS, ids=BACKEND_IDS)

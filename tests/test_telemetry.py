@@ -173,26 +173,34 @@ class TestResumeEquivalence:
 
 
 class TestBudgetAPI:
-    def test_legacy_kwargs_warn(self):
+    def test_legacy_kwargs_removed(self):
+        # The pre-ChaseBudget kwargs (deprecated in 1.1) are gone: every
+        # entry point rejects them with a pointer at ChaseBudget.
         theory = parse_theory("P(x) -> Q(x)")
         base = parse_instance("P(a)")
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="ChaseBudget"):
             chase(theory, base, max_rounds=2)
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="ChaseBudget"):
             chase(theory, base, max_atoms=10)
         truncated = chase(
             theory,
             parse_instance("Human(abel)"),
             budget=ChaseBudget(max_rounds=1),
         )
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="ChaseBudget"):
             resume(truncated, 1, max_atoms=10)
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="ChaseBudget"):
             chase_to_fixpoint(theory, base, max_rounds=5)
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="ChaseBudget"):
             answer_by_materialization(
                 theory, parse_query("q(x) := Q(x)"), base, max_rounds=5
             )
+
+    def test_legacy_kwargs_rejected_before_any_work(self):
+        # The TypeError fires during argument resolution, not mid-chase.
+        theory = parse_theory("P(x) -> Q(x)")
+        with pytest.raises(TypeError, match="max_rounds"):
+            chase(theory, parse_instance("P(a)"), max_rounds=0)
 
     def test_budget_path_is_silent(self, recwarn):
         theory = parse_theory("P(x) -> Q(x)")
@@ -201,14 +209,13 @@ class TestBudgetAPI:
 
     def test_both_spellings_rejected(self):
         theory = parse_theory("P(x) -> Q(x)")
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                chase(
-                    theory,
-                    parse_instance("P(a)"),
-                    budget=ChaseBudget(),
-                    max_rounds=2,
-                )
+        with pytest.raises(TypeError):
+            chase(
+                theory,
+                parse_instance("P(a)"),
+                budget=ChaseBudget(),
+                max_rounds=2,
+            )
 
     def test_on_exceeded_validated(self):
         with pytest.raises(ValueError):

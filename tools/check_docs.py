@@ -14,9 +14,9 @@ Three checks, all zero-dependency:
    target must match a heading in the target file under GitHub's
    slugification (lowercase, spaces to dashes, punctuation dropped).
 3. **Examples run.**  Every fenced ``python`` block in
-   ``docs/performance.md`` is executed with ``src/`` on ``sys.path``;
-   a failing example fails the build.  Examples in that file are a
-   documented contract, not decoration.
+   ``docs/performance.md`` and ``docs/architecture.md`` is executed with
+   ``src/`` on ``sys.path``; a failing example fails the build.
+   Examples in those files are a documented contract, not decoration.
 
 Exit code 0 on success, 1 with a per-problem report otherwise.
 """

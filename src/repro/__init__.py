@@ -32,7 +32,7 @@ Subpackages
 __version__ = "1.0.0"
 
 # Convenient top-level re-exports for the most used entry points.
-from .chase import ChaseBudget
+from .chase import CancellationToken, ChaseBudget, ChaseCancelled
 from .chase import chase as run_chase
 from .chase import core_termination, is_model
 from .logic import (
@@ -50,7 +50,9 @@ from .storage import open_store
 from .telemetry import Telemetry
 
 __all__ = [
+    "CancellationToken",
     "ChaseBudget",
+    "ChaseCancelled",
     "Instance",
     "OMQASession",
     "RewritingBudget",

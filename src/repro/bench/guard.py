@@ -362,6 +362,118 @@ def _run_sql_equivalence(quick: bool) -> dict:
     return {"e1": e1, "e5": e5, "certain": certain}
 
 
+_LAST_FAULTS: dict | None = None
+
+
+class _CountdownToken:
+    """A duck-typed cancellation token that fires after N ``cancelled`` polls.
+
+    Deterministic for a given engine version (the engine's control checks
+    are strided by fixed constants), which is all the scenario needs: the
+    compared bits assert *resume exactness*, not where the cut landed.
+    """
+
+    def __init__(self, checks: int) -> None:
+        self._remaining = checks
+
+    def cancel(self) -> None:
+        self._remaining = 0
+
+    @property
+    def cancelled(self) -> bool:
+        if self._remaining <= 0:
+            return True
+        self._remaining -= 1
+        return False
+
+
+def _run_fault_tolerance(quick: bool) -> dict:
+    """Interruption leaves a resumable prefix; disabled injection is free.
+
+    Three deterministic checks on the e5 workload (T_c over an E-cycle):
+
+    * **instrumented == plain** — the same chase run once bare and once
+      with a live :class:`~repro.chase.CancellationToken` plus a far
+      ``deadline_s`` produces round-for-round identical atoms (the
+      control plumbing may cost time, never results; both wall-clocks
+      land in ``meta["faults"]`` so the overhead stays visible);
+    * **cancel + resume == uninterrupted** — a token fired mid-run stops
+      the chase on a complete-round boundary, ``chase.cancelled`` is
+      counted, and :func:`~repro.chase.resume` reaches the exact same
+      rounds/atoms as the never-interrupted run (Observation 8);
+    * **fault registry round-trips** — ``faults.inject("sqlite.locked")``
+      forces exactly one synthetic lock error, the store's backoff
+      retries it (``store.lock_retries == 1``) and the write succeeds.
+    """
+    import hashlib
+
+    from .. import faults
+    from ..chase import ChaseBudget, chase, resume
+    from ..storage import SQLiteStore
+    from ..workloads import edge_cycle, example42_tc
+
+    global _LAST_FAULTS
+    theory = example42_tc()
+    length, rounds = (30, 8) if quick else (60, 12)
+    cycle = edge_cycle(length)
+    budget = ChaseBudget(max_rounds=rounds, max_atoms=500_000)
+
+    started = time.perf_counter()
+    plain = chase(theory, cycle, budget=budget)
+    plain_seconds = time.perf_counter() - started
+
+    from ..chase import CancellationToken
+
+    armed = ChaseBudget(max_rounds=rounds, max_atoms=500_000, deadline_s=3600.0)
+    started = time.perf_counter()
+    instrumented = chase(theory, cycle, budget=armed, cancel=CancellationToken())
+    instrumented_seconds = time.perf_counter() - started
+    instrumented_identical = [
+        frozenset(added) for added in plain.round_added
+    ] == [frozenset(added) for added in instrumented.round_added]
+
+    token = _CountdownToken(3)
+    interrupted = chase(theory, cycle, budget=budget, cancel=token)
+    cancelled_counted = interrupted.stats.counters["chase.cancelled"] == 1
+    cut_rounds = interrupted.rounds_run
+    resumed = resume(
+        interrupted, rounds - cut_rounds, budget=ChaseBudget(max_atoms=500_000)
+    )
+    resume_exact = [frozenset(added) for added in plain.round_added] == [
+        frozenset(added) for added in resumed.round_added
+    ]
+
+    faults.clear()
+    faults.inject("sqlite.locked")
+    try:
+        with SQLiteStore(":memory:") as probe:
+            probe.add_many(cycle)
+            lock_retried = probe.stats.counters["store.lock_retries"] == 1
+            survived = len(probe) == len(cycle)
+    finally:
+        faults.clear()
+
+    digest = hashlib.sha256(
+        "\n".join(sorted(repr(item) for item in resumed.instance)).encode("utf8")
+    ).hexdigest()[:16]
+    _LAST_FAULTS = {
+        "plain_seconds": round(plain_seconds, 6),
+        "instrumented_seconds": round(instrumented_seconds, 6),
+        "overhead_ratio": (
+            round(instrumented_seconds / plain_seconds, 3) if plain_seconds else 0.0
+        ),
+        "interrupted_at_round": cut_rounds,
+    }
+    return {
+        "atoms": len(plain.instance),
+        "instrumented_identical": instrumented_identical,
+        "cancelled_counted": cancelled_counted,
+        "resume_exact": resume_exact,
+        "lock_retried": lock_retried and survived,
+        "checksum": digest,
+    }
+
+
 SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
         "e1_doubling",
@@ -392,6 +504,11 @@ SCENARIOS: tuple[Scenario, ...] = (
         "sql_equivalence",
         "SQLite-evaluated answers and store chase match the in-memory engines",
         _run_sql_equivalence,
+    ),
+    Scenario(
+        "fault_tolerance",
+        "interruption leaves an exactly-resumable prefix; injection off is free",
+        _run_fault_tolerance,
     ),
 )
 
@@ -428,12 +545,14 @@ def run_guard_scenarios(
     machine, not of the code under guard.
     """
     global _PARALLEL_WORKERS, _LAST_PARALLEL, _LAST_STORAGE, _LAST_COLUMNAR
+    global _LAST_FAULTS
     saved_workers = _PARALLEL_WORKERS
     if workers is not None:
         _PARALLEL_WORKERS = max(2, workers)
     _LAST_PARALLEL = None
     _LAST_STORAGE = None
     _LAST_COLUMNAR = None
+    _LAST_FAULTS = None
     measured = []
     for scenario in scenarios:
         runs: list[float] = []
@@ -462,6 +581,8 @@ def run_guard_scenarios(
         meta["columnar"] = dict(_LAST_COLUMNAR)
     if _LAST_STORAGE is not None:
         meta["storage"] = dict(_LAST_STORAGE)
+    if _LAST_FAULTS is not None:
+        meta["faults"] = dict(_LAST_FAULTS)
     _PARALLEL_WORKERS = saved_workers
     document = bench_document(
         mode="quick" if quick else "full",

@@ -26,8 +26,10 @@ telemetry counters.
 
 from .explain import DerivationNode, derivation_tree, explain, explain_answer
 from .engine import (
+    CancellationToken,
     ChaseBudget,
     ChaseBudgetExceeded,
+    ChaseCancelled,
     ChaseResult,
     Derivation,
     chase,
@@ -59,8 +61,10 @@ from .termination import (
 from .variants import VariantResult, oblivious_chase, restricted_chase
 
 __all__ = [
+    "CancellationToken",
     "ChaseBudget",
     "ChaseBudgetExceeded",
+    "ChaseCancelled",
     "ChaseResult",
     "CoreTerminationWitness",
     "Derivation",

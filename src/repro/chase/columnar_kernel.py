@@ -57,7 +57,14 @@ from ..logic.signature import Predicate
 from ..logic.terms import FunctionTerm, Term, Variable
 from ..storage.columnar import ColumnarStore
 from ..telemetry import Telemetry
-from .engine import Derivation, RoundOutcome, _PreparedRule, _round_matches
+from .engine import (
+    Derivation,
+    RoundOutcome,
+    _PreparedRule,
+    _round_matches,
+    _RoundInterrupt,
+)
+from .planner import CONTROL_CHECK_STRIDE
 
 _EMPTY: tuple = ()
 
@@ -292,7 +299,15 @@ class ColumnarRoundExecutor:
     each round, so the id-side relations and the object-side
     ``Instance`` stay in lock-step without ever re-encoding the whole
     instance.
+
+    Abandoning a round mid-flight (``control`` hit, see
+    :class:`~repro.chase.engine._RunControl`) is safe by construction:
+    the store only ever receives atoms the engine already applied, and
+    the partial ``pending`` production of an interrupted round is never
+    synced back.
     """
+
+    control = None
 
     def __init__(
         self,
@@ -366,7 +381,13 @@ class ColumnarRoundExecutor:
         columnar_rules = 0
         fallback_rules = 0
         effort = [0, 0, 0, 0]
+        control = self.control
+        stride = CONTROL_CHECK_STRIDE - 1
         for prepared, compiled in zip(self.prepared, self.compiled):
+            if control is not None:
+                reason = control.interruption()
+                if reason is not None:
+                    raise _RoundInterrupt(reason)
             if compiled is None:
                 # Out-of-shape rule: the object engine handles it within
                 # the same round, with identical counter accounting.
@@ -376,6 +397,10 @@ class ColumnarRoundExecutor:
                     prepared, current, delta, delta_terms, telemetry, domain_pool
                 ):
                     matches += 1
+                    if control is not None and not (matches & stride):
+                        reason = control.interruption()
+                        if reason is not None:
+                            raise _RoundInterrupt(reason)
                     for new_atom in (
                         item.substitute(sigma) for item in skolem_head
                     ):
@@ -428,6 +453,10 @@ class ColumnarRoundExecutor:
                 ):
                     matches += 1
                     columnar_matches += 1
+                    if control is not None and not (matches & stride):
+                        reason = control.interruption()
+                        if reason is not None:
+                            raise _RoundInterrupt(reason)
                     for head_predicate, head_slots in heads:
                         out = []
                         for slot in head_slots:

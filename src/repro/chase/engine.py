@@ -27,6 +27,7 @@ attempted, atoms produced, dedup hits, delta sizes, wall time) surfaced as
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 import weakref
 from dataclasses import dataclass, field, replace
@@ -46,6 +47,108 @@ class ChaseBudgetExceeded(RuntimeError):
     """Raised by :func:`chase` with ``on_exceeded='raise'`` when limits hit."""
 
 
+class ChaseCancelled(ChaseBudgetExceeded):
+    """Raised under ``on_exceeded='raise'`` when a run is cancelled.
+
+    A subclass of :class:`ChaseBudgetExceeded` so existing overrun
+    handlers keep working; catch this one specifically to tell a user
+    interrupt apart from a resource overrun.
+    """
+
+
+class CancellationToken:
+    """Cooperative cancellation signal for long-running engine calls.
+
+    Pass one token as ``cancel=`` to :func:`chase` / :func:`resume` /
+    :func:`repro.storage.chase_into_store` /
+    :func:`repro.rewriting.answer` (or construct
+    :class:`repro.rewriting.OMQASession` with it), then call
+    :meth:`cancel` from any thread — typically a signal handler; the CLI
+    wires SIGINT to exactly this.  The engine checks the token at round
+    boundaries and on a stride inside long rounds, abandons the round in
+    flight *without applying its partial production*, and stops per the
+    budget's ``on_exceeded`` policy with the ``chase.cancelled`` counter
+    set.  The surviving prefix is exact (Observation 8), so the run is
+    resumable to the identical fixpoint.
+
+    Tokens are one-shot and thread-safe; they do not reset.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, safe from signal handlers)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:
+        return f"CancellationToken(cancelled={self.cancelled})"
+
+
+class _RoundInterrupt(Exception):
+    """Internal: an executor abandoned its round (deadline/cancellation).
+
+    Never escapes :func:`_run_rounds`; ``reason`` is ``"cancelled"`` or
+    ``"deadline"``.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class _RunControl:
+    """Deadline clock + cancellation token for one engine run.
+
+    Built once at run start (the monotonic deadline is anchored there)
+    and consulted at round boundaries by the round loop and on a stride
+    (``planner.CONTROL_CHECK_STRIDE``) inside executors' work-item
+    loops.  ``start`` returns ``None`` when there is nothing to watch,
+    so uncontrolled runs pay a single ``is None`` check per round.
+    """
+
+    __slots__ = ("deadline_at", "token")
+
+    def __init__(self, deadline_at: float | None, token: CancellationToken | None):
+        self.deadline_at = deadline_at
+        self.token = token
+
+    @classmethod
+    def start(
+        cls, budget: ChaseBudget, token: "CancellationToken | None"
+    ) -> "_RunControl | None":
+        if budget.deadline_s is None and token is None:
+            return None
+        deadline_at = (
+            None
+            if budget.deadline_s is None
+            else time.monotonic() + budget.deadline_s
+        )
+        return cls(deadline_at, token)
+
+    def interruption(self) -> str | None:
+        """``"cancelled"`` / ``"deadline"`` when the run must stop, else None."""
+        token = self.token
+        if token is not None and token.cancelled:
+            return "cancelled"
+        deadline_at = self.deadline_at
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            return "deadline"
+        return None
+
+    def remaining(self) -> float | None:
+        """Seconds left until the deadline, or ``None`` without one."""
+        if self.deadline_at is None:
+            return None
+        return max(0.0, self.deadline_at - time.monotonic())
+
+
 @dataclass(frozen=True)
 class ChaseBudget:
     """Resource limits for a chase run (mirrors ``RewritingBudget``).
@@ -63,6 +166,13 @@ class ChaseBudget:
     produce in one round (a per-worker memory guard); an overrun is a
     budget overrun at round granularity, handled per ``on_exceeded``
     with the overflowing round left unapplied.
+
+    ``deadline_s`` bounds the run by wall clock (monotonic, anchored
+    when the run starts): the engine checks it at round boundaries and
+    on a stride inside long rounds, abandons the round in flight without
+    applying its partial production, and stops per ``on_exceeded`` with
+    the ``chase.deadline_hit`` counter set — the surviving prefix is
+    exact and resumable (see ``docs/robustness.md``).
     """
 
     max_rounds: int = 50
@@ -70,6 +180,7 @@ class ChaseBudget:
     on_exceeded: str = "return"
     workers: int = 1
     worker_max_atoms: int | None = None
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.on_exceeded not in ("return", "raise"):
@@ -78,6 +189,8 @@ class ChaseBudget:
             raise ValueError("workers must be at least 1")
         if self.worker_max_atoms is not None and self.worker_max_atoms < 1:
             raise ValueError("worker_max_atoms must be positive when set")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValueError("deadline_s must be non-negative when set")
 
 
 _LEGACY_BUDGET_MESSAGE = (
@@ -374,7 +487,15 @@ class SequentialRoundExecutor:
     atoms against the current instance and the round's own production.
     :class:`repro.chase.parallel.ParallelRoundExecutor` implements the
     same ``run_round`` contract across worker processes.
+
+    ``control`` (a :class:`_RunControl`, set by :func:`_run_rounds`) is
+    consulted at every rule boundary and every
+    ``planner.CONTROL_CHECK_STRIDE`` matches; a hit raises
+    :class:`_RoundInterrupt`, abandoning the round before any of its
+    production is applied.
     """
+
+    control: "_RunControl | None" = None
 
     def __init__(
         self, prepared: tuple[_PreparedRule, ...], telemetry: Telemetry
@@ -390,15 +511,27 @@ class SequentialRoundExecutor:
         delta_terms: set[Term] | None,
         domain_pool: list[Term] | None,
     ) -> RoundOutcome:
+        from .planner import CONTROL_CHECK_STRIDE
+
         produced: dict[Atom, Derivation] = {}
         matches = 0
         dedup_hits = 0
+        control = self.control
+        stride = CONTROL_CHECK_STRIDE - 1
         for rule in self.prepared:
+            if control is not None:
+                reason = control.interruption()
+                if reason is not None:
+                    raise _RoundInterrupt(reason)
             skolem_head = rule.skolemized.head
             for sigma in _round_matches(
                 rule, current, delta, delta_terms, self.telemetry, domain_pool
             ):
                 matches += 1
+                if control is not None and not (matches & stride):
+                    reason = control.interruption()
+                    if reason is not None:
+                        raise _RoundInterrupt(reason)
                 for new_atom in (item.substitute(sigma) for item in skolem_head):
                     if new_atom in current or new_atom in produced:
                         dedup_hits += 1
@@ -426,6 +559,7 @@ def _run_rounds(
     delta_terms: set[Term] | None,
     telemetry: Telemetry,
     executor: "SequentialRoundExecutor | None" = None,
+    control: "_RunControl | None" = None,
 ) -> bool:
     """The round loop shared by :func:`chase` and :func:`resume`.
 
@@ -439,22 +573,47 @@ def _run_rounds(
     single owner of budget checks, the semi-naive delta hand-off and the
     per-round telemetry records, so every executor produces identical
     rounds by construction.
+
+    ``control`` carries the run's deadline/cancellation state.  The loop
+    checks it before each round; executors check it inside the round and
+    raise :class:`_RoundInterrupt` to abandon one mid-flight.  Either
+    way the partial round is *not* applied — ``current``/``round_added``
+    stay an exact chase prefix — a partial round record is appended with
+    ``aborted=True``, the matching ``chase.cancelled`` /
+    ``chase.deadline_hit`` counter is set and the overrun follows
+    ``budget.on_exceeded``.
     """
     terminated = False
     counters = telemetry.counters
     if executor is None:
         executor = SequentialRoundExecutor(prepared, telemetry)
+    executor.control = control
     any_universal = any(rule.plan.universal for rule in prepared)
     sync: Iterable[Atom] = ()
+    interrupted: str | None = None
     for _ in range(rounds):
         round_number = len(round_added)
         round_started = time.perf_counter()
+        if control is not None:
+            interrupted = control.interruption()
+            if interrupted is not None:
+                break
         round_delta = delta if semi_naive else None
         round_delta_terms = delta_terms if semi_naive else None
         domain_pool = list(current.domain()) if any_universal else None
-        outcome = executor.run_round(
-            current, sync, round_delta, round_delta_terms, domain_pool
-        )
+        try:
+            outcome = executor.run_round(
+                current, sync, round_delta, round_delta_terms, domain_pool
+            )
+        except _RoundInterrupt as stop:
+            interrupted = stop.reason
+            telemetry.record_round(
+                round=round_number,
+                aborted=True,
+                total_atoms=len(current),
+                seconds=round(time.perf_counter() - round_started, 6),
+            )
+            break
         if outcome.overflow:
             if budget.on_exceeded == "raise":
                 raise ChaseBudgetExceeded(
@@ -506,7 +665,33 @@ def _run_rounds(
                     f"{len(round_added) - 1} rounds"
                 )
             break
+    if interrupted is not None:
+        note_interruption(telemetry, interrupted, budget, len(round_added) - 1)
     return terminated
+
+
+def note_interruption(
+    telemetry: Telemetry, reason: str, budget: ChaseBudget, rounds_done: int
+) -> None:
+    """Record a deadline/cancellation stop and apply ``on_exceeded``.
+
+    Shared with the store-backed chase
+    (:mod:`repro.storage.chasestore`), so every engine reports
+    interruptions through the same counters and exception types.
+    """
+    if reason == "cancelled":
+        telemetry.counters["chase.cancelled"] += 1
+        if budget.on_exceeded == "raise":
+            raise ChaseCancelled(
+                f"chase cancelled after {rounds_done} complete rounds"
+            )
+    else:
+        telemetry.counters["chase.deadline_hit"] += 1
+        if budget.on_exceeded == "raise":
+            raise ChaseBudgetExceeded(
+                f"chase deadline of {budget.deadline_s}s expired after "
+                f"{rounds_done} complete rounds"
+            )
 
 
 # The round executor the in-memory chase uses when none is asked for by
@@ -538,6 +723,7 @@ def chase(
     telemetry: Telemetry | None = None,
     workers: int | None = None,
     backend: str | None = None,
+    cancel: CancellationToken | None = None,
     max_rounds: int | None = None,
     max_atoms: int | None = None,
     on_budget: str | None = None,
@@ -568,6 +754,14 @@ def chase(
     multiprocessing is unavailable or the workload does not serialize,
     the chase degrades to the in-process executor and flags
     ``parallel.fallback_inprocess`` in the stats — never an error.
+
+    ``cancel`` accepts a :class:`CancellationToken`; together with
+    ``budget.deadline_s`` it bounds the run by events rather than work:
+    a triggered token or expired deadline stops the chase at a clean
+    round boundary (abandoning any round in flight unapplied), follows
+    ``on_exceeded`` (raising :class:`ChaseCancelled` /
+    :class:`ChaseBudgetExceeded` under ``'raise'``) and leaves a prefix
+    :func:`resume` continues to the identical fixpoint.
 
     ``semi_naive=False`` re-evaluates every rule against the whole current
     instance each round (ablation A1) — same result atom-for-atom thanks
@@ -608,7 +802,7 @@ def chase(
             executor = make_columnar_executor(prepared, current, telemetry)
 
     try:
-        with telemetry.phase("chase"):
+        with telemetry.timer("chase"):
             terminated = _run_rounds(
                 prepared,
                 current,
@@ -622,6 +816,7 @@ def chase(
                 delta_terms=None,
                 telemetry=telemetry,
                 executor=executor,
+                control=_RunControl.start(budget, cancel),
             )
     finally:
         if executor is not None:
@@ -643,6 +838,7 @@ def resume(
     extra_rounds: int,
     budget: ChaseBudget | None = None,
     backend: str | None = None,
+    cancel: CancellationToken | None = None,
     max_atoms: int | None = None,
     on_budget: str | None = None,
 ) -> ChaseResult:
@@ -654,7 +850,9 @@ def resume(
     round.  The returned ``stats`` continue the original run's: counters
     and round records accumulate as if the chase had run in one go
     (``budget.max_rounds`` is ignored here — ``extra_rounds`` rules).
-    ``backend`` selects the round kernel exactly as in :func:`chase`.
+    ``backend`` selects the round kernel exactly as in :func:`chase`;
+    ``cancel`` and ``budget.deadline_s`` bound the continuation the same
+    way they bound a fresh run.
 
     .. versionchanged:: 1.2
         The ``max_atoms=`` / ``on_budget=`` kwargs (deprecated since
@@ -690,7 +888,7 @@ def resume(
 
         executor = make_columnar_executor(prepared, current, telemetry)
     try:
-        with telemetry.phase("chase"):
+        with telemetry.timer("chase"):
             terminated = _run_rounds(
                 prepared,
                 current,
@@ -704,6 +902,7 @@ def resume(
                 delta_terms=delta_terms,
                 telemetry=telemetry,
                 executor=executor,
+                control=_RunControl.start(budget, cancel),
             )
     finally:
         if executor is not None:

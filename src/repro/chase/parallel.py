@@ -34,12 +34,26 @@ Design points:
   coordinator folds results in that order, deduplicating against the
   current instance and the round's accumulated production — the same
   first-producer-wins rule the in-process executor applies.
-* **Graceful degrade, never an error.**  ``workers=1``, an unpicklable
-  theory/instance, a platform without usable ``multiprocessing``, or a
-  worker failing mid-chase all fall back to the in-process executor and
-  set the ``parallel.fallback_inprocess`` telemetry flag.  A fallback
-  mid-run is safe because the coordinator's instance is authoritative —
-  replicas are only ever derived state.
+* **Retry, then degrade — never an error.**  A dead worker (crash, OOM
+  kill) is respawned once per round from the coordinator's authoritative
+  instance: the replacement replays the full accumulated definition
+  history of the coordinator→worker codec (codes are assigned in
+  definition order, so the replay reproduces the exact encoder state)
+  and re-evaluates the dead worker's item slice — the round's result is
+  unchanged, and ``parallel.worker_restarts`` counts the incident.  Only
+  a second failure in the same round (or a worker shipping a Python
+  traceback, which signals a code bug rather than a crash) degrades the
+  run to the in-process executor with ``parallel.fallback_inprocess``
+  set.  ``workers=1``, an unpicklable theory/instance or a platform
+  without usable ``multiprocessing`` degrade the same way at startup.
+* **Deadlines and cancellation.**  ``ChaseBudget.deadline_s`` ships to
+  workers as a per-round time cap checked on the match stride
+  (:data:`repro.chase.planner.CONTROL_CHECK_STRIDE`); a worker that runs
+  out flags its response and the coordinator abandons the round
+  unapplied.  A :class:`~repro.chase.engine.CancellationToken` is
+  honoured on the coordinator while it waits for responses (the receive
+  loop polls), so Ctrl-C interrupts a parallel round without waiting for
+  stragglers.
 
 Telemetry (all plain integer counters, see ``docs/performance.md``):
 ``parallel.workers`` (pool size), ``parallel.rounds`` (rounds executed by
@@ -48,17 +62,23 @@ the pool), ``parallel.shards_dispatched`` (work items sent),
 ``parallel.merge_dedup_hits`` (cross-item duplicates folded at merge),
 ``parallel.bytes_sent`` / ``parallel.bytes_received`` (serialized
 payload volume), ``parallel.worker_truncated`` (per-worker budget
-overruns) and ``parallel.fallback_inprocess`` (the degrade flag).
+overruns), ``parallel.worker_restarts`` (dead workers respawned),
+``parallel.leaked_workers`` (workers that survived the
+join→terminate→kill escalation — should stay zero) and
+``parallel.fallback_inprocess`` (the degrade flag).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
+import signal
 import time
 import traceback
 from typing import Iterable, Sequence
 
+from .. import faults
 from ..logic.atoms import Atom
 from ..logic.homomorphism import _search
 from ..logic.instance import Instance
@@ -72,9 +92,11 @@ from .engine import (
     SequentialRoundExecutor,
     _PreparedRule,
     _prepare_rules,
+    _RoundInterrupt,
     _universal_assignments,
     _universal_delta_assignments,
 )
+from .planner import CONTROL_CHECK_STRIDE
 
 # A delta below this many facts per requested worker is not worth
 # sharding: the pivot searches stay whole and only rule-level parallelism
@@ -275,7 +297,13 @@ def _run_worker_round(
     encoder: _WireEncoder,
     message: tuple,
 ) -> tuple:
-    """Apply the round's sync, evaluate the assigned items, report back."""
+    """Apply the round's sync, evaluate the assigned items, report back.
+
+    ``time_cap`` (seconds of in-round budget remaining, or ``None``) is
+    checked on the match stride; running out stops the evaluation and
+    flags the response ``interrupted`` — the coordinator then abandons
+    the whole round unapplied, keeping the chase prefix exact.
+    """
     (
         term_defs,
         pred_defs,
@@ -284,6 +312,7 @@ def _run_worker_round(
         items,
         need_domain,
         atom_cap,
+        time_cap,
     ) = message
     started = time.perf_counter()
     decoder.apply_defs(term_defs, pred_defs)
@@ -311,7 +340,16 @@ def _run_worker_round(
     results: list[tuple] = []
     produced_total = 0
     truncated = False
+    interrupted = False
+    stride = CONTROL_CHECK_STRIDE - 1
+    total_matches = 0
     for item in items:
+        if (
+            time_cap is not None
+            and time.perf_counter() - started >= time_cap
+        ):
+            interrupted = True
+            break
         shards = shards_by_count.get(item[4]) if item[0] == "pivot" else None
         rule = prepared[item[1]]
         skolem_head = rule.skolemized.head
@@ -322,6 +360,14 @@ def _run_worker_round(
             item, prepared, replica, shards, delta_terms, domain_pool, effort, counters
         ):
             matches += 1
+            total_matches += 1
+            if (
+                time_cap is not None
+                and not (total_matches & stride)
+                and time.perf_counter() - started >= time_cap
+            ):
+                interrupted = True
+                break
             sigma_code = tuple(
                 (encoder.term(var, out_term_defs), encoder.term(image, out_term_defs))
                 for var, image in sorted(sigma.items(), key=lambda kv: kv[0].name)
@@ -338,7 +384,7 @@ def _run_worker_round(
                 truncated = True
                 break
         results.append((item, matches, dedup_hits, pairs))
-        if truncated:
+        if truncated or interrupted:
             break
     counters["hom.nodes"] = counters.get("hom.nodes", 0) + effort[0]
     counters["hom.candidates_estimated"] = (
@@ -352,7 +398,16 @@ def _run_worker_round(
             counters.get("hom.backtrack_clashes", 0) + effort[3]
         )
     seconds = time.perf_counter() - started
-    return ("ok", out_term_defs, out_pred_defs, results, counters, seconds, truncated)
+    return (
+        "ok",
+        out_term_defs,
+        out_pred_defs,
+        results,
+        counters,
+        seconds,
+        truncated,
+        interrupted,
+    )
 
 
 def _worker_main(conn, theory, base_atoms) -> None:
@@ -389,12 +444,15 @@ class ParallelRoundExecutor:
     """Process-pool round executor with a deterministic merge.
 
     Satisfies the same ``run_round`` contract as
-    :class:`repro.chase.engine.SequentialRoundExecutor`.  On any worker
-    or serialization failure it shuts the pool down, flags
-    ``parallel.fallback_inprocess`` and continues in-process — the
-    coordinator's instance is authoritative, so a mid-run degrade never
-    loses or duplicates atoms.
+    :class:`repro.chase.engine.SequentialRoundExecutor`.  A worker that
+    dies mid-round is respawned once (per round) from the coordinator's
+    authoritative instance and its item slice re-evaluated; a repeated
+    failure — or any other unrecoverable error — shuts the pool down,
+    flags ``parallel.fallback_inprocess`` and continues in-process.
+    Either way a mid-run recovery never loses or duplicates atoms.
     """
+
+    control = None
 
     def __init__(
         self,
@@ -415,6 +473,13 @@ class ParallelRoundExecutor:
         self._processes: list = []
         self._encoder = _WireEncoder()
         self._decoders: list[_WireDecoder] = []
+        self._theory = theory
+        self._round = 0
+        # Everything the shared encoder ever defined, in definition
+        # order.  A respawned worker's fresh decoder replays this history
+        # to rebuild the exact code table the dead worker held.
+        self._term_def_history: list = []
+        self._pred_def_history: list = []
         # The theory and base cross process boundaries at startup (by
         # pickle under the spawn start method); probing them up front
         # turns a mid-chase crash into a clean construction failure the
@@ -426,18 +491,11 @@ class ParallelRoundExecutor:
             raise _ParallelUnavailable(f"workload does not serialize: {error!r}")
         try:
             methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
+            self._context = multiprocessing.get_context(
                 "fork" if "fork" in methods else methods[0]
             )
             for _ in range(workers):
-                parent_conn, child_conn = context.Pipe(duplex=True)
-                process = context.Process(
-                    target=_worker_main,
-                    args=(child_conn, theory, base_atoms),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
+                parent_conn, process = self._spawn_worker(base_atoms)
                 self._connections.append(parent_conn)
                 self._processes.append(process)
                 self._decoders.append(_WireDecoder())
@@ -445,6 +503,18 @@ class ParallelRoundExecutor:
             self.close()
             raise _ParallelUnavailable(f"cannot start worker processes: {error!r}")
         telemetry.gauge_max("parallel.workers", workers)
+
+    def _spawn_worker(self, base_atoms: list) -> tuple:
+        """Start one worker seeded with ``base_atoms``; returns (pipe, proc)."""
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, self._theory, base_atoms),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return parent_conn, process
 
     # ------------------------------------------------------------------
     def _shard_count(self, delta_size: int) -> int:
@@ -488,6 +558,7 @@ class ParallelRoundExecutor:
         delta_terms: set[Term] | None,
         domain_pool: list[Term] | None,
     ) -> RoundOutcome:
+        self._fallback.control = self.control
         if self._degraded:
             return self._fallback.run_round(
                 current, sync, delta, delta_terms, domain_pool
@@ -512,6 +583,9 @@ class ParallelRoundExecutor:
         items = self._build_items(delta, delta_terms)
         items.sort(key=_item_sort_key)
         need_domain = domain_pool is not None
+        self._round += 1
+        control = self.control
+        time_cap = control.remaining() if control is not None else None
         try:
             # Encode the broadcast parts (sync delta + new terms) once;
             # the per-worker messages differ only in their item slice.
@@ -525,6 +599,8 @@ class ParallelRoundExecutor:
                 if delta_terms is None
                 else [self._encoder.term(term, term_defs) for term in delta_terms]
             )
+            self._term_def_history.extend(term_defs)
+            self._pred_def_history.extend(pred_defs)
             per_worker_payloads = []
             for worker_index in range(self.workers):
                 message = (
@@ -535,29 +611,141 @@ class ParallelRoundExecutor:
                     items[worker_index :: self.workers],
                     need_domain,
                     self.worker_max_atoms,
+                    time_cap,
                 )
                 per_worker_payloads.append(pickle.dumps(message, _PICKLE_PROTOCOL))
         except _ParallelUnavailable:
             raise
         except Exception as error:  # defensive: codec state must stay sane
             raise _ParallelUnavailable(f"round payload encoding failed: {error!r}")
-        responses = []
-        try:
-            for connection, payload in zip(self._connections, per_worker_payloads):
-                connection.send_bytes(payload)
+        if faults.active() and faults.fire("parallel.worker_death", self._round):
+            # Chaos hook: SIGKILL worker 0 before dispatch, so both the
+            # send and the receive side of the failure path get exercised.
+            os.kill(self._processes[0].pid, signal.SIGKILL)
+            self._processes[0].join(timeout=2.0)
+        responses: list = [None] * self.workers
+        failed: list[int] = []
+        for index, payload in enumerate(per_worker_payloads):
+            try:
+                self._connections[index].send_bytes(payload)
                 counters["parallel.bytes_sent"] += len(payload)
-            for connection in self._connections:
-                raw = connection.recv_bytes()
+            except (BrokenPipeError, OSError):
+                failed.append(index)
+        for index in range(self.workers):
+            if index in failed:
+                continue
+            try:
+                raw = self._recv(self._connections[index])
                 counters["parallel.bytes_received"] += len(raw)
-                responses.append(pickle.loads(raw))
-        except (EOFError, OSError, pickle.PicklingError) as error:
-            raise _ParallelUnavailable(f"worker pipe failed: {error!r}")
-        for response in responses:
+                response = pickle.loads(raw)
+            except (EOFError, OSError, pickle.UnpicklingError):
+                failed.append(index)
+                continue
             if response[0] == "err":
+                # A traceback means the worker's code raised — a bug, not
+                # a crash; respawning would just raise again.  Degrade.
                 raise _ParallelUnavailable(f"worker raised:\n{response[1]}")
+            responses[index] = response
+        for index in failed:
+            responses[index] = self._retry_shard(
+                index,
+                current,
+                sync_codes,
+                delta_codes,
+                items,
+                need_domain,
+                time_cap,
+            )
+        if any(response[7] for response in responses):
+            # A worker ran out of in-round deadline budget: abandon the
+            # round unapplied — the loop records the interruption and the
+            # surviving prefix stays exact.
+            raise _RoundInterrupt("deadline")
         counters["parallel.rounds"] += 1
         counters["parallel.shards_dispatched"] += len(items)
         return self._merge(responses, current)
+
+    def _recv(self, connection) -> bytes:
+        """Receive one response, honouring cancellation while waiting.
+
+        Without a control this is a plain blocking read.  With one, the
+        coordinator polls so a :class:`CancellationToken` triggered from
+        a signal handler interrupts the round without waiting for worker
+        stragglers (deadline stops arrive from the workers themselves,
+        via their in-message time cap).
+        """
+        control = self.control
+        if control is None:
+            return connection.recv_bytes()
+        while not connection.poll(0.05):
+            if control.interruption() == "cancelled":
+                raise _RoundInterrupt("cancelled")
+        return connection.recv_bytes()
+
+    def _retry_shard(
+        self,
+        index: int,
+        current: Instance,
+        sync_codes: list,
+        delta_codes,
+        items: list[tuple],
+        need_domain: bool,
+        time_cap,
+    ) -> tuple:
+        """Respawn dead worker ``index`` and re-evaluate its item slice.
+
+        The replacement is seeded with the coordinator's authoritative
+        instance (which already includes this round's sync — replicas
+        apply sync idempotently), replays the full definition history so
+        this round's broadcast codes resolve, and gets a fresh decoder
+        slot (its worker→coordinator encoder starts empty).  Any failure
+        here — including the injected ``parallel.respawn_fail`` — is
+        terminal for the pool and degrades the run in-process.
+        """
+        counters = self.telemetry.counters
+        old_process = self._processes[index]
+        try:
+            self._connections[index].close()
+        except OSError:
+            pass
+        old_process.join(timeout=2.0)
+        if old_process.is_alive():
+            old_process.kill()
+            old_process.join(timeout=1.0)
+        if faults.active() and faults.fire("parallel.respawn_fail"):
+            raise _ParallelUnavailable("injected respawn failure")
+        try:
+            connection, process = self._spawn_worker(list(current))
+        except Exception as error:
+            raise _ParallelUnavailable(f"cannot respawn worker: {error!r}")
+        self._connections[index] = connection
+        self._processes[index] = process
+        self._decoders[index] = _WireDecoder()
+        counters["parallel.worker_restarts"] += 1
+        message = (
+            list(self._term_def_history),
+            list(self._pred_def_history),
+            sync_codes,
+            delta_codes,
+            items[index :: self.workers],
+            need_domain,
+            self.worker_max_atoms,
+            time_cap,
+        )
+        try:
+            payload = pickle.dumps(message, _PICKLE_PROTOCOL)
+            connection.send_bytes(payload)
+            counters["parallel.bytes_sent"] += len(payload)
+            raw = self._recv(connection)
+            counters["parallel.bytes_received"] += len(raw)
+            response = pickle.loads(raw)
+        except (EOFError, OSError, pickle.UnpicklingError) as error:
+            raise _ParallelUnavailable(
+                f"respawned worker failed its retry: {error!r}"
+            )
+        if response[0] == "err":
+            raise _ParallelUnavailable(f"respawned worker raised:\n{response[1]}")
+        return response
 
     def _merge(self, responses: list[tuple], current: Instance) -> RoundOutcome:
         """Fold worker results in deterministic (rule, pivot, shard) order."""
@@ -567,9 +755,16 @@ class ParallelRoundExecutor:
         truncated = False
         item_results: list[tuple] = []
         for worker_index, response in enumerate(responses):
-            _, term_defs, pred_defs, results, worker_counters, seconds, overran = (
-                response
-            )
+            (
+                _,
+                term_defs,
+                pred_defs,
+                results,
+                worker_counters,
+                seconds,
+                overran,
+                _interrupted,
+            ) = response
             decoder = self._decoders[worker_index]
             decoder.apply_defs(term_defs, pred_defs)
             truncated = truncated or overran
@@ -612,6 +807,15 @@ class ParallelRoundExecutor:
         self._shutdown()
 
     def _shutdown(self) -> None:
+        """Stop the pool: polite request, then join → terminate → kill.
+
+        A worker deep in a long round (or wedged) must not outlive the
+        run: after the cooperative shutdown message the coordinator
+        joins with a timeout, escalates to SIGTERM, then SIGKILL.  A
+        worker that survives even SIGKILL (unwaitable kernel state) is
+        counted under ``parallel.leaked_workers`` — the chaos suite
+        asserts that stays zero.
+        """
         for connection in self._connections:
             try:
                 connection.send_bytes(pickle.dumps(None, _PICKLE_PROTOCOL))
@@ -622,11 +826,24 @@ class ParallelRoundExecutor:
                 connection.close()
             except OSError:
                 pass
+        leaked = 0
         for process in self._processes:
             process.join(timeout=2.0)
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+            if process.is_alive():
+                leaked += 1
+            else:
+                try:
+                    process.close()
+                except ValueError:  # pragma: no cover — already closed
+                    pass
+        if leaked:  # pragma: no cover — needs an unkillable worker
+            self.telemetry.counters["parallel.leaked_workers"] += leaked
         self._connections = []
         self._processes = []
 

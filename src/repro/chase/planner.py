@@ -40,6 +40,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+# How many work items (matches in the sequential/columnar executors,
+# decoded result rows on the parallel coordinator, inserted rows in the
+# store chase) an inner loop processes between deadline/cancellation
+# checks.  A power of two: the executors test ``counter &
+# (CONTROL_CHECK_STRIDE - 1)`` so the disabled-path cost stays one
+# branch per item.  256 keeps the in-round response latency well under a
+# millisecond on every bench workload while making the check cost
+# unmeasurable (pinned by the ``fault_tolerance`` bench-guard scenario).
+CONTROL_CHECK_STRIDE = 256
+
 from ..logic.homomorphism import JoinPlan, plan_join
 from ..logic.signature import Predicate
 from ..logic.terms import Term, Variable

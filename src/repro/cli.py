@@ -24,6 +24,12 @@ telemetry (per-round counters, search effort, phase timings) in text mode.
 (:mod:`repro.storage`) — the chase materializes into the database
 (``--resume`` continues a budget-stopped run from disk) and ``answer``
 evaluates the compiled UCQ rewriting inside SQLite's join engine.
+
+Interruption (see ``docs/robustness.md``): ``chase`` and ``answer``
+install a cooperative SIGINT handler — the first Ctrl-C cancels at the
+next round boundary (leaving resumable state; exit code 130), a second
+Ctrl-C aborts immediately.  ``--deadline SECONDS`` bounds wall-clock the
+same way, through :attr:`repro.chase.ChaseBudget.deadline_s`.
 """
 
 from __future__ import annotations
@@ -31,10 +37,18 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import signal
 import sys
 from pathlib import Path
 
-from .chase import ChaseBudget, chase, core_termination
+from .chase import (
+    CancellationToken,
+    ChaseBudget,
+    ChaseBudgetExceeded,
+    ChaseCancelled,
+    chase,
+    core_termination,
+)
 from .chase.engine import DEFAULT_CHASE_BACKEND
 from .classes import classify
 from .logic import parse_instance, parse_query, parse_theory
@@ -70,6 +84,59 @@ def _add_common(parser: argparse.ArgumentParser, stats: bool = False) -> None:
 
 def _emit_json(document: dict) -> None:
     print(json.dumps(document, indent=2, sort_keys=True))
+
+
+class _SigintCancel:
+    """Cooperative Ctrl-C for long engine runs.
+
+    The first SIGINT fires the :class:`~repro.chase.CancellationToken`
+    (the engine stops at its next check, abandoning only the unfinished
+    round — state stays resumable) and tells the user so; a second
+    SIGINT restores Python's default handler behaviour and aborts hard.
+    Outside the main thread ``signal.signal`` is unavailable; the scope
+    then degrades to a plain token nobody fires.
+    """
+
+    def __init__(self) -> None:
+        self.token = CancellationToken()
+        self._previous = None
+        self._installed = False
+
+    def _handle(self, signum, frame) -> None:
+        if self.token.cancelled:  # second Ctrl-C: abort now
+            signal.signal(signal.SIGINT, signal.default_int_handler)
+            raise KeyboardInterrupt
+        self.token.cancel()
+        print(
+            "interrupted: stopping at the next safe point; state stays "
+            "resumable (Ctrl-C again to abort hard)",
+            file=sys.stderr,
+        )
+
+    def __enter__(self) -> CancellationToken:
+        try:
+            self._previous = signal.signal(signal.SIGINT, self._handle)
+            self._installed = True
+        except ValueError:  # not the main thread
+            pass
+        return self.token
+
+    def __exit__(self, *exc_info) -> None:
+        if self._installed:
+            signal.signal(signal.SIGINT, self._previous)
+
+
+def _cancelled_exit(args: argparse.Namespace) -> int:
+    """Report a SIGINT-cancelled run: resume hint, then POSIX 128+2."""
+    if getattr(args, "db", None):
+        print(
+            f"cancelled; rerun with --resume --db {args.db} to continue "
+            "from the last complete round",
+            file=sys.stderr,
+        )
+    else:
+        print("cancelled", file=sys.stderr)
+    return 130
 
 
 def _print_stats(stats: dict) -> None:
@@ -112,7 +179,9 @@ def _guard_checkpoint_target(store, theory) -> None:
         )
 
 
-def _cmd_chase_sqlite(args: argparse.Namespace, theory, budget: ChaseBudget) -> int:
+def _cmd_chase_sqlite(
+    args: argparse.Namespace, theory, budget: ChaseBudget, cancel=None
+) -> int:
     """``chase --backend sqlite``: materialize into (or resume from) a db.
 
     Theories the store chase supports run entirely inside SQLite; rules
@@ -124,9 +193,9 @@ def _cmd_chase_sqlite(args: argparse.Namespace, theory, budget: ChaseBudget) -> 
     """
     from .storage import (
         CheckpointError,
-        SQLiteStore,
         StoreChaseError,
         chase_into_store,
+        open_checkpoint_store,
         resume_from_checkpoint,
         resume_store_chase,
         save_checkpoint,
@@ -135,11 +204,18 @@ def _cmd_chase_sqlite(args: argparse.Namespace, theory, budget: ChaseBudget) -> 
     needs_memory_fallback = any(
         rule.universal_head_variables() for rule in theory
     )
-    with SQLiteStore(args.db if args.db else ":memory:") as store:
+    try:
+        store_handle = open_checkpoint_store(args.db if args.db else ":memory:")
+    except CheckpointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    with store_handle as store:
         try:
             if args.resume:
                 if store.get_meta("storechase.schema") is not None:
-                    result = resume_store_chase(store, theory=theory, budget=budget)
+                    result = resume_store_chase(
+                        store, theory=theory, budget=budget, cancel=cancel
+                    )
                     atom_count = result.atom_count
                     rounds_run, terminated = result.rounds_run, result.terminated
                     stats = result.stats.as_dict()
@@ -153,7 +229,7 @@ def _cmd_chase_sqlite(args: argparse.Namespace, theory, budget: ChaseBudget) -> 
             elif needs_memory_fallback:
                 instance = parse_instance(_read(args.instance, args.inline))
                 _guard_checkpoint_target(store, theory)
-                mem_result = chase(theory, instance, budget=budget)
+                mem_result = chase(theory, instance, budget=budget, cancel=cancel)
                 save_checkpoint(mem_result, store)
                 atom_count = len(mem_result.instance)
                 rounds_run = mem_result.rounds_run
@@ -161,7 +237,9 @@ def _cmd_chase_sqlite(args: argparse.Namespace, theory, budget: ChaseBudget) -> 
                 stats = mem_result.stats.as_dict()
             else:
                 instance = parse_instance(_read(args.instance, args.inline))
-                result = chase_into_store(theory, instance, store, budget=budget)
+                result = chase_into_store(
+                    theory, instance, store, budget=budget, cancel=cancel
+                )
                 atom_count = result.atom_count
                 rounds_run, terminated = result.rounds_run, result.terminated
                 stats = result.stats.as_dict()
@@ -214,17 +292,27 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
-    budget = ChaseBudget(max_rounds=args.rounds, max_atoms=args.max_atoms)
-    if resolved.name == "sqlite":
-        return _cmd_chase_sqlite(args, theory, budget)
-    instance = parse_instance(_read(args.instance, args.inline))
-    result = chase(
-        theory,
-        instance,
-        budget=budget,
-        workers=args.workers,
-        backend=resolved.name,
+    budget = ChaseBudget(
+        max_rounds=args.rounds,
+        max_atoms=args.max_atoms,
+        deadline_s=args.deadline,
     )
+    if resolved.name == "sqlite":
+        with _SigintCancel() as token:
+            code = _cmd_chase_sqlite(args, theory, budget, cancel=token)
+        if token.cancelled and code == 0:
+            return _cancelled_exit(args)
+        return code
+    instance = parse_instance(_read(args.instance, args.inline))
+    with _SigintCancel() as token:
+        result = chase(
+            theory,
+            instance,
+            budget=budget,
+            workers=args.workers,
+            backend=resolved.name,
+            cancel=token,
+        )
     stats = result.stats.as_dict()
     if args.json:
         _emit_json(
@@ -238,14 +326,14 @@ def _cmd_chase(args: argparse.Namespace) -> int:
                 "stats": stats,
             }
         )
-        return 0
+        return _cancelled_exit(args) if token.cancelled else 0
     status = "fixpoint" if result.terminated else f"truncated at {result.rounds_run} rounds"
     print(f"# {len(result.instance)} atoms ({status})")
     if args.stats:
         _print_stats(stats)
     for item in sorted(result.instance, key=repr):
         print(item)
-    return 0
+    return _cancelled_exit(args) if token.cancelled else 0
 
 
 def _cmd_rewrite(args: argparse.Namespace) -> int:
@@ -277,6 +365,8 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
 
 
 def _cmd_answer(args: argparse.Namespace) -> int:
+    import sqlite3
+
     try:
         resolved = resolve_backend(args.backend, args.db)
     except ValueError as exc:
@@ -285,17 +375,47 @@ def _cmd_answer(args: argparse.Namespace) -> int:
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
     instance = parse_instance(_read(args.instance, args.inline))
     query = parse_query(_read(args.query, args.inline))
-    session = OMQASession(theory, workers=args.workers, db_path=resolved.path)
-    prepared = session.prepare(query)
-    if resolved.name == "columnar":
-        strategy = "columnar"
-    elif resolved.name == "sqlite" and prepared.complete:
-        strategy = "sql"
-    elif prepared.complete:
-        strategy = "rewrite"
-    else:
-        strategy = "materialize"
-    answers = session.answer(query, instance, strategy=strategy)
+    chase_budget = None
+    if args.deadline is not None:
+        chase_budget = ChaseBudget(
+            max_rounds=100, max_atoms=500_000, deadline_s=args.deadline
+        )
+    with _SigintCancel() as token:
+        session = OMQASession(
+            theory,
+            chase_budget=chase_budget,
+            workers=args.workers,
+            db_path=resolved.path,
+            cancel=token,
+        )
+        prepared = session.prepare(query)
+        if resolved.name == "columnar":
+            strategy = "columnar"
+        elif resolved.name == "sqlite" and prepared.complete:
+            strategy = "sql"
+        elif prepared.complete:
+            strategy = "rewrite"
+        else:
+            strategy = "materialize"
+        try:
+            answers = session.answer(query, instance, strategy=strategy)
+        except ChaseCancelled:
+            print(
+                "cancelled before the materialization reached a fixpoint; "
+                "no sound answers to report",
+                file=sys.stderr,
+            )
+            return 130
+        except ChaseBudgetExceeded as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        except sqlite3.DatabaseError as error:
+            print(
+                f"error: --db {args.db!r} is not a readable SQLite "
+                f"database: {error}",
+                file=sys.stderr,
+            )
+            return 2
     stats = session.stats.as_dict()
     if args.backend == "sqlite":
         session.close()
@@ -458,6 +578,14 @@ def build_parser() -> argparse.ArgumentParser:
     chase_cmd.add_argument("--rounds", type=int, default=10)
     chase_cmd.add_argument("--max-atoms", type=int, default=100_000)
     chase_cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; the chase stops at the next safe point "
+        "and leaves resumable state (ChaseBudget.deadline_s)",
+    )
+    chase_cmd.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -502,6 +630,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes for the materialization chase, if one runs",
+    )
+    answer_cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for any fallback materialization chase",
     )
     answer_cmd.add_argument(
         "--backend",

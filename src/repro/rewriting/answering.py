@@ -22,7 +22,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..chase.engine import ChaseBudget, ChaseResult, _coerce_budget, chase
+from ..chase.engine import (
+    CancellationToken,
+    ChaseBudget,
+    ChaseResult,
+    _coerce_budget,
+    chase,
+)
 from ..logic.containment import evaluate_ucq
 from ..logic.homomorphism import evaluate
 from ..logic.instance import Instance
@@ -105,6 +111,7 @@ def answer_by_materialization(
     prepared: ChaseResult | None = None,
     max_rounds: int | None = None,
     max_atoms: int | None = None,
+    cancel: "CancellationToken | None" = None,
 ) -> set[tuple[Term, ...]]:
     """Certain answers via chasing.
 
@@ -133,7 +140,7 @@ def answer_by_materialization(
             budget = ChaseBudget(
                 max_rounds=depth, max_atoms=budget.max_atoms, on_exceeded=budget.on_exceeded
             )
-        result = chase(theory, instance, budget=budget)
+        result = chase(theory, instance, budget=budget, cancel=cancel)
         if depth is None and not result.terminated:
             raise RuntimeError(
                 "chase did not terminate within budget; pass an explicit depth "
@@ -148,6 +155,7 @@ def certain_answers(
     instance: Instance,
     budget: RewritingBudget | None = None,
     chase_budget: ChaseBudget | None = None,
+    cancel: "CancellationToken | None" = None,
 ) -> set[tuple[Term, ...]]:
     """Certain answers by the safest available route.
 
@@ -159,7 +167,9 @@ def certain_answers(
     result = rewrite(theory, query, budget)
     if result.complete:
         return answer_by_rewriting(theory, query, instance, prepared=result)
-    return answer_by_materialization(theory, query, instance, budget=chase_budget)
+    return answer_by_materialization(
+        theory, query, instance, budget=chase_budget, cancel=cancel
+    )
 
 
 def answer(
@@ -170,6 +180,7 @@ def answer(
     db_path: "str | None" = None,
     budget: RewritingBudget | None = None,
     chase_budget: ChaseBudget | None = None,
+    cancel: "CancellationToken | None" = None,
 ) -> set[tuple[Term, ...]]:
     """Certain answers with a storage-backend switch.
 
@@ -197,6 +208,11 @@ def answer(
     and evaluates the query over the materialized store, answers
     restricted to the base domain as usual.
 
+    ``cancel`` threads a :class:`~repro.chase.engine.CancellationToken`
+    into whichever fallback chase the backend runs (rewriting-route
+    evaluation is not interruptible — it is one query, not a fixpoint);
+    a fired token surfaces as the chase's usual interruption semantics.
+
     A ``db_path`` pointing at a database that already holds facts is
     accepted only when those facts are content-identical to ``instance``
     (the digest check mirrors ``OMQASession``'s store reuse); anything
@@ -208,7 +224,9 @@ def answer(
 
     resolved = resolve_backend(backend, db_path)
     if resolved.name == "memory":
-        return certain_answers(theory, query, instance, budget, chase_budget)
+        return certain_answers(
+            theory, query, instance, budget, chase_budget, cancel=cancel
+        )
     chase_budget = chase_budget or DEFAULT_ANSWER_CHASE_BUDGET
     if resolved.name == "columnar":
         from ..chase.columnar_kernel import evaluate_ucq_columnar
@@ -222,7 +240,8 @@ def answer(
                 answers.add(())
             return answers
         materialized = chase(
-            theory, instance, budget=chase_budget, backend="columnar"
+            theory, instance, budget=chase_budget, backend="columnar",
+            cancel=cancel,
         )
         if not materialized.terminated:
             raise RuntimeError(
@@ -250,7 +269,9 @@ def answer(
             else:
                 store.add_many(instance)
             return answer_by_rewriting_sql(theory, query, store, prepared=result)
-        outcome = chase_into_store(theory, instance, store, budget=chase_budget)
+        outcome = chase_into_store(
+            theory, instance, store, budget=chase_budget, cancel=cancel
+        )
         if not outcome.terminated:
             raise RuntimeError(
                 "store chase did not terminate within budget and the "

@@ -34,7 +34,14 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from ..chase.engine import ChaseBudget, ChaseBudgetExceeded, ChaseResult, chase
+from ..chase.engine import (
+    CancellationToken,
+    ChaseBudget,
+    ChaseBudgetExceeded,
+    ChaseCancelled,
+    ChaseResult,
+    chase,
+)
 from ..logic.instance import Instance
 from ..logic.query import ConjunctiveQuery
 from ..logic.terms import Term, Variable
@@ -83,12 +90,17 @@ class OMQASession:
         chase_budget: ChaseBudget | None = None,
         workers: int | None = None,
         db_path: "str | None" = None,
+        cancel: "CancellationToken | None" = None,
     ) -> None:
         self.theory = theory
         self.rewriting_budget = rewriting_budget
         self.chase_budget = chase_budget or ChaseBudget(
             max_rounds=100, max_atoms=500_000
         )
+        # Cooperative cancellation: every chase the session triggers
+        # watches this token (the CLI's SIGINT handler fires it), so a
+        # long materialization stops at the next check, not at the end.
+        self.cancel = cancel
         # Round-executor process count for materializations; ``None``
         # defers to ``chase_budget.workers``.  Chase results are
         # executor-independent (see repro.chase.parallel), so cached
@@ -142,10 +154,18 @@ class OMQASession:
             return cached
         self._misses["chase"] += 1
         result = chase(
-            self.theory, instance, budget=self.chase_budget, workers=self.workers
+            self.theory,
+            instance,
+            budget=self.chase_budget,
+            workers=self.workers,
+            cancel=self.cancel,
         )
         self.stats.merge(result.stats)
         if not result.terminated:
+            if self.cancel is not None and self.cancel.cancelled:
+                raise ChaseCancelled(
+                    "materialization cancelled before reaching a fixpoint"
+                )
             raise ChaseBudgetExceeded(
                 f"chase did not reach a fixpoint within {self.chase_budget}; "
                 "answer via a complete rewriting or raise the session's budget"

@@ -38,8 +38,10 @@ from .checkpoint import (
     CheckpointError,
     checkpoint_chase,
     load_checkpoint,
+    open_checkpoint_store,
     resume_from_checkpoint,
     save_checkpoint,
+    save_checkpoint_atomic,
 )
 from .chasestore import (
     StoreChaseError,
@@ -70,9 +72,11 @@ __all__ = [
     "execute_compiled",
     "instance_digest",
     "load_checkpoint",
+    "open_checkpoint_store",
     "open_store",
     "resolve_backend",
     "resume_from_checkpoint",
     "resume_store_chase",
     "save_checkpoint",
+    "save_checkpoint_atomic",
 ]

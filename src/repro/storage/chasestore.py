@@ -22,7 +22,16 @@ only in a :class:`~repro.storage.sqlite.SQLiteStore`:
 * the chase state (theory, completed rounds, termination) is persisted
   in the store's meta table after every round, so a budget-stopped run
   is resumable from disk — by Observation 8 and Skolem-naming
-  determinism the continuation is exact, not approximate.
+  determinism the continuation is exact, not approximate;
+* each round commits **atomically**: the round's fact rows and the
+  updated ``storechase.*`` state land in one SQLite transaction, so a
+  process killed at *any* instant (even ``SIGKILL`` mid-insert) leaves
+  the database at the last complete round and
+  :func:`resume_store_chase` continues exactly — see
+  ``docs/robustness.md``.  Deadlines (``ChaseBudget.deadline_s``) and
+  :class:`~repro.chase.engine.CancellationToken` are honoured at round
+  boundaries and inside long rounds; an interrupted round is rolled
+  back, never half-applied.
 
 Not supported here: rules with *universal head variables* (the ``T_d``
 style ``true -> exists z. R(x, z)`` rules, whose head ranges over the
@@ -33,10 +42,21 @@ engine plus :mod:`repro.storage.checkpoint` covers them.
 from __future__ import annotations
 
 import json
+import os
+import signal
 import time
 from dataclasses import dataclass
 
-from ..chase.engine import ChaseBudget, ChaseBudgetExceeded
+from .. import faults
+from ..chase.engine import (
+    CancellationToken,
+    ChaseBudget,
+    ChaseBudgetExceeded,
+    _RoundInterrupt,
+    _RunControl,
+    note_interruption,
+)
+from ..chase.planner import CONTROL_CHECK_STRIDE
 from ..chase.skolem import skolemize
 from ..logic.instance import Instance
 from ..logic.terms import Constant, FunctionTerm, Variable
@@ -174,11 +194,29 @@ def _theory_text(theory: Theory) -> str:
 
 
 def _persist_state(
-    store: SQLiteStore, rounds: int, terminated: bool, stats: Telemetry
+    store: SQLiteStore,
+    rounds: int,
+    terminated: bool,
+    stats: Telemetry,
+    commit: bool = True,
 ) -> None:
-    store.set_meta("storechase.rounds", str(rounds))
-    store.set_meta("storechase.terminated", "1" if terminated else "0")
-    store.set_meta("storechase.stats", json.dumps(stats.as_dict()))
+    store.set_meta("storechase.rounds", str(rounds), commit=False)
+    store.set_meta("storechase.terminated", "1" if terminated else "0", commit=False)
+    store.set_meta("storechase.stats", json.dumps(stats.as_dict()), commit=False)
+    if commit:
+        store.commit()
+
+
+def _maybe_kill(name: str, round_: int) -> None:
+    """Fault hook: die without ceremony, as a crashed process would.
+
+    ``storechase.kill`` fires just before the round commit,
+    ``storechase.kill_midround`` during row inserts — both must leave a
+    database that resumes to the exact fixpoint (the chaos suite checks
+    digests and counters across the kill).
+    """
+    if faults.active() and faults.fire(name, round_):
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 def chase_into_store(
@@ -186,6 +224,7 @@ def chase_into_store(
     base: "Instance | None",
     store: SQLiteStore,
     budget: "ChaseBudget | None" = None,
+    cancel: "CancellationToken | None" = None,
 ) -> StoreChaseResult:
     """Run (or continue) the Skolem chase with facts living in ``store``.
 
@@ -199,7 +238,9 @@ def chase_into_store(
 
     Raises :class:`StoreChaseError` for rules with universal head
     variables, mismatched resume state, or a non-empty store with no
-    chase state.  Budget overruns follow ``budget.on_exceeded``.
+    chase state.  Budget overruns — including ``budget.deadline_s`` and
+    a fired ``cancel`` token — follow ``budget.on_exceeded``; either
+    way the store holds the last *complete* round and can be resumed.
     """
     budget = budget if budget is not None else ChaseBudget()
     stats = store.stats
@@ -228,6 +269,10 @@ def chase_into_store(
             )
         rounds_run = int(store.get_meta("storechase.rounds", "0"))
         terminated = store.get_meta("storechase.terminated") == "1"
+        # Remove debris from a crashed round: the per-round transaction
+        # makes this a no-op in practice, but resume stays idempotent
+        # even against databases written by older layouts.
+        store.delete_rounds_above(rounds_run)
         total = len(store)
         # A fresh connection starts with an empty collector; fold the
         # persisted snapshot back in so a suspended-and-resumed chase
@@ -246,66 +291,111 @@ def chase_into_store(
                 "store holds facts but no store-chase state; start from an "
                 "empty store (or resume one this module wrote)"
             )
+        # Base facts and the initial state markers land in ONE
+        # transaction: a crash during setup leaves either a fully
+        # initialised store or an untouched one, never facts without
+        # ``storechase.*`` state.
         if base is not None:
-            store.add_many(base, round_=0)
-        store.set_meta("storechase.schema", STORE_CHASE_SCHEMA)
-        store.set_meta("storechase.theory", theory_text)
+            for item in base:
+                store.buffer(item, round_=0)
+            store._flush_pending()
+        store.set_meta("storechase.schema", STORE_CHASE_SCHEMA, commit=False)
+        store.set_meta("storechase.theory", theory_text, commit=False)
         rounds_run = 0
         terminated = False
+        _persist_state(store, rounds_run, terminated, stats, commit=False)
+        store.commit()
         total = len(store)
-        _persist_state(store, rounds_run, terminated, stats)
 
     batch_size = store.batch_size
+    control = _RunControl.start(budget, cancel)
+    stride = CONTROL_CHECK_STRIDE - 1
+    interrupted: "str | None" = None
 
-    with stats.phase("chase"):
+    with stats.timer("chase"):
         for _ in range(budget.max_rounds):
+            if control is not None:
+                reason = control.interruption()
+                if reason is not None:
+                    interrupted = reason
+                    break
             round_number = rounds_run + 1
             round_started = time.perf_counter()
             terms_before = counters["store.terms_interned"]
             matches = 0
             produced_rows = 0
             inserted = 0
-            for rule in prepared:
-                if not rule.body:
-                    # Bodyless rules (no universal variables, so the head
-                    # is ground after skolemization) fire exactly once,
-                    # in the first round.
-                    if round_number != 1:
-                        continue
-                    matches += 1
-                    for predicate, ids in _apply_rule(rule, (), store):
-                        produced_rows += 1
-                        inserted += store.insert_rows(predicate, [ids], round_number)
-                    continue
-                for bounds in rule.round_plans(round_number):
-                    compiled = build_select(
-                        rule.body,
-                        rule.var_order,
-                        store,
-                        round_bounds=bounds,
-                        distinct=False,
-                    )
-                    if compiled is None:
-                        continue  # a body predicate has no fact table yet
-                    pending: dict = {}
-                    pending_rows = 0
-                    for row in store._select(compiled.sql, compiled.params):
+            try:
+                for rule in prepared:
+                    if control is not None:
+                        reason = control.interruption()
+                        if reason is not None:
+                            raise _RoundInterrupt(reason)
+                    if not rule.body:
+                        # Bodyless rules (no universal variables, so the head
+                        # is ground after skolemization) fire exactly once,
+                        # in the first round.
+                        if round_number != 1:
+                            continue
                         matches += 1
-                        counters["store.rows_scanned"] += 1
-                        for predicate, ids in _apply_rule(rule, row, store):
+                        for predicate, ids in _apply_rule(rule, (), store):
                             produced_rows += 1
-                            pending.setdefault(predicate, []).append(ids)
-                            pending_rows += 1
-                        if pending_rows >= batch_size:
-                            for predicate, rows in pending.items():
-                                inserted += store.insert_rows(
-                                    predicate, rows, round_number
+                            inserted += store.insert_rows(
+                                predicate, [ids], round_number
+                            )
+                        continue
+                    for bounds in rule.round_plans(round_number):
+                        compiled = build_select(
+                            rule.body,
+                            rule.var_order,
+                            store,
+                            round_bounds=bounds,
+                            distinct=False,
+                        )
+                        if compiled is None:
+                            continue  # a body predicate has no fact table yet
+                        pending: dict = {}
+                        pending_rows = 0
+                        for row in store._select(compiled.sql, compiled.params):
+                            matches += 1
+                            if control is not None and not (matches & stride):
+                                reason = control.interruption()
+                                if reason is not None:
+                                    raise _RoundInterrupt(reason)
+                            counters["store.rows_scanned"] += 1
+                            for predicate, ids in _apply_rule(rule, row, store):
+                                produced_rows += 1
+                                pending.setdefault(predicate, []).append(ids)
+                                pending_rows += 1
+                            if pending_rows >= batch_size:
+                                for predicate, rows in pending.items():
+                                    inserted += store.insert_rows(
+                                        predicate, rows, round_number
+                                    )
+                                pending.clear()
+                                pending_rows = 0
+                                _maybe_kill(
+                                    "storechase.kill_midround", round_number
                                 )
-                            pending.clear()
-                            pending_rows = 0
-                    for predicate, rows in pending.items():
-                        inserted += store.insert_rows(predicate, rows, round_number)
-            store.connection.commit()
+                        for predicate, rows in pending.items():
+                            inserted += store.insert_rows(
+                                predicate, rows, round_number
+                            )
+                        if pending:
+                            _maybe_kill("storechase.kill_midround", round_number)
+            except _RoundInterrupt as stop:
+                # Abandon the round wholesale: rows inserted so far are
+                # rolled back, so disk holds exactly the last complete
+                # round (Observation 8 makes the re-run exact).
+                store.rollback()
+                stats.record_round(
+                    round=round_number,
+                    aborted=True,
+                    total_atoms=total,
+                    seconds=round(time.perf_counter() - round_started, 6),
+                )
+                interrupted = stop.reason
+                break
             total += inserted
             dedup_hits = produced_rows - inserted
             counters["chase.rounds"] += 1
@@ -325,7 +415,11 @@ def chase_into_store(
                 total_atoms=total,
                 seconds=round(time.perf_counter() - round_started, 6),
             )
-            _persist_state(store, rounds_run, terminated, stats)
+            # The round's facts and the updated chase state commit as ONE
+            # transaction — the SIGKILL-atomicity the chaos suite pins.
+            _persist_state(store, rounds_run, terminated, stats, commit=False)
+            _maybe_kill("storechase.kill", round_number)
+            store.commit()
             if terminated:
                 break
             if total > budget.max_atoms:
@@ -335,6 +429,8 @@ def chase_into_store(
                         f"{rounds_run} rounds"
                     )
                 break
+        if interrupted is not None:
+            note_interruption(stats, interrupted, budget, rounds_run)
 
     return StoreChaseResult(
         store=store,
@@ -349,6 +445,7 @@ def resume_store_chase(
     store: SQLiteStore,
     theory: "Theory | None" = None,
     budget: "ChaseBudget | None" = None,
+    cancel: "CancellationToken | None" = None,
 ) -> StoreChaseResult:
     """Continue a persisted store chase (``theory`` defaults to the stored one)."""
     if store.get_meta("storechase.schema") is None:
@@ -359,4 +456,4 @@ def resume_store_chase(
         theory = parse_theory(
             store.get_meta("storechase.theory", ""), name="storechase"
         )
-    return chase_into_store(theory, None, store, budget=budget)
+    return chase_into_store(theory, None, store, budget=budget, cancel=cancel)

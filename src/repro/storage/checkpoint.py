@@ -22,12 +22,25 @@ Not persisted: per-atom derivations (provenance).  A resumed run records
 derivations for the atoms *it* produces; prefix provenance is
 re-derivable by re-chasing when needed (``Appendix A`` enumerates all
 derivations anyway — the recorded one is a choice, not ground truth).
+
+Crash safety: :func:`save_checkpoint` writes facts and metadata in one
+transaction (a crash mid-save rolls back to the previous checkpoint),
+and :func:`save_checkpoint_atomic` additionally makes *file-level*
+replacement atomic — write to a temp database, fsync, ``os.replace`` —
+so the path named by the caller only ever holds a complete checkpoint,
+whatever happens to the process.  :func:`load_checkpoint` turns a
+corrupt or truncated database file into :class:`CheckpointError`
+instead of a raw ``sqlite3`` exception.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import sqlite3
+from pathlib import Path
 
+from .. import faults
 from ..chase.engine import ChaseBudget, ChaseResult, chase, resume
 from ..logic.instance import Instance
 from ..logic.serialize import dump_theory
@@ -48,16 +61,74 @@ def save_checkpoint(result: ChaseResult, store: SQLiteStore) -> None:
     Facts are written round-tagged with batched ``INSERT OR IGNORE``, so
     saving a resumed result over its own earlier checkpoint extends the
     store in place (the shared prefix keeps its original tags).
+
+    The facts and every ``checkpoint.*`` key commit as **one**
+    transaction: a crash mid-save rolls the store back to its previous
+    state, never to facts with stale (or missing) metadata.
     """
     for round_number, added in enumerate(result.round_added):
         for item in added:
             store.buffer(item, round_=round_number)
-    store.flush()
-    store.set_meta("checkpoint.schema", CHECKPOINT_SCHEMA)
-    store.set_meta("checkpoint.theory", dump_theory(result.theory))
-    store.set_meta("checkpoint.rounds", str(result.rounds_run))
-    store.set_meta("checkpoint.terminated", "1" if result.terminated else "0")
-    store.set_meta("checkpoint.stats", json.dumps(result.stats.as_dict()))
+    store._flush_pending()
+    store.set_meta("checkpoint.schema", CHECKPOINT_SCHEMA, commit=False)
+    store.set_meta("checkpoint.theory", dump_theory(result.theory), commit=False)
+    store.set_meta("checkpoint.rounds", str(result.rounds_run), commit=False)
+    store.set_meta(
+        "checkpoint.terminated", "1" if result.terminated else "0", commit=False
+    )
+    store.set_meta(
+        "checkpoint.stats", json.dumps(result.stats.as_dict()), commit=False
+    )
+    store.commit()
+
+
+def save_checkpoint_atomic(result: ChaseResult, path: "str | Path") -> None:
+    """Save a checkpoint so ``path`` never holds a partial database.
+
+    The checkpoint is written to a temp file next to ``path``, fsynced,
+    and moved into place with ``os.replace`` — POSIX-atomic, so readers
+    (and a machine losing power) see either the old complete checkpoint
+    or the new complete one, nothing in between.  The ``checkpoint.crash``
+    fault kills the process between the temp write and the rename; the
+    chaos suite pins that ``path`` is untouched afterwards.  A killed
+    process may leave a pid-suffixed ``*.tmp.*`` file behind — harmless
+    debris, overwritten or ignorable, never confused for ``path``.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
+    try:
+        with SQLiteStore(tmp) as scratch:
+            save_checkpoint(result, scratch)
+        # The store is closed (WAL folded back into the main file);
+        # fsync the database bytes before the rename makes them visible.
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        if faults.active() and faults.fire("checkpoint.crash"):
+            os._exit(70)
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def open_checkpoint_store(path: "str | Path", **store_kwargs) -> SQLiteStore:
+    """Open ``path`` as a checkpoint store, diagnosing unreadable files.
+
+    A truncated or corrupted database file (half-copied checkpoint,
+    disk-full debris) surfaces as :class:`CheckpointError` with the
+    path named, instead of a bare ``sqlite3.DatabaseError`` from deep
+    inside the schema bootstrap — the CLI turns this into a clean
+    ``exit 2`` diagnostic.
+    """
+    try:
+        return SQLiteStore(path, **store_kwargs)
+    except sqlite3.DatabaseError as error:
+        raise CheckpointError(
+            f"{str(path)!r} is not a readable SQLite database: {error}"
+        ) from error
 
 
 def load_checkpoint(
@@ -69,7 +140,12 @@ def load_checkpoint(
     original ``Theory`` object identity and its prepared-rule cache);
     when omitted, the theory is re-parsed from the checkpoint.
     """
-    schema = store.get_meta("checkpoint.schema")
+    try:
+        schema = store.get_meta("checkpoint.schema")
+    except sqlite3.DatabaseError as error:
+        raise CheckpointError(
+            f"{store!r} is not a readable checkpoint database: {error}"
+        ) from error
     if schema is None:
         raise CheckpointError(f"{store!r} holds no checkpoint")
     if schema != CHECKPOINT_SCHEMA:

@@ -32,19 +32,30 @@ Deduplication is ``INSERT OR IGNORE`` against the primary key — re-adding
 a fact never changes its round tag, which is exactly the "first round it
 appeared in" semantics of Definition 6.
 
+Concurrency: connections open with ``PRAGMA busy_timeout`` so writers
+wait for each other at the SQLite level, and every commit (plus the
+batched write paths) runs under a bounded jittered-backoff retry on
+``database is locked`` — transient contention between processes sharing
+a database file degrades to latency, not an exception (counted under
+``store.lock_retries``; see ``docs/robustness.md``).
+
 Telemetry (``store.*`` counters, see ``docs/architecture.md`` §6):
 ``store.writes`` facts submitted, ``store.batches`` buffer flushes,
 ``store.sql_queries`` SELECT statements executed, ``store.rows_scanned``
-result rows fetched, ``store.terms_interned`` dictionary inserts.
+result rows fetched, ``store.terms_interned`` dictionary inserts,
+``store.lock_retries`` lock-contention retries.
 """
 
 from __future__ import annotations
 
+import random
 import re
 import sqlite3
+import time
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from .. import faults
 from ..logic.atoms import Atom
 from ..logic.instance import Instance
 from ..logic.signature import Predicate
@@ -77,6 +88,12 @@ CREATE TABLE IF NOT EXISTS repro_predicates (
 # the id/display maps cannot be allowed to mirror the whole dictionary.
 _CACHE_CAP = 500_000
 
+# How long SQLite itself waits on a locked database before returning
+# SQLITE_BUSY (milliseconds), and how many times the Python layer then
+# retries the statement with jittered exponential backoff on top.
+_BUSY_TIMEOUT_MS = 5_000
+_LOCK_RETRIES = 5
+
 
 def _trim(cache: dict) -> None:
     if len(cache) > _CACHE_CAP:
@@ -107,6 +124,7 @@ class SQLiteStore(TermInterningMixin):
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute("PRAGMA temp_store=MEMORY")
+        self._conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
         self._tables: dict[Predicate, str] = {}
         self._init_term_caches()
         self._pending: dict[Predicate, list[tuple]] = {}
@@ -133,6 +151,58 @@ class SQLiteStore(TermInterningMixin):
         """Run a SELECT with ``store.sql_queries`` accounting."""
         self.stats.counters["store.sql_queries"] += 1
         return self.connection.execute(sql, params)
+
+    def _guarded(self, action):
+        """Run a write action, retrying transient ``database is locked``.
+
+        ``PRAGMA busy_timeout`` absorbs most contention inside SQLite;
+        whatever still surfaces as ``OperationalError: database is
+        locked`` is retried up to ``_LOCK_RETRIES`` times with jittered
+        exponential backoff (counted under ``store.lock_retries``) —
+        concurrent writers on one database file cost latency, never an
+        exception.  Any other error, or exhaustion, propagates.  The
+        ``sqlite.locked`` fault injects one synthetic contention here.
+        """
+        attempt = 0
+        while True:
+            try:
+                if faults.active() and faults.fire("sqlite.locked"):
+                    raise sqlite3.OperationalError("database is locked")
+                return action()
+            except sqlite3.OperationalError as error:
+                if "locked" not in str(error).lower() or attempt >= _LOCK_RETRIES:
+                    raise
+                attempt += 1
+                self.stats.counters["store.lock_retries"] += 1
+                delay = min(0.02 * (2**attempt), 0.25)
+                time.sleep(delay * (0.5 + random.random() / 2))
+
+    def commit(self) -> None:
+        """Commit the open transaction (lock-retried, see :meth:`_guarded`)."""
+        self._guarded(self.connection.commit)
+
+    def rollback(self) -> None:
+        """Discard the open transaction and resynchronize Python state.
+
+        SQLite rolls back rows *and* in-transaction DDL, so everything
+        the Python layer learned during the transaction is suspect: the
+        write buffer is dropped, the interning caches are reset (they
+        may hold ids of dictionary rows that no longer exist) and the
+        predicate-table catalog is rebuilt from ``repro_predicates``.
+        The store chase calls this when a deadline or cancellation
+        abandons a round mid-insert — the database then holds exactly
+        the last committed round.
+        """
+        self._pending.clear()
+        self._pending_rows = 0
+        conn = self.connection
+        conn.rollback()
+        self._init_term_caches()
+        self._tables = {}
+        for name, arity, table in conn.execute(
+            "SELECT name, arity, table_name FROM repro_predicates"
+        ):
+            self._tables[Predicate(name, arity)] = table
 
     # ------------------------------------------------------------------
     # Predicate tables
@@ -244,7 +314,7 @@ class SQLiteStore(TermInterningMixin):
             )
             self._pending_rows += 1
         inserted = self._flush_pending()
-        self.connection.commit()
+        self.commit()
         return inserted
 
     def _flush_pending(self) -> int:
@@ -263,13 +333,18 @@ class SQLiteStore(TermInterningMixin):
             table = self._tables[predicate]
             if predicate.arity:
                 slots = ", ".join("?" for _ in range(predicate.arity + 1))
-                conn.executemany(
-                    f"INSERT OR IGNORE INTO {table} VALUES ({slots})", rows
+                self._guarded(
+                    lambda: conn.executemany(
+                        f"INSERT OR IGNORE INTO {table} VALUES ({slots})", rows
+                    )
                 )
             else:
-                conn.executemany(
-                    f"INSERT OR IGNORE INTO {table} (present, round) VALUES (?, ?)",
-                    rows,
+                self._guarded(
+                    lambda: conn.executemany(
+                        f"INSERT OR IGNORE INTO {table} (present, round) "
+                        "VALUES (?, ?)",
+                        rows,
+                    )
                 )
         self._pending.clear()
         self._pending_rows = 0
@@ -296,14 +371,18 @@ class SQLiteStore(TermInterningMixin):
         before = conn.total_changes
         if predicate.arity:
             slots = ", ".join("?" for _ in range(predicate.arity + 1))
-            conn.executemany(
-                f"INSERT OR IGNORE INTO {table} VALUES ({slots})",
-                [row + (round_,) for row in rows],
+            self._guarded(
+                lambda: conn.executemany(
+                    f"INSERT OR IGNORE INTO {table} VALUES ({slots})",
+                    [row + (round_,) for row in rows],
+                )
             )
         else:
-            conn.executemany(
-                f"INSERT OR IGNORE INTO {table} (present, round) VALUES (?, ?)",
-                [(1, round_) for _ in rows],
+            self._guarded(
+                lambda: conn.executemany(
+                    f"INSERT OR IGNORE INTO {table} (present, round) VALUES (?, ?)",
+                    [(1, round_) for _ in rows],
+                )
             )
         return conn.total_changes - before
 
@@ -325,7 +404,7 @@ class SQLiteStore(TermInterningMixin):
     def flush(self) -> None:
         self._flush_pending()
         if self._conn is not None:
-            self._conn.commit()
+            self.commit()
 
     # ------------------------------------------------------------------
     # Reads
@@ -425,6 +504,30 @@ class SQLiteStore(TermInterningMixin):
             total += int(row[0])
         return total
 
+    def delete_rounds_above(self, round_: int) -> int:
+        """Delete facts tagged with a round strictly above ``round_``.
+
+        Crash-recovery surface for the store chase: a process killed
+        mid-round may leave a partially inserted round behind (WAL makes
+        the *commit* atomic, but an in-flight transaction interrupted by
+        SIGKILL is simply rolled back — this method additionally covers
+        debris from older, non-transactional layouts and makes resume
+        idempotent).  Returns how many rows were removed.
+        """
+        self._pending.clear()
+        self._pending_rows = 0
+        conn = self.connection
+        before = conn.total_changes
+        for table in self._tables.values():
+            self._guarded(
+                lambda: conn.execute(
+                    f"DELETE FROM {table} WHERE round > ?", (round_,)
+                )
+            )
+        removed = conn.total_changes - before
+        self.commit()
+        return removed
+
     def digest(self) -> str:
         """Content digest, rendered from the term dictionary's displays.
 
@@ -459,7 +562,7 @@ class SQLiteStore(TermInterningMixin):
         self._pending_rows = 0
         for table in self._tables.values():
             self.connection.execute(f"DELETE FROM {table}")
-        self.connection.commit()
+        self.commit()
 
     # ------------------------------------------------------------------
     # Metadata (checkpoints)
@@ -470,13 +573,18 @@ class SQLiteStore(TermInterningMixin):
         ).fetchone()
         return default if row is None else row[0]
 
-    def set_meta(self, key: str, value: str) -> None:
+    def set_meta(self, key: str, value: str, commit: bool = True) -> None:
+        """Set one key/value pair; ``commit=False`` leaves it in the
+        open transaction so callers can land metadata and facts
+        atomically (the store chase commits each round's rows and its
+        ``storechase.*`` markers in one transaction this way)."""
         self.connection.execute(
             "INSERT INTO repro_meta (key, value) VALUES (?, ?) "
             "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
             (key, value),
         )
-        self.connection.commit()
+        if commit:
+            self.commit()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -484,7 +592,7 @@ class SQLiteStore(TermInterningMixin):
     def close(self) -> None:
         if self._conn is not None:
             self._flush_pending()
-            self._conn.commit()
+            self._guarded(self._conn.commit)
             self._conn.close()
             self._conn = None
 

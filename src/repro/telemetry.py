@@ -54,7 +54,15 @@ store.terms_interned``
     the storage subsystem (``repro.storage``): facts submitted to a
     store, write-buffer flushes, SELECT statements executed (compiled
     rewritings and store-chase rounds included), result rows fetched
-    back into Python, and term-dictionary inserts.
+    back into Python, and term-dictionary inserts;
+``chase.deadline_hit / chase.cancelled / parallel.worker_restarts /
+store.lock_retries``
+    the fault-tolerance layer (see ``docs/robustness.md``): runs stopped
+    by ``ChaseBudget.deadline_s``, runs stopped by a
+    :class:`~repro.chase.CancellationToken`, dead parallel workers
+    respawned mid-run, and ``database is locked`` statements retried
+    with backoff; ``<name>.interrupted`` marks a :meth:`Telemetry.timer`
+    block that unwound with an exception.
 """
 
 from __future__ import annotations
@@ -98,6 +106,29 @@ class Telemetry:
         started = time.perf_counter()
         try:
             yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Like :meth:`phase`, but exception unwinds are first-class.
+
+        The elapsed time is recorded even when the timed block raises —
+        a deadline or cancellation unwinding through an engine must not
+        lose the phase's wall time — and the unwind itself is marked by
+        bumping the ``<name>.interrupted`` counter, so an aborted run is
+        distinguishable from a clean one in the exported stats.  The
+        engines wrap their run loops in ``timer`` for exactly this
+        reason (``ChaseBudget(deadline_s=..., on_exceeded='raise')``
+        still yields a ``chase`` phase covering the partial run).
+        """
+        started = time.perf_counter()
+        try:
+            yield
+        except BaseException:
+            self.counters[f"{name}.interrupted"] += 1
+            raise
         finally:
             elapsed = time.perf_counter() - started
             self.phases[name] = self.phases.get(name, 0.0) + elapsed

@@ -14,9 +14,10 @@ Three checks, all zero-dependency:
    target must match a heading in the target file under GitHub's
    slugification (lowercase, spaces to dashes, punctuation dropped).
 3. **Examples run.**  Every fenced ``python`` block in
-   ``docs/performance.md`` and ``docs/architecture.md`` is executed with
-   ``src/`` on ``sys.path``; a failing example fails the build.
-   Examples in those files are a documented contract, not decoration.
+   ``docs/performance.md``, ``docs/architecture.md`` and
+   ``docs/robustness.md`` is executed with ``src/`` on ``sys.path``; a
+   failing example fails the build.  Examples in those files are a
+   documented contract, not decoration.
 
 Exit code 0 on success, 1 with a per-problem report otherwise.
 """
@@ -32,7 +33,11 @@ CHECKED_FILES = [
     ROOT / "README.md",
     *sorted((ROOT / "docs").glob("*.md")),
 ]
-EXECUTED_FILES = [ROOT / "docs" / "performance.md", ROOT / "docs" / "architecture.md"]
+EXECUTED_FILES = [
+    ROOT / "docs" / "performance.md",
+    ROOT / "docs" / "architecture.md",
+    ROOT / "docs" / "robustness.md",
+]
 
 # [text](target) — but not ![image](...) captures, which we treat the same,
 # and not reference-style links (none are used in this repository).

@@ -474,6 +474,137 @@ def _run_fault_tolerance(quick: bool) -> dict:
     }
 
 
+_LAST_REWRITING: dict | None = None
+
+
+def _run_rewriting_saturation(quick: bool) -> dict:
+    """Indexed rewriting == naive rewriting, with the speedup on record.
+
+    Two workloads, mirroring the shapes of ``bench_e3_linear_rewritings``
+    and ``bench_a3_rewriting_cores``:
+
+    * **e3** — a path query over the linear theory ``T_p``; the kept set
+      is tiny, so this pins the *output* (disjunct count plus a
+      canonical-key checksum) rather than the speedup;
+    * **a3** — a multi-answer join over the three DL-Lite-style
+      ontologies merged into one theory.  Most rules are irrelevant to
+      any one atom (the relevance filter prunes them), independent chains
+      reach isomorphic duplicates through different unifier orders (the
+      canonical-key dedup absorbs them) and the kept set is large enough
+      that the inverted predicate index pays for itself.  This workload
+      is timed three ways — ``use_indexes=False``, the default indexed
+      engine, and ``workers=2`` — and the compared ``value`` carries the
+      disjunct count, a canonical-key checksum, a naive-vs-indexed
+      equality bit, the exact ``rewrite.*`` filter counters and a
+      workers-parity bit (all ``rewrite.*`` counters *and* the disjunct
+      reprs must match the sequential run byte for byte, per
+      :mod:`repro.rewriting.parallel`).
+
+    The naive/indexed wall-clock ratio is hardware-dependent, so it
+    lands in ``meta["rewriting"]`` rather than the compared value; the
+    refresh workflow keeps the committed baselines carrying the measured
+    before/after ratio on the reference hardware.
+    """
+    import hashlib
+
+    from ..logic import parse_query
+    from ..logic.tgd import Theory
+    from ..rewriting import RewritingBudget, canonical_key, rewrite
+    from ..workloads import t_p
+    from ..workloads.ontologies import (
+        GeographyWorkload,
+        MedicalWorkload,
+        StockWorkload,
+    )
+
+    global _LAST_REWRITING
+
+    def key_checksum(result) -> str:
+        keys = sorted(repr(canonical_key(disjunct)) for disjunct in result.ucq)
+        return hashlib.sha256("\n".join(keys).encode("utf8")).hexdigest()[:16]
+
+    # e3 shape: a path query over T_p — small output, pinned exactly.
+    path_length = 6 if quick else 8
+    path_body = ", ".join(f"E(x{i}, x{i + 1})" for i in range(path_length))
+    path_theory = t_p()
+    path_naive = rewrite(
+        path_theory,
+        parse_query(f"q(x0) := {path_body}"),
+        RewritingBudget(use_indexes=False),
+    )
+    path_indexed = rewrite(path_theory, parse_query(f"q(x0) := {path_body}"))
+    e3 = {
+        "disjuncts": len(path_indexed.ucq),
+        "checksum": key_checksum(path_indexed),
+        "naive_equal": key_checksum(path_naive) == key_checksum(path_indexed),
+    }
+
+    # a3 shape: a multi-answer join over the merged ontologies.
+    rules = tuple(MedicalWorkload().theory.rules())
+    rules += tuple(GeographyWorkload().theory.rules())
+    rules += tuple(StockWorkload().theory.rules())
+    theory = Theory(rules, name="guard-ontologies")
+    text = (
+        "q(x, y, z) := exists c, r, s. "
+        "Diagnosed(x, c), LocatedIn(y, r), Owns(z, s)"
+        if quick
+        else "q(x, y, z, w) := exists c, r, s, c2. "
+        "Diagnosed(x, c), LocatedIn(y, r), Owns(z, s), Diagnosed(w, c2)"
+    )
+    started = time.perf_counter()
+    naive = rewrite(theory, parse_query(text), RewritingBudget(use_indexes=False))
+    naive_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    indexed = rewrite(theory, parse_query(text))
+    indexed_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = rewrite(theory, parse_query(text), RewritingBudget(workers=2))
+    parallel_seconds = time.perf_counter() - started
+
+    def rewrite_counters(result) -> dict:
+        return {
+            name: count
+            for name, count in sorted(result.stats.counters.items())
+            if name.startswith("rewrite.")
+        }
+
+    workers_equal = rewrite_counters(parallel) == rewrite_counters(indexed) and sorted(
+        repr(d) for d in parallel.ucq
+    ) == sorted(repr(d) for d in indexed.ucq)
+    counters = rewrite_counters(indexed)
+    # Best-of across the harness's repeats, mirroring the min(runs) the
+    # scenario's own seconds get: single-run jitter on a busy machine
+    # should not decide the committed before/after ratio.
+    if _LAST_REWRITING is not None:
+        naive_seconds = min(naive_seconds, _LAST_REWRITING["naive_seconds"])
+        indexed_seconds = min(indexed_seconds, _LAST_REWRITING["indexed_seconds"])
+        parallel_seconds = min(parallel_seconds, _LAST_REWRITING["parallel_seconds"])
+    _LAST_REWRITING = {
+        "naive_seconds": round(naive_seconds, 6),
+        "indexed_seconds": round(indexed_seconds, 6),
+        "speedup": (
+            round(naive_seconds / indexed_seconds, 3) if indexed_seconds else 0.0
+        ),
+        "parallel_seconds": round(parallel_seconds, 6),
+        "fallback_inprocess": int(
+            bool(parallel.stats.counters.get("rwparallel.fallback_inprocess", 0))
+        ),
+    }
+    return {
+        "e3": e3,
+        "a3": {
+            "disjuncts": len(indexed.ucq),
+            "checksum": key_checksum(indexed),
+            "naive_equal": key_checksum(naive) == key_checksum(indexed),
+            "workers_equal": workers_equal,
+            "subsumption_checks": counters.get("rewrite.subsumption_checks", 0),
+            "subsumption_skipped": counters.get("rewrite.subsumption_skipped", 0),
+            "dedup_hits": counters.get("rewrite.dedup_hits", 0),
+            "rules_skipped": counters.get("rewrite.rules_skipped", 0),
+        },
+    }
+
+
 SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
         "e1_doubling",
@@ -510,6 +641,11 @@ SCENARIOS: tuple[Scenario, ...] = (
         "interruption leaves an exactly-resumable prefix; injection off is free",
         _run_fault_tolerance,
     ),
+    Scenario(
+        "rewriting_saturation",
+        "indexed rewriting fast path vs naive engine: identical UCQ, exact counters",
+        _run_rewriting_saturation,
+    ),
 )
 
 
@@ -545,7 +681,7 @@ def run_guard_scenarios(
     machine, not of the code under guard.
     """
     global _PARALLEL_WORKERS, _LAST_PARALLEL, _LAST_STORAGE, _LAST_COLUMNAR
-    global _LAST_FAULTS
+    global _LAST_FAULTS, _LAST_REWRITING
     saved_workers = _PARALLEL_WORKERS
     if workers is not None:
         _PARALLEL_WORKERS = max(2, workers)
@@ -553,6 +689,7 @@ def run_guard_scenarios(
     _LAST_STORAGE = None
     _LAST_COLUMNAR = None
     _LAST_FAULTS = None
+    _LAST_REWRITING = None
     measured = []
     for scenario in scenarios:
         runs: list[float] = []
@@ -583,6 +720,8 @@ def run_guard_scenarios(
         meta["storage"] = dict(_LAST_STORAGE)
     if _LAST_FAULTS is not None:
         meta["faults"] = dict(_LAST_FAULTS)
+    if _LAST_REWRITING is not None:
+        meta["rewriting"] = dict(_LAST_REWRITING)
     _PARALLEL_WORKERS = saved_workers
     document = bench_document(
         mode="quick" if quick else "full",

@@ -339,7 +339,11 @@ def _cmd_chase(args: argparse.Namespace) -> int:
 def _cmd_rewrite(args: argparse.Namespace) -> int:
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
     query = parse_query(_read(args.query, args.inline))
-    budget = RewritingBudget(max_kept=args.max_kept, max_steps=args.max_steps)
+    budget = RewritingBudget(
+        max_kept=args.max_kept,
+        max_steps=args.max_steps,
+        workers=args.workers,
+    )
     result = rewrite(theory, query, budget)
     stats = result.stats.as_dict()
     if args.json:
@@ -618,6 +622,13 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite_cmd.add_argument("query")
     rewrite_cmd.add_argument("--max-kept", type=int, default=2_000)
     rewrite_cmd.add_argument("--max-steps", type=int, default=200_000)
+    rewrite_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for frontier batches (same output as "
+        "sequential, counter for counter; see docs/performance.md)",
+    )
     _add_common(rewrite_cmd, stats=True)
     rewrite_cmd.set_defaults(handler=_cmd_rewrite)
 

@@ -40,7 +40,7 @@ def is_contained_in(phi: ConjunctiveQuery, psi: ConjunctiveQuery) -> bool:
         # homomorphism witnessing containment cannot exist.
         return False
     for _ in iter_pattern_homomorphisms(
-        psi.compiled_patterns(), canonical, partial, plan=psi.join_plan()
+        psi.compiled_patterns(), canonical, partial, plan=psi.anchored_join_plan()
     ):
         return True
     return False
@@ -68,7 +68,7 @@ def core_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
 def _one_folding_step(query: ConjunctiveQuery) -> ConjunctiveQuery | None:
     canonical = query.canonical_instance()
     patterns = query.compiled_patterns()
-    plan = query.join_plan()
+    plan = query.anchored_join_plan()
     variables = sorted(query.variables(), key=lambda v: v.name)
     partial: dict[Variable, Term] = {var: var for var in query.answer_vars}
     for dropped in variables:

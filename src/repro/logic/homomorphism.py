@@ -57,7 +57,9 @@ class JoinPlan:
 
 
 def connectivity_order(
-    patterns: Sequence[_Pattern], first: int | None = None
+    patterns: Sequence[_Pattern],
+    first: int | None = None,
+    bound: Iterable = (),
 ) -> tuple[tuple[int, ...], bool]:
     """A static join order by greedy variable connectivity.
 
@@ -68,9 +70,15 @@ def connectivity_order(
     *connected* — had a shared variable or a constant — when placed; a
     ``False`` means the order contains an unbound prefix and a dynamic
     search will likely do better.
+
+    ``bound`` seeds the prefix with variables the caller will pin via a
+    partial assignment before searching (containment pins the answer
+    variables): atoms touching them score as already-joined, so the
+    order starts from the anchored part of the body instead of treating
+    those atoms as unconstrained.
     """
     remaining = set(range(len(patterns)))
-    bound_vars: set = set()
+    bound_vars: set = set(bound)
     order: list[int] = []
     connected = True
 
@@ -103,7 +111,12 @@ def connectivity_order(
             if best_score is None or score > best_score:
                 best_score = score
                 best_index = index
-        if order and best_score is not None and best_score[0] == 0 and best_score[1] == 0:
+        if (
+            (order or bound_vars)
+            and best_score is not None
+            and best_score[0] == 0
+            and best_score[1] == 0
+        ):
             connected = False
         place(best_index)
     return tuple(order), connected

@@ -171,6 +171,32 @@ class ConjunctiveQuery:
             object.__setattr__(self, "_join_plan", cached)
         return cached
 
+    def anchored_join_plan(self):
+        """A join order that knows the answer variables come pre-bound.
+
+        Containment and core folding search this body with the answer
+        variables already pinned by a partial assignment; the plain
+        :meth:`join_plan` order ignores that and may start from an atom
+        the pinning does not constrain.  This variant seeds the
+        connectivity order with the answer variables (see
+        :func:`repro.logic.homomorphism.connectivity_order`), built once.
+        For boolean queries it is the plain plan.
+        """
+        if not self.answer_vars:
+            return self.join_plan()
+        cached = self.__dict__.get("_anchored_plan")
+        if cached is None:
+            from .homomorphism import JoinPlan, connectivity_order
+
+            order, connected = connectivity_order(
+                self.compiled_patterns(), bound=self.answer_vars
+            )
+            cached = JoinPlan(
+                base_order=order if connected else None, pivot_orders=()
+            )
+            object.__setattr__(self, "_anchored_plan", cached)
+        return cached
+
     def __repr__(self) -> str:
         body = ", ".join(repr(item) for item in self.atoms)
         existential = sorted(var.name for var in self.existential_vars())

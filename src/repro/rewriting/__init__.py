@@ -16,6 +16,7 @@ from .bdd import (
     enough,
     probe_bdd,
 )
+from .canonical import canonical_form, canonical_key
 from .engine import (
     RewritingBudget,
     RewritingResult,
@@ -40,6 +41,8 @@ __all__ = [
     "answer_by_rewriting_sql",
     "answer_depth_profile",
     "atomic_rewriting_sizes",
+    "canonical_form",
+    "canonical_key",
     "certain_answers",
     "cross_validate",
     "depth_bound_from_rewriting",

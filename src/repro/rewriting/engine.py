@@ -9,18 +9,69 @@ CQ isomorphism) whenever saturation completes.
 For theories that are not BDD the saturation does not terminate; budgets
 turn that into an explicit ``complete=False`` outcome, which the BDD
 diagnostics of :mod:`repro.rewriting.bdd` interpret.
+
+Fast path
+---------
+
+The loop stores every kept disjunct as its *canonical form*
+(:mod:`repro.rewriting.canonical`) and prunes in three layers before any
+NP-hard containment search runs:
+
+1. **Canonical-key dedup** — the kept set is a dict keyed by the canonical
+   isomorphism key, so a rewriting step that merely reproduces a kept
+   disjunct with fresh variable names dies in one hash probe
+   (``rewrite.dedup_hits``) instead of a homomorphism search.
+2. **Subsumption indexing** — an inverted predicate → kept-key index,
+   maintained incrementally.  Containment ``phi ⊒ psi`` needs a
+   homomorphism ``psi → phi``, which requires ``preds(psi) ⊆ preds(phi)``;
+   the drop scan therefore only visits kept CQs whose predicate set is a
+   subset of the produced CQ's, and the evict scan only those whose
+   predicate set is a superset (``rewrite.subsumption_skipped`` counts the
+   candidates the index proved hopeless).  Atom *counts* are deliberately
+   not used: a homomorphism may collapse atoms non-injectively (the core
+   ``E(x,y), E(y,z)`` maps into the single atom ``E(u,u)``), so a
+   size-based filter would be unsound — this is a knowing deviation from
+   the issue text, which suggested one.
+3. **Relevance-filtered unifiers** — a per-:class:`Theory` memoized
+   head-predicate → rule index (mirroring the chase planner's prepared
+   rules) restricts each frontier CQ to rules whose head shares a
+   predicate with it; a piece unifier starts from an equal-predicate
+   (query atom, head atom) pair, so skipped rules
+   (``rewrite.rules_skipped``) provably admit none.
+
+All three filters only skip work whose outcome is forced, so the kept set,
+the frontier, and the ``rewrite.steps`` / ``rewrite.produced`` /
+``rewrite.evicted`` counters are identical with ``use_indexes=False``
+(the naive reference mode benches and property tests compare against).
+
+The loop itself is batch-structured: each pass snapshots the whole
+frontier, speculatively enumerates every batch member's piece-rewriting
+outcomes (this part depends only on the CQ and the theory, never on the
+kept set), and then *replays* the outcomes in deterministic order — batch
+position, then rule index, then unifier order — applying all
+kept-set-dependent logic (dedup, subsumption, eviction, budget stops,
+counters) exactly as the one-CQ-at-a-time loop would.  Because
+canonicalization erases fresh-variable naming history and cores are
+unique up to isomorphism, the enumeration is a pure function of the
+(canonical) CQ — which is what lets ``RewritingBudget(workers=N)``
+ship batches to worker processes (:mod:`repro.rewriting.parallel`) and
+still merge a byte-identical kept set with byte-identical ``rewrite.*``
+counters.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import weakref
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..logic.containment import core_query, is_contained_in
 from ..logic.query import ConjunctiveQuery, UnionOfCQs
-from ..logic.terms import FreshVariables
-from ..logic.tgd import Theory
+from ..logic.signature import Predicate
+from ..logic.terms import FreshVariables, Variable
+from ..logic.tgd import TGD, Theory
 from ..telemetry import Telemetry
+from .canonical import _EXIST_PREFIX, canonical_form, canonical_key
 from .unification import EmptyRewriting, iter_piece_unifiers
 
 
@@ -30,7 +81,10 @@ class RewritingResult:
 
     ``ucq``
         The rewriting set computed so far (all of ``rew(psi)`` when
-        ``complete``).
+        ``complete``).  Disjuncts are canonically renamed
+        (:func:`repro.rewriting.canonical.canonical_form`, presented over
+        the original answer-variable names), so the set is independent of
+        the fresh-variable naming history.
     ``complete``
         ``True`` when saturation reached a fixpoint within budget; only
         then is the set guaranteed to be the full rewriting.
@@ -44,7 +98,9 @@ class RewritingResult:
         Number of rewriting steps attempted (a work measure for benches).
     ``stats``
         Saturation telemetry: ``rewrite.*`` counters (pieces unified,
-        subsumption checks, evictions, peak queue length) and phase time.
+        dedup hits, subsumption checks performed and skipped, evictions,
+        peak queue length) and phase time; ``rwparallel.*`` counters when
+        a worker pool ran.
     """
 
     query: ConjunctiveQuery
@@ -74,6 +130,232 @@ class RewritingBudget:
     # optional: a redundant atom blocks piece unifiers (its variables leak
     # out of every piece), so skipping cores loses completeness.
     evict_subsumed: bool = True
+    # Ablation switch: disable canonical-key dedup, the predicate-indexed
+    # subsumption scans and rule relevance filtering.  The kept set and
+    # the step/produced/evicted counters are identical either way (the
+    # filters only skip provably-failing work); only the check/skip
+    # accounting differs.  The bench guard measures naive-vs-indexed on
+    # exactly this switch.
+    use_indexes: bool = True
+    # Opt-in parallel frontier batches: ship each frontier batch to N
+    # worker processes (see repro/rewriting/parallel.py).  The merge is
+    # deterministic, so the kept set and every rewrite.* counter are
+    # byte-identical to the sequential run; pool telemetry lives under
+    # rwparallel.*.  None or <=1 runs in-process.
+    workers: int | None = None
+
+
+# Rewriting-step outcomes: what one piece unifier did to one frontier CQ.
+# The enumeration is kept-set-independent, so outcomes can be produced
+# speculatively (and remotely) and replayed later in deterministic order.
+_EMPTY = ("empty",)  # EmptyRewriting: the query is unconditionally true
+_SKIP = ("skip",)  # an answer variable lost its last atom (see rewrite())
+_OVERSIZE = ("oversize",)  # produced CQ exceeds max_disjunct_atoms
+
+
+# ----------------------------------------------------------------------
+# Rule relevance: head-predicate -> rule index, memoized per Theory
+# ----------------------------------------------------------------------
+
+_RULE_INDEX_CACHE: "weakref.WeakKeyDictionary[Theory, dict[Predicate, tuple[int, ...]]]"
+_RULE_INDEX_CACHE = weakref.WeakKeyDictionary()
+
+
+def _head_predicate_index(theory: Theory) -> dict[Predicate, tuple[int, ...]]:
+    """Head predicate -> indices of rules carrying it, built once per theory."""
+    cached = _RULE_INDEX_CACHE.get(theory)
+    if cached is None:
+        buckets: dict[Predicate, dict[int, None]] = {}
+        for rule_index, rule in enumerate(theory):
+            for item in rule.head:
+                buckets.setdefault(item.predicate, {})[rule_index] = None
+        cached = {pred: tuple(indices) for pred, indices in buckets.items()}
+        _RULE_INDEX_CACHE[theory] = cached
+    return cached
+
+
+def _relevant_rule_indices(
+    index: dict[Predicate, tuple[int, ...]], query: ConjunctiveQuery
+) -> list[int]:
+    """Rules whose head shares a predicate with ``query``, in theory order."""
+    found: set[int] = set()
+    for pred in query.predicates():
+        found.update(index.get(pred, ()))
+    return sorted(found)
+
+
+# ----------------------------------------------------------------------
+# Speculative unifier enumeration (kept-set independent, worker-safe)
+# ----------------------------------------------------------------------
+
+
+def unify_frontier_cq(
+    query: ConjunctiveQuery,
+    rules: Sequence[TGD],
+    rule_indices: Sequence[int],
+    max_disjunct_atoms: int,
+) -> list[tuple]:
+    """All rewriting-step outcomes of one frontier CQ, in canonical order.
+
+    A pure function of ``(query, rules, rule_indices, max_disjunct_atoms)``:
+    the fresh-variable supply is local (one per call) and every produced CQ
+    is cored and canonicalized, so two calls — in any process — return the
+    same outcome list for the same canonical query.  The engine replays
+    these outcomes against the kept set later; budget stops simply discard
+    the speculative tail.
+    """
+    fresh = FreshVariables(prefix="_rw")
+    outcomes: list[tuple] = []
+    for rule_index in rule_indices:
+        rule = rules[rule_index]
+        for unifier in iter_piece_unifiers(query, rule, fresh):
+            try:
+                produced = unifier.rewrite(query)
+            except EmptyRewriting:
+                outcomes.append(_EMPTY)
+                continue
+            except ValueError:
+                outcomes.append(_SKIP)
+                continue
+            if produced.size > max_disjunct_atoms:
+                outcomes.append(_OVERSIZE)
+                continue
+            outcomes.append(("cq", canonical_form(core_query(produced))))
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# The kept set: canonical-key dict plus inverted predicate index
+# ----------------------------------------------------------------------
+
+
+class _KeptSet:
+    """Kept disjuncts keyed by canonical isomorphism key.
+
+    Each entry also records its insertion sequence number (candidate scans
+    run in insertion order, like the naive list scan they replace) and its
+    predicate set (the subset/superset filters).  The inverted
+    predicate -> keys index is maintained incrementally on add/remove.
+    """
+
+    __slots__ = ("entries", "by_predicate", "use_indexes", "_next_seq")
+
+    def __init__(self, use_indexes: bool) -> None:
+        # key -> (seq, query, predicate frozenset)
+        self.entries: dict[tuple, tuple[int, ConjunctiveQuery, frozenset]] = {}
+        self.by_predicate: dict[Predicate, set[tuple]] = {}
+        self.use_indexes = use_indexes
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self.entries
+
+    def queries(self) -> list[ConjunctiveQuery]:
+        return [query for _, query, _ in self.entries.values()]
+
+    def add(self, key: tuple, query: ConjunctiveQuery) -> None:
+        preds = frozenset(query.predicates())
+        self.entries[key] = (self._next_seq, query, preds)
+        self._next_seq += 1
+        if self.use_indexes:
+            for pred in preds:
+                self.by_predicate.setdefault(pred, set()).add(key)
+
+    def remove(self, key: tuple) -> None:
+        _, _, preds = self.entries.pop(key)
+        if self.use_indexes:
+            for pred in preds:
+                self.by_predicate[pred].discard(key)
+
+    def all_entries(self) -> list[tuple[int, tuple, ConjunctiveQuery]]:
+        return [
+            (seq, key, query) for key, (seq, query, _) in self.entries.items()
+        ]
+
+    def drop_candidates(
+        self, preds: frozenset
+    ) -> list[tuple[int, tuple, ConjunctiveQuery]]:
+        """Kept CQs that could *contain* a produced CQ with predicates ``preds``.
+
+        Containment needs a homomorphism kept -> produced, hence
+        ``preds(kept) ⊆ preds``: union the produced predicates' buckets,
+        then keep the subset-satisfying entries, in insertion order.
+        """
+        seen: set[tuple] = set()
+        out: list[tuple[int, tuple, ConjunctiveQuery]] = []
+        for pred in preds:
+            for key in self.by_predicate.get(pred, ()):
+                if key in seen:
+                    continue
+                seen.add(key)
+                seq, query, kept_preds = self.entries[key]
+                if kept_preds <= preds:
+                    out.append((seq, key, query))
+        out.sort()
+        return out
+
+    def evict_candidates(
+        self, preds: frozenset
+    ) -> list[tuple[int, tuple, ConjunctiveQuery]]:
+        """Kept CQs a produced CQ with predicates ``preds`` could contain.
+
+        The homomorphism runs produced -> kept, hence
+        ``preds ⊆ preds(kept)``: intersect the buckets of every produced
+        predicate, in insertion order.
+        """
+        keys: set[tuple] | None = None
+        for pred in preds:
+            bucket = self.by_predicate.get(pred)
+            if not bucket:
+                return []
+            keys = set(bucket) if keys is None else keys & bucket
+            if not keys:
+                return []
+        out = []
+        for key in keys or ():
+            seq, query, _ = self.entries[key]
+            out.append((seq, key, query))
+        out.sort()
+        return out
+
+
+def _presentable(
+    original: ConjunctiveQuery, canonical: ConjunctiveQuery
+) -> ConjunctiveQuery:
+    """A disjunct renamed for human output, caches preserved.
+
+    The kept set stores canonical forms (variables ``_ca<i>`` /
+    ``_ce<j>``); the result renames answer variables back to the original
+    query's names (canonical answer labels are first-occurrence positions
+    of the answer tuple, so the mapping is positional) and existential
+    variables to ``_e<j>``.  The renaming is a deterministic bijection —
+    sequential/parallel byte-parity and the canonical caches survive it.
+    """
+    renaming: dict[Variable, Variable] = {}
+    answer_names: set[str] = set()
+    for position, var in enumerate(canonical.answer_vars):
+        if var not in renaming:
+            renaming[var] = original.answer_vars[position]
+            answer_names.add(original.answer_vars[position].name)
+    for var in canonical.existential_vars():
+        name = f"_e{var.name[len(_EXIST_PREFIX):]}"
+        if name in answer_names:  # programmatic ``_e*`` answer names
+            return canonical
+        renaming[var] = Variable(name)
+    renamed = canonical.substitute(renaming)
+    object.__setattr__(renamed, "_canonical_form", canonical)
+    object.__setattr__(
+        renamed, "_canonical_key", canonical.__dict__["_canonical_key"]
+    )
+    return renamed
+
+
+# ----------------------------------------------------------------------
+# The saturation loop
+# ----------------------------------------------------------------------
 
 
 def rewrite(
@@ -99,71 +381,138 @@ def rewrite(
     budget = budget or RewritingBudget()
     telemetry = telemetry if telemetry is not None else Telemetry()
     counters = telemetry.counters
-    fresh = FreshVariables(prefix="_rw")
-    start = core_query(query)
-    kept: list[ConjunctiveQuery] = [start]
-    frontier: deque[ConjunctiveQuery] = deque([start])
+    rules = theory.rules()
+    use_indexes = budget.use_indexes
+    rule_index = _head_predicate_index(theory) if use_indexes else None
+
+    start = canonical_form(core_query(query))
+    kept = _KeptSet(use_indexes)
+    kept.add(canonical_key(start), start)
+    frontier: list[ConjunctiveQuery] = [start]
     explored = 0
     complete = True
     always_true = False
+    stopped = False
 
-    with telemetry.phase("rewrite"):
-        while frontier:
-            current = frontier.popleft()
-            if current not in kept:
-                counters["rewrite.evicted_while_queued"] += 1
-                continue  # evicted while queued
-            for rule in theory:
-                for unifier in iter_piece_unifiers(current, rule, fresh):
-                    explored += 1
-                    counters["rewrite.steps"] += 1
-                    if explored > budget.max_steps:
-                        complete = False
-                        frontier.clear()
+    executor = None
+    if budget.workers is not None and budget.workers > 1:
+        from .parallel import make_frontier_executor
+
+        executor = make_frontier_executor(theory, budget, telemetry)
+
+    try:
+        with telemetry.phase("rewrite"):
+            while frontier and not stopped:
+                batch = frontier
+                frontier = []
+                batch_outcomes: list[list[tuple]] | None = None
+                if executor is not None:
+                    batch_outcomes = executor.unify_batch(batch)
+                    if batch_outcomes is None:  # pool failed: degrade for good
+                        executor.close()
+                        executor = None
+                # Replay in deterministic order: batch position, then rule
+                # index, then unifier order — exactly the one-at-a-time
+                # sequential schedule (a deque would interleave the same
+                # way: the whole batch precedes everything it produces).
+                for position, current in enumerate(batch):
+                    if canonical_key(current) not in kept:
+                        counters["rewrite.evicted_while_queued"] += 1
+                        continue
+                    if use_indexes:
+                        indices: Sequence[int] = _relevant_rule_indices(
+                            rule_index, current
+                        )
+                        counters["rewrite.rules_skipped"] += len(rules) - len(
+                            indices
+                        )
+                    else:
+                        indices = range(len(rules))
+                    if batch_outcomes is not None:
+                        outcomes = batch_outcomes[position]
+                    else:
+                        outcomes = unify_frontier_cq(
+                            current, rules, indices, budget.max_disjunct_atoms
+                        )
+                    for outcome in outcomes:
+                        explored += 1
+                        counters["rewrite.steps"] += 1
+                        if explored > budget.max_steps:
+                            complete = False
+                            stopped = True
+                            break
+                        tag = outcome[0]
+                        if tag == "empty":
+                            always_true = True
+                            continue
+                        if tag == "skip":
+                            continue
+                        if tag == "oversize":
+                            counters["rewrite.oversize_dropped"] += 1
+                            complete = False
+                            continue
+                        produced = outcome[1]
+                        produced_key = canonical_key(produced)
+                        if use_indexes and produced_key in kept:
+                            counters["rewrite.dedup_hits"] += 1
+                            continue
+                        produced_preds = frozenset(produced.predicates())
+                        if use_indexes:
+                            candidates = kept.drop_candidates(produced_preds)
+                            counters["rewrite.subsumption_skipped"] += len(
+                                kept
+                            ) - len(candidates)
+                        else:
+                            candidates = kept.all_entries()
+                        checks = 0
+                        subsumed = False
+                        for _, _, existing in candidates:
+                            checks += 1
+                            if is_contained_in(produced, existing):
+                                subsumed = True
+                                break
+                        counters["rewrite.subsumption_checks"] += checks
+                        if subsumed:
+                            counters["rewrite.subsumed_dropped"] += 1
+                            continue
+                        if budget.evict_subsumed:
+                            if use_indexes:
+                                victims = kept.evict_candidates(produced_preds)
+                                counters["rewrite.subsumption_skipped"] += len(
+                                    kept
+                                ) - len(victims)
+                            else:
+                                victims = kept.all_entries()
+                            counters["rewrite.subsumption_checks"] += len(victims)
+                            evicted = 0
+                            for _, victim_key, existing in victims:
+                                if is_contained_in(existing, produced):
+                                    kept.remove(victim_key)
+                                    evicted += 1
+                            counters["rewrite.evicted"] += evicted
+                        kept.add(produced_key, produced)
+                        counters["rewrite.produced"] += 1
+                        frontier.append(produced)
+                        telemetry.gauge_max(
+                            "rewrite.queue_peak",
+                            len(frontier) + len(batch) - position - 1,
+                        )
+                        if len(kept) > budget.max_kept:
+                            complete = False
+                            stopped = True
+                            break
+                    if stopped:
                         break
-                    try:
-                        produced = unifier.rewrite(current)
-                    except EmptyRewriting:
-                        always_true = True
-                        continue
-                    except ValueError:
-                        # An answer variable lost its last atom; see docstring.
-                        continue
-                    if produced.size > budget.max_disjunct_atoms:
-                        counters["rewrite.oversize_dropped"] += 1
-                        complete = False
-                        continue
-                    produced = core_query(produced)
-                    counters["rewrite.subsumption_checks"] += len(kept)
-                    if any(is_contained_in(produced, existing) for existing in kept):
-                        counters["rewrite.subsumed_dropped"] += 1
-                        continue
-                    if budget.evict_subsumed:
-                        counters["rewrite.subsumption_checks"] += len(kept)
-                        survivors = [
-                            existing
-                            for existing in kept
-                            if not is_contained_in(existing, produced)
-                        ]
-                        counters["rewrite.evicted"] += len(kept) - len(survivors)
-                        kept = survivors
-                    kept.append(produced)
-                    counters["rewrite.produced"] += 1
-                    frontier.append(produced)
-                    telemetry.gauge_max("rewrite.queue_peak", len(frontier))
-                    if len(kept) > budget.max_kept:
-                        complete = False
-                        frontier.clear()
-                        break
-                else:
-                    continue
-                break
+    finally:
+        if executor is not None:
+            executor.close()
 
     counters["rewrite.kept"] = len(kept)
+    disjuncts = [_presentable(query, entry) for entry in kept.queries()]
     return RewritingResult(
         query=query,
         theory=theory,
-        ucq=UnionOfCQs(kept, name=f"rew({query!r})"),
+        ucq=UnionOfCQs(disjuncts, name=f"rew({query!r})"),
         complete=complete,
         always_true=always_true,
         explored=explored,

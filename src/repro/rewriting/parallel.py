@@ -1,0 +1,318 @@
+"""Parallel frontier batches for rewriting saturation.
+
+The batch-structured saturation loop (:func:`repro.rewriting.engine.rewrite`)
+separates *speculative unifier enumeration* — a pure function of the
+canonical frontier CQ and the theory — from the *replay* that applies
+kept-set logic in deterministic order.  Only the enumeration is
+parallelized here: each frontier batch is sliced round-robin over a pool of
+worker processes, every worker enumerates, cores and canonicalizes its
+CQs' outcomes, and the coordinator reassembles the outcome lists by batch
+position before the engine replays them.  Because canonicalization erases
+all fresh-variable naming and the replay order is position → rule →
+unifier, the kept set and every ``rewrite.*`` counter are byte-identical
+to the sequential run (``tests/test_rewriting_fastpath.py`` pins this).
+
+The plumbing deliberately reuses the chase pool's idiom
+(:mod:`repro.chase.parallel`): fork-preferred start method, one duplex
+pipe per worker with a strict request/response protocol, and the
+incremental interning wire codec (:class:`~repro.chase.parallel._WireEncoder`
+/ :class:`~repro.chase.parallel._WireDecoder`) so a variable, constant or
+predicate crosses each pipe direction once as a definition and afterwards
+as a bare integer.  Unlike the chase pool there is no worker respawn: a
+rewriting batch is cheap to recompute, so *any* pool failure — a dead
+worker, a codec error, a worker shipping a traceback — permanently
+degrades the run to in-process enumeration (``unify_batch`` returns
+``None`` and the engine carries on sequentially; the result is unchanged
+either way).
+
+Telemetry lives under ``rwparallel.*`` — deliberately not ``rewrite.*``,
+so "all ``rewrite.*`` counters are byte-identical to sequential" stays
+true verbatim: ``rwparallel.workers`` (pool size),
+``rwparallel.batches`` (batches dispatched), ``rwparallel.cqs_shipped``
+(frontier CQs sent), ``rwparallel.bytes_sent`` /
+``rwparallel.bytes_received`` (serialized payload volume),
+``rwparallel.worker_us`` (summed in-worker wall time, microseconds) and
+``rwparallel.fallback_inprocess`` (the degrade flag).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+import traceback
+
+from ..chase.parallel import _PICKLE_PROTOCOL, _WireDecoder, _WireEncoder
+from ..logic.query import ConjunctiveQuery
+from ..logic.tgd import Theory
+from ..telemetry import Telemetry
+from .canonical import adopt_canonical
+
+
+class _PoolUnavailable(RuntimeError):
+    """Internal: the worker pool cannot be (or stay) up."""
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _run_worker_batch(
+    rules,
+    index,
+    use_indexes: bool,
+    max_disjunct_atoms: int,
+    decoder: _WireDecoder,
+    encoder: _WireEncoder,
+    message: tuple,
+) -> tuple:
+    """Enumerate outcomes for this worker's slice of one frontier batch."""
+    from .engine import _relevant_rule_indices, unify_frontier_cq
+
+    term_defs, pred_defs, entries = message
+    decoder.apply_defs(term_defs, pred_defs)
+    started = time.perf_counter()
+    out_term_defs: list = []
+    out_pred_defs: list = []
+    results: list[tuple] = []
+    for position, answer_codes, atom_codes in entries:
+        query = ConjunctiveQuery(
+            tuple(decoder.term(code) for code in answer_codes),
+            tuple(decoder.atom(code) for code in atom_codes),
+        )
+        if use_indexes:
+            rule_indices = _relevant_rule_indices(index, query)
+        else:
+            rule_indices = range(len(rules))
+        encoded: list[tuple] = []
+        for outcome in unify_frontier_cq(
+            query, rules, rule_indices, max_disjunct_atoms
+        ):
+            if outcome[0] == "cq":
+                produced = outcome[1]
+                encoded.append(
+                    (
+                        "cq",
+                        tuple(
+                            encoder.term(var, out_term_defs)
+                            for var in produced.answer_vars
+                        ),
+                        tuple(
+                            encoder.atom(item, out_term_defs, out_pred_defs)
+                            for item in produced.atoms
+                        ),
+                    )
+                )
+            else:
+                encoded.append(outcome)
+        results.append((position, encoded))
+    seconds = time.perf_counter() - started
+    return ("ok", out_term_defs, out_pred_defs, results, seconds)
+
+
+def _worker_main(conn, theory, max_disjunct_atoms, use_indexes) -> None:
+    """Worker process entry point: a strict request/response loop."""
+    from .engine import _head_predicate_index
+
+    rules = theory.rules()
+    index = _head_predicate_index(theory) if use_indexes else None
+    decoder = _WireDecoder()
+    encoder = _WireEncoder()
+    while True:
+        try:
+            payload = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        message = pickle.loads(payload)
+        if message is None:
+            break
+        try:
+            response = _run_worker_batch(
+                rules,
+                index,
+                use_indexes,
+                max_disjunct_atoms,
+                decoder,
+                encoder,
+                message,
+            )
+        except Exception:  # noqa: BLE001 — shipped to the coordinator
+            response = ("err", traceback.format_exc())
+        try:
+            conn.send_bytes(pickle.dumps(response, _PICKLE_PROTOCOL))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+class FrontierExecutor:
+    """Process pool evaluating frontier batches; deterministic reassembly."""
+
+    def __init__(
+        self, theory: Theory, budget, telemetry: Telemetry, workers: int
+    ) -> None:
+        self.telemetry = telemetry
+        self.workers = workers
+        self._encoder = _WireEncoder()
+        self._decoders: list[_WireDecoder] = []
+        self._connections: list = []
+        self._processes: list = []
+        try:
+            pickle.dumps(theory, _PICKLE_PROTOCOL)
+        except Exception as error:  # unpicklable workload
+            raise _PoolUnavailable(f"theory does not serialize: {error!r}")
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else methods[0]
+            )
+            for _ in range(workers):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_worker_main,
+                    args=(
+                        child_conn,
+                        theory,
+                        budget.max_disjunct_atoms,
+                        budget.use_indexes,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._connections.append(parent_conn)
+                self._processes.append(process)
+                self._decoders.append(_WireDecoder())
+        except Exception as error:
+            self.close()
+            raise _PoolUnavailable(f"cannot start worker processes: {error!r}")
+        telemetry.gauge_max("rwparallel.workers", workers)
+
+    def unify_batch(
+        self, batch: list[ConjunctiveQuery]
+    ) -> list[list[tuple]] | None:
+        """Outcome lists for every batch position, or ``None`` to degrade.
+
+        ``None`` tells the engine the pool is gone for good; the engine
+        closes the executor and enumerates in-process from then on, so a
+        pool failure changes wall-clock, never the result.
+        """
+        counters = self.telemetry.counters
+        try:
+            term_defs: list = []
+            pred_defs: list = []
+            entries: list[tuple] = []
+            for position, query in enumerate(batch):
+                entries.append(
+                    (
+                        position,
+                        tuple(
+                            self._encoder.term(var, term_defs)
+                            for var in query.answer_vars
+                        ),
+                        tuple(
+                            self._encoder.atom(item, term_defs, pred_defs)
+                            for item in query.atoms
+                        ),
+                    )
+                )
+            # Every worker receives the full definition broadcast (codes
+            # are assigned in definition order on both ends) plus its
+            # round-robin slice of the batch.
+            for worker_index in range(self.workers):
+                message = (
+                    term_defs,
+                    pred_defs,
+                    entries[worker_index :: self.workers],
+                )
+                payload = pickle.dumps(message, _PICKLE_PROTOCOL)
+                self._connections[worker_index].send_bytes(payload)
+                counters["rwparallel.bytes_sent"] += len(payload)
+            outcomes: list = [None] * len(batch)
+            for worker_index in range(self.workers):
+                raw = self._connections[worker_index].recv_bytes()
+                counters["rwparallel.bytes_received"] += len(raw)
+                response = pickle.loads(raw)
+                if response[0] == "err":
+                    raise _PoolUnavailable(f"worker raised:\n{response[1]}")
+                _, out_term_defs, out_pred_defs, results, seconds = response
+                decoder = self._decoders[worker_index]
+                decoder.apply_defs(out_term_defs, out_pred_defs)
+                counters["rwparallel.worker_us"] += int(seconds * 1_000_000)
+                for position, encoded in results:
+                    decoded: list[tuple] = []
+                    for item in encoded:
+                        if item[0] == "cq":
+                            _, answer_codes, atom_codes = item
+                            produced = ConjunctiveQuery(
+                                tuple(
+                                    decoder.term(code) for code in answer_codes
+                                ),
+                                tuple(decoder.atom(code) for code in atom_codes),
+                            )
+                            decoded.append(("cq", adopt_canonical(produced)))
+                        else:
+                            decoded.append(item)
+                    outcomes[position] = decoded
+            counters["rwparallel.batches"] += 1
+            counters["rwparallel.cqs_shipped"] += len(batch)
+            return outcomes
+        except Exception:
+            counters["rwparallel.fallback_inprocess"] = 1
+            return None
+
+    def close(self) -> None:
+        """Stop the pool: polite request, then join → terminate → kill."""
+        for connection in self._connections:
+            try:
+                connection.send_bytes(pickle.dumps(None, _PICKLE_PROTOCOL))
+            except (BrokenPipeError, OSError):
+                pass
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover — wedged worker
+                process.kill()
+                process.join(timeout=1.0)
+            if not process.is_alive():
+                try:
+                    process.close()
+                except ValueError:  # pragma: no cover — already closed
+                    pass
+        self._connections = []
+        self._processes = []
+
+
+def make_frontier_executor(
+    theory: Theory, budget, telemetry: Telemetry
+) -> FrontierExecutor | None:
+    """Build the pool, or return ``None`` (with the fallback flag set).
+
+    A ``None`` means "enumerate in-process" and is always safe:
+    unpicklable theories, single-worker requests and pool start failures
+    degrade here instead of raising mid-saturation.
+    """
+    workers = budget.workers or 0
+    if workers <= 1:
+        return None
+    try:
+        return FrontierExecutor(theory, budget, telemetry, workers)
+    except _PoolUnavailable:
+        telemetry.counters["rwparallel.fallback_inprocess"] = 1
+        return None
+
+
+__all__ = ["FrontierExecutor", "make_frontier_executor"]

@@ -133,8 +133,13 @@ class OMQASession:
         cached = self._rewritings.get(shape)
         if cached is not None:
             self._hits["rewriting"] += 1
+            # Mirrored into telemetry so ``--stats`` output (and any
+            # service wrapping the session) can observe per-shape
+            # rewriting amortization without calling cache_info().
+            self.stats.counters["session.rewrite_cache_hits"] += 1
             return cached
         self._misses["rewriting"] += 1
+        self.stats.counters["session.rewrite_cache_misses"] += 1
         result = rewrite(self.theory, shape, self.rewriting_budget)
         self.stats.merge(result.stats)
         self._rewritings[shape] = result

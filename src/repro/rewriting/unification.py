@@ -41,11 +41,14 @@ class _UnionFind:
         self._parent: dict[Term, Term] = {}
 
     def find(self, term: Term) -> Term:
-        parent = self._parent.setdefault(term, term)
-        if parent == term:
-            return term
-        root = self.find(parent)
-        self._parent[term] = root
+        # Iterative two-pass find: recursion here could exhaust the stack
+        # on the long parent chains large unification classes build up.
+        parent = self._parent
+        root = parent.setdefault(term, term)
+        while parent[root] != root:
+            root = parent[root]
+        while parent[term] != root:
+            parent[term], term = root, parent[term]
         return root
 
     def union(self, first: Term, second: Term) -> None:

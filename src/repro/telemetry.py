@@ -40,6 +40,23 @@ hom.backtrack_clashes``
 ``rewrite.steps / rewrite.produced / rewrite.kept / rewrite.evicted /
 rewrite.subsumption_checks / rewrite.queue_peak``
     saturation effort of the piece-rewriting engine;
+``rewrite.dedup_hits / rewrite.subsumption_skipped /
+rewrite.rules_skipped / rewrite.subsumed_dropped /
+rewrite.oversize_dropped / rewrite.evicted_while_queued``
+    the rewriting fast path (``docs/performance.md`` §6): produced CQs
+    absorbed by canonical-key dedup, kept candidates the inverted
+    predicate index excluded without a containment search, rules pruned
+    by head-predicate relevance, produced CQs dropped as subsumed or
+    oversize, and frontier entries evicted before their turn;
+``rwparallel.workers / rwparallel.batches / rwparallel.cqs_shipped /
+rwparallel.worker_us / rwparallel.bytes_sent /
+rwparallel.bytes_received / rwparallel.fallback_inprocess``
+    the rewriting frontier pool (``RewritingBudget(workers=N)``) —
+    separate from ``rewrite.*`` so the sequential-vs-parallel byte
+    parity of those counters holds verbatim;
+``session.rewrite_cache_hits / session.rewrite_cache_misses``
+    ``OMQASession`` rewriting-cache outcomes, mirrored into the
+    session's aggregated stats for ``--stats`` output;
 ``parallel.workers / parallel.rounds / parallel.shards_dispatched /
 parallel.worker_us / parallel.merge_dedup_hits / parallel.bytes_sent /
 parallel.bytes_received / parallel.worker_truncated /

@@ -229,6 +229,48 @@ class TestColumnarEquivalenceScenario:
         assert "columnar" not in document["meta"]
 
 
+class TestRewritingSaturationScenario:
+    def test_scenario_registered(self):
+        from repro.bench.guard import SCENARIOS
+
+        assert "rewriting_saturation" in [s.name for s in SCENARIOS]
+
+    def test_quick_run_pins_output_and_parity(self):
+        from repro.bench.guard import SCENARIOS
+
+        scenario = next(s for s in SCENARIOS if s.name == "rewriting_saturation")
+        value = scenario.run(True)
+        assert value["e3"]["naive_equal"] is True
+        assert value["a3"]["naive_equal"] is True
+        assert value["a3"]["workers_equal"] is True
+        assert value["a3"]["disjuncts"] > 0
+        assert len(value["a3"]["checksum"]) == 16
+        # The index actually engaged on the a3 workload.
+        assert value["a3"]["dedup_hits"] > 0
+        assert value["a3"]["subsumption_skipped"] > 0
+        assert value["a3"]["rules_skipped"] > 0
+
+    def test_meta_records_speedup_not_value(self):
+        from repro.bench.guard import SCENARIOS
+
+        scenario = next(s for s in SCENARIOS if s.name == "rewriting_saturation")
+        document = run_guard_scenarios(quick=True, repeats=1, scenarios=(scenario,))
+        validate_bench_document(document)
+        rewriting = document["meta"]["rewriting"]
+        assert rewriting["naive_seconds"] > 0
+        assert rewriting["indexed_seconds"] > 0
+        assert rewriting["parallel_seconds"] > 0
+        assert rewriting["fallback_inprocess"] == 0
+        # The compared value stays timing-free.
+        entry = document["scenarios"][0]
+        assert set(entry["value"]) == {"e3", "a3"}
+
+    def test_meta_absent_without_the_scenario(self):
+        toy = (Scenario("toy", "constant checksum", lambda quick: 42),)
+        document = run_guard_scenarios(quick=True, repeats=1, scenarios=toy)
+        assert "rewriting" not in document["meta"]
+
+
 class TestBaselinePaths:
     def test_modes_map_to_distinct_files(self):
         assert default_baseline_path(True).name == "BENCH_guard_quick.json"

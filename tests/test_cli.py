@@ -202,6 +202,24 @@ class TestRewriteCommand:
         assert document["disjunct_count"] == len(document["disjuncts"])
         validate_stats_dict(document["stats"])
 
+    def test_rewrite_workers_matches_sequential(self, capsys):
+        query = "q(x) := exists y. Mother(x, y)"
+        assert main(["rewrite", "-e", TA, query, "--json"]) == 0
+        sequential = json.loads(capsys.readouterr().out)
+        assert main(["rewrite", "-e", TA, query, "--workers", "2", "--json"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert sorted(parallel["disjuncts"]) == sorted(sequential["disjuncts"])
+        rewrite_counters = {
+            name: count
+            for name, count in parallel["stats"]["counters"].items()
+            if name.startswith("rewrite.")
+        }
+        assert rewrite_counters == {
+            name: count
+            for name, count in sequential["stats"]["counters"].items()
+            if name.startswith("rewrite.")
+        }
+
     def test_rewrite_incomplete_exit_code(self, capsys):
         non_bdd = "E(x, y, z), R(x, z) -> R(y, z)"
         code = main(

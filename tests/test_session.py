@@ -49,6 +49,19 @@ class TestRewritingCache:
         session.prepare(parse_query("q(x) := exists y. Mother(x, y)"))
         assert session.cache_info()["rewriting"]["entries"] == 2
 
+    def test_cache_counters_mirrored_into_stats(self):
+        """Hits and misses land in session.stats, hence in --stats output."""
+        session = OMQASession(parse_theory(TA))
+        session.prepare(parse_query("q(x) := exists y. Mother(x, y)"))
+        session.prepare(parse_query("q(u) := exists w. Mother(u, w)"))
+        session.prepare(parse_query("q(x) := Human(x)"))
+        counters = session.stats.counters
+        assert counters["session.rewrite_cache_hits"] == 1
+        assert counters["session.rewrite_cache_misses"] == 2
+        info = session.cache_info()["rewriting"]
+        assert counters["session.rewrite_cache_hits"] == info["hits"]
+        assert counters["session.rewrite_cache_misses"] == info["misses"]
+
 
 class TestChaseCache:
     def test_same_content_hits(self):

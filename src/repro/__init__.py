@@ -45,6 +45,7 @@ from .logic import (
     parse_rule,
     parse_theory,
 )
+from .incremental import UpdateOutcome, incremental_update, update_store_chase
 from .rewriting import OMQASession, RewritingBudget, answer, certain_answers
 from .storage import open_store
 from .telemetry import Telemetry
@@ -54,6 +55,9 @@ __all__ = [
     "ChaseBudget",
     "ChaseCancelled",
     "Instance",
+    "UpdateOutcome",
+    "incremental_update",
+    "update_store_chase",
     "OMQASession",
     "RewritingBudget",
     "Telemetry",

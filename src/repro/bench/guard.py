@@ -605,6 +605,133 @@ def _run_rewriting_saturation(quick: bool) -> dict:
     }
 
 
+_LAST_INCREMENTAL: dict | None = None
+
+
+def _run_incremental_update(quick: bool) -> dict:
+    """Delta maintenance == from-scratch chase, across all three backends.
+
+    Drives one seeded random add/retract trajectory over a terminating
+    existential theory three ways — :func:`repro.incremental_update` on
+    the object engine, the same calls with ``backend="columnar"``, and
+    :func:`repro.storage.update_store_chase` against a SQLite store —
+    and after every step compares each maintained fixpoint's content
+    digest against a full re-chase of the updated base (the DRed
+    soundness claim of ``docs/incremental.md``, atom for atom).  The
+    compared ``value`` carries the step count, the add/retract totals,
+    one all-steps-equal bit per backend, the final atom count and a
+    content checksum.  The incremental-vs-rechase wall-clock ratio is
+    hardware-dependent, so it lands in ``meta["incremental"]`` rather
+    than the compared value.
+    """
+    import hashlib
+    import random
+
+    from ..chase import ChaseBudget, chase
+    from ..incremental import incremental_update
+    from ..logic import Instance, parse_theory
+    from ..storage import (
+        SQLiteStore,
+        chase_into_store,
+        content_digest,
+        update_store_chase,
+    )
+    from ..workloads.generators import random_instance
+
+    global _LAST_INCREMENTAL
+    theory = parse_theory(
+        "E(x, y), E(y, z) -> E(x, z)\n"
+        "E(x, y) -> exists m. M(x, m)\n"
+        "M(x, m) -> H(x)",
+        name="guard-incremental",
+    )
+    edge = next(
+        atom.predicate
+        for rule in theory.rules()
+        for atom in rule.body
+        if atom.predicate.name == "E"
+    )
+    pool_size, domain, steps = (60, 14, 4) if quick else (120, 20, 6)
+    pool = sorted(
+        random_instance(
+            [edge], fact_count=pool_size, domain_size=domain, seed=20260808
+        ),
+        key=repr,
+    )
+    split = len(pool) // 2
+    base = list(pool[:split])
+    reserve = list(pool[split:])
+    budget = ChaseBudget(max_rounds=40, max_atoms=500_000)
+    rng = random.Random(97)
+
+    memory = chase(theory, Instance(base), budget=budget, backend="memory")
+    columnar = chase(theory, Instance(base), budget=budget, backend="columnar")
+    memory_equal = columnar_equal = sqlite_equal = True
+    incremental_seconds = 0.0
+    scratch_seconds = 0.0
+    adds = retracts = 0
+    with SQLiteStore(":memory:") as store:
+        chase_into_store(theory, Instance(base), store, budget=budget)
+        for _ in range(steps):
+            if reserve and (len(base) < 4 or rng.random() < 0.55):
+                add = [reserve.pop() for _ in range(min(3, len(reserve)))]
+                retract = []
+            else:
+                add = []
+                retract = rng.sample(sorted(base, key=repr), k=min(2, len(base)))
+            adds += len(add)
+            retracts += len(retract)
+            for item in retract:
+                base.remove(item)
+            base.extend(add)
+
+            started = time.perf_counter()
+            memory = incremental_update(
+                memory, add=add, retract=retract, budget=budget
+            ).result
+            incremental_seconds += time.perf_counter() - started
+            columnar = incremental_update(
+                columnar, add=add, retract=retract, budget=budget, backend="columnar"
+            ).result
+            update_store_chase(store, theory, add=add, retract=retract, budget=budget)
+
+            started = time.perf_counter()
+            scratch = chase(theory, Instance(base), budget=budget, backend="memory")
+            scratch_seconds += time.perf_counter() - started
+            expected = content_digest(scratch.instance)
+            memory_equal = memory_equal and (
+                content_digest(memory.instance) == expected
+            )
+            columnar_equal = columnar_equal and (
+                content_digest(columnar.instance) == expected
+            )
+            sqlite_equal = sqlite_equal and store.digest() == expected
+
+    digest = hashlib.sha256(
+        "\n".join(sorted(repr(item) for item in memory.instance)).encode("utf8")
+    ).hexdigest()[:16]
+    _LAST_INCREMENTAL = {
+        "steps": steps,
+        "incremental_seconds": round(incremental_seconds, 6),
+        "scratch_seconds": round(scratch_seconds, 6),
+        "speedup": (
+            round(scratch_seconds / incremental_seconds, 3)
+            if incremental_seconds
+            else 0.0
+        ),
+    }
+    return {
+        "steps": steps,
+        "adds": adds,
+        "retracts": retracts,
+        "memory_equal": memory_equal,
+        "columnar_equal": columnar_equal,
+        "sqlite_equal": sqlite_equal,
+        "atoms": len(memory.instance),
+        "checksum": digest,
+    }
+
+
 SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
         "e1_doubling",
@@ -646,6 +773,11 @@ SCENARIOS: tuple[Scenario, ...] = (
         "indexed rewriting fast path vs naive engine: identical UCQ, exact counters",
         _run_rewriting_saturation,
     ),
+    Scenario(
+        "incremental_update",
+        "delta-maintained fixpoints vs from-scratch chases: identical digests",
+        _run_incremental_update,
+    ),
 )
 
 
@@ -681,7 +813,7 @@ def run_guard_scenarios(
     machine, not of the code under guard.
     """
     global _PARALLEL_WORKERS, _LAST_PARALLEL, _LAST_STORAGE, _LAST_COLUMNAR
-    global _LAST_FAULTS, _LAST_REWRITING
+    global _LAST_FAULTS, _LAST_REWRITING, _LAST_INCREMENTAL
     saved_workers = _PARALLEL_WORKERS
     if workers is not None:
         _PARALLEL_WORKERS = max(2, workers)
@@ -690,6 +822,7 @@ def run_guard_scenarios(
     _LAST_COLUMNAR = None
     _LAST_FAULTS = None
     _LAST_REWRITING = None
+    _LAST_INCREMENTAL = None
     measured = []
     for scenario in scenarios:
         runs: list[float] = []
@@ -722,6 +855,8 @@ def run_guard_scenarios(
         meta["faults"] = dict(_LAST_FAULTS)
     if _LAST_REWRITING is not None:
         meta["rewriting"] = dict(_LAST_REWRITING)
+    if _LAST_INCREMENTAL is not None:
+        meta["incremental"] = dict(_LAST_INCREMENTAL)
     _PARALLEL_WORKERS = saved_workers
     document = bench_document(
         mode="quick" if quick else "full",

@@ -115,6 +115,52 @@ def ancestor_support(result: ChaseResult, items: Iterable[Atom]) -> frozenset[At
     return frozenset(union)
 
 
+def dependents_index(
+    derivations: "dict[Atom, Derivation]",
+) -> dict[Atom, list[Atom]]:
+    """Invert recorded derivations into a parent -> children adjacency.
+
+    The edge set of the provenance DAG walked by DRed over-deletion
+    (:func:`repro.incremental.incremental_update`): each produced atom
+    points back at its recorded parents (the body image of its
+    derivation), so the inverse maps every atom to the atoms whose
+    recorded derivation consumed it.
+    """
+    dependents: dict[Atom, list[Atom]] = {}
+    for child, derivation in derivations.items():
+        for parent in derivation.body_image():
+            dependents.setdefault(parent, []).append(child)
+    return dependents
+
+
+def deletion_cone(
+    removed: Iterable[Atom],
+    dependents: dict[Atom, list[Atom]],
+    protected,
+) -> set[Atom]:
+    """The DRed over-deletion set: ``removed`` plus all recorded dependents.
+
+    Walks the dependents adjacency transitively from the removed facts.
+    Atoms in ``protected`` (the post-update base instance) are never
+    entered into the cone — a base fact needs no derivation to exist —
+    but the walk does pass *through* a removed fact's children even when
+    those have other derivations; the re-derive rounds bring such
+    survivors back.  Sound because recorded parents are strictly
+    shallower than their children: everything outside the cone is
+    derivable from the surviving base by induction on derivation depth.
+    """
+    deleted: set[Atom] = set(removed)
+    stack: list[Atom] = list(deleted)
+    while stack:
+        parent = stack.pop()
+        for child in dependents.get(parent, ()):
+            if child in deleted or child in protected:
+                continue
+            deleted.add(child)
+            stack.append(child)
+    return deleted
+
+
 def skolem_depth(term: Term) -> int:
     """Nesting depth of Skolem functors in a term (0 for base elements)."""
     return term.depth()

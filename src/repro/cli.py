@@ -336,6 +336,165 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     return _cancelled_exit(args) if token.cancelled else 0
 
 
+def _cmd_update(args: argparse.Namespace) -> int:
+    """``repro update``: maintain a chased fixpoint under base changes.
+
+    Memory/columnar: chase INSTANCE to a fixpoint, then apply
+    ``--add``/``--retract`` through
+    :func:`repro.incremental.incremental_update` (``--verify``
+    cross-checks the maintained digest against a from-scratch chase).
+    SQLite: maintain the store-chase fixpoint persisted at ``--db`` in
+    place via :func:`repro.storage.update_store_chase`.
+    """
+    from .incremental import incremental_update
+    from .storage.base import instance_digest
+
+    try:
+        resolved = resolve_backend(args.backend, args.db)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.add and not args.retract:
+        print("error: nothing to do (pass --add and/or --retract)", file=sys.stderr)
+        return 2
+    theory = parse_theory(_read(args.theory, args.inline), name="cli")
+    added = (
+        parse_instance(_read(args.add, args.inline)).atoms()
+        if args.add
+        else frozenset()
+    )
+    retracted = (
+        parse_instance(_read(args.retract, args.inline)).atoms()
+        if args.retract
+        else frozenset()
+    )
+    budget = ChaseBudget(max_rounds=args.rounds, max_atoms=args.max_atoms)
+
+    if resolved.name == "sqlite":
+        if not args.db:
+            print(
+                "error: --backend sqlite needs --db (a fresh in-memory store "
+                "holds no fixpoint to maintain)",
+                file=sys.stderr,
+            )
+            return 2
+        from .storage import SQLiteStore, StoreChaseError, update_store_chase
+
+        with _SigintCancel() as token:
+            with SQLiteStore(args.db) as store:
+                try:
+                    result = update_store_chase(
+                        store,
+                        theory,
+                        add=added,
+                        retract=retracted,
+                        budget=budget,
+                        cancel=token,
+                    )
+                except (StoreChaseError, ValueError) as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 2
+                digest = store.digest()
+                atom_count = result.atom_count
+                terminated = result.terminated
+                stats = result.stats.as_dict()
+        if token.cancelled:
+            return _cancelled_exit(args)
+        if args.json:
+            _emit_json(
+                {
+                    "command": "update",
+                    "backend": "sqlite",
+                    "db": args.db,
+                    "atom_count": atom_count,
+                    "terminated": terminated,
+                    "digest": digest,
+                    "stats": stats,
+                }
+            )
+            return 0 if terminated else 1
+        status = "fixpoint" if terminated else "truncated"
+        print(f"# {atom_count} atoms ({status}) in sqlite db, digest {digest}")
+        if args.stats:
+            _print_stats(stats)
+        return 0 if terminated else 1
+
+    if args.instance is None:
+        print(
+            "error: INSTANCE is required for --backend memory/columnar",
+            file=sys.stderr,
+        )
+        return 2
+    instance = parse_instance(_read(args.instance, args.inline))
+    with _SigintCancel() as token:
+        full = chase(
+            theory, instance, budget=budget, backend=resolved.name, cancel=token
+        )
+        if not full.terminated:
+            print(
+                "error: the chase did not reach a fixpoint within the budget; "
+                "nothing to maintain (raise --rounds/--max-atoms)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            outcome = incremental_update(
+                full,
+                add=added,
+                retract=retracted,
+                budget=budget,
+                backend=resolved.name,
+                cancel=token,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if token.cancelled:
+        return _cancelled_exit(args)
+    result = outcome.result
+    digest = instance_digest(result.instance)
+    verified = None
+    if args.verify:
+        scratch = chase(
+            theory, result.base, budget=budget, backend=resolved.name
+        )
+        verified = (
+            scratch.terminated
+            and instance_digest(scratch.instance) == digest
+        )
+    stats = result.stats.as_dict()
+    if args.json:
+        _emit_json(
+            {
+                "command": "update",
+                "backend": resolved.name,
+                "atom_count": len(result.instance),
+                "added": len(outcome.added),
+                "retracted": len(outcome.retracted),
+                "overdeleted": outcome.overdeleted,
+                "rederived": outcome.rederived,
+                "rounds_run": outcome.rounds_run,
+                "terminated": result.terminated,
+                "digest": digest,
+                "verified": verified,
+                "stats": stats,
+            }
+        )
+        return 1 if verified is False else (0 if result.terminated else 1)
+    status = "fixpoint" if result.terminated else "truncated"
+    print(
+        f"# {len(result.instance)} atoms ({status}), digest {digest}; "
+        f"+{len(outcome.added)}/-{len(outcome.retracted)} base facts, "
+        f"{outcome.overdeleted} over-deleted, {outcome.rederived} re-derived, "
+        f"{outcome.rounds_run} maintenance rounds"
+    )
+    if verified is not None:
+        print(f"# verify: {'digest matches from-scratch chase' if verified else 'MISMATCH'}")
+    if args.stats:
+        _print_stats(stats)
+    return 1 if verified is False else (0 if result.terminated else 1)
+
+
 def _cmd_rewrite(args: argparse.Namespace) -> int:
     theory = parse_theory(_read(args.theory, args.inline), name="cli")
     query = parse_query(_read(args.query, args.inline))
@@ -616,6 +775,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(chase_cmd, stats=True)
     chase_cmd.set_defaults(handler=_cmd_chase)
+
+    update_cmd = commands.add_parser(
+        "update", help="incrementally maintain a chased fixpoint"
+    )
+    update_cmd.add_argument("theory")
+    update_cmd.add_argument(
+        "instance",
+        nargs="?",
+        default=None,
+        help="base instance (memory/columnar; sqlite reads the --db state)",
+    )
+    update_cmd.add_argument(
+        "--add",
+        default=None,
+        metavar="FACTS",
+        help="facts to add, in instance syntax (path, or literal with -e)",
+    )
+    update_cmd.add_argument(
+        "--retract",
+        default=None,
+        metavar="FACTS",
+        help="base facts to retract, in instance syntax",
+    )
+    update_cmd.add_argument("--rounds", type=int, default=100)
+    update_cmd.add_argument("--max-atoms", type=int, default=500_000)
+    update_cmd.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=DEFAULT_CHASE_BACKEND,
+        help="maintain in RAM (memory/columnar) or inside a SQLite store",
+    )
+    update_cmd.add_argument(
+        "--db",
+        default=None,
+        help="SQLite database holding a terminated store chase (--backend sqlite)",
+    )
+    update_cmd.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check the maintained digest against a from-scratch chase "
+        "(memory/columnar only; exits 1 on mismatch)",
+    )
+    _add_common(update_cmd, stats=True)
+    update_cmd.set_defaults(handler=_cmd_update)
 
     rewrite_cmd = commands.add_parser("rewrite", help="UCQ rewriting (Theorem 1)")
     rewrite_cmd.add_argument("theory")

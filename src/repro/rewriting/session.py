@@ -156,8 +156,13 @@ class OMQASession:
         cached = self._chases.get(key)
         if cached is not None:
             self._hits["chase"] += 1
+            # Mirrored like ``session.rewrite_cache_*`` in prepare():
+            # the key is the instance *content*, so a mutated-then-
+            # restored instance hits here — observable via --stats.
+            self.stats.counters["session.chase_cache_hits"] += 1
             return cached
         self._misses["chase"] += 1
+        self.stats.counters["session.chase_cache_misses"] += 1
         result = chase(
             self.theory,
             instance,
@@ -177,6 +182,70 @@ class OMQASession:
             )
         self._chases[key] = result
         return result
+
+    # ------------------------------------------------------------------
+    # Live updates (incremental maintenance)
+    # ------------------------------------------------------------------
+    def add_facts(self, instance: Instance, facts: Iterable) -> Instance:
+        """A new instance with ``facts`` added, its chase maintained live.
+
+        Returns the updated :class:`~repro.logic.instance.Instance`
+        (the input is never mutated — session cache keys are content-
+        based, so callers keep both handles usable).  When the session
+        holds a terminated materialization of ``instance``, the cached
+        fixpoint is *maintained* via
+        :func:`repro.incremental.incremental_update` — a semi-naive
+        delta round over the added facts — and cached under the updated
+        content key, so the next ``answer()`` against the updated
+        instance pays no chase at all.  The SQL/columnar store caches
+        stay digest-keyed: they reload lazily, and only when the
+        instance content actually changed.
+        """
+        return self._update(instance, add=facts)
+
+    def retract_facts(self, instance: Instance, facts: Iterable) -> Instance:
+        """A new instance with ``facts`` removed, its chase maintained live.
+
+        The cached fixpoint (when present and terminated) is maintained
+        DRed-style: the retracted facts' derivation cone is over-deleted
+        and survivors are re-derived — see :mod:`repro.incremental` for
+        the exact model, including the refusal (``ValueError``) for
+        theories with universal head variables.
+        """
+        return self._update(instance, retract=facts)
+
+    def _update(
+        self, instance: Instance, add: Iterable = (), retract: Iterable = ()
+    ) -> Instance:
+        from ..incremental import incremental_update
+
+        add = frozenset(add)
+        retract = frozenset(retract)
+        updated = instance.copy()
+        for item in retract:
+            updated.discard(item)
+        for item in add:
+            updated.add(item)
+        new_key = updated.atoms()
+        cached = self._chases.get(instance.atoms())
+        if (
+            cached is not None
+            and cached.terminated
+            and new_key not in self._chases
+        ):
+            outcome = incremental_update(
+                cached,
+                add=add,
+                retract=retract,
+                budget=self.chase_budget,
+                cancel=self.cancel,
+            )
+            # Merge only the maintenance work: the original chase's
+            # telemetry already landed in ``stats`` when it ran.
+            self.stats.merge(outcome.stats)
+            if outcome.result.terminated:
+                self._chases[new_key] = outcome.result
+        return updated
 
     def store(self):
         """The session's :class:`~repro.storage.sqlite.SQLiteStore`.

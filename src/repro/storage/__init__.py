@@ -48,6 +48,7 @@ from .chasestore import (
     StoreChaseResult,
     chase_into_store,
     resume_store_chase,
+    update_store_chase,
 )
 from .memory import MemoryStore
 from .sqlcompile import CompiledQuery, compile_ucq, evaluate_ucq_sql, execute_compiled
@@ -79,4 +80,5 @@ __all__ = [
     "resume_store_chase",
     "save_checkpoint",
     "save_checkpoint_atomic",
+    "update_store_chase",
 ]

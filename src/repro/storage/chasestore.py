@@ -63,7 +63,7 @@ from ..logic.terms import Constant, FunctionTerm, Variable
 from ..logic.tgd import Theory
 from ..telemetry import Telemetry
 from .sqlcompile import build_select
-from .sqlite import SQLiteStore
+from .sqlite import SQLiteStore, fact_key, parse_fact_key
 
 STORE_CHASE_SCHEMA = "repro-storechase/1"
 
@@ -139,6 +139,38 @@ class _StoreRule:
                 else:  # pragma: no cover - the parser admits nothing else
                     raise StoreChaseError(f"unsupported head term {term!r}")
             self.head_specs.append((item.predicate, tuple(slots)))
+        # Body-atom recipes for provenance: each body atom rendered as a
+        # fact key per sigma row, recorded as the (child, parent) support
+        # edges that ``update_store_chase`` walks to over-delete a
+        # retraction's cone.  ``None`` when a body term shape falls
+        # outside variable/constant (nothing the parser emits today).
+        body_specs: "list[tuple] | None" = []
+        for item in self.body:
+            slots = []
+            for term in item.args:
+                if isinstance(term, Variable):
+                    slots.append(("v", index_of[term]))
+                elif isinstance(term, Constant):
+                    slots.append(("c", store.intern_term(term)))
+                else:
+                    body_specs = None
+                    break
+            if body_specs is None:
+                break
+            body_specs.append((item.predicate, tuple(slots)))
+        self.body_specs = body_specs
+
+    def parent_keys(self, row: tuple) -> "list[str] | None":
+        """The body image of one sigma row, as fact keys (or ``None``)."""
+        if self.body_specs is None:
+            return None
+        keys = []
+        for predicate, slots in self.body_specs:
+            ids = tuple(
+                row[slot[1]] if slot[0] == "v" else slot[1] for slot in slots
+            )
+            keys.append(fact_key(predicate, ids))
+        return keys
 
     def round_plans(self, round_number: int) -> "list[list]":
         """The per-alias round bounds to evaluate this round's matches.
@@ -219,6 +251,122 @@ def _maybe_kill(name: str, round_: int) -> None:
         os.kill(os.getpid(), signal.SIGKILL)
 
 
+def _filter_existing_supports(
+    store: SQLiteStore, supports: "list[tuple[str, str]]"
+) -> None:
+    """Drop support pairs whose child fact already exists in the store.
+
+    Mirrors the in-memory engine, which records a derivation only when
+    the produced atom is genuinely new: without this filter a base fact
+    re-derived by some rule would gain support edges, stop looking base,
+    and become deletable by the DRed cascade (and un-retractable by
+    :func:`update_store_chase`'s derived-fact check).  Must run *before*
+    the batch's rows are inserted — afterwards every child would read as
+    existing.
+    """
+    if not supports:
+        return
+    present = store.existing_fact_keys({child for child, _ in supports})
+    if present:
+        supports[:] = [pair for pair in supports if pair[0] not in present]
+
+
+def _execute_round(
+    store: SQLiteStore,
+    prepared: "list[_StoreRule]",
+    round_number: int,
+    control: "_RunControl | None",
+    plans_for,
+    fire_bodyless: bool,
+) -> "tuple[int, int, int]":
+    """One store round's trigger matching and batched inserts.
+
+    Returns ``(matches, produced_rows, inserted)``.  Produced facts land
+    at round tag ``round_number``; every *genuinely new* row also records
+    its (child, parent) support edges — flushed alongside the fact
+    batches, inside the same per-round transaction — which is the
+    provenance :func:`update_store_chase` walks for DRed over-deletion.
+    Rows whose fact already exists are filtered out of the support batch
+    first (:func:`_filter_existing_supports`), so base facts never
+    acquire edges and never enter the deletion cascade.
+
+    ``plans_for`` maps a rule to its round-bound plans (the standard
+    semi-naive pivots for a chase round, one full-width pass for the
+    re-derive round after a retraction); ``fire_bodyless`` gates the
+    once-only bodyless rules.  Raises
+    :class:`~repro.chase.engine._RoundInterrupt` on deadline or
+    cancellation, leaving the partial round uncommitted.
+    """
+    counters = store.stats.counters
+    batch_size = store.batch_size
+    stride = CONTROL_CHECK_STRIDE - 1
+    matches = 0
+    produced_rows = 0
+    inserted = 0
+    supports: "list[tuple[str, str]]" = []
+    for rule in prepared:
+        if control is not None:
+            reason = control.interruption()
+            if reason is not None:
+                raise _RoundInterrupt(reason)
+        if not rule.body:
+            # Bodyless rules (no universal variables, so the head is
+            # ground after skolemization) fire exactly once.
+            if not fire_bodyless:
+                continue
+            matches += 1
+            for predicate, ids in _apply_rule(rule, (), store):
+                produced_rows += 1
+                inserted += store.insert_rows(predicate, [ids], round_number)
+            continue
+        for bounds in plans_for(rule):
+            compiled = build_select(
+                rule.body,
+                rule.var_order,
+                store,
+                round_bounds=bounds,
+                distinct=False,
+            )
+            if compiled is None:
+                continue  # a body predicate has no fact table yet
+            pending: dict = {}
+            pending_rows = 0
+            for row in store._select(compiled.sql, compiled.params):
+                matches += 1
+                if control is not None and not (matches & stride):
+                    reason = control.interruption()
+                    if reason is not None:
+                        raise _RoundInterrupt(reason)
+                counters["store.rows_scanned"] += 1
+                parents = rule.parent_keys(row)
+                for predicate, ids in _apply_rule(rule, row, store):
+                    produced_rows += 1
+                    pending.setdefault(predicate, []).append(ids)
+                    pending_rows += 1
+                    if parents:
+                        child = fact_key(predicate, ids)
+                        supports.extend((child, parent) for parent in parents)
+                if pending_rows >= batch_size:
+                    _filter_existing_supports(store, supports)
+                    for predicate, rows in pending.items():
+                        inserted += store.insert_rows(
+                            predicate, rows, round_number
+                        )
+                    pending.clear()
+                    pending_rows = 0
+                    store.add_supports(supports)
+                    supports.clear()
+                    _maybe_kill("storechase.kill_midround", round_number)
+            _filter_existing_supports(store, supports)
+            for predicate, rows in pending.items():
+                inserted += store.insert_rows(predicate, rows, round_number)
+            store.add_supports(supports)
+            supports.clear()
+            if pending:
+                _maybe_kill("storechase.kill_midround", round_number)
+    return matches, produced_rows, inserted
+
+
 def chase_into_store(
     theory: Theory,
     base: "Instance | None",
@@ -267,6 +415,12 @@ def chase_into_store(
             raise StoreChaseError(
                 "resuming a store chase: base is already persisted, pass None"
             )
+        if store.get_meta("storechase.repair") == "1":
+            raise StoreChaseError(
+                "store holds an interrupted incremental update (the "
+                "deletion cone is applied but not yet re-derived); finish "
+                "it with repro.incremental.update_store_chase"
+            )
         rounds_run = int(store.get_meta("storechase.rounds", "0"))
         terminated = store.get_meta("storechase.terminated") == "1"
         # Remove debris from a crashed round: the per-round transaction
@@ -301,15 +455,18 @@ def chase_into_store(
             store._flush_pending()
         store.set_meta("storechase.schema", STORE_CHASE_SCHEMA, commit=False)
         store.set_meta("storechase.theory", theory_text, commit=False)
+        # Marks that every derived fact in this store carries support
+        # edges — the precondition for retractions in
+        # ``update_store_chase`` (databases written before the supports
+        # table existed resume fine but cannot be retracted from).
+        store.set_meta("storechase.supports", "1", commit=False)
         rounds_run = 0
         terminated = False
         _persist_state(store, rounds_run, terminated, stats, commit=False)
         store.commit()
         total = len(store)
 
-    batch_size = store.batch_size
     control = _RunControl.start(budget, cancel)
-    stride = CONTROL_CHECK_STRIDE - 1
     interrupted: "str | None" = None
 
     with stats.timer("chase"):
@@ -322,67 +479,15 @@ def chase_into_store(
             round_number = rounds_run + 1
             round_started = time.perf_counter()
             terms_before = counters["store.terms_interned"]
-            matches = 0
-            produced_rows = 0
-            inserted = 0
             try:
-                for rule in prepared:
-                    if control is not None:
-                        reason = control.interruption()
-                        if reason is not None:
-                            raise _RoundInterrupt(reason)
-                    if not rule.body:
-                        # Bodyless rules (no universal variables, so the head
-                        # is ground after skolemization) fire exactly once,
-                        # in the first round.
-                        if round_number != 1:
-                            continue
-                        matches += 1
-                        for predicate, ids in _apply_rule(rule, (), store):
-                            produced_rows += 1
-                            inserted += store.insert_rows(
-                                predicate, [ids], round_number
-                            )
-                        continue
-                    for bounds in rule.round_plans(round_number):
-                        compiled = build_select(
-                            rule.body,
-                            rule.var_order,
-                            store,
-                            round_bounds=bounds,
-                            distinct=False,
-                        )
-                        if compiled is None:
-                            continue  # a body predicate has no fact table yet
-                        pending: dict = {}
-                        pending_rows = 0
-                        for row in store._select(compiled.sql, compiled.params):
-                            matches += 1
-                            if control is not None and not (matches & stride):
-                                reason = control.interruption()
-                                if reason is not None:
-                                    raise _RoundInterrupt(reason)
-                            counters["store.rows_scanned"] += 1
-                            for predicate, ids in _apply_rule(rule, row, store):
-                                produced_rows += 1
-                                pending.setdefault(predicate, []).append(ids)
-                                pending_rows += 1
-                            if pending_rows >= batch_size:
-                                for predicate, rows in pending.items():
-                                    inserted += store.insert_rows(
-                                        predicate, rows, round_number
-                                    )
-                                pending.clear()
-                                pending_rows = 0
-                                _maybe_kill(
-                                    "storechase.kill_midround", round_number
-                                )
-                        for predicate, rows in pending.items():
-                            inserted += store.insert_rows(
-                                predicate, rows, round_number
-                            )
-                        if pending:
-                            _maybe_kill("storechase.kill_midround", round_number)
+                matches, produced_rows, inserted = _execute_round(
+                    store,
+                    prepared,
+                    round_number,
+                    control,
+                    lambda rule: rule.round_plans(round_number),
+                    fire_bodyless=(round_number == 1),
+                )
             except _RoundInterrupt as stop:
                 # Abandon the round wholesale: rows inserted so far are
                 # rolled back, so disk holds exactly the last complete
@@ -457,3 +562,276 @@ def resume_store_chase(
             store.get_meta("storechase.theory", ""), name="storechase"
         )
     return chase_into_store(theory, None, store, budget=budget, cancel=cancel)
+
+
+def _encode_existing(store: SQLiteStore, item) -> "tuple[int, ...] | None":
+    """Term-id row for an atom, or ``None`` if any term is unknown."""
+    ids = []
+    for term in item.args:
+        term_id = store.term_id(term)
+        if term_id is None:
+            return None
+        ids.append(term_id)
+    return tuple(ids)
+
+
+def update_store_chase(
+    store: SQLiteStore,
+    theory: "Theory | None" = None,
+    add=(),
+    retract=(),
+    budget: "ChaseBudget | None" = None,
+    cancel: "CancellationToken | None" = None,
+) -> StoreChaseResult:
+    """Maintain a terminated store chase under base adds and retractions.
+
+    The DRed/delta counterpart of :func:`repro.incremental.incremental_update`
+    with the facts living only in SQLite:
+
+    * **retractions** delete the retracted rows plus their transitive
+      support cone (walked over ``repro_supports``; facts without
+      support edges — round-0 facts, update-added facts, promoted facts
+      — are never cascaded into), then re-derive survivors with one
+      full-width round before returning to standard semi-naive pivots;
+    * **additions** insert the new facts at a fresh round tag and run
+      plain semi-naive rounds from there — by Observation 8 and Skolem
+      determinism this derives exactly the missing consequences.  An
+      added fact the chase had already derived is *promoted* to base
+      (its support edges are dropped so retractions elsewhere can no
+      longer cascade through it).
+
+    The deletion phase, base inserts and updated ``storechase.*`` state
+    commit as one transaction; after a retraction a ``storechase.repair``
+    marker stays set until the full-width re-derive round lands, so a
+    crash mid-update is detected — :func:`resume_store_chase` refuses the
+    database and this function (with or without further changes)
+    finishes the repair.  The final content digest equals clearing the
+    store and re-chasing the updated base from scratch.
+
+    Raises :class:`StoreChaseError` for missing/unterminated/foreign
+    chase state, pre-supports databases on retraction, and theories with
+    universal head variables; ``ValueError`` for retracting a derived
+    fact or adding and retracting the same fact.
+    """
+    budget = budget if budget is not None else ChaseBudget()
+    stats = store.stats
+    counters = stats.counters
+
+    schema = store.get_meta("storechase.schema")
+    if schema is None:
+        raise StoreChaseError(f"{store!r} holds no store-chase state to update")
+    if schema != STORE_CHASE_SCHEMA:
+        raise StoreChaseError(f"unsupported store-chase schema {schema!r}")
+    if theory is None:
+        from ..logic.parser import parse_theory
+
+        theory = parse_theory(
+            store.get_meta("storechase.theory", ""), name="storechase"
+        )
+    elif store.get_meta("storechase.theory", "") != _theory_text(theory):
+        raise StoreChaseError(
+            "store was chased under a different theory; refusing to mix"
+        )
+    repair_pending = store.get_meta("storechase.repair") == "1"
+    if store.get_meta("storechase.terminated") != "1" and not repair_pending:
+        raise StoreChaseError(
+            "store chase is not at a fixpoint; resume_store_chase first"
+        )
+    prepared = [_StoreRule(rule, store) for rule in theory]
+
+    add = list(add)
+    retract = list(retract)
+    overlap = {item for item in add if item in retract}
+    if overlap:
+        raise ValueError(
+            f"facts both added and retracted: {sorted(map(str, overlap))}"
+        )
+    if retract and store.get_meta("storechase.supports") != "1":
+        raise StoreChaseError(
+            "store predates support tracking; retraction needs a re-chase "
+            "(re-run chase_into_store on a fresh store)"
+        )
+
+    rounds_run = int(store.get_meta("storechase.rounds", "0"))
+    epoch = rounds_run + 1
+
+    with stats.timer("delta"):
+        # ---- resolve the update against the stored facts -------------
+        removed_keys: "list[str]" = []
+        for item in retract:
+            ids = _encode_existing(store, item)
+            if ids is None or item not in store:
+                continue
+            key = fact_key(item.predicate, ids)
+            if store.has_support(key):
+                raise ValueError(
+                    f"cannot retract derived fact {item} (retract its base "
+                    "ancestors instead)"
+                )
+            removed_keys.append(key)
+        to_insert = [item for item in add if item not in store]
+        promoted_keys = []
+        for item in add:
+            ids = _encode_existing(store, item)
+            if ids is not None and item in store:
+                key = fact_key(item.predicate, ids)
+                if store.has_support(key):
+                    promoted_keys.append(key)
+
+        if not removed_keys and not to_insert and not promoted_keys:
+            if not repair_pending:
+                counters["delta.noops"] += 1
+                return StoreChaseResult(
+                    store, rounds_run, True, len(store), stats
+                )
+        else:
+            counters["delta.updates"] += 1
+            counters["delta.added_base"] += len(to_insert) + len(promoted_keys)
+            counters["delta.retracted_base"] += len(removed_keys)
+
+        # ---- over-delete the retraction cone -------------------------
+        deleted: "set[str]" = set()
+        if removed_keys:
+            deleted = set(removed_keys)
+            frontier = list(deleted)
+            while frontier:
+                children = store.support_children(frontier)
+                frontier = [key for key in children if key not in deleted]
+                deleted.update(frontier)
+            store.delete_fact_rows(deleted)
+            store.delete_supports_of(deleted)
+            counters["delta.overdeleted"] += len(deleted) - len(removed_keys)
+
+        # ---- apply base changes + state in ONE transaction -----------
+        if promoted_keys:
+            store.delete_supports_of(promoted_keys)
+        for item in to_insert:
+            store.buffer(item, round_=epoch)
+        store._flush_pending()
+        needs_repair = bool(removed_keys) or repair_pending
+        store.set_meta(
+            "storechase.repair", "1" if needs_repair else "0", commit=False
+        )
+        terminated = not needs_repair and not to_insert
+        _persist_state(store, epoch, terminated, stats, commit=False)
+        store.commit()
+        rounds_run = epoch
+        total = len(store)
+        if terminated:
+            # Promotions / no-op repairs change no derived facts.
+            return StoreChaseResult(store, rounds_run, True, total, stats)
+
+        # ---- re-derive to a fresh fixpoint ---------------------------
+        control = _RunControl.start(budget, cancel)
+        interrupted: "str | None" = None
+        first_round = True
+        terminated = False
+        for _ in range(budget.max_rounds):
+            if control is not None:
+                reason = control.interruption()
+                if reason is not None:
+                    interrupted = reason
+                    break
+            round_number = rounds_run + 1
+            round_started = time.perf_counter()
+            terms_before = counters["store.terms_interned"]
+            full_pass = first_round and needs_repair
+            if full_pass:
+                # The retraction broke the closure: one full-width pass
+                # over the survivors (including facts the update just
+                # added), then standard semi-naive pivots take over.
+                last = round_number - 1
+                plans_for = (
+                    lambda rule: [[("le", last)] * len(rule.body)]
+                )
+            else:
+                plans_for = lambda rule: rule.round_plans(round_number)
+            try:
+                matches, produced_rows, inserted = _execute_round(
+                    store,
+                    prepared,
+                    round_number,
+                    control,
+                    plans_for,
+                    fire_bodyless=full_pass,
+                )
+            except _RoundInterrupt as stop:
+                store.rollback()
+                stats.record_round(
+                    round=round_number,
+                    aborted=True,
+                    total_atoms=total,
+                    seconds=round(time.perf_counter() - round_started, 6),
+                )
+                interrupted = stop.reason
+                break
+            first_round = False
+            total += inserted
+            dedup_hits = produced_rows - inserted
+            counters["chase.rounds"] += 1
+            counters["chase.matches"] += matches
+            counters["chase.atoms_produced"] += inserted
+            counters["chase.dedup_hits"] += dedup_hits
+            counters["delta.rounds"] += 1
+            if inserted:
+                rounds_run = round_number
+            else:
+                terminated = True
+            stats.record_round(
+                round=round_number,
+                matches=matches,
+                atoms_produced=inserted,
+                dedup_hits=dedup_hits,
+                new_terms=counters["store.terms_interned"] - terms_before,
+                total_atoms=total,
+                seconds=round(time.perf_counter() - round_started, 6),
+            )
+            if full_pass:
+                # The closure is whole again from here on; a crash in a
+                # later round resumes like any suspended chase.
+                store.set_meta("storechase.repair", "0", commit=False)
+            _persist_state(store, rounds_run, terminated, stats, commit=False)
+            _maybe_kill("storechase.kill", round_number)
+            store.commit()
+            if terminated:
+                break
+            if total > budget.max_atoms:
+                if budget.on_exceeded == "raise":
+                    raise ChaseBudgetExceeded(
+                        f"store chase exceeded {budget.max_atoms} atoms "
+                        f"after {rounds_run} rounds"
+                    )
+                break
+        if interrupted is not None:
+            note_interruption(stats, interrupted, budget, rounds_run)
+        if deleted and terminated:
+            # How much of the over-deleted cone came back: cone members
+            # with an alternative derivation untouched by the retraction.
+            rederived = 0
+            for key in deleted:
+                predicate, ids = parse_fact_key(key)
+                table = store._tables.get(predicate)
+                if table is None:
+                    continue
+                if predicate.arity == 0:
+                    hit = store._select(
+                        f"SELECT 1 FROM {table} LIMIT 1"
+                    ).fetchone()
+                else:
+                    where = " AND ".join(
+                        f"a{i} = ?" for i in range(predicate.arity)
+                    )
+                    hit = store._select(
+                        f"SELECT 1 FROM {table} WHERE {where} LIMIT 1", ids
+                    ).fetchone()
+                if hit:
+                    rederived += 1
+            counters["delta.rederived"] += rederived
+
+    return StoreChaseResult(
+        store=store,
+        rounds_run=rounds_run,
+        terminated=terminated,
+        atom_count=total,
+        stats=stats,
+    )

@@ -81,6 +81,12 @@ CREATE TABLE IF NOT EXISTS repro_predicates (
     table_name TEXT NOT NULL UNIQUE,
     PRIMARY KEY (name, arity)
 );
+CREATE TABLE IF NOT EXISTS repro_supports (
+    child TEXT NOT NULL,
+    parent TEXT NOT NULL,
+    PRIMARY KEY (child, parent)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS ix_repro_supports_parent ON repro_supports (parent);
 """
 
 # A soft cap on the Python-side term caches: the store must stay usable
@@ -98,6 +104,32 @@ _LOCK_RETRIES = 5
 def _trim(cache: dict) -> None:
     if len(cache) > _CACHE_CAP:
         cache.clear()
+
+
+def fact_key(predicate: Predicate, ids: "tuple[int, ...]") -> str:
+    """The canonical row key used by the ``repro_supports`` edge table.
+
+    ``name/arity:id0,id1,...`` — term *ids*, not displays, so the key is
+    stable across connections (ids live in ``repro_terms``) and costs no
+    term decoding to build on the chase's hot path.
+    """
+    return f"{predicate.name}/{predicate.arity}:{','.join(map(str, ids))}"
+
+
+# The id list is digits-and-commas only, so the last "/<digits>:" split
+# is unambiguous even for exotic predicate names.
+_FACT_KEY = re.compile(r"^(.*)/(\d+):([\d,]*)$", re.DOTALL)
+
+
+def parse_fact_key(key: str) -> "tuple[Predicate, tuple[int, ...]]":
+    matched = _FACT_KEY.match(key)
+    if matched is None:
+        raise ValueError(f"malformed fact key {key!r}")
+    name, arity, ids = matched.groups()
+    return (
+        Predicate(name, int(arity)),
+        tuple(int(part) for part in ids.split(",")) if ids else (),
+    )
 
 
 class SQLiteStore(TermInterningMixin):
@@ -528,6 +560,132 @@ class SQLiteStore(TermInterningMixin):
         self.commit()
         return removed
 
+    # ------------------------------------------------------------------
+    # Derivation supports (incremental maintenance)
+    # ------------------------------------------------------------------
+    # ``repro_supports`` holds (child, parent) fact-key edges — one row
+    # per recorded rule application's body atom — persisted by the
+    # store-backed chase and walked by ``update_store_chase`` to
+    # over-delete the DRed cone of a retraction.  The table is part of
+    # the fixed schema, NOT the predicate catalog: it never contributes
+    # to ``__len__``, ``digest()`` or ``predicates()``.
+
+    def add_supports(self, pairs: "list[tuple[str, str]]") -> None:
+        """Record derivation edges (no commit — rides the round's txn)."""
+        if not pairs:
+            return
+        conn = self.connection
+        self._guarded(
+            lambda: conn.executemany(
+                "INSERT OR IGNORE INTO repro_supports (child, parent) "
+                "VALUES (?, ?)",
+                pairs,
+            )
+        )
+
+    def support_children(self, parent_keys: "Iterable[str]") -> set[str]:
+        """Distinct children whose recorded derivation used any parent."""
+        children: set[str] = set()
+        batch: list[str] = []
+        parents = list(parent_keys)
+        for start in range(0, len(parents), 500):
+            batch = parents[start : start + 500]
+            marks = ", ".join("?" for _ in batch)
+            for row in self._select(
+                "SELECT DISTINCT child FROM repro_supports "
+                f"WHERE parent IN ({marks})",
+                tuple(batch),
+            ):
+                children.add(row[0])
+        return children
+
+    def has_support(self, child_key: str) -> bool:
+        """Whether any derivation edge ends at ``child_key``.
+
+        A fact *without* support edges is base-like for deletion: round-0
+        facts, update-added facts and facts promoted to base all carry
+        none, so the DRed cascade never deletes them.
+        """
+        row = self._select(
+            "SELECT 1 FROM repro_supports WHERE child = ? LIMIT 1", (child_key,)
+        ).fetchone()
+        return row is not None
+
+    def delete_supports_of(self, child_keys: "Iterable[str]") -> int:
+        """Drop all edges into the given children (promotion/deletion)."""
+        conn = self.connection
+        before = conn.total_changes
+        rows = [(key,) for key in child_keys]
+        if rows:
+            self._guarded(
+                lambda: conn.executemany(
+                    "DELETE FROM repro_supports WHERE child = ?", rows
+                )
+            )
+        return conn.total_changes - before
+
+    def existing_fact_keys(self, keys: "Iterable[str]") -> set[str]:
+        """Which of the given fact keys name rows already in the store.
+
+        The support recorder's filter: a produced row whose fact already
+        exists must not gain a support edge, so base facts stay
+        support-free (mirroring the in-memory engine, which records a
+        derivation only when the produced atom is genuinely new).
+        """
+        self._flush_pending()
+        existing: set[str] = set()
+        by_predicate: "dict[Predicate, list[tuple[str, tuple[int, ...]]]]" = {}
+        for key in keys:
+            predicate, ids = parse_fact_key(key)
+            by_predicate.setdefault(predicate, []).append((key, ids))
+        for predicate, entries in by_predicate.items():
+            table = self._tables.get(predicate)
+            if table is None:
+                continue
+            if predicate.arity == 0:
+                row = self._select(f"SELECT 1 FROM {table} LIMIT 1").fetchone()
+                if row is not None:
+                    existing.update(key for key, _ in entries)
+                continue
+            where = " AND ".join(f"a{i} = ?" for i in range(predicate.arity))
+            for key, ids in entries:
+                row = self._select(
+                    f"SELECT 1 FROM {table} WHERE {where} LIMIT 1", ids
+                ).fetchone()
+                if row is not None:
+                    existing.add(key)
+        return existing
+
+    def support_count(self) -> int:
+        row = self._select("SELECT COUNT(*) FROM repro_supports").fetchone()
+        return int(row[0])
+
+    def delete_fact_rows(self, keys: "Iterable[str]") -> int:
+        """Delete fact rows by fact key; returns how many rows existed.
+
+        The write half of the DRed over-deletion.  No commit — the
+        caller lands the deletions, the support cleanup and the updated
+        chase state in one transaction.
+        """
+        self._flush_pending()
+        conn = self.connection
+        before = conn.total_changes
+        for key in keys:
+            predicate, ids = parse_fact_key(key)
+            table = self._tables.get(predicate)
+            if table is None:
+                continue
+            if predicate.arity == 0:
+                self._guarded(lambda: conn.execute(f"DELETE FROM {table}"))
+            else:
+                where = " AND ".join(f"a{i} = ?" for i in range(predicate.arity))
+                self._guarded(
+                    lambda: conn.execute(
+                        f"DELETE FROM {table} WHERE {where}", ids
+                    )
+                )
+        return conn.total_changes - before
+
     def digest(self) -> str:
         """Content digest, rendered from the term dictionary's displays.
 
@@ -562,6 +720,7 @@ class SQLiteStore(TermInterningMixin):
         self._pending_rows = 0
         for table in self._tables.values():
             self.connection.execute(f"DELETE FROM {table}")
+        self.connection.execute("DELETE FROM repro_supports")
         self.commit()
 
     # ------------------------------------------------------------------

@@ -54,9 +54,19 @@ rwparallel.bytes_received / rwparallel.fallback_inprocess``
     the rewriting frontier pool (``RewritingBudget(workers=N)``) —
     separate from ``rewrite.*`` so the sequential-vs-parallel byte
     parity of those counters holds verbatim;
-``session.rewrite_cache_hits / session.rewrite_cache_misses``
-    ``OMQASession`` rewriting-cache outcomes, mirrored into the
-    session's aggregated stats for ``--stats`` output;
+``session.rewrite_cache_hits / session.rewrite_cache_misses /
+session.chase_cache_hits / session.chase_cache_misses``
+    ``OMQASession`` cache outcomes — rewritings per query shape, chases
+    per instance content — mirrored into the session's aggregated stats
+    for ``--stats`` output;
+``delta.updates / delta.noops / delta.added_base /
+delta.retracted_base / delta.overdeleted / delta.rederived /
+delta.rounds``
+    incremental maintenance (:mod:`repro.incremental`, see
+    ``docs/incremental.md``): update calls that changed the base versus
+    no-ops, base facts added and retracted, atoms over-deleted beyond
+    the retraction itself (the DRed cone), cone members re-derived from
+    surviving facts, and maintenance rounds executed;
 ``parallel.workers / parallel.rounds / parallel.shards_dispatched /
 parallel.worker_us / parallel.merge_dedup_hits / parallel.bytes_sent /
 parallel.bytes_received / parallel.worker_truncated /

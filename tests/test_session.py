@@ -138,3 +138,72 @@ class TestAnswering:
         session.clear()
         assert session.cache_info()["rewriting"]["entries"] == 0
         assert dict(session.stats.counters) == counter_snapshot
+
+
+def _fact(text):
+    return next(iter(parse_instance(text)))
+
+
+class TestLiveUpdates:
+    def test_add_facts_seeds_cache_without_rechase(self):
+        session = OMQASession(parse_theory(UNIVERSITY))
+        instance = parse_instance("EnrolledIn(ann, cs1). TaughtBy(cs1, turing)")
+        session.materialize(instance)
+        new_fact = _fact("EnrolledIn(bob, cs1)")
+        updated = session.add_facts(instance, [new_fact])
+        assert new_fact in updated and new_fact not in instance
+        assert session.cache_info()["chase"]["entries"] == 2
+        session.materialize(updated)  # served from the maintained cache
+        assert session.cache_info()["chase"] == {
+            "hits": 1,
+            "misses": 1,
+            "entries": 2,
+        }
+
+    def test_answers_after_updates_match_fresh_session(self):
+        theory = parse_theory(UNIVERSITY)
+        query = parse_query("q(p) := Person(p)")
+        instance = parse_instance("TaughtBy(cs1, turing). TaughtBy(cs2, hopper)")
+        session = OMQASession(theory)
+        session.answer(query, instance, strategy="materialize")
+        updated = session.add_facts(instance, [_fact("TaughtBy(cs3, curie)")])
+        updated = session.retract_facts(updated, [_fact("TaughtBy(cs1, turing)")])
+        live = session.answer(query, updated, strategy="materialize")
+        fresh = OMQASession(theory).answer(query, updated, strategy="materialize")
+        assert live == fresh
+        assert session.cache_info()["chase"]["hits"] >= 1
+
+    def test_mutate_then_restore_hits_cache(self):
+        # Satellite pin: cache keys are content-based, so updating an
+        # instance and undoing the update lands back on the original
+        # cache entry instead of re-chasing.
+        session = OMQASession(parse_theory(UNIVERSITY))
+        instance = parse_instance("EnrolledIn(ann, cs1). TaughtBy(cs1, turing)")
+        session.materialize(instance)
+        new_fact = _fact("EnrolledIn(bob, cs1)")
+        updated = session.add_facts(instance, [new_fact])
+        restored = session.retract_facts(updated, [new_fact])
+        assert restored.atoms() == instance.atoms()
+        session.materialize(restored)
+        info = session.cache_info()["chase"]
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_chase_cache_counters_mirrored_into_stats(self):
+        session = OMQASession(parse_theory(UNIVERSITY))
+        instance = parse_instance("TaughtBy(cs1, turing)")
+        session.materialize(instance)
+        session.materialize(parse_instance("TaughtBy(cs1, turing)"))
+        counters = session.stats.counters
+        assert counters["session.chase_cache_hits"] == 1
+        assert counters["session.chase_cache_misses"] == 1
+        info = session.cache_info()["chase"]
+        assert counters["session.chase_cache_hits"] == info["hits"]
+        assert counters["session.chase_cache_misses"] == info["misses"]
+
+    def test_updates_merge_delta_counters(self):
+        session = OMQASession(parse_theory(UNIVERSITY))
+        instance = parse_instance("EnrolledIn(ann, cs1). TaughtBy(cs1, turing)")
+        session.materialize(instance)
+        session.add_facts(instance, [_fact("EnrolledIn(bob, cs1)")])
+        assert session.stats.counters["delta.updates"] == 1
+        assert session.stats.counters["delta.added_base"] == 1

@@ -13,11 +13,11 @@ Three checks, all zero-dependency:
 2. **Anchors resolve.**  A ``file.md#anchor`` (or in-page ``#anchor``)
    target must match a heading in the target file under GitHub's
    slugification (lowercase, spaces to dashes, punctuation dropped).
-3. **Examples run.**  Every fenced ``python`` block in
-   ``docs/performance.md``, ``docs/architecture.md`` and
-   ``docs/robustness.md`` is executed with ``src/`` on ``sys.path``; a
-   failing example fails the build.  Examples in those files are a
-   documented contract, not decoration.
+3. **Examples run.**  Every fenced ``python`` block in ``README.md``,
+   ``EXPERIMENTS.md``, ``docs/performance.md``, ``docs/architecture.md``,
+   ``docs/robustness.md`` and ``docs/incremental.md`` is executed with
+   ``src/`` on ``sys.path``; a failing example fails the build.
+   Examples in those files are a documented contract, not decoration.
 
 Exit code 0 on success, 1 with a per-problem report otherwise.
 """
@@ -31,12 +31,16 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 CHECKED_FILES = [
     ROOT / "README.md",
+    ROOT / "EXPERIMENTS.md",
     *sorted((ROOT / "docs").glob("*.md")),
 ]
 EXECUTED_FILES = [
+    ROOT / "README.md",
+    ROOT / "EXPERIMENTS.md",
     ROOT / "docs" / "performance.md",
     ROOT / "docs" / "architecture.md",
     ROOT / "docs" / "robustness.md",
+    ROOT / "docs" / "incremental.md",
 ]
 
 # [text](target) — but not ![image](...) captures, which we treat the same,

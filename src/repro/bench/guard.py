@@ -732,6 +732,52 @@ def _run_incremental_update(quick: bool) -> dict:
     }
 
 
+_LAST_SERVICE: dict | None = None
+
+
+def _run_service_load(quick: bool) -> dict:
+    """Concurrent service traffic answers exactly like a fresh session.
+
+    Spins up an in-process :class:`~repro.service.server.OMQAService`
+    and drives the :mod:`repro.bench.loadgen` plan through it: N asyncio
+    clients mixing queries (rotating all three backends) with appends.
+    The compared ``value`` is everything deterministic about the run —
+    request/op counts, zero errors, the single-flight compile count
+    (exactly one rewriting per distinct query shape, however many
+    clients race), and the final per-query answer digests, which every
+    backend must produce *and* which must equal a fresh from-scratch
+    ``OMQASession.answer()`` over the reconstructed final instance.
+    Throughput and p50/p99 latency are machine properties, so they land
+    in ``meta["service"]`` rather than the compared value.
+    """
+    from .loadgen import run_loadgen
+
+    global _LAST_SERVICE
+    clients, ops = (3, 9) if quick else (6, 18)
+    report = run_loadgen(
+        clients=clients, ops_per_client=ops, append_every=3, workers=4
+    )
+    _LAST_SERVICE = {
+        "seconds": report["seconds"],
+        "throughput_rps": report["throughput_rps"],
+        "p50_ms": report["latency_ms"]["p50"],
+        "p99_ms": report["latency_ms"]["p99"],
+        "max_ms": report["latency_ms"]["max"],
+        "journal_mode": report["journal_mode"],
+        "rewrite_cache_hits": report["rewrite_cache_hits"],
+    }
+    return {
+        "clients": report["clients"],
+        "requests": report["requests"],
+        "queries": report["ops"]["queries"],
+        "appends": report["ops"]["appends"],
+        "errors": report["errors"],
+        "compiles": report["rewrite_cache_misses"],
+        "digests_match": report["digests_match"],
+        "digests": report["final_digests"],
+    }
+
+
 SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
         "e1_doubling",
@@ -778,6 +824,11 @@ SCENARIOS: tuple[Scenario, ...] = (
         "delta-maintained fixpoints vs from-scratch chases: identical digests",
         _run_incremental_update,
     ),
+    Scenario(
+        "service_load",
+        "concurrent service traffic: digests match a fresh session, one compile per shape",
+        _run_service_load,
+    ),
 )
 
 
@@ -813,7 +864,7 @@ def run_guard_scenarios(
     machine, not of the code under guard.
     """
     global _PARALLEL_WORKERS, _LAST_PARALLEL, _LAST_STORAGE, _LAST_COLUMNAR
-    global _LAST_FAULTS, _LAST_REWRITING, _LAST_INCREMENTAL
+    global _LAST_FAULTS, _LAST_REWRITING, _LAST_INCREMENTAL, _LAST_SERVICE
     saved_workers = _PARALLEL_WORKERS
     if workers is not None:
         _PARALLEL_WORKERS = max(2, workers)
@@ -823,6 +874,7 @@ def run_guard_scenarios(
     _LAST_FAULTS = None
     _LAST_REWRITING = None
     _LAST_INCREMENTAL = None
+    _LAST_SERVICE = None
     measured = []
     for scenario in scenarios:
         runs: list[float] = []
@@ -857,6 +909,8 @@ def run_guard_scenarios(
         meta["rewriting"] = dict(_LAST_REWRITING)
     if _LAST_INCREMENTAL is not None:
         meta["incremental"] = dict(_LAST_INCREMENTAL)
+    if _LAST_SERVICE is not None:
+        meta["service"] = dict(_LAST_SERVICE)
     _PARALLEL_WORKERS = saved_workers
     document = bench_document(
         mode="quick" if quick else "full",

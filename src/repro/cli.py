@@ -9,6 +9,8 @@ Commands
 ``termination`` Core-Termination probe (Definitions 18-24)
 ``figure1``    render the doubling triangle of Figure 1
 ``bench-guard`` run the guard benchmarks and compare against a baseline
+``serve``      run the OMQA HTTP service (:mod:`repro.service`)
+``loadgen``    drive concurrent mixed traffic against the service
 
 Theories and instances are read from files (or inline with ``-e``) in the
 syntax of :mod:`repro.logic.parser`.  Every command takes ``--json`` for a
@@ -727,6 +729,125 @@ def _cmd_bench_guard(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import OMQAService
+
+    budget = ChaseBudget(
+        max_rounds=args.rounds,
+        max_atoms=args.max_atoms,
+        deadline_s=args.chase_deadline,
+    )
+
+    async def run() -> int:
+        service = OMQAService(
+            host=args.host,
+            port=args.port,
+            db_dir=args.db_dir,
+            workers=args.workers,
+            deadline=args.deadline,
+            chase_budget=budget,
+        )
+        await service.start()
+        if args.json:
+            _emit_json(
+                {
+                    "command": "serve",
+                    "address": service.address,
+                    "host": service.host,
+                    "port": service.port,
+                    "workers": args.workers,
+                    "db_dir": args.db_dir,
+                }
+            )
+        else:
+            print(f"# serving OMQA on {service.address} (Ctrl-C to stop)")
+        sys.stdout.flush()
+
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed = []
+        for signame in ("SIGINT", "SIGTERM"):
+            signum = getattr(signal, signame, None)
+            if signum is None:
+                continue
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        try:
+            await stop.wait()
+        finally:
+            # Graceful: stop accepting, drain in-flight, checkpoint WALs.
+            await service.shutdown(drain_s=args.drain)
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+        if not args.json:
+            print("# drained and checkpointed; bye", file=sys.stderr)
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .bench.loadgen import run_loadgen
+
+    host = port = None
+    if args.url:
+        target = args.url
+        for prefix in ("http://", "https://"):
+            if target.startswith(prefix):
+                target = target[len(prefix) :]
+        target = target.rstrip("/")
+        host, _, port_text = target.partition(":")
+        if not port_text:
+            print(f"# --url needs host:port, got {args.url!r}", file=sys.stderr)
+            return 2
+        port = int(port_text)
+    report = run_loadgen(
+        clients=args.clients,
+        ops_per_client=args.ops,
+        append_every=args.append_every,
+        workers=args.workers,
+        quick=args.quick,
+        host=host,
+        port=port,
+    )
+    ok = report["digests_match"] and report["errors"] == 0
+    if args.json:
+        _emit_json({"command": "loadgen", "ok": ok, **report})
+        return 0 if ok else 1
+    latency = report["latency_ms"]
+    print(
+        f"# loadgen: {report['clients']} clients x "
+        f"{report['ops_per_client']} ops "
+        f"({report['ops']['queries']} queries, "
+        f"{report['ops']['appends']} appends)"
+    )
+    print(
+        f"# {report['requests']} requests in {report['seconds']}s = "
+        f"{report['throughput_rps']} req/s; "
+        f"p50 {latency['p50']}ms, p99 {latency['p99']}ms, "
+        f"max {latency['max']}ms"
+    )
+    print(
+        f"# journal={report['journal_mode']}, rewriting compiles="
+        f"{report['rewrite_cache_misses']} "
+        f"(hits={report['rewrite_cache_hits']})"
+    )
+    for name, digest in sorted(report["final_digests"].items()):
+        print(f"#   {name}: {digest}")
+    verdict = "all backends digest-identical to a fresh from-scratch answer"
+    if not report["digests_match"]:
+        verdict = f"DIGEST MISMATCH: {report['backend_digests']}"
+    if report["errors"]:
+        verdict = f"{report['errors']} ERRORS: {report['error_samples']}"
+    print(f"# {verdict}")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -923,6 +1044,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for the parallel_equivalence scenario (default 4)",
     )
     guard_cmd.set_defaults(handler=_cmd_bench_guard)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the OMQA HTTP service (repro.service)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = pick a free one)"
+    )
+    serve_cmd.add_argument(
+        "--db-dir",
+        default=None,
+        help="directory for per-theory SQLite databases (default: a "
+        "temporary directory removed on shutdown)",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="threadpool size for engine work (each worker keeps its own "
+        "WAL read connections)",
+    )
+    serve_cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request wall-clock bound; overruns answer 503",
+    )
+    serve_cmd.add_argument(
+        "--drain",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long shutdown waits for in-flight requests",
+    )
+    serve_cmd.add_argument(
+        "--rounds", type=int, default=100, help="chase budget: max rounds"
+    )
+    serve_cmd.add_argument(
+        "--max-atoms", type=int, default=500_000, help="chase budget: max atoms"
+    )
+    serve_cmd.add_argument(
+        "--chase-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="chase budget: wall-clock bound per chase (ChaseBudget.deadline_s)",
+    )
+    serve_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="announce the bound address as JSON on stdout",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
+
+    loadgen_cmd = commands.add_parser(
+        "loadgen", help="concurrent-load bench against the OMQA service"
+    )
+    loadgen_cmd.add_argument(
+        "--clients", type=int, default=8, help="concurrent client connections"
+    )
+    loadgen_cmd.add_argument(
+        "--ops", type=int, default=24, help="operations per client"
+    )
+    loadgen_cmd.add_argument(
+        "--append-every",
+        type=int,
+        default=6,
+        help="every Nth op per client is an append (the rest are queries)",
+    )
+    loadgen_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="threadpool size of the in-process server (ignored with --url)",
+    )
+    loadgen_cmd.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke plan: at most 4 clients x 12 ops",
+    )
+    loadgen_cmd.add_argument(
+        "--url",
+        default=None,
+        help="target an already-running server (host:port) instead of "
+        "spinning one up in-process",
+    )
+    loadgen_cmd.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    loadgen_cmd.set_defaults(handler=_cmd_loadgen)
 
     return parser
 

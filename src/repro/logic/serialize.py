@@ -1,9 +1,16 @@
-"""Textual serialization of theories, instances and queries.
+"""Textual and JSON serialization of theories, instances and queries.
 
-The format is exactly the :mod:`repro.logic.parser` syntax, so dump/parse
-round-trips are the identity (tested).  Chase-produced instances contain
-Skolem function terms, which the fact syntax cannot express — dumping them
-raises rather than silently flattening structure.
+The textual format is exactly the :mod:`repro.logic.parser` syntax, so
+dump/parse round-trips are the identity (tested).  Chase-produced
+instances contain Skolem function terms, which the fact syntax cannot
+express — dumping them raises rather than silently flattening structure.
+
+The JSON wire format (``*_to_json``/``*_from_json``) wraps the same text
+in tagged envelopes — ``{"format": "repro/theory@1", ...}`` — and is the
+contract of the :mod:`repro.service` HTTP API.  Reusing the parser
+syntax inside JSON keeps one grammar authoritative: decode(encode(x))
+is canonical-key-identical (property-tested), and malformed documents
+raise :class:`SerializationError`, which the service maps to HTTP 400.
 """
 
 from __future__ import annotations
@@ -105,3 +112,100 @@ def load_query(path: str | Path) -> ConjunctiveQuery:
     from .parser import parse_query
 
     return parse_query(Path(path).read_text(encoding="utf8"))
+
+
+# ----------------------------------------------------------------------
+# JSON wire format (the service API contract)
+# ----------------------------------------------------------------------
+THEORY_FORMAT = "repro/theory@1"
+INSTANCE_FORMAT = "repro/instance@1"
+QUERY_FORMAT = "repro/query@1"
+
+
+def _expect_envelope(doc: object, tag: str, payload_key: str) -> dict:
+    if not isinstance(doc, dict):
+        raise SerializationError(f"expected a JSON object, got {type(doc).__name__}")
+    if doc.get("format") != tag:
+        raise SerializationError(
+            f"expected format {tag!r}, got {doc.get('format')!r}"
+        )
+    if payload_key not in doc:
+        raise SerializationError(f"missing {payload_key!r} field")
+    return doc
+
+
+def theory_to_json(theory: Theory) -> dict:
+    """The theory as a JSON-able envelope: one parser-syntax rule per entry."""
+    return {
+        "format": THEORY_FORMAT,
+        "name": theory.name,
+        "rules": [repr(rule) for rule in theory],
+    }
+
+
+def theory_from_json(doc: object) -> Theory:
+    """Decode :func:`theory_to_json` output (raises on malformed docs)."""
+    from .parser import ParseError, parse_theory
+
+    doc = _expect_envelope(doc, THEORY_FORMAT, "rules")
+    rules = doc["rules"]
+    if not isinstance(rules, list) or not all(
+        isinstance(rule, str) for rule in rules
+    ):
+        raise SerializationError("'rules' must be a list of strings")
+    name = doc.get("name", "")
+    if not isinstance(name, str):
+        raise SerializationError("'name' must be a string")
+    try:
+        return parse_theory("\n".join(rules), name=name)
+    except ParseError as exc:
+        raise SerializationError(f"unparseable rule: {exc}") from exc
+
+
+def instance_to_json(instance: Instance) -> dict:
+    """The base instance as a JSON-able envelope, facts sorted.
+
+    Like :func:`dump_instance`, Skolem terms raise — only base instances
+    travel over the wire.
+    """
+    return {
+        "format": INSTANCE_FORMAT,
+        "facts": [
+            line for line in dump_instance(instance).splitlines() if line
+        ],
+    }
+
+
+def instance_from_json(doc: object) -> Instance:
+    """Decode :func:`instance_to_json` output (raises on malformed docs)."""
+    from .parser import ParseError, parse_instance
+
+    doc = _expect_envelope(doc, INSTANCE_FORMAT, "facts")
+    facts = doc["facts"]
+    if not isinstance(facts, list) or not all(
+        isinstance(fact, str) for fact in facts
+    ):
+        raise SerializationError("'facts' must be a list of strings")
+    try:
+        return parse_instance(". ".join(facts))
+    except ParseError as exc:
+        raise SerializationError(f"unparseable fact: {exc}") from exc
+
+
+def query_to_json(query: ConjunctiveQuery) -> dict:
+    """The CQ as a JSON-able envelope carrying its :func:`dump_query` text."""
+    return {"format": QUERY_FORMAT, "query": dump_query(query).strip()}
+
+
+def query_from_json(doc: object) -> ConjunctiveQuery:
+    """Decode :func:`query_to_json` output (raises on malformed docs)."""
+    from .parser import ParseError, parse_query
+
+    doc = _expect_envelope(doc, QUERY_FORMAT, "query")
+    text = doc["query"]
+    if not isinstance(text, str):
+        raise SerializationError("'query' must be a string")
+    try:
+        return parse_query(text)
+    except ParseError as exc:
+        raise SerializationError(f"unparseable query: {exc}") from exc

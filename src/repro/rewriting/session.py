@@ -32,6 +32,7 @@ Cache keys:
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 from ..chase.engine import (
@@ -81,6 +82,18 @@ class OMQASession:
     :func:`repro.rewriting.answering.certain_answers` when neither route
     is conclusive).  ``stats`` aggregates the telemetry of every engine
     run the session triggered; ``cache_info()`` reports hits/misses.
+
+    Sessions are **thread-safe**: one reentrant per-session lock guards
+    every cache mutation (``prepare``/``materialize``/``compile_sql``/
+    the store loaders/live updates), so a threadpool — the service's
+    deployment shape, see :mod:`repro.service` — may call ``answer()``
+    concurrently without corrupting the cache dicts.  Holding the lock
+    *through* a compile makes first requests single-flight: two threads
+    racing to prepare the same query shape run one rewriting, and the
+    loser's wait is counted as a ``session.rewrite_cache_hits`` hit.
+    Engine work under the lock serializes sessions' CPU-bound phases,
+    which costs nothing under the GIL; scale-out reads belong on
+    separate store connections (WAL), not on extra session locks.
     """
 
     def __init__(
@@ -109,6 +122,10 @@ class OMQASession:
         # Where strategy="sql" keeps its SQLiteStore; None = in-memory.
         self.db_path = db_path
         self.stats = Telemetry()
+        # One reentrant lock for every cache the session owns.  RLock,
+        # not Lock: answer() holds it across a store load + evaluation
+        # while the loaders and prepare() re-acquire it underneath.
+        self._lock = threading.RLock()
         self._rewritings: dict[ConjunctiveQuery, RewritingResult] = {}
         self._chases: dict[frozenset, ChaseResult] = {}
         self._sql_store = None
@@ -130,20 +147,23 @@ class OMQASession:
         tuples are unaffected.
         """
         shape = query_shape(query)
-        cached = self._rewritings.get(shape)
-        if cached is not None:
-            self._hits["rewriting"] += 1
-            # Mirrored into telemetry so ``--stats`` output (and any
-            # service wrapping the session) can observe per-shape
-            # rewriting amortization without calling cache_info().
-            self.stats.counters["session.rewrite_cache_hits"] += 1
-            return cached
-        self._misses["rewriting"] += 1
-        self.stats.counters["session.rewrite_cache_misses"] += 1
-        result = rewrite(self.theory, shape, self.rewriting_budget)
-        self.stats.merge(result.stats)
-        self._rewritings[shape] = result
-        return result
+        with self._lock:
+            cached = self._rewritings.get(shape)
+            if cached is not None:
+                self._hits["rewriting"] += 1
+                # Mirrored into telemetry so ``--stats`` output (and any
+                # service wrapping the session) can observe per-shape
+                # rewriting amortization without calling cache_info().
+                self.stats.counters["session.rewrite_cache_hits"] += 1
+                return cached
+            self._misses["rewriting"] += 1
+            self.stats.counters["session.rewrite_cache_misses"] += 1
+            # Still under the lock: concurrent first requests for one
+            # shape are single-flight — one compile, the rest hit.
+            result = rewrite(self.theory, shape, self.rewriting_budget)
+            self.stats.merge(result.stats)
+            self._rewritings[shape] = result
+            return result
 
     def materialize(self, instance: Instance) -> ChaseResult:
         """The (cached) fixpoint chase of this instance's content.
@@ -153,35 +173,36 @@ class OMQASession:
         materialization must stay loud, not cached as truncated.
         """
         key = instance.atoms()
-        cached = self._chases.get(key)
-        if cached is not None:
-            self._hits["chase"] += 1
-            # Mirrored like ``session.rewrite_cache_*`` in prepare():
-            # the key is the instance *content*, so a mutated-then-
-            # restored instance hits here — observable via --stats.
-            self.stats.counters["session.chase_cache_hits"] += 1
-            return cached
-        self._misses["chase"] += 1
-        self.stats.counters["session.chase_cache_misses"] += 1
-        result = chase(
-            self.theory,
-            instance,
-            budget=self.chase_budget,
-            workers=self.workers,
-            cancel=self.cancel,
-        )
-        self.stats.merge(result.stats)
-        if not result.terminated:
-            if self.cancel is not None and self.cancel.cancelled:
-                raise ChaseCancelled(
-                    "materialization cancelled before reaching a fixpoint"
-                )
-            raise ChaseBudgetExceeded(
-                f"chase did not reach a fixpoint within {self.chase_budget}; "
-                "answer via a complete rewriting or raise the session's budget"
+        with self._lock:
+            cached = self._chases.get(key)
+            if cached is not None:
+                self._hits["chase"] += 1
+                # Mirrored like ``session.rewrite_cache_*`` in prepare():
+                # the key is the instance *content*, so a mutated-then-
+                # restored instance hits here — observable via --stats.
+                self.stats.counters["session.chase_cache_hits"] += 1
+                return cached
+            self._misses["chase"] += 1
+            self.stats.counters["session.chase_cache_misses"] += 1
+            result = chase(
+                self.theory,
+                instance,
+                budget=self.chase_budget,
+                workers=self.workers,
+                cancel=self.cancel,
             )
-        self._chases[key] = result
-        return result
+            self.stats.merge(result.stats)
+            if not result.terminated:
+                if self.cancel is not None and self.cancel.cancelled:
+                    raise ChaseCancelled(
+                        "materialization cancelled before reaching a fixpoint"
+                    )
+                raise ChaseBudgetExceeded(
+                    f"chase did not reach a fixpoint within {self.chase_budget}; "
+                    "answer via a complete rewriting or raise the session's budget"
+                )
+            self._chases[key] = result
+            return result
 
     # ------------------------------------------------------------------
     # Live updates (incremental maintenance)
@@ -227,24 +248,25 @@ class OMQASession:
         for item in add:
             updated.add(item)
         new_key = updated.atoms()
-        cached = self._chases.get(instance.atoms())
-        if (
-            cached is not None
-            and cached.terminated
-            and new_key not in self._chases
-        ):
-            outcome = incremental_update(
-                cached,
-                add=add,
-                retract=retract,
-                budget=self.chase_budget,
-                cancel=self.cancel,
-            )
-            # Merge only the maintenance work: the original chase's
-            # telemetry already landed in ``stats`` when it ran.
-            self.stats.merge(outcome.stats)
-            if outcome.result.terminated:
-                self._chases[new_key] = outcome.result
+        with self._lock:
+            cached = self._chases.get(instance.atoms())
+            if (
+                cached is not None
+                and cached.terminated
+                and new_key not in self._chases
+            ):
+                outcome = incremental_update(
+                    cached,
+                    add=add,
+                    retract=retract,
+                    budget=self.chase_budget,
+                    cancel=self.cancel,
+                )
+                # Merge only the maintenance work: the original chase's
+                # telemetry already landed in ``stats`` when it ran.
+                self.stats.merge(outcome.stats)
+                if outcome.result.terminated:
+                    self._chases[new_key] = outcome.result
         return updated
 
     def store(self):
@@ -253,14 +275,15 @@ class OMQASession:
         Created lazily (at ``db_path``, or in-memory) and wired to the
         session's telemetry, so ``store.*`` counters land in ``stats``.
         """
-        if self._sql_store is None:
-            from ..storage.sqlite import SQLiteStore
+        with self._lock:
+            if self._sql_store is None:
+                from ..storage.sqlite import SQLiteStore
 
-            self._sql_store = SQLiteStore(
-                self.db_path if self.db_path is not None else ":memory:",
-                telemetry=self.stats,
-            )
-        return self._sql_store
+                self._sql_store = SQLiteStore(
+                    self.db_path if self.db_path is not None else ":memory:",
+                    telemetry=self.stats,
+                )
+            return self._sql_store
 
     def _loaded_store(self, instance: Instance):
         """The session store holding exactly ``instance``'s facts.
@@ -272,14 +295,15 @@ class OMQASession:
         """
         from ..storage.base import instance_digest
 
-        store = self.store()
-        digest = instance_digest(instance)
-        if digest != self._sql_digest:
-            store.clear_facts()
-            store.add_many(instance)
-            self._compiled_sql.clear()
-            self._sql_digest = digest
-        return store
+        with self._lock:
+            store = self.store()
+            digest = instance_digest(instance)
+            if digest != self._sql_digest:
+                store.clear_facts()
+                store.add_many(instance)
+                self._compiled_sql.clear()
+                self._sql_digest = digest
+            return store
 
     def _loaded_columnar(self, instance: Instance):
         """The session's :class:`~repro.storage.columnar.ColumnarStore`
@@ -292,17 +316,18 @@ class OMQASession:
         from ..storage.base import instance_digest
         from ..storage.columnar import ColumnarStore
 
-        if self._columnar_store is None:
-            self._columnar_store = ColumnarStore(telemetry=self.stats)
-        digest = instance_digest(instance)
-        if digest != self._columnar_digest:
-            self._misses["columnar"] += 1
-            self._columnar_store.clear_facts()
-            self._columnar_store.add_many(instance)
-            self._columnar_digest = digest
-        else:
-            self._hits["columnar"] += 1
-        return self._columnar_store
+        with self._lock:
+            if self._columnar_store is None:
+                self._columnar_store = ColumnarStore(telemetry=self.stats)
+            digest = instance_digest(instance)
+            if digest != self._columnar_digest:
+                self._misses["columnar"] += 1
+                self._columnar_store.clear_facts()
+                self._columnar_store.add_many(instance)
+                self._columnar_digest = digest
+            else:
+                self._hits["columnar"] += 1
+            return self._columnar_store
 
     def compile_sql(self, query: ConjunctiveQuery, instance: Instance):
         """The (cached) SQL compilation of this shape's rewriting.
@@ -315,19 +340,20 @@ class OMQASession:
         from ..logic.serialize import dump_query
         from ..storage.sqlcompile import compile_ucq
 
-        prepared = self.prepare(query)
-        if not prepared.complete:
-            raise RuntimeError("rewriting incomplete; cannot answer soundly")
-        store = self._loaded_store(instance)
-        key = dump_query(query_shape(query))
-        cached = self._compiled_sql.get(key)
-        if cached is not None:
-            self._hits["sql"] += 1
-            return cached
-        self._misses["sql"] += 1
-        compiled = compile_ucq(prepared.ucq, store)
-        self._compiled_sql[key] = compiled
-        return compiled
+        with self._lock:
+            prepared = self.prepare(query)
+            if not prepared.complete:
+                raise RuntimeError("rewriting incomplete; cannot answer soundly")
+            store = self._loaded_store(instance)
+            key = dump_query(query_shape(query))
+            cached = self._compiled_sql.get(key)
+            if cached is not None:
+                self._hits["sql"] += 1
+                return cached
+            self._misses["sql"] += 1
+            compiled = compile_ucq(prepared.ucq, store)
+            self._compiled_sql[key] = compiled
+            return compiled
 
     # ------------------------------------------------------------------
     # Answering
@@ -364,16 +390,24 @@ class OMQASession:
         if strategy == "columnar":
             from ..chase.columnar_kernel import evaluate_ucq_columnar
 
-            prepared = self.prepare(query)
-            if prepared.complete:
-                store = self._loaded_columnar(instance)
-                answers = evaluate_ucq_columnar(prepared.ucq, store)
-                if prepared.always_true and query.is_boolean() and len(instance):
-                    answers.add(())
-                return answers
-            materialized = self.materialize(instance)
-            store = self._loaded_columnar(materialized.instance)
-            answers = evaluate_ucq_columnar(shape, store)
+            # Lock across load + evaluate: the session owns one shared
+            # columnar store, and another thread answering a different
+            # instance would repopulate it mid-join otherwise.
+            with self._lock:
+                prepared = self.prepare(query)
+                if prepared.complete:
+                    store = self._loaded_columnar(instance)
+                    answers = evaluate_ucq_columnar(prepared.ucq, store)
+                    if (
+                        prepared.always_true
+                        and query.is_boolean()
+                        and len(instance)
+                    ):
+                        answers.add(())
+                    return answers
+                materialized = self.materialize(instance)
+                store = self._loaded_columnar(materialized.instance)
+                answers = evaluate_ucq_columnar(shape, store)
             domain = instance.domain()
             return {
                 tup for tup in answers if all(term in domain for term in tup)
@@ -381,12 +415,17 @@ class OMQASession:
         if strategy == "sql":
             from ..storage.sqlcompile import execute_compiled
 
-            prepared = self.prepare(query)
-            compiled = self.compile_sql(query, instance)
-            answers = execute_compiled(compiled, self.store())
-            if prepared.always_true and query.is_boolean() and len(instance):
-                answers.add(())
-            return answers
+            # Same shared-store discipline as 'columnar': the compiled
+            # plan is only valid against the store state it was compiled
+            # for, so the load + execute pair must not interleave with a
+            # concurrent reload.
+            with self._lock:
+                prepared = self.prepare(query)
+                compiled = self.compile_sql(query, instance)
+                answers = execute_compiled(compiled, self.store())
+                if prepared.always_true and query.is_boolean() and len(instance):
+                    answers.add(())
+                return answers
         if strategy in ("auto", "rewrite"):
             prepared = self.prepare(query)
             if prepared.complete:
@@ -413,52 +452,55 @@ class OMQASession:
     # Introspection / lifecycle
     # ------------------------------------------------------------------
     def cache_info(self) -> dict[str, dict[str, int]]:
-        return {
-            "rewriting": {
-                "hits": self._hits["rewriting"],
-                "misses": self._misses["rewriting"],
-                "entries": len(self._rewritings),
-            },
-            "chase": {
-                "hits": self._hits["chase"],
-                "misses": self._misses["chase"],
-                "entries": len(self._chases),
-            },
-            "sql": {
-                "hits": self._hits["sql"],
-                "misses": self._misses["sql"],
-                "entries": len(self._compiled_sql),
-            },
-            "columnar": {
-                "hits": self._hits["columnar"],
-                "misses": self._misses["columnar"],
-                "entries": 1 if self._columnar_digest is not None else 0,
-            },
-        }
+        with self._lock:
+            return {
+                "rewriting": {
+                    "hits": self._hits["rewriting"],
+                    "misses": self._misses["rewriting"],
+                    "entries": len(self._rewritings),
+                },
+                "chase": {
+                    "hits": self._hits["chase"],
+                    "misses": self._misses["chase"],
+                    "entries": len(self._chases),
+                },
+                "sql": {
+                    "hits": self._hits["sql"],
+                    "misses": self._misses["sql"],
+                    "entries": len(self._compiled_sql),
+                },
+                "columnar": {
+                    "hits": self._hits["columnar"],
+                    "misses": self._misses["columnar"],
+                    "entries": 1 if self._columnar_digest is not None else 0,
+                },
+            }
 
     def clear(self) -> None:
         """Drop every cached artifact (budgets and stats survive)."""
-        self._rewritings.clear()
-        self._chases.clear()
-        self._compiled_sql.clear()
-        self._sql_digest = None
-        if self._sql_store is not None:
-            self._sql_store.clear_facts()
-        self._columnar_digest = None
-        if self._columnar_store is not None:
-            self._columnar_store.clear_facts()
+        with self._lock:
+            self._rewritings.clear()
+            self._chases.clear()
+            self._compiled_sql.clear()
+            self._sql_digest = None
+            if self._sql_store is not None:
+                self._sql_store.clear_facts()
+            self._columnar_digest = None
+            if self._columnar_store is not None:
+                self._columnar_store.clear_facts()
 
     def close(self) -> None:
         """Release the stores (idempotent; caches stay usable in RAM)."""
-        if self._sql_store is not None:
-            self._sql_store.close()
-            self._sql_store = None
-            self._sql_digest = None
-            self._compiled_sql.clear()
-        if self._columnar_store is not None:
-            self._columnar_store.close()
-            self._columnar_store = None
-            self._columnar_digest = None
+        with self._lock:
+            if self._sql_store is not None:
+                self._sql_store.close()
+                self._sql_store = None
+                self._sql_digest = None
+                self._compiled_sql.clear()
+            if self._columnar_store is not None:
+                self._columnar_store.close()
+                self._columnar_store = None
+                self._columnar_digest = None
 
     def __repr__(self) -> str:
         info = self.cache_info()

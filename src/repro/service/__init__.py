@@ -1,0 +1,33 @@
+"""OMQA as a service: the asyncio HTTP layer over the engine (§ROADMAP 1).
+
+First-order rewritability is what makes ontology-mediated query
+answering *servable*: compile the rewriting once per (theory, query
+shape), then answer every request by plain query evaluation.  This
+package is that deployment shape — a stdlib-only HTTP/1.1 JSON API
+where each theory owns one shared thread-safe
+:class:`~repro.rewriting.session.OMQASession` (single-flight compiled
+caches) and one WAL-mode SQLite database (one serialized writer
+chasing, many threadpool readers answering).
+
+Modules: :mod:`~repro.service.http` (codec),
+:mod:`~repro.service.registry` (per-theory state + concurrency model),
+:mod:`~repro.service.app` (routes), :mod:`~repro.service.server`
+(lifecycle), :mod:`~repro.service.client` (asyncio client).
+"""
+
+from .app import ApiError, ServiceApp
+from .client import ServiceClient, ServiceError
+from .registry import TheoryEntry, TheoryRegistry, answers_digest, answers_to_json
+from .server import OMQAService
+
+__all__ = [
+    "ApiError",
+    "OMQAService",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceError",
+    "TheoryEntry",
+    "TheoryRegistry",
+    "answers_digest",
+    "answers_to_json",
+]

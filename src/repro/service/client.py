@@ -1,0 +1,157 @@
+"""A minimal asyncio client for the OMQA service (tests, smoke, loadgen).
+
+One :class:`ServiceClient` holds one keep-alive connection; its methods
+mirror the API routes and return the decoded JSON document, raising
+:class:`ServiceError` on non-2xx statuses.  Deliberately tiny — the
+stdlib-only constraint means no ``aiohttp``, and the bench/test callers
+need exactly request/response with Content-Length framing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..logic.instance import Instance
+from ..logic.query import ConjunctiveQuery
+from ..logic.serialize import instance_to_json, query_to_json, theory_to_json
+from ..logic.tgd import Theory
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response (carries the status and error document)."""
+
+    def __init__(self, status: int, document: object) -> None:
+        message = document
+        if isinstance(document, dict):
+            message = document.get("error", document)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.document = document
+
+
+class ServiceClient:
+    """One persistent connection to an :class:`OMQAService`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+
+    async def connect(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    async def request(
+        self, method: str, path: str, body: "object | None" = None
+    ) -> tuple[int, object]:
+        """One request/response exchange; returns ``(status, document)``."""
+        if self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode("utf8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + payload)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        length = 0
+        close_after = False
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+            if (
+                name.strip().lower() == "connection"
+                and value.strip().lower() == "close"
+            ):
+                close_after = True
+        raw = await self._reader.readexactly(length) if length else b""
+        if close_after:
+            await self.close()
+        return status, (json.loads(raw) if raw else None)
+
+    async def _expect_2xx(self, method: str, path: str, body=None):
+        status, document = await self.request(method, path, body)
+        if status // 100 != 2:
+            raise ServiceError(status, document)
+        return document
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    async def healthz(self) -> dict:
+        return await self._expect_2xx("GET", "/healthz")
+
+    async def metrics(self) -> dict:
+        return await self._expect_2xx("GET", "/metrics")
+
+    async def register_theory(self, theory: Theory) -> dict:
+        return await self._expect_2xx(
+            "POST", "/theories", {"theory": theory_to_json(theory)}
+        )
+
+    async def theory_info(self, theory_id: str) -> dict:
+        return await self._expect_2xx("GET", f"/theories/{theory_id}")
+
+    async def upload_facts(self, theory_id: str, instance: Instance) -> dict:
+        return await self._expect_2xx(
+            "POST",
+            f"/theories/{theory_id}/instances",
+            {"mode": "replace", "instance": instance_to_json(instance)},
+        )
+
+    async def append_facts(self, theory_id: str, facts) -> dict:
+        return await self._expect_2xx(
+            "POST",
+            f"/theories/{theory_id}/instances",
+            {"mode": "append", "instance": instance_to_json(Instance(facts))},
+        )
+
+    async def retract_facts(self, theory_id: str, facts) -> dict:
+        return await self._expect_2xx(
+            "DELETE",
+            f"/theories/{theory_id}/facts",
+            {"instance": instance_to_json(Instance(facts))},
+        )
+
+    async def query(
+        self,
+        theory_id: str,
+        query: ConjunctiveQuery,
+        backend: str = "memory",
+    ) -> dict:
+        return await self._expect_2xx(
+            "POST",
+            f"/theories/{theory_id}/query",
+            {"query": query_to_json(query), "backend": backend},
+        )

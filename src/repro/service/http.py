@@ -1,0 +1,127 @@
+"""A small HTTP/1.1 codec over asyncio streams — just enough for the API.
+
+The service speaks JSON over plain HTTP/1.1 with ``Content-Length``
+framing and keep-alive connections; this module owns the byte-level
+reading and writing so :mod:`repro.service.app` can think in
+``(method, path, json_body)`` triples.  Deliberately *not* a general
+web server: no chunked transfer, no multipart, no TLS — the stdlib-only
+constraint (ROADMAP: no new runtime deps) rules out every framework,
+and the API needs none of the above.
+
+Limits are enforced while reading (64 KiB of headers, 64 MiB of body)
+so a misbehaving client cannot balloon the process; violations raise
+:class:`ProtocolError`, which the server answers with 400 and a close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ValueError):
+    """The peer sent bytes this codec refuses to interpret."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request (body already decoded from JSON)."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: object = None
+
+    @property
+    def keep_alive(self) -> bool:
+        # HTTP/1.1 default is persistent; only an explicit close drops it.
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(reader: asyncio.StreamReader) -> "Request | None":
+    """Read one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` for malformed framing or JSON, and
+    ``asyncio.IncompleteReadError`` when the peer hangs up mid-request.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-headers") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("header block exceeds the stream limit") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError("header block too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding"):
+        raise ProtocolError("chunked transfer encoding is not supported")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(f"bad Content-Length: {length_text!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError(f"refused Content-Length {length}")
+
+    raw = await reader.readexactly(length) if length else b""
+    body: object = None
+    if raw:
+        try:
+            body = json.loads(raw)
+        except ValueError as exc:
+            raise ProtocolError(f"request body is not JSON: {exc}") from exc
+
+    # Strip any query string; the API carries every parameter in JSON.
+    path = target.split("?", 1)[0]
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def encode_response(
+    status: int, document: object, *, keep_alive: bool = True
+) -> bytes:
+    """Serialize a JSON response with Content-Length framing."""
+    payload = (json.dumps(document, sort_keys=True) + "\n").encode("utf8")
+    reason = REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + payload

@@ -1,0 +1,168 @@
+"""The asyncio server: connections, threadpool, deadline, shutdown.
+
+:class:`OMQAService` glues the codec (:mod:`repro.service.http`), the
+application (:mod:`repro.service.app`) and the registry
+(:mod:`repro.service.registry`) to ``asyncio.start_server``.  Requests
+are handled on the event loop; engine work hops to one shared
+``ThreadPoolExecutor`` (``workers`` threads — each worker owns its WAL
+read connections via the registry's thread-locals).
+
+Lifecycle contract (the ``repro serve`` CLI wires SIGINT/SIGTERM to
+:meth:`OMQAService.shutdown`):
+
+1. stop accepting new connections;
+2. drain in-flight requests (bounded by ``drain_s``);
+3. checkpoint every theory's WAL into its database file;
+4. close sessions, stores and the executor.
+
+``deadline`` (seconds, optional) bounds each request's wall time with
+``asyncio.wait_for``; a timeout answers 503 and counts
+``service.deadline_timeouts`` (the executor job it abandoned finishes
+in the background — deadlines bound the *client's* wait, they are not
+cancellation; pair with small chase budgets to bound the work itself).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from ..chase.engine import ChaseBudget
+from .app import ServiceApp
+from .http import ProtocolError, encode_response, read_request
+from .registry import TheoryRegistry
+
+DEFAULT_WORKERS = 4
+
+
+class OMQAService:
+    """An OMQA HTTP service bound to one registry of theories."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        db_dir: "str | Path | None" = None,
+        workers: int = DEFAULT_WORKERS,
+        deadline: "float | None" = None,
+        chase_budget: "ChaseBudget | None" = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        if db_dir is None:
+            # Ephemeral service: theories live for the process.  A real
+            # directory (not ":memory:") because WAL needs a file and
+            # reader threads need their own connections to it.
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-service-")
+            db_dir = self._tempdir.name
+        else:
+            self._tempdir = None
+        self.registry = TheoryRegistry(db_dir, chase_budget=chase_budget)
+        self.executor = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-service"
+        )
+        self.app = ServiceApp(self.registry, self.executor)
+        self.deadline = deadline
+        self._server: "asyncio.Server | None" = None
+        self._inflight: "set[asyncio.Task]" = set()
+        self._closing = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` is called (CLI entry point)."""
+        if self._server is None:
+            await self.start()
+        await self._closing.wait()
+
+    async def shutdown(self, drain_s: float = 10.0) -> None:
+        """Graceful stop: drain, checkpoint, close (idempotent)."""
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._inflight:
+            await asyncio.wait(set(self._inflight), timeout=drain_s)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.registry.checkpoint_all)
+        await loop.run_in_executor(None, self.registry.close_all)
+        self.executor.shutdown(wait=False)
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._closing.is_set():
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    document = {
+                        "error": {"code": "bad_request", "message": str(exc)}
+                    }
+                    writer.write(
+                        encode_response(400, document, keep_alive=False)
+                    )
+                    await writer.drain()
+                    return
+                except asyncio.IncompleteReadError:
+                    return
+                if request is None:
+                    return
+                task = asyncio.ensure_future(
+                    self._respond(request.method, request.path, request.body)
+                )
+                self._inflight.add(task)
+                try:
+                    status, document = await task
+                finally:
+                    self._inflight.discard(task)
+                keep = request.keep_alive and not self._closing.is_set()
+                writer.write(encode_response(status, document, keep_alive=keep))
+                await writer.drain()
+                if not keep:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(self, method: str, path: str, body: object):
+        if self.deadline is None:
+            return await self.app.dispatch(method, path, body)
+        try:
+            return await asyncio.wait_for(
+                self.app.dispatch(method, path, body), timeout=self.deadline
+            )
+        except asyncio.TimeoutError:
+            self.app.stats.counters["service.deadline_timeouts"] += 1
+            self.app.stats.counters["service.responses_5xx"] += 1
+            return 503, {
+                "error": {
+                    "code": "deadline",
+                    "message": f"request exceeded {self.deadline}s",
+                }
+            }

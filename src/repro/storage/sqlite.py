@@ -39,6 +39,20 @@ batched write paths) runs under a bounded jittered-backoff retry on
 a database file degrades to latency, not an exception (counted under
 ``store.lock_retries``; see ``docs/robustness.md``).
 
+Journal mode is an open option: ``wal=True`` (the default) sets
+``PRAGMA journal_mode=WAL`` + ``synchronous=NORMAL`` — the service
+deployment shape, where many reader connections answer compiled queries
+while one writer chases (readers never block the writer and vice versa);
+``wal=False`` keeps SQLite's rollback journal (``DELETE``) with
+``synchronous=FULL``.  The mode actually granted by SQLite is exposed as
+:attr:`SQLiteStore.journal_mode` and counted once per open under
+``store.wal_opens`` / ``store.rollback_opens``; stored content is
+journal-mode-independent — both modes produce identical
+:meth:`~SQLiteStore.digest` values (tested).  Connections are opened
+with ``check_same_thread=False`` so a store may be handed between
+threadpool workers; callers serialize access themselves (the service
+holds a per-theory write lock, ``OMQASession`` a per-session lock).
+
 Telemetry (``store.*`` counters, see ``docs/architecture.md`` §6):
 ``store.writes`` facts submitted, ``store.batches`` buffer flushes,
 ``store.sql_queries`` SELECT statements executed, ``store.rows_scanned``
@@ -144,17 +158,30 @@ class SQLiteStore(TermInterningMixin):
         path: "str | Path" = ":memory:",
         batch_size: int = 4096,
         telemetry: Telemetry | None = None,
+        wal: bool = True,
     ) -> None:
         self.path = str(path)
         self.batch_size = batch_size
         self.stats = telemetry if telemetry is not None else Telemetry()
-        self._conn: sqlite3.Connection | None = sqlite3.connect(self.path)
+        self._conn: sqlite3.Connection | None = sqlite3.connect(
+            self.path, check_same_thread=False
+        )
         self._conn.executescript(_SCHEMA)
-        # Durability tuned for a data plane, not a ledger: WAL keeps
-        # readers unblocked during chase flushes, NORMAL sync is safe
-        # against process crashes (checkpoints re-derive on power loss).
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
+        if wal:
+            # Durability tuned for a data plane, not a ledger: WAL keeps
+            # readers unblocked during chase flushes, NORMAL sync is safe
+            # against process crashes (checkpoints re-derive on power loss).
+            granted = self._conn.execute("PRAGMA journal_mode=WAL").fetchone()
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        else:
+            granted = self._conn.execute("PRAGMA journal_mode=DELETE").fetchone()
+            self._conn.execute("PRAGMA synchronous=FULL")
+        # SQLite may refuse WAL (e.g. ":memory:" databases stay in
+        # "memory" mode); record what was actually granted, not asked.
+        self.journal_mode: str = str(granted[0]).lower()
+        self.stats.counters[
+            "store.wal_opens" if self.journal_mode == "wal" else "store.rollback_opens"
+        ] += 1
         self._conn.execute("PRAGMA temp_store=MEMORY")
         self._conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
         self._tables: dict[Predicate, str] = {}
@@ -227,11 +254,23 @@ class SQLiteStore(TermInterningMixin):
         """
         self._pending.clear()
         self._pending_rows = 0
-        conn = self.connection
-        conn.rollback()
+        self.connection.rollback()
         self._init_term_caches()
+        self.reload_catalog()
+
+    def reload_catalog(self) -> None:
+        """Re-read the predicate-table catalog from ``repro_predicates``.
+
+        Reader connections sharing a WAL database with a writer call this
+        when the writer may have created new predicate tables since the
+        reader opened (the service does so on every data-version bump):
+        the Python-side ``_tables`` map is a cache of committed catalog
+        rows, and query compilation treats a predicate missing from it as
+        provably empty.  Interning caches stay valid — the dictionary is
+        append-only.
+        """
         self._tables = {}
-        for name, arity, table in conn.execute(
+        for name, arity, table in self.connection.execute(
             "SELECT name, arity, table_name FROM repro_predicates"
         ):
             self._tables[Predicate(name, arity)] = table

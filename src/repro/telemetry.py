@@ -58,7 +58,19 @@ rwparallel.bytes_received / rwparallel.fallback_inprocess``
 session.chase_cache_hits / session.chase_cache_misses``
     ``OMQASession`` cache outcomes — rewritings per query shape, chases
     per instance content — mirrored into the session's aggregated stats
-    for ``--stats`` output;
+    for ``--stats`` output; under concurrent callers the rewrite
+    counters also certify single-flight compilation (one miss per
+    shape, racing requests counted as hits);
+``service.requests / service.responses_2xx / service.responses_4xx /
+service.responses_5xx / service.theories / service.uploads /
+service.appends / service.retracts / service.queries /
+service.deadline_timeouts``
+    the HTTP service (:mod:`repro.service`, see ``docs/service.md``):
+    requests parsed, responses by status class, theories registered,
+    write traffic by kind, queries answered, and requests cut off by
+    the per-request deadline — all mutated on the event loop only and
+    serialized by ``GET /metrics`` next to each theory's engine
+    counters;
 ``delta.updates / delta.noops / delta.added_base /
 delta.retracted_base / delta.overdeleted / delta.rederived /
 delta.rounds``

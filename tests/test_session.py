@@ -207,3 +207,72 @@ class TestLiveUpdates:
         session.add_facts(instance, [_fact("EnrolledIn(bob, cs1)")])
         assert session.stats.counters["delta.updates"] == 1
         assert session.stats.counters["delta.added_base"] == 1
+
+
+class TestThreadSafety:
+    """Satellite pin: sessions survive concurrent answer() callers.
+
+    The service (repro.service) answers requests from a threadpool over
+    one shared session per theory; these tests hammer the caches from 8
+    threads and require (a) every thread sees the single-threaded
+    answers and (b) the rewriting compiled exactly once per shape
+    (single-flight: losers of the compile race count as cache hits).
+    """
+
+    THREADS = 8
+    ROUNDS = 5
+
+    def _hammer(self, strategy):
+        import threading
+
+        theory = parse_theory(UNIVERSITY)
+        instance = parse_instance(
+            "EnrolledIn(ann, cs1). EnrolledIn(bob, cs2). "
+            "TaughtBy(cs1, turing). TaughtBy(cs2, hopper)"
+        )
+        queries = [
+            parse_query("q(s) := Student(s)"),
+            parse_query("q(p) := Person(p)"),
+            parse_query("q(s, c) := EnrolledIn(s, c)"),
+        ]
+        expected = [certain_answers(theory, q, instance) for q in queries]
+        session = OMQASession(theory)
+        failures = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker():
+            barrier.wait()  # maximize contention on first-compile races
+            for _ in range(self.ROUNDS):
+                for query, want in zip(queries, expected):
+                    got = session.answer(query, instance, strategy=strategy)
+                    if got != want:
+                        failures.append((strategy, query, got))
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        return session
+
+    def test_concurrent_answer_auto(self):
+        session = self._hammer("auto")
+        info = session.cache_info()["rewriting"]
+        # Single-flight: one compile per distinct shape, every other
+        # request (including compile-race losers) is a hit.
+        assert info["misses"] == 3
+        assert info["entries"] == 3
+        assert info["hits"] == self.THREADS * self.ROUNDS * 3 - 3
+
+    def test_concurrent_answer_sql(self):
+        session = self._hammer("sql")
+        info = session.cache_info()["sql"]
+        assert info["misses"] == 3 and info["entries"] == 3
+
+    def test_concurrent_answer_columnar(self):
+        session = self._hammer("columnar")
+        # One load of the shared store; no thread saw a half-populated one.
+        assert session.cache_info()["columnar"]["misses"] == 1

@@ -170,6 +170,35 @@ class TestSQLiteStore:
             assert counters["store.rows_scanned"] >= 5
             assert counters["store.sql_queries"] >= 1
 
+    def test_wal_and_rollback_journal_digests_identical(self, tmp_path):
+        facts = edge_cycle(6)
+        with SQLiteStore(str(tmp_path / "wal.db"), wal=True) as wal_store:
+            wal_store.add_many(facts)
+            wal_digest = wal_store.digest()
+            assert wal_store.journal_mode == "wal"
+            assert wal_store.stats.counters["store.wal_opens"] == 1
+        with SQLiteStore(str(tmp_path / "rollback.db"), wal=False) as plain:
+            plain.add_many(facts)
+            assert plain.digest() == wal_digest == content_digest(facts)
+            assert plain.journal_mode == "delete"
+            assert plain.stats.counters["store.rollback_opens"] == 1
+
+    def test_memory_database_reports_granted_mode(self):
+        # SQLite refuses WAL for :memory: databases; the attribute must
+        # report what was granted, never what was asked for.
+        with SQLiteStore(":memory:", wal=True) as handle:
+            assert handle.journal_mode == "memory"
+            assert handle.stats.counters["store.rollback_opens"] == 1
+
+    def test_reload_catalog_sees_writer_tables(self, tmp_path):
+        path = str(tmp_path / "shared.db")
+        with SQLiteStore(path) as writer, SQLiteStore(path) as reader:
+            writer.add_many(parse_instance("E(a, b)"))
+            assert len(reader.predicates()) == 0  # stale catalog cache
+            reader.reload_catalog()
+            assert {p.name for p in reader.predicates()} == {"E"}
+            assert reader.digest() == writer.digest()
+
 
 class TestSqlCompile:
     def test_compiled_cq_matches_memory(self):

@@ -1,0 +1,159 @@
+"""JSON wire round-trips: the serialize envelopes the service API speaks.
+
+Property-tested contract (satellite pin): ``decode(encode(x))`` is
+canonical-key-identical — equal theories/instances, and for queries an
+identical :func:`repro.logic.serialize.dump_query` text (the session's
+compiled-SQL cache key), so a query that travelled over the wire lands
+on the same cache entries as one that never left the process.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import (
+    ConjunctiveQuery,
+    Constant,
+    Instance,
+    Variable,
+    parse_instance,
+    parse_query,
+    parse_theory,
+)
+from repro.logic.atoms import Atom
+from repro.logic.signature import Predicate
+from repro.logic.serialize import (
+    SerializationError,
+    dump_query,
+    instance_from_json,
+    instance_to_json,
+    load_query,
+    query_from_json,
+    query_to_json,
+    save_query,
+    theory_from_json,
+    theory_to_json,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+E = Predicate("E", 2)
+P = Predicate("P", 1)
+
+constants = st.integers(min_value=0, max_value=5).map(lambda i: Constant(f"c{i}"))
+variables = st.integers(min_value=0, max_value=5).map(lambda i: Variable(f"v{i}"))
+
+facts = st.one_of(
+    st.tuples(constants, constants).map(lambda p: Atom(E, p)),
+    constants.map(lambda c: Atom(P, (c,))),
+)
+instances = st.lists(facts, max_size=8).map(Instance)
+
+atom_patterns = st.tuples(
+    st.one_of(variables, constants), st.one_of(variables, constants)
+).map(lambda p: Atom(E, p))
+
+
+@st.composite
+def queries(draw):
+    atoms = tuple(
+        dict.fromkeys(draw(st.lists(atom_patterns, min_size=1, max_size=4)))
+    )
+    all_vars = sorted({v for a in atoms for v in a.variable_set()}, key=repr)
+    count = draw(st.integers(min_value=0, max_value=min(2, len(all_vars))))
+    return ConjunctiveQuery(tuple(all_vars[:count]), atoms)
+
+
+RULE_POOL = (
+    "Human(y) -> exists z. Mother(y, z)",
+    "Mother(x, y) -> Human(y)",
+    "EnrolledIn(s, c) -> Student(s)",
+    "TaughtBy(c, p) -> Professor(p)",
+    "Professor(p) -> Person(p)",
+    "E(x, y), E(y, z) -> E(x, z)",
+)
+theories = st.lists(
+    st.sampled_from(RULE_POOL), min_size=1, max_size=6, unique=True
+).map(lambda rules: parse_theory("\n".join(rules), name="wire"))
+
+
+# ----------------------------------------------------------------------
+# Round-trip properties
+# ----------------------------------------------------------------------
+class TestRoundTrips:
+    @settings(max_examples=50, deadline=None)
+    @given(theories)
+    def test_theory_roundtrip(self, theory):
+        doc = json.loads(json.dumps(theory_to_json(theory)))
+        decoded = theory_from_json(doc)
+        assert tuple(decoded) == tuple(theory)
+        assert decoded.name == theory.name
+
+    @settings(max_examples=50, deadline=None)
+    @given(instances)
+    def test_instance_roundtrip(self, instance):
+        doc = json.loads(json.dumps(instance_to_json(instance)))
+        decoded = instance_from_json(doc)
+        assert decoded.atoms() == instance.atoms()
+
+    @settings(max_examples=100, deadline=None)
+    @given(queries())
+    def test_query_roundtrip_is_canonical_key_identical(self, query):
+        doc = json.loads(json.dumps(query_to_json(query)))
+        decoded = query_from_json(doc)
+        assert decoded == query
+        # The pin that matters to the service: the wire-travelled query
+        # keys the same compiled-SQL cache entry as the original.
+        assert dump_query(decoded) == dump_query(query)
+
+    def test_save_load_query_file_roundtrip(self, tmp_path):
+        query = parse_query("q(x) := exists y. E(x, y), P('c0')")
+        path = tmp_path / "q.cq"
+        save_query(query, path)
+        assert load_query(path) == query
+
+
+# ----------------------------------------------------------------------
+# Malformed documents stay loud (the service maps these to HTTP 400)
+# ----------------------------------------------------------------------
+class TestMalformed:
+    def test_wrong_format_tag(self):
+        with pytest.raises(SerializationError):
+            theory_from_json({"format": "repro/query@1", "rules": []})
+
+    def test_non_object(self):
+        with pytest.raises(SerializationError):
+            query_from_json(["q(x) := P(x)"])
+
+    def test_missing_payload(self):
+        with pytest.raises(SerializationError):
+            instance_from_json({"format": "repro/instance@1"})
+
+    def test_bad_payload_types(self):
+        with pytest.raises(SerializationError):
+            theory_from_json({"format": "repro/theory@1", "rules": [1]})
+        with pytest.raises(SerializationError):
+            instance_from_json({"format": "repro/instance@1", "facts": "P(a)"})
+        with pytest.raises(SerializationError):
+            query_from_json({"format": "repro/query@1", "query": 7})
+
+    def test_unparseable_text(self):
+        with pytest.raises(SerializationError):
+            theory_from_json({"format": "repro/theory@1", "rules": ["->"]})
+        with pytest.raises(SerializationError):
+            instance_from_json(
+                {"format": "repro/instance@1", "facts": ["P(x y"]}
+            )
+        with pytest.raises(SerializationError):
+            query_from_json({"format": "repro/query@1", "query": "q("})
+
+    def test_empty_instance_is_fine(self):
+        decoded = instance_from_json(
+            {"format": "repro/instance@1", "facts": []}
+        )
+        assert len(decoded) == 0

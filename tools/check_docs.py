@@ -15,9 +15,10 @@ Three checks, all zero-dependency:
    slugification (lowercase, spaces to dashes, punctuation dropped).
 3. **Examples run.**  Every fenced ``python`` block in ``README.md``,
    ``EXPERIMENTS.md``, ``docs/performance.md``, ``docs/architecture.md``,
-   ``docs/robustness.md`` and ``docs/incremental.md`` is executed with
-   ``src/`` on ``sys.path``; a failing example fails the build.
-   Examples in those files are a documented contract, not decoration.
+   ``docs/robustness.md``, ``docs/incremental.md`` and
+   ``docs/service.md`` is executed with ``src/`` on ``sys.path``; a
+   failing example fails the build.  Examples in those files are a
+   documented contract, not decoration.
 
 Exit code 0 on success, 1 with a per-problem report otherwise.
 """
@@ -41,6 +42,7 @@ EXECUTED_FILES = [
     ROOT / "docs" / "architecture.md",
     ROOT / "docs" / "robustness.md",
     ROOT / "docs" / "incremental.md",
+    ROOT / "docs" / "service.md",
 ]
 
 # [text](target) — but not ![image](...) captures, which we treat the same,
